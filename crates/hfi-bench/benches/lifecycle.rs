@@ -1,0 +1,42 @@
+//! Criterion benchmarks of sandbox lifecycle operations (host time of the
+//! modelled operations — the simulated costs are reported by the
+//! micro_* binaries).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hfi_wasm::compiler::Isolation;
+use hfi_wasm::runtime::SandboxRuntime;
+
+fn bench_lifecycle(c: &mut Criterion) {
+    c.bench_function("create_teardown_guard_pages", |b| {
+        b.iter(|| {
+            let mut rt = SandboxRuntime::new(Isolation::GuardPages, 47);
+            let id = rt.create_sandbox(16).unwrap();
+            rt.teardown(id).unwrap();
+        })
+    });
+    c.bench_function("create_teardown_hfi", |b| {
+        b.iter(|| {
+            let mut rt = SandboxRuntime::new(Isolation::Hfi, 47);
+            let id = rt.create_sandbox(16).unwrap();
+            rt.teardown(id).unwrap();
+        })
+    });
+    c.bench_function("grow_64k_hfi", |b| {
+        let mut rt = SandboxRuntime::new(Isolation::Hfi, 47);
+        let id = rt.create_sandbox(1).unwrap();
+        let mut grown = 1u64;
+        b.iter(|| {
+            if grown < 60_000 {
+                rt.grow(id, 1).unwrap();
+                grown += 1;
+            }
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(1)).warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_lifecycle
+}
+criterion_main!(benches);

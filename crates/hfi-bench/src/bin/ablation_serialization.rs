@@ -1,0 +1,102 @@
+//! Ablation (§3.4/§4.5): what does each Spectre-protection posture cost
+//! per sandbox switch, measured in the pipeline?
+//!
+//! Sweeps a multiplexing loop over three postures: unserialized (fast,
+//! speculatively unsafe), switch-on-exit (safe within the sandbox set,
+//! unserialized switches), and fully serialized enter/exit (safe,
+//! expensive). The paper's design bet is that the middle posture
+//! recovers almost all of the unserialized performance.
+
+use hfi_bench::print_table;
+use hfi_core::region::{ExplicitDataRegion, ImplicitCodeRegion, ImplicitDataRegion};
+use hfi_core::{Region, SandboxConfig, NUM_REGIONS};
+use hfi_sim::{AluOp, Cond, HmovOperand, Machine, ProgramBuilder, Reg, Stop};
+
+const CODE_BASE: u64 = 0x40_0000;
+const ITERS: i64 = 200;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Posture {
+    Unserialized,
+    SwitchOnExit,
+    Serialized,
+}
+
+fn build(posture: Posture) -> Machine {
+    let code = Region::Code(ImplicitCodeRegion::new(CODE_BASE, 0xFFFF, true).expect("valid"));
+    let parent_data =
+        Region::Data(ImplicitDataRegion::new(0x10_0000, 0xFFFF, true, true).expect("valid"));
+    let heap = Region::Explicit(
+        ExplicitDataRegion::large(0x100_0000, 1 << 20, true, true).expect("valid"),
+    );
+    let mut child_regions: [Option<Region>; NUM_REGIONS] = [None; NUM_REGIONS];
+    child_regions[0] = Some(code);
+    child_regions[6] = Some(heap);
+
+    let mut asm = ProgramBuilder::new(CODE_BASE);
+    asm.hfi_set_region(0, code);
+    asm.hfi_set_region(2, parent_data);
+    if posture == Posture::SwitchOnExit {
+        // The trusted runtime itself runs serialized, once.
+        asm.hfi_enter(SandboxConfig::hybrid().serialized());
+    }
+    let iter = Reg(5);
+    asm.movi(iter, 0);
+    let top = asm.label_here("top");
+    match posture {
+        Posture::Unserialized => {
+            asm.hfi_set_region(6, heap);
+            asm.hfi_enter(SandboxConfig::hybrid());
+        }
+        Posture::Serialized => {
+            asm.hfi_set_region(6, heap);
+            asm.hfi_enter(SandboxConfig::hybrid().serialized());
+        }
+        Posture::SwitchOnExit => {
+            asm.hfi_enter_child(SandboxConfig::hybrid(), child_regions);
+        }
+    }
+    // Child workload.
+    asm.movi(Reg(1), 3);
+    asm.hmov_store(0, Reg(1), HmovOperand::disp(0), 8);
+    asm.hmov_load(0, Reg(2), HmovOperand::disp(0), 8);
+    asm.hfi_exit();
+    asm.alu_ri(AluOp::Add, iter, iter, 1);
+    asm.branch_i(Cond::LtU, iter, ITERS, top);
+    if posture == Posture::SwitchOnExit {
+        asm.hfi_exit();
+    }
+    asm.halt();
+    Machine::new(asm.finish())
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    let mut base = 0u64;
+    for (name, posture, safety) in [
+        ("unserialized", Posture::Unserialized, "speculation may escape"),
+        ("switch-on-exit", Posture::SwitchOnExit, "safe within sandbox set"),
+        ("fully serialized", Posture::Serialized, "safe"),
+    ] {
+        let mut machine = build(posture);
+        let result = machine.run(10_000_000);
+        assert_eq!(result.stop, Stop::Halted);
+        let per_switch = result.cycles / ITERS as u64;
+        if posture == Posture::Unserialized {
+            base = per_switch;
+        }
+        rows.push(vec![
+            name.to_string(),
+            per_switch.to_string(),
+            format!("{:+}", per_switch as i64 - base as i64),
+            result.stats.serializations.to_string(),
+            safety.to_string(),
+        ]);
+    }
+    print_table(
+        &format!("Ablation: cycles per sandbox switch ({ITERS} switches)"),
+        &["posture", "cycles/switch", "vs unserialized", "pipeline drains", "spectre posture"],
+        &rows,
+    );
+    println!("\n  paper S4.5: switch-on-exit removes most serialization cost while staying safe");
+}

@@ -1,0 +1,39 @@
+//! §2: function chaining — an N-stage FaaS pipeline composed in-process
+//! (HFI sandbox hops) vs. as one process per stage (IPC hops).
+
+use hfi_bench::print_table;
+use hfi_core::CostModel;
+use hfi_faas::{evaluate_chain, Composition, ProfiledWorkload};
+use hfi_wasm::kernels::faas;
+
+fn main() {
+    let costs = CostModel::default();
+    let workload = ProfiledWorkload::profile(&faas::templated_html(1));
+    println!(
+        "pipeline stage: {} ({:.0} cycles of compute per stage)",
+        workload.name, workload.base_cycles
+    );
+    let mut rows = Vec::new();
+    for stages in [2usize, 4, 8, 16] {
+        for composition in [
+            Composition::HfiSwitchOnExit,
+            Composition::HfiSerialized,
+            Composition::ProcessPerStage,
+        ] {
+            let chain = evaluate_chain(composition, stages, workload.base_cycles, &costs);
+            rows.push(vec![
+                stages.to_string(),
+                composition.to_string(),
+                format!("{:.1}", chain.total_us),
+                format!("{:.2}%", chain.transition_cycles / chain.total_cycles * 100.0),
+            ]);
+        }
+    }
+    print_table(
+        "Function chaining: end-to-end latency by composition",
+        &["stages", "composition", "end-to-end us", "hop overhead"],
+        &rows,
+    );
+    println!("\n  paper S2: in-process hops are function-call-priced; IPC is 1000x-10000x a call,");
+    println!("  which is why FaaS providers want many sandboxes in ONE address space.");
+}

@@ -1,0 +1,30 @@
+//! §1/§2/§3.4: the context-switch cost spectrum, from zero-cost Wasm
+//! transitions to process IPC, including HFI's serialized and
+//! switch-on-exit variants.
+
+use hfi_bench::print_table;
+use hfi_core::CostModel;
+use hfi_wasm::Transition;
+
+fn main() {
+    let costs = CostModel::default();
+    let zero = Transition::ZeroCost.round_trip_cycles(&costs) as f64;
+    let rows: Vec<Vec<String>> = Transition::ALL
+        .iter()
+        .map(|t| {
+            let cycles = t.round_trip_cycles(&costs);
+            vec![
+                t.to_string(),
+                cycles.to_string(),
+                format!("{:.1}x", cycles as f64 / zero),
+            ]
+        })
+        .collect();
+    print_table(
+        "Sandbox transition round-trip costs",
+        &["mechanism", "cycles", "vs function call"],
+        &rows,
+    );
+    println!("\n  paper: Wasm transitions are 'low 10s of cycles, roughly a function call';");
+    println!("  IPC is 1000x-10000x; switch-on-exit removes most serialization cost (S4.5)");
+}

@@ -1,0 +1,127 @@
+//! # hfi-bench — experiment harnesses for every table and figure
+//!
+//! One binary per experiment (see DESIGN.md's experiment index); this
+//! library holds the shared plumbing: kernel runners for both executors
+//! and plain-text table output.
+
+#![warn(missing_docs)]
+
+use hfi_sim::{Functional, Machine, Stop};
+use hfi_wasm::compiler::{compile, CompileOptions, CompiledKernel, Isolation};
+use hfi_wasm::kernels::Kernel;
+
+/// Prints a fixed-width text table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let joined: Vec<String> =
+            cells.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}", w = w)).collect();
+        println!("  {}", joined.join("  "));
+    };
+    line(headers.iter().map(|h| h.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Result of running one kernel on the cycle simulator.
+#[derive(Debug, Clone)]
+pub struct KernelRun {
+    /// Cycles consumed.
+    pub cycles: u64,
+    /// Instructions committed.
+    pub instructions: u64,
+    /// The compiled artifact (for code-size reporting).
+    pub compiled: CompiledKernel,
+}
+
+/// Compiles and runs `kernel` on the cycle-level machine, checking the
+/// result against the kernel's reference.
+///
+/// # Panics
+///
+/// Panics if the kernel misbehaves (does not halt or returns a wrong
+/// result) — harnesses must not silently report nonsense.
+pub fn run_on_machine(kernel: &Kernel, isolation: Isolation) -> KernelRun {
+    let opts = CompileOptions::new(isolation);
+    run_on_machine_with(kernel, &opts)
+}
+
+/// Like [`run_on_machine`] with explicit compile options.
+///
+/// # Panics
+///
+/// Panics if the kernel misbehaves.
+pub fn run_on_machine_with(kernel: &Kernel, opts: &CompileOptions) -> KernelRun {
+    let compiled = compile(&kernel.func, opts);
+    let mut machine = Machine::new(compiled.program.clone());
+    for (off, bytes) in &kernel.heap_init {
+        machine.mem.write_bytes(opts.heap_base + *off as u64, bytes);
+    }
+    let result = machine.run(4_000_000_000);
+    assert_eq!(result.stop, Stop::Halted, "{} did not halt", kernel.name);
+    assert_eq!(result.regs[0], kernel.expected, "{} wrong result", kernel.name);
+    KernelRun { cycles: result.cycles, instructions: result.stats.committed, compiled }
+}
+
+/// Runs `kernel` on the fast functional executor; returns modelled cycles.
+///
+/// # Panics
+///
+/// Panics if the kernel misbehaves.
+pub fn run_functional(kernel: &Kernel, isolation: Isolation) -> f64 {
+    let opts = CompileOptions::new(isolation);
+    let compiled = compile(&kernel.func, &opts);
+    let mut machine = Functional::new(compiled.program);
+    for (off, bytes) in &kernel.heap_init {
+        machine.mem.write_bytes(opts.heap_base + *off as u64, bytes);
+    }
+    let result = machine.run(50_000_000_000);
+    assert_eq!(result.stop, Stop::Halted, "{} did not halt", kernel.name);
+    assert_eq!(result.regs[0], kernel.expected, "{} wrong result", kernel.name);
+    result.cycles
+}
+
+/// Geometric mean of a slice.
+pub fn geomean(values: &[f64]) -> f64 {
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+/// Median of a slice.
+pub fn median(values: &[f64]) -> f64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_and_median() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-9);
+        assert!((median(&[3.0, 1.0, 2.0]) - 2.0).abs() < 1e-9);
+        assert!((median(&[4.0, 1.0, 2.0, 3.0]) - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn machine_runner_checks_results() {
+        let kernel = hfi_wasm::kernels::sightglass::fib2(1);
+        let run = run_on_machine(&kernel, Isolation::Hfi);
+        assert!(run.cycles > 0);
+        assert!(run.instructions > 0);
+    }
+}

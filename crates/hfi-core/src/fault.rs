@@ -1,0 +1,209 @@
+//! Fault and exit-reason types.
+//!
+//! HFI records the cause of every sandbox exit — voluntary
+//! ([`ExitReason::Exit`]), system calls, and access violations — in a model
+//! specific register (MSR) that the trusted runtime's exit handler or signal
+//! handler reads to decide what to do next (paper §3.3.2).
+
+use std::error::Error;
+use std::fmt;
+
+/// The kind of memory access being checked against a region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Access {
+    /// A data read (load).
+    Read,
+    /// A data write (store).
+    Write,
+    /// An instruction fetch.
+    Fetch,
+}
+
+impl fmt::Display for Access {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Access::Read => f.write_str("read"),
+            Access::Write => f.write_str("write"),
+            Access::Fetch => f.write_str("fetch"),
+        }
+    }
+}
+
+/// The flavour of system-call instruction that triggered an interposed exit.
+///
+/// The paper (§3.3.2) notes the MSR records "which system call and type of
+/// call (e.g., `int 0x80` vs. `sysenter`)".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SyscallKind {
+    /// The 64-bit `syscall` instruction.
+    Syscall,
+    /// The legacy `sysenter` instruction.
+    Sysenter,
+    /// The legacy `int 0x80` software interrupt.
+    Int80,
+}
+
+impl fmt::Display for SyscallKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SyscallKind::Syscall => f.write_str("syscall"),
+            SyscallKind::Sysenter => f.write_str("sysenter"),
+            SyscallKind::Int80 => f.write_str("int 0x80"),
+        }
+    }
+}
+
+/// Why an `hmov` instruction faulted (paper §3.2, §4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HmovViolation {
+    /// An index or displacement operand had its sign bit set.
+    NegativeOperand,
+    /// The effective-address computation overflowed.
+    Overflow,
+    /// The effective address fell outside the region's bound.
+    OutOfBounds,
+    /// The named explicit region register is not configured.
+    RegionNotConfigured,
+    /// The region is configured but lacks the required permission.
+    PermissionDenied,
+}
+
+impl fmt::Display for HmovViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HmovViolation::NegativeOperand => f.write_str("negative index or displacement"),
+            HmovViolation::Overflow => f.write_str("effective-address overflow"),
+            HmovViolation::OutOfBounds => f.write_str("access beyond region bound"),
+            HmovViolation::RegionNotConfigured => f.write_str("explicit region not configured"),
+            HmovViolation::PermissionDenied => f.write_str("region permission denied"),
+        }
+    }
+}
+
+/// A fault raised while executing inside an HFI sandbox.
+///
+/// Faults atomically disable HFI mode, record their cause in the exit-reason
+/// MSR, and surface to the trusted runtime as a hardware trap (delivered by
+/// the OS as a signal, typically `SIGSEGV`; paper §3.3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HfiFault {
+    /// A load or store matched no implicit data region, or the first match
+    /// lacked the required permission.
+    DataBounds {
+        /// Faulting virtual address.
+        addr: u64,
+        /// The access that was attempted.
+        access: Access,
+    },
+    /// An instruction fetch matched no implicit code region with execute
+    /// permission. At the microarchitectural level the fetched bytes decode
+    /// to a faulting NOP (paper §4.1).
+    CodeBounds {
+        /// Faulting program counter.
+        pc: u64,
+    },
+    /// An `hmov` check failed.
+    Hmov {
+        /// The explicit-region index (0–3) named by the instruction.
+        region: u8,
+        /// What went wrong.
+        violation: HmovViolation,
+    },
+    /// Sandboxed code in a *native* sandbox attempted a privileged HFI
+    /// operation: updating region registers, `hfi_enter`, or `xrstor` with
+    /// the save-hfi-regs flag (paper §3.3.3).
+    PrivilegedInstruction,
+    /// An ordinary hardware fault (e.g. a null-pointer dereference hitting
+    /// an unmapped page) occurred inside the sandbox.
+    Hardware {
+        /// Faulting virtual address.
+        addr: u64,
+    },
+}
+
+impl fmt::Display for HfiFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HfiFault::DataBounds { addr, access } => {
+                write!(f, "HFI data bounds violation: {access} at {addr:#x}")
+            }
+            HfiFault::CodeBounds { pc } => {
+                write!(f, "HFI code bounds violation: fetch at {pc:#x}")
+            }
+            HfiFault::Hmov { region, violation } => {
+                write!(f, "hmov{region} fault: {violation}")
+            }
+            HfiFault::PrivilegedInstruction => {
+                f.write_str("privileged HFI operation inside a native sandbox")
+            }
+            HfiFault::Hardware { addr } => write!(f, "hardware fault at {addr:#x}"),
+        }
+    }
+}
+
+impl Error for HfiFault {}
+
+/// The contents of the HFI exit-reason MSR after the sandbox stopped running.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExitReason {
+    /// Sandboxed code executed `hfi_exit`.
+    Exit,
+    /// A system call was interposed in a native sandbox and converted into a
+    /// jump to the exit handler (paper §4.4).
+    Syscall {
+        /// The system-call number from the sandbox's ABI register.
+        number: u64,
+        /// Which system-call instruction flavour was used.
+        kind: SyscallKind,
+    },
+    /// The sandbox faulted; the cause is recorded verbatim.
+    Fault(HfiFault),
+}
+
+impl ExitReason {
+    /// Returns `true` if this exit was caused by a fault rather than a
+    /// voluntary exit or syscall.
+    pub fn is_fault(&self) -> bool {
+        matches!(self, ExitReason::Fault(_))
+    }
+}
+
+impl fmt::Display for ExitReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExitReason::Exit => f.write_str("hfi_exit"),
+            ExitReason::Syscall { number, kind } => {
+                write!(f, "interposed {kind} #{number}")
+            }
+            ExitReason::Fault(fault) => write!(f, "fault: {fault}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_display_is_informative() {
+        let fault = HfiFault::DataBounds { addr: 0x1000, access: Access::Write };
+        assert!(fault.to_string().contains("0x1000"));
+        assert!(fault.to_string().contains("write"));
+    }
+
+    #[test]
+    fn exit_reason_fault_detection() {
+        assert!(!ExitReason::Exit.is_fault());
+        let syscall = ExitReason::Syscall { number: 2, kind: SyscallKind::Syscall };
+        assert!(!syscall.is_fault());
+        assert!(ExitReason::Fault(HfiFault::Hardware { addr: 0 }).is_fault());
+    }
+
+    #[test]
+    fn hmov_violation_display() {
+        let fault = HfiFault::Hmov { region: 2, violation: HmovViolation::Overflow };
+        let text = fault.to_string();
+        assert!(text.contains("hmov2"));
+        assert!(text.contains("overflow"));
+    }
+}

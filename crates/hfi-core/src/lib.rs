@@ -1,0 +1,66 @@
+//! # hfi-core — the HFI architectural model
+//!
+//! This crate implements the instruction-set-architecture contribution of
+//! *"Going beyond the Limits of SFI: Flexible and Secure Hardware-Assisted
+//! In-Process Isolation with HFI"* (ASPLOS 2023): the register state and
+//! precise semantics of the HFI extension, independent of any particular
+//! pipeline model.
+//!
+//! HFI adds to each CPU core:
+//!
+//! * ten **region registers** — two implicit *code* regions, four implicit
+//!   *data* regions (prefix-checked, power-of-two), and four *explicit*
+//!   regions (base/bound, accessed via `hmov0`–`hmov3`);
+//! * an **exit-handler register** and a **configuration register**
+//!   (sandbox kind, serialization, switch-on-exit);
+//! * an **exit-reason MSR** recording why the sandbox stopped;
+//! * an optional shadow register set for the **switch-on-exit** extension.
+//!
+//! [`HfiContext`] exposes each HFI instruction (`hfi_enter`, `hfi_exit`,
+//! `hfi_reenter`, `hfi_set_region`, `hfi_get_region`, `hfi_clear_region`,
+//! `hfi_clear_all_regions`) as a method, plus the three hardware checks the
+//! pipeline performs implicitly: [`check_data`], [`check_fetch`], and the
+//! [`hmov` effective-address check]. The cycle-level pipeline model lives
+//! in the `hfi-sim` crate and consults this one for every verdict.
+//!
+//! ## Example: sandboxing with an explicit heap region
+//!
+//! ```
+//! use hfi_core::{HfiContext, Region, SandboxConfig};
+//! use hfi_core::region::{ExplicitDataRegion, ImplicitCodeRegion};
+//!
+//! let mut hfi = HfiContext::new();
+//! let code = ImplicitCodeRegion::new(0x40_0000, 0xFFFF, true)?;
+//! let heap = ExplicitDataRegion::large(0x2_0000_0000, 64 << 10, true, true)?;
+//! hfi.set_region(0, Region::Code(code)).unwrap();
+//! hfi.set_region(6, Region::Explicit(heap)).unwrap();
+//! hfi.enter(SandboxConfig::hybrid()).unwrap();
+//!
+//! // In-bounds hmov0 access:
+//! assert!(hfi.hmov_check(0, 0, 1, 0x100, 8).is_ok());
+//! // Out-of-bounds access traps precisely:
+//! assert!(hfi.hmov_check(0, 0, 1, 64 << 10, 8).is_err());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! [`check_data`]: HfiContext::check_data
+//! [`check_fetch`]: HfiContext::check_fetch
+//! [`hmov` effective-address check]: HfiContext::hmov_check
+
+#![warn(missing_docs)]
+
+pub mod context;
+pub mod costs;
+pub mod fault;
+pub mod region;
+
+pub use context::{
+    ExitDisposition, HfiContext, HfiSaveArea, SandboxConfig, SandboxKind, SerializationEffect,
+    SyscallDisposition, FIRST_EXPLICIT_SLOT, NUM_CODE_REGIONS, NUM_EXPLICIT_REGIONS,
+    NUM_IMPLICIT_DATA_REGIONS, NUM_REGIONS,
+};
+pub use costs::CostModel;
+pub use fault::{Access, ExitReason, HfiFault, HmovViolation, SyscallKind};
+pub use region::{
+    ExplicitDataRegion, ExplicitSize, ImplicitCodeRegion, ImplicitDataRegion, Region, RegionError,
+};

@@ -1,0 +1,117 @@
+//! Function chaining (§2): FaaS applications are often pipelines of
+//! functions. In one address space a hop between functions is a sandbox
+//! switch — "as fast as a function call"; across processes it is IPC,
+//! "easily 1000x to 10000x slower".
+//!
+//! This experiment runs an N-stage pipeline under each composition
+//! mechanism and reports end-to-end latency, mixing measured per-stage
+//! compute (functional executor) with the transition cost spectrum.
+
+use hfi_core::CostModel;
+use hfi_wasm::Transition;
+
+use crate::platform::{ProfiledWorkload, CPU_HZ};
+
+/// How the pipeline's stages are composed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Composition {
+    /// All stages in one process, HFI sandboxes, switch-on-exit hops.
+    HfiSwitchOnExit,
+    /// All stages in one process, HFI sandboxes, serialized hops.
+    HfiSerialized,
+    /// One process per stage, synchronous IPC between them.
+    ProcessPerStage,
+}
+
+impl std::fmt::Display for Composition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Composition::HfiSwitchOnExit => f.write_str("hfi + switch-on-exit"),
+            Composition::HfiSerialized => f.write_str("hfi serialized"),
+            Composition::ProcessPerStage => f.write_str("process per stage (IPC)"),
+        }
+    }
+}
+
+/// One evaluated chain configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChainResult {
+    /// Composition mechanism.
+    pub composition: Composition,
+    /// Number of pipeline stages.
+    pub stages: usize,
+    /// End-to-end cycles for one request through the whole chain.
+    pub total_cycles: f64,
+    /// Of which, composition (transition) overhead.
+    pub transition_cycles: f64,
+    /// End-to-end microseconds at the modelled clock.
+    pub total_us: f64,
+}
+
+/// Evaluates an `stages`-deep chain where every stage performs
+/// `stage_cycles` of compute.
+pub fn evaluate_chain(
+    composition: Composition,
+    stages: usize,
+    stage_cycles: f64,
+    costs: &CostModel,
+) -> ChainResult {
+    let hop = match composition {
+        Composition::HfiSwitchOnExit => Transition::SwitchOnExit.round_trip_cycles(costs),
+        Composition::HfiSerialized => Transition::HfiSerialized.round_trip_cycles(costs),
+        Composition::ProcessPerStage => Transition::Ipc.round_trip_cycles(costs),
+    } as f64;
+    let transition_cycles = hop * stages as f64;
+    let total_cycles = stage_cycles * stages as f64 + transition_cycles;
+    ChainResult {
+        composition,
+        stages,
+        total_cycles,
+        transition_cycles,
+        total_us: total_cycles / CPU_HZ * 1e6,
+    }
+}
+
+/// Evaluates a chain whose per-stage compute is measured from a real
+/// workload kernel.
+pub fn evaluate_chain_for(
+    composition: Composition,
+    stages: usize,
+    workload: &ProfiledWorkload,
+    costs: &CostModel,
+) -> ChainResult {
+    evaluate_chain(composition, stages, workload.base_cycles, costs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_process_chaining_dominates_ipc() {
+        // §2: in-process communication is 1000x-10000x cheaper than IPC.
+        let costs = CostModel::default();
+        let soe = evaluate_chain(Composition::HfiSwitchOnExit, 8, 0.0, &costs);
+        let ipc = evaluate_chain(Composition::ProcessPerStage, 8, 0.0, &costs);
+        let ratio = ipc.transition_cycles / soe.transition_cycles;
+        assert!(ratio > 100.0, "IPC/in-process hop ratio only {ratio:.0}");
+    }
+
+    #[test]
+    fn transition_share_shrinks_with_stage_size() {
+        let costs = CostModel::default();
+        let small = evaluate_chain(Composition::HfiSerialized, 4, 1_000.0, &costs);
+        let large = evaluate_chain(Composition::HfiSerialized, 4, 1_000_000.0, &costs);
+        let share_small = small.transition_cycles / small.total_cycles;
+        let share_large = large.transition_cycles / large.total_cycles;
+        assert!(share_small > share_large);
+    }
+
+    #[test]
+    fn switch_on_exit_beats_serialized_chaining() {
+        let costs = CostModel::default();
+        let soe = evaluate_chain(Composition::HfiSwitchOnExit, 16, 500.0, &costs);
+        let ser = evaluate_chain(Composition::HfiSerialized, 16, 500.0, &costs);
+        assert!(soe.total_cycles < ser.total_cycles);
+    }
+}

@@ -1,0 +1,28 @@
+//! # hfi-faas — a Wasm FaaS platform over HFI (Table 1, §6.3)
+//!
+//! Models the paper's function-as-a-service setting: many short-lived
+//! Wasm sandboxes serving requests in one process. Three questions from
+//! the evaluation are answered here:
+//!
+//! * **What does Spectre protection cost?** ([`platform`], [`table1`]) —
+//!   request latency distributions under stock Lucet, Lucet+HFI, and
+//!   Lucet+Swivel, with service times measured by actually executing the
+//!   Table 1 workloads and Swivel's slowdown derived from each workload's
+//!   branch density.
+//! * **What does sandbox teardown cost?** ([`lifecycle`]) — per-sandbox
+//!   vs. batched `madvise`, with and without HFI's guard-page elision
+//!   (§6.3.1: 25.7 / 23.1 / 31.1 µs).
+//! * **How many sandboxes fit?** ([`lifecycle`]) — address-space
+//!   exhaustion with 8 GiB guard reservations vs. HFI's heap-only
+//!   footprint (§6.3.2: 256,000 1 GiB sandboxes).
+#![warn(missing_docs)]
+
+pub mod chaining;
+pub mod lifecycle;
+pub mod platform;
+pub mod table1;
+
+pub use chaining::{evaluate_chain, ChainResult, Composition};
+pub use lifecycle::{max_concurrent_sandboxes, teardown_experiment, TeardownPolicy, TeardownResult};
+pub use platform::{evaluate, simulate_queue, CellResult, ProfiledWorkload, Scheme, CPU_HZ};
+pub use table1::{build as build_table1, WorkloadRow};

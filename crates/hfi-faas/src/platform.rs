@@ -1,0 +1,237 @@
+//! The FaaS platform simulation: open-loop request service with
+//! per-scheme protection costs (Table 1, §6.5).
+//!
+//! Each workload's *service time* comes from actually executing its
+//! kernel on the functional executor; each Spectre-protection scheme then
+//! modifies requests the way the real systems do:
+//!
+//! * **Unsafe** (stock Lucet): nothing — fast and vulnerable.
+//! * **HFI**: one serialized `hfi_enter`/`hfi_exit` pair per request
+//!   (§3.4); a few hundred cycles against millisecond-scale requests,
+//!   hence Table 1's 0–2% tail inflation.
+//! * **Swivel-SFI**: compiler-based hardening — every branch becomes a
+//!   linear-block dispatch and indirect control flow is interlocked, so
+//!   the *compute itself* slows in proportion to the workload's branch
+//!   density, and the binary grows. Table 1's 9–42% tail inflation, with
+//!   parse/template workloads (branchy) hurt most and dense math barely
+//!   touched.
+//!
+//! Latency distributions come from a discrete-event M/D/1 simulation with
+//! Poisson arrivals at fixed utilization.
+
+use hfi_core::CostModel;
+use hfi_sim::{Functional, FunctionalResult, Stop};
+use hfi_wasm::compiler::{compile, CompileOptions, Isolation};
+use hfi_wasm::kernels::Kernel;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Simulated CPU frequency (cycles per second).
+pub const CPU_HZ: f64 = 3.3e9;
+
+/// The Spectre-protection scheme applied to guest code (Table 1 rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// Stock Lucet: no Spectre protection.
+    Unsafe,
+    /// Lucet + HFI native-sandbox protection (serialized transitions).
+    Hfi,
+    /// Lucet + Swivel-SFI compiler hardening.
+    Swivel,
+}
+
+impl std::fmt::Display for Scheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Scheme::Unsafe => f.write_str("Lucet(Unsafe)"),
+            Scheme::Hfi => f.write_str("Lucet+HFI"),
+            Scheme::Swivel => f.write_str("Lucet+Swivel"),
+        }
+    }
+}
+
+/// A workload profiled for the platform: measured service cycles and the
+/// instruction-mix facts the Swivel model needs.
+#[derive(Debug, Clone)]
+pub struct ProfiledWorkload {
+    /// Workload name.
+    pub name: String,
+    /// Cycles per request under no protection (functional model).
+    pub base_cycles: f64,
+    /// Fraction of retired instructions that were branches.
+    pub branch_fraction: f64,
+    /// Code bytes of the compiled guest.
+    pub code_bytes: u64,
+    /// Data (heap image) bytes — model weights etc.
+    pub data_bytes: u64,
+}
+
+impl ProfiledWorkload {
+    /// Profiles `kernel` by running it on the functional executor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel fails to run to completion (a kernel bug).
+    pub fn profile(kernel: &Kernel) -> Self {
+        let opts = CompileOptions::new(Isolation::Hfi);
+        let compiled = compile(&kernel.func, &opts);
+        let code_bytes = compiled.stats.code_bytes;
+        let mut machine = Functional::new(compiled.program);
+        for (off, bytes) in &kernel.heap_init {
+            machine.mem.write_bytes(opts.heap_base + *off as u64, bytes);
+        }
+        let result: FunctionalResult = machine.run(20_000_000_000);
+        assert_eq!(result.stop, Stop::Halted, "{} failed to halt", kernel.name);
+        assert_eq!(
+            result.regs[0], kernel.expected,
+            "{} produced a wrong result while profiling",
+            kernel.name
+        );
+        let branch_fraction = result.stats.branches as f64 / result.stats.retired.max(1) as f64;
+        Self {
+            name: kernel.name.clone(),
+            base_cycles: result.cycles,
+            branch_fraction,
+            code_bytes,
+            data_bytes: kernel.heap_init.iter().map(|(_, b)| b.len() as u64).sum(),
+        }
+    }
+
+    /// Swivel's compute slowdown for this instruction mix: linear-block
+    /// conversion and CBP-interlock costs scale with branch density.
+    pub fn swivel_slowdown(&self) -> f64 {
+        1.0 + 1.35 * self.branch_fraction + 0.015
+    }
+
+    /// Service cycles per request under `scheme`.
+    pub fn service_cycles(&self, scheme: Scheme, costs: &CostModel) -> f64 {
+        match scheme {
+            Scheme::Unsafe => self.base_cycles,
+            // Two serialized transitions per request (§6.5: "two per
+            // connection ... amortized by the cost of the workload").
+            Scheme::Hfi => self.base_cycles + costs.hfi_transition_pair(4, true) as f64,
+            Scheme::Swivel => self.base_cycles * self.swivel_slowdown(),
+        }
+    }
+
+    /// Guest binary size in bytes under `scheme`: Swivel's block
+    /// conversion bloats the *code* (Table 1 shows ≈15–20% code growth,
+    /// invisible on the model-weight-dominated workload).
+    pub fn binary_bytes(&self, scheme: Scheme) -> u64 {
+        // A Lucet module carries runtime scaffolding beyond our kernel.
+        let scaffolding: u64 = 512 << 10;
+        let code = match scheme {
+            Scheme::Unsafe | Scheme::Hfi => self.code_bytes + scaffolding,
+            Scheme::Swivel => (self.code_bytes + scaffolding) * 117 / 100,
+        };
+        code + self.data_bytes
+    }
+}
+
+/// Latency/throughput measurements for one (workload, scheme) cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellResult {
+    /// Mean sojourn (queue + service) time, milliseconds.
+    pub avg_latency_ms: f64,
+    /// 99th-percentile sojourn time, milliseconds.
+    pub tail_latency_ms: f64,
+    /// Sustainable throughput, requests/second (1/service time).
+    pub throughput_rps: f64,
+    /// Guest binary size in bytes.
+    pub binary_bytes: u64,
+}
+
+/// Simulates `requests` Poisson arrivals into a single-worker queue at
+/// `utilization`, with deterministic service `service_cycles`.
+pub fn simulate_queue(
+    service_cycles: f64,
+    utilization: f64,
+    requests: usize,
+    seed: u64,
+) -> (f64, f64) {
+    let service_s = service_cycles / CPU_HZ;
+    let mean_interarrival = service_s / utilization;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut clock = 0.0f64;
+    let mut server_free_at = 0.0f64;
+    let mut sojourns: Vec<f64> = Vec::with_capacity(requests);
+    for _ in 0..requests {
+        // Exponential inter-arrival.
+        let u: f64 = rng.gen_range(1e-12..1.0);
+        clock += -mean_interarrival * u.ln();
+        let start = clock.max(server_free_at);
+        let done = start + service_s;
+        server_free_at = done;
+        sojourns.push(done - clock);
+    }
+    sojourns.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let avg = sojourns.iter().sum::<f64>() / sojourns.len() as f64;
+    let idx = ((sojourns.len() as f64 * 0.99) as usize).min(sojourns.len() - 1);
+    let p99 = sojourns[idx];
+    (avg * 1e3, p99 * 1e3)
+}
+
+/// Evaluates one (workload, scheme) cell.
+pub fn evaluate(
+    workload: &ProfiledWorkload,
+    scheme: Scheme,
+    costs: &CostModel,
+) -> CellResult {
+    let cycles = workload.service_cycles(scheme, costs);
+    let (avg, p99) = simulate_queue(cycles, 0.60, 4000, 0x5EED);
+    CellResult {
+        avg_latency_ms: avg,
+        tail_latency_ms: p99,
+        throughput_rps: CPU_HZ / cycles,
+        binary_bytes: workload.binary_bytes(scheme),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_workload(branchy: bool) -> ProfiledWorkload {
+        ProfiledWorkload {
+            name: "toy".into(),
+            base_cycles: 1.0e6,
+            branch_fraction: if branchy { 0.22 } else { 0.02 },
+            code_bytes: 100 << 10,
+            data_bytes: 1 << 20,
+        }
+    }
+
+    #[test]
+    fn hfi_adds_almost_nothing() {
+        let costs = CostModel::default();
+        let w = toy_workload(true);
+        let unsafe_cycles = w.service_cycles(Scheme::Unsafe, &costs);
+        let hfi_cycles = w.service_cycles(Scheme::Hfi, &costs);
+        assert!((hfi_cycles / unsafe_cycles - 1.0) < 0.001);
+    }
+
+    #[test]
+    fn swivel_hits_branchy_code_hardest() {
+        let costs = CostModel::default();
+        let branchy = toy_workload(true);
+        let dense = toy_workload(false);
+        let branchy_over = branchy.service_cycles(Scheme::Swivel, &costs) / branchy.base_cycles;
+        let dense_over = dense.service_cycles(Scheme::Swivel, &costs) / dense.base_cycles;
+        assert!(branchy_over > 1.25);
+        assert!(dense_over < 1.10);
+    }
+
+    #[test]
+    fn swivel_bloats_binaries_hfi_does_not() {
+        let w = toy_workload(true);
+        assert_eq!(w.binary_bytes(Scheme::Unsafe), w.binary_bytes(Scheme::Hfi));
+        assert!(w.binary_bytes(Scheme::Swivel) > w.binary_bytes(Scheme::Unsafe));
+    }
+
+    #[test]
+    fn queue_latency_grows_with_utilization() {
+        let (_, p99_low) = simulate_queue(1e6, 0.3, 4000, 7);
+        let (_, p99_high) = simulate_queue(1e6, 0.9, 4000, 7);
+        assert!(p99_high > p99_low);
+    }
+}

@@ -1,0 +1,31 @@
+//! # hfi-mem — modelled virtual-memory substrate
+//!
+//! The OS-facing half of the reproduction: a process [`AddressSpace`] whose
+//! `mmap`/`mprotect`/`munmap`/`madvise(MADV_DONTNEED)` operations carry a
+//! calibrated nanosecond cost model ([`OsCosts`]) and maintain VMA-level
+//! state (splits, residency, guard reservations).
+//!
+//! Wasm's SFI scheme leans on exactly these operations — 8 GiB guard
+//! reservations per sandbox, `mprotect` for 64 KiB heap growth, `madvise`
+//! for teardown — and HFI's lifecycle wins (paper §6.1, §6.3) consist of
+//! eliding them. Reproducing those experiments therefore requires this
+//! substrate to model where the time actually goes: syscall entry, VMA
+//! maintenance, per-page PTE work, guard-range walks, and TLB shootdowns.
+//!
+//! ```
+//! use hfi_mem::{AddressSpace, Prot};
+//!
+//! // A Wasm-with-guard-pages heap reservation:
+//! let mut space = AddressSpace::new(47);
+//! let slot = space.mmap(8 << 30, Prot::NONE)?;       // reserve 8 GiB
+//! space.mprotect(slot, 64 << 10, Prot::READ_WRITE)?; // grow one Wasm page
+//! # Ok::<(), hfi_mem::MemError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod costs;
+pub mod space;
+
+pub use costs::{pages, OsCosts, PAGE_SIZE};
+pub use space::{AddressSpace, MemError, OsStats, Prot};

@@ -1,0 +1,138 @@
+//! Property-based tests of the address-space model: random operation
+//! sequences must preserve the VMA invariants the cost model depends on.
+
+use hfi_mem::{AddressSpace, Prot, PAGE_SIZE};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Mmap { pages: u64, writable: bool },
+    MprotectWithin { slot: usize, first: u64, count: u64, writable: bool },
+    MunmapWithin { slot: usize, first: u64, count: u64 },
+    Madvise { slot: usize },
+    Touch { slot: usize, bytes: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u64..64, any::<bool>()).prop_map(|(pages, writable)| Op::Mmap { pages, writable }),
+        (0usize..8, 0u64..32, 1u64..16, any::<bool>()).prop_map(
+            |(slot, first, count, writable)| Op::MprotectWithin { slot, first, count, writable }
+        ),
+        (0usize..8, 0u64..32, 1u64..16)
+            .prop_map(|(slot, first, count)| Op::MunmapWithin { slot, first, count }),
+        (0usize..8).prop_map(|slot| Op::Madvise { slot }),
+        (0usize..8, 1u64..5000).prop_map(|(slot, bytes)| Op::Touch { slot, bytes }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn address_space_invariants_hold(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        let mut space = AddressSpace::new(36);
+        // (base, pages) of live regions we created, for targeting.
+        let mut slots: Vec<(u64, u64)> = Vec::new();
+        let mut last_clock = 0.0f64;
+        for op in ops {
+            match op {
+                Op::Mmap { pages, writable } => {
+                    let prot = if writable { Prot::READ_WRITE } else { Prot::NONE };
+                    if let Ok(base) = space.mmap(pages * PAGE_SIZE, prot) {
+                        prop_assert_eq!(base % PAGE_SIZE, 0, "mmap returns aligned bases");
+                        slots.push((base, pages));
+                    }
+                }
+                Op::MprotectWithin { slot, first, count, writable } => {
+                    if let Some(&(base, pages)) = slots.get(slot % slots.len().max(1)) {
+                        let first = first % pages;
+                        let count = count.min(pages - first);
+                        if count > 0 {
+                            let prot = if writable { Prot::READ_WRITE } else { Prot::READ };
+                            space
+                                .mprotect(base + first * PAGE_SIZE, count * PAGE_SIZE, prot)
+                                .expect("mprotect inside a live mapping succeeds");
+                        }
+                    }
+                }
+                Op::MunmapWithin { slot, first, count } => {
+                    if !slots.is_empty() {
+                        let idx = slot % slots.len();
+                        let (base, pages) = slots[idx];
+                        let first = first % pages;
+                        let count = count.min(pages - first);
+                        if count > 0 {
+                            space
+                                .munmap(base + first * PAGE_SIZE, count * PAGE_SIZE)
+                                .expect("munmap inside a live mapping succeeds");
+                            // Conservatively forget the whole slot.
+                            slots.remove(idx);
+                        }
+                    }
+                }
+                Op::Madvise { slot } => {
+                    if let Some(&(base, pages)) = slots.get(slot % slots.len().max(1)) {
+                        space
+                            .madvise_dontneed(base, pages * PAGE_SIZE)
+                            .expect("madvise over a live mapping succeeds");
+                    }
+                }
+                Op::Touch { slot, bytes } => {
+                    if let Some(&(base, pages)) = slots.get(slot % slots.len().max(1)) {
+                        let bytes = bytes.min(pages * PAGE_SIZE);
+                        // May fail on PROT_NONE mappings; both outcomes ok.
+                        let _ = space.touch(base, bytes);
+                    }
+                }
+            }
+            // Invariants after every step:
+            prop_assert!(space.reserved_bytes() <= space.va_size());
+            prop_assert!(
+                space.resident_pages() * PAGE_SIZE <= space.reserved_bytes(),
+                "residency cannot exceed reservations"
+            );
+            prop_assert!(space.elapsed_ns() >= last_clock, "time is monotonic");
+            last_clock = space.elapsed_ns();
+        }
+    }
+
+    #[test]
+    fn mmap_regions_never_overlap(sizes in prop::collection::vec(1u64..64, 1..30)) {
+        let mut space = AddressSpace::new(36);
+        let mut ranges: Vec<(u64, u64)> = Vec::new();
+        for pages in sizes {
+            if let Ok(base) = space.mmap(pages * PAGE_SIZE, Prot::READ_WRITE) {
+                let end = base + pages * PAGE_SIZE;
+                for &(other_base, other_end) in &ranges {
+                    prop_assert!(
+                        end <= other_base || base >= other_end,
+                        "[{base:#x},{end:#x}) overlaps [{other_base:#x},{other_end:#x})"
+                    );
+                }
+                ranges.push((base, end));
+            }
+        }
+    }
+
+    #[test]
+    fn mprotect_split_preserves_coverage(
+        pages in 4u64..64,
+        cut_first in 1u64..32,
+        cut_count in 1u64..16,
+    ) {
+        let mut space = AddressSpace::new(36);
+        let base = space.mmap(pages * PAGE_SIZE, Prot::NONE).expect("fits");
+        let cut_first = cut_first % (pages - 1);
+        let cut_count = cut_count.min(pages - cut_first);
+        space
+            .mprotect(base + cut_first * PAGE_SIZE, cut_count * PAGE_SIZE, Prot::READ_WRITE)
+            .expect("in-range mprotect");
+        // Every page is still mapped, with the right protection.
+        for page in 0..pages {
+            let addr = base + page * PAGE_SIZE;
+            let prot = space.prot_at(addr).expect("page still mapped");
+            let expected_writable = page >= cut_first && page < cut_first + cut_count;
+            prop_assert_eq!(prot.write, expected_writable, "page {}", page);
+        }
+    }
+}

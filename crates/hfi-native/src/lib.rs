@@ -1,0 +1,20 @@
+//! # hfi-native — sandboxing unmodified native binaries with HFI
+//!
+//! The paper's second track (§3.3, §6.4): HFI's *native* sandbox isolates
+//! code without recompilation. Its two costs are exactly what this crate
+//! measures:
+//!
+//! * [`syscalls`] — trapping system calls: HFI's microcode redirect (one
+//!   decode cycle, then an in-process handler) vs. Seccomp-bpf's kernel
+//!   filter, run as real programs on the cycle simulator (§6.4.1, ≈2%
+//!   delta).
+//! * [`nginx`] — switching protection domains: the NGINX + sandboxed
+//!   OpenSSL server model comparing HFI's serialized enter/exit against
+//!   MPK's `wrpkru` pair across file sizes (§6.4.2, Fig. 5).
+#![warn(missing_docs)]
+
+pub mod nginx;
+pub mod syscalls;
+
+pub use nginx::{Protection, ServerModel, ThroughputPoint, FIG5_FILE_SIZES};
+pub use syscalls::{run_benchmark, seccomp_overhead_vs_hfi, Interposition, InterpositionRun};

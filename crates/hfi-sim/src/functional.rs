@@ -1,0 +1,625 @@
+//! The fast functional executor.
+//!
+//! The cycle-level [`Machine`](crate::core::Machine) is (like gem5) several
+//! orders of magnitude slower than native execution, so — exactly as the
+//! paper does (§5.2) — long-running workloads use a faster model: this
+//! executor interprets the same [`Program`] architecturally and charges a
+//! per-instruction-class cost calibrated against the cycle simulator
+//! (Fig. 2 is the calibration experiment). HFI semantics are enforced
+//! identically — all checks consult the same [`HfiContext`] — only the
+//! timing model is simplified.
+
+use hfi_core::{
+    Access, CostModel, ExitDisposition, HfiContext, HfiFault, SyscallDisposition, SyscallKind,
+};
+
+use crate::core::{DefaultOs, OsModel, Stop, SyscallOutcome};
+use crate::isa::{AluOp, Inst, MemOperand, Program, Reg};
+use crate::mem::SparseMemory;
+
+/// Per-class cycle costs for the functional timing model, calibrated so
+/// that functional cycle counts track the cycle simulator on the
+/// Sightglass kernels (see the Fig. 2 harness).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FunctionalCosts {
+    /// Simple ALU / move, amortized over superscalar issue.
+    pub alu: f64,
+    /// Multiply.
+    pub mul: f64,
+    /// Divide.
+    pub div: f64,
+    /// Load or store (average over cache behaviour).
+    pub mem: f64,
+    /// Conditional branch (average including mispredictions).
+    pub branch: f64,
+    /// Call/return pair contribution per instruction.
+    pub control: f64,
+}
+
+impl Default for FunctionalCosts {
+    fn default() -> Self {
+        // Roughly 1/IPC contributions on the modelled 8-wide core.
+        Self { alu: 0.35, mul: 1.0, div: 20.0, mem: 0.9, branch: 0.7, control: 1.0 }
+    }
+}
+
+/// Execution statistics of a functional run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FunctionalStats {
+    /// Instructions retired.
+    pub retired: u64,
+    /// Memory operations retired.
+    pub mem_ops: u64,
+    /// Branches retired.
+    pub branches: u64,
+    /// Serializations performed.
+    pub serializations: u64,
+    /// Syscalls redirected by HFI.
+    pub syscalls_redirected: u64,
+    /// Syscalls serviced by the OS model.
+    pub syscalls_to_os: u64,
+}
+
+/// Result of a functional run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionalResult {
+    /// Modelled cycles (float accumulation of per-class costs).
+    pub cycles: f64,
+    /// Why execution stopped.
+    pub stop: Stop,
+    /// Counters.
+    pub stats: FunctionalStats,
+    /// Final registers.
+    pub regs: [u64; 16],
+}
+
+/// The functional executor.
+pub struct Functional {
+    program: Program,
+    /// Data memory.
+    pub mem: SparseMemory,
+    /// HFI register state (identical semantics to the cycle model).
+    pub hfi: HfiContext,
+    /// Architectural cost constants (serialization etc.).
+    pub costs: CostModel,
+    /// Per-class timing weights.
+    pub weights: FunctionalCosts,
+    /// Signal handler byte PC for fault delivery.
+    pub signal_handler: Option<u64>,
+    os: Box<dyn OsModel>,
+    regs: [u64; 16],
+    call_stack: Vec<usize>,
+    cycles: f64,
+    stats: FunctionalStats,
+}
+
+impl std::fmt::Debug for Functional {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Functional")
+            .field("cycles", &self.cycles)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Functional {
+    /// Creates a functional machine for `program`.
+    pub fn new(program: Program) -> Self {
+        Self {
+            program,
+            mem: SparseMemory::new(),
+            hfi: HfiContext::new(),
+            costs: CostModel::default(),
+            weights: FunctionalCosts::default(),
+            signal_handler: None,
+            os: Box::new(DefaultOs::default()),
+            regs: [0; 16],
+            call_stack: Vec::new(),
+            cycles: 0.0,
+            stats: FunctionalStats::default(),
+        }
+    }
+
+    /// Replaces the OS model.
+    pub fn set_os(&mut self, os: Box<dyn OsModel>) {
+        self.os = os;
+    }
+
+    /// Sets a register before running.
+    pub fn set_reg(&mut self, reg: Reg, value: u64) {
+        self.regs[reg.0 as usize] = value;
+    }
+
+    /// Reads a register.
+    pub fn reg(&self, reg: Reg) -> u64 {
+        self.regs[reg.0 as usize]
+    }
+
+    fn ea(&self, mem: &MemOperand) -> u64 {
+        let base = mem.base.map(|r| self.regs[r.0 as usize]).unwrap_or(0);
+        let index = mem.index.map(|r| self.regs[r.0 as usize]).unwrap_or(0);
+        base.wrapping_add(index.wrapping_mul(mem.scale as u64))
+            .wrapping_add(mem.disp as u64)
+    }
+
+    fn fault(&mut self, fault: HfiFault, pc_out: &mut usize) -> Option<Stop> {
+        self.cycles += self.costs.serialize_cycles as f64; // trap overhead floor
+        let disposition = self.hfi.deliver_fault(fault);
+        let handler = match disposition {
+            ExitDisposition::JumpToHandler(h) => Some(h),
+            _ => self.signal_handler,
+        };
+        // Signal delivery is expensive (§3.3.2: OS delivers SIGSEGV).
+        self.cycles += 3000.0;
+        match handler.and_then(|h| self.program.index_of_pc(h)) {
+            Some(idx) => {
+                *pc_out = idx;
+                None
+            }
+            None => Some(Stop::Fault(fault)),
+        }
+    }
+
+    /// Runs up to `max_insts` instructions.
+    pub fn run(&mut self, max_insts: u64) -> FunctionalResult {
+        let mut pc = 0usize;
+        let mut stop = Stop::CycleLimit;
+        let mut budget = max_insts;
+        'outer: while budget > 0 {
+            budget -= 1;
+            if pc >= self.program.len() {
+                stop = Stop::Halted;
+                break;
+            }
+            let byte_pc = self.program.pc_of(pc);
+            let inst = self.program.inst(pc).clone();
+            if let Err(fault) = self.hfi.check_fetch(byte_pc, inst.encoded_len()) {
+                match self.fault(fault, &mut pc) {
+                    Some(s) => {
+                        stop = s;
+                        break 'outer;
+                    }
+                    None => continue,
+                }
+            }
+            self.stats.retired += 1;
+            let mut next = pc + 1;
+            match inst {
+                Inst::AluRR { op, dst, a, b } => {
+                    self.cycles += self.weight_of(op);
+                    self.regs[dst.0 as usize] =
+                        alu(op, self.regs[a.0 as usize], self.regs[b.0 as usize]);
+                }
+                Inst::AluRI { op, dst, a, imm } => {
+                    self.cycles += self.weight_of(op);
+                    self.regs[dst.0 as usize] = alu(op, self.regs[a.0 as usize], imm as u64);
+                }
+                Inst::MovI { dst, imm } => {
+                    self.cycles += self.weights.alu;
+                    self.regs[dst.0 as usize] = imm as u64;
+                }
+                Inst::Mov { dst, src } => {
+                    self.cycles += self.weights.alu;
+                    self.regs[dst.0 as usize] = self.regs[src.0 as usize];
+                }
+                Inst::Rdtsc { dst } => {
+                    self.cycles += self.weights.alu;
+                    self.regs[dst.0 as usize] = self.cycles as u64;
+                }
+                Inst::Load { dst, mem, size } => {
+                    self.cycles += self.weights.mem;
+                    self.stats.mem_ops += 1;
+                    let addr = self.ea(&mem);
+                    if let Err(f) = self.hfi.check_data(addr, size as u64, Access::Read) {
+                        match self.fault(f, &mut pc) {
+                            Some(s) => {
+                                stop = s;
+                                break 'outer;
+                            }
+                            None => continue,
+                        }
+                    }
+                    self.regs[dst.0 as usize] = self.mem.read(addr, size);
+                }
+                Inst::Store { src, mem, size } => {
+                    self.cycles += self.weights.mem;
+                    self.stats.mem_ops += 1;
+                    let addr = self.ea(&mem);
+                    if let Err(f) = self.hfi.check_data(addr, size as u64, Access::Write) {
+                        match self.fault(f, &mut pc) {
+                            Some(s) => {
+                                stop = s;
+                                break 'outer;
+                            }
+                            None => continue,
+                        }
+                    }
+                    self.mem.write(addr, self.regs[src.0 as usize], size);
+                }
+                Inst::HmovLoad { region, dst, mem, size } => {
+                    self.cycles += self.weights.mem;
+                    self.stats.mem_ops += 1;
+                    let index = mem.index.map(|r| self.regs[r.0 as usize]).unwrap_or(0);
+                    match self.hfi.hmov_check_access(
+                        region,
+                        index as i64,
+                        mem.scale as u64,
+                        mem.disp,
+                        size as u64,
+                        Access::Read,
+                    ) {
+                        Ok(ea) => self.regs[dst.0 as usize] = self.mem.read(ea, size),
+                        Err(f) => match self.fault(f, &mut pc) {
+                            Some(s) => {
+                                stop = s;
+                                break 'outer;
+                            }
+                            None => continue,
+                        },
+                    }
+                }
+                Inst::HmovStore { region, src, mem, size } => {
+                    self.cycles += self.weights.mem;
+                    self.stats.mem_ops += 1;
+                    let index = mem.index.map(|r| self.regs[r.0 as usize]).unwrap_or(0);
+                    match self.hfi.hmov_check_access(
+                        region,
+                        index as i64,
+                        mem.scale as u64,
+                        mem.disp,
+                        size as u64,
+                        Access::Write,
+                    ) {
+                        Ok(ea) => self.mem.write(ea, self.regs[src.0 as usize], size),
+                        Err(f) => match self.fault(f, &mut pc) {
+                            Some(s) => {
+                                stop = s;
+                                break 'outer;
+                            }
+                            None => continue,
+                        },
+                    }
+                }
+                Inst::Branch { cond, a, b, target } => {
+                    self.cycles += self.weights.branch;
+                    self.stats.branches += 1;
+                    if cond.eval(self.regs[a.0 as usize], self.regs[b.0 as usize]) {
+                        next = target;
+                    }
+                }
+                Inst::BranchI { cond, a, imm, target } => {
+                    self.cycles += self.weights.branch;
+                    self.stats.branches += 1;
+                    if cond.eval(self.regs[a.0 as usize], imm as u64) {
+                        next = target;
+                    }
+                }
+                Inst::Jump { target } => {
+                    self.cycles += self.weights.control;
+                    next = target;
+                }
+                Inst::JumpInd { reg } => {
+                    self.cycles += self.weights.control;
+                    self.stats.branches += 1;
+                    let target_pc = self.regs[reg.0 as usize];
+                    next = match self.program.index_of_pc(target_pc) {
+                        Some(idx) => idx,
+                        None => {
+                            let fault = match self.hfi.check_fetch(target_pc, 1) {
+                                Err(fault) => fault,
+                                Ok(()) => HfiFault::Hardware { addr: target_pc },
+                            };
+                            match self.fault(fault, &mut pc) {
+                                Some(s) => {
+                                    stop = s;
+                                    break 'outer;
+                                }
+                                None => continue,
+                            }
+                        }
+                    };
+                }
+                Inst::Call { target } => {
+                    self.cycles += self.weights.control;
+                    self.call_stack.push(pc + 1);
+                    next = target;
+                }
+                Inst::Ret => {
+                    self.cycles += self.weights.control;
+                    next = match self.call_stack.pop() {
+                        Some(idx) => idx,
+                        None => {
+                            stop = Stop::Halted;
+                            break;
+                        }
+                    };
+                }
+                Inst::Syscall => {
+                    let number = self.regs[0];
+                    self.cycles += self.costs.syscall_check_cycles as f64;
+                    match self.hfi.syscall(number, SyscallKind::Syscall) {
+                        SyscallDisposition::Redirect(handler) => {
+                            self.stats.syscalls_redirected += 1;
+                            if pc + 1 < self.program.len() {
+                                self.regs[14] = self.program.pc_of(pc + 1);
+                            }
+                            next = match self.program.index_of_pc(handler) {
+                                Some(idx) => idx,
+                                None => {
+                                    stop = Stop::Fault(HfiFault::Hardware { addr: handler });
+                                    break;
+                                }
+                            };
+                        }
+                        SyscallDisposition::Allow => {
+                            self.stats.syscalls_to_os += 1;
+                            let outcome: SyscallOutcome =
+                                self.os.syscall(number, &mut self.regs, &mut self.mem);
+                            self.cycles += self.costs.syscall_roundtrip_cycles as f64
+                                + outcome.extra_cycles as f64;
+                            self.regs[0] = outcome.ret;
+                            if outcome.exit {
+                                stop = Stop::Exited { code: self.regs[1] };
+                                break;
+                            }
+                        }
+                        SyscallDisposition::Fault => {
+                            match self.fault(HfiFault::PrivilegedInstruction, &mut pc) {
+                                Some(s) => {
+                                    stop = s;
+                                    break 'outer;
+                                }
+                                None => continue,
+                            }
+                        }
+                    }
+                }
+                Inst::Cpuid => {
+                    self.stats.serializations += 1;
+                    self.cycles += self.costs.serialize_cycles as f64;
+                }
+                Inst::Fence => {
+                    self.cycles += 2.0;
+                }
+                Inst::Flush { .. } => {
+                    self.cycles += 3.0;
+                }
+                Inst::HfiEnter { config } => {
+                    self.cycles += self.costs.enter_exit_base_cycles as f64;
+                    match self.hfi.enter(config) {
+                        Ok(effect) => {
+                            if effect == hfi_core::SerializationEffect::Serialize {
+                                self.stats.serializations += 1;
+                                self.cycles += self.costs.serialize_cycles as f64;
+                            }
+                        }
+                        Err(f) => match self.fault(f, &mut pc) {
+                            Some(s) => {
+                                stop = s;
+                                break 'outer;
+                            }
+                            None => continue,
+                        },
+                    }
+                }
+                Inst::HfiEnterChild { config, regions } => {
+                    self.cycles += (self.costs.enter_exit_base_cycles
+                        + self.costs.set_region_cycles) as f64;
+                    match self.hfi.enter_child(config, *regions) {
+                        Ok(effect) => {
+                            if effect == hfi_core::SerializationEffect::Serialize {
+                                self.stats.serializations += 1;
+                                self.cycles += self.costs.serialize_cycles as f64;
+                            }
+                        }
+                        Err(f) => match self.fault(f, &mut pc) {
+                            Some(s) => {
+                                stop = s;
+                                break 'outer;
+                            }
+                            None => continue,
+                        },
+                    }
+                }
+                Inst::HfiExit => {
+                    self.cycles += self.costs.enter_exit_base_cycles as f64;
+                    match self.hfi.exit() {
+                        Ok((disposition, effect)) => {
+                            if effect == hfi_core::SerializationEffect::Serialize {
+                                self.stats.serializations += 1;
+                                self.cycles += self.costs.serialize_cycles as f64;
+                            }
+                            if let ExitDisposition::JumpToHandler(handler) = disposition {
+                                next = match self.program.index_of_pc(handler) {
+                                    Some(idx) => idx,
+                                    None => {
+                                        stop =
+                                            Stop::Fault(HfiFault::Hardware { addr: handler });
+                                        break;
+                                    }
+                                };
+                            }
+                        }
+                        Err(f) => match self.fault(f, &mut pc) {
+                            Some(s) => {
+                                stop = s;
+                                break 'outer;
+                            }
+                            None => continue,
+                        },
+                    }
+                }
+                Inst::HfiReenter => {
+                    self.cycles += self.costs.enter_exit_base_cycles as f64;
+                    if let Err(f) = self.hfi.reenter() {
+                        match self.fault(f, &mut pc) {
+                            Some(s) => {
+                                stop = s;
+                                break 'outer;
+                            }
+                            None => continue,
+                        }
+                    }
+                }
+                Inst::HfiSetRegion { slot, region } => {
+                    self.cycles += self.costs.set_region_cycles as f64;
+                    match self.hfi.set_region(slot as usize, region) {
+                        Ok(effect) => {
+                            if effect == hfi_core::SerializationEffect::Serialize {
+                                self.stats.serializations += 1;
+                                self.cycles += self.costs.serialize_cycles as f64;
+                            }
+                        }
+                        Err(f) => match self.fault(f, &mut pc) {
+                            Some(s) => {
+                                stop = s;
+                                break 'outer;
+                            }
+                            None => continue,
+                        },
+                    }
+                }
+                Inst::HfiClearRegion { slot } => {
+                    self.cycles += 1.0;
+                    if let Err(f) = self.hfi.clear_region(slot as usize) {
+                        match self.fault(f, &mut pc) {
+                            Some(s) => {
+                                stop = s;
+                                break 'outer;
+                            }
+                            None => continue,
+                        }
+                    }
+                }
+                Inst::HfiClearAllRegions => {
+                    self.cycles += 1.0;
+                    if let Err(f) = self.hfi.clear_all_regions() {
+                        match self.fault(f, &mut pc) {
+                            Some(s) => {
+                                stop = s;
+                                break 'outer;
+                            }
+                            None => continue,
+                        }
+                    }
+                }
+                Inst::Nop => {
+                    self.cycles += self.weights.alu;
+                }
+                Inst::Halt => {
+                    stop = Stop::Halted;
+                    break;
+                }
+            }
+            pc = next;
+        }
+        FunctionalResult { cycles: self.cycles, stop, stats: self.stats, regs: self.regs }
+    }
+
+    fn weight_of(&self, op: AluOp) -> f64 {
+        match op {
+            AluOp::Mul => self.weights.mul,
+            AluOp::Div | AluOp::Rem => self.weights.div,
+            _ => self.weights.alu,
+        }
+    }
+}
+
+fn alu(op: AluOp, a: u64, b: u64) -> u64 {
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Mul => a.wrapping_mul(b),
+        AluOp::Div => {
+            if b == 0 {
+                0
+            } else {
+                a / b
+            }
+        }
+        AluOp::Rem => {
+            if b == 0 {
+                a
+            } else {
+                a % b
+            }
+        }
+        AluOp::And => a & b,
+        AluOp::Or => a | b,
+        AluOp::Xor => a ^ b,
+        AluOp::Shl => a << (b & 63),
+        AluOp::Shr => a >> (b & 63),
+        AluOp::Sar => ((a as i64) >> (b & 63)) as u64,
+        AluOp::SltU => (a < b) as u64,
+        AluOp::Slt => ((a as i64) < (b as i64)) as u64,
+        AluOp::Seq => (a == b) as u64,
+        AluOp::Rotl => a.rotate_left((b & 63) as u32),
+    }
+}
+
+/// Helper used by differential tests: evaluates an ALU op architecturally.
+pub fn alu_reference(op: AluOp, a: u64, b: u64) -> u64 {
+    alu(op, a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::ProgramBuilder;
+    use hfi_core::{Region, SandboxConfig};
+    use hfi_core::region::{ExplicitDataRegion, ImplicitCodeRegion};
+
+    #[test]
+    fn functional_matches_simple_arithmetic() {
+        let mut asm = ProgramBuilder::new(0x1000);
+        asm.movi(Reg(0), 6);
+        asm.movi(Reg(1), 7);
+        asm.alu(AluOp::Mul, Reg(2), Reg(0), Reg(1));
+        asm.halt();
+        let mut f = Functional::new(asm.finish());
+        let result = f.run(1000);
+        assert_eq!(result.stop, Stop::Halted);
+        assert_eq!(result.regs[2], 42);
+        assert!(result.cycles > 0.0);
+    }
+
+    #[test]
+    fn functional_enforces_hmov_bounds() {
+        let mut asm = ProgramBuilder::new(0x40_0000);
+        let code = ImplicitCodeRegion::new(0x40_0000, 0xFFFF, true).unwrap();
+        let heap = ExplicitDataRegion::large(0x100_0000, 1 << 16, true, true).unwrap();
+        asm.hfi_set_region(0, Region::Code(code));
+        asm.hfi_set_region(6, Region::Explicit(heap));
+        asm.hfi_enter(SandboxConfig::hybrid());
+        asm.hmov_load(0, Reg(1), crate::isa::HmovOperand::disp(1 << 20), 8);
+        asm.halt();
+        let mut f = Functional::new(asm.finish());
+        let result = f.run(1000);
+        assert!(matches!(result.stop, Stop::Fault(HfiFault::Hmov { .. })));
+    }
+
+    #[test]
+    fn serialized_transitions_cost_more() {
+        let build = |serialize: bool| {
+            let mut asm = ProgramBuilder::new(0x1000);
+            let code = ImplicitCodeRegion::new(0x1000, 0xFFF, true).unwrap();
+            asm.hfi_set_region(0, Region::Code(code));
+            let config = if serialize {
+                SandboxConfig::hybrid().serialized()
+            } else {
+                SandboxConfig::hybrid()
+            };
+            for _ in 0..10 {
+                asm.hfi_enter(config);
+                asm.hfi_exit();
+            }
+            asm.halt();
+            asm.finish()
+        };
+        let mut fast = Functional::new(build(false));
+        let mut slow = Functional::new(build(true));
+        let fast_cycles = fast.run(10_000).cycles;
+        let slow_cycles = slow.run(10_000).cycles;
+        assert!(slow_cycles > fast_cycles + 10.0 * 2.0 * 30.0);
+    }
+}

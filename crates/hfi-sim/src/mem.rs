@@ -1,0 +1,117 @@
+//! Sparse data memory for the simulator.
+
+use std::collections::HashMap;
+
+const PAGE_BITS: u32 = 12;
+const PAGE_SIZE: u64 = 1 << PAGE_BITS;
+
+/// A sparse 64-bit byte-addressable memory.
+///
+/// Pages materialize (zero-filled) on first write; reads of untouched
+/// memory return zero, like anonymous mmap.
+#[derive(Debug, Default, Clone)]
+pub struct SparseMemory {
+    pages: HashMap<u64, Box<[u8]>>,
+}
+
+impl SparseMemory {
+    /// An empty memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn page(&self, addr: u64) -> Option<&Box<[u8]>> {
+        self.pages.get(&(addr >> PAGE_BITS))
+    }
+
+    fn page_mut(&mut self, addr: u64) -> &mut Box<[u8]> {
+        self.pages
+            .entry(addr >> PAGE_BITS)
+            .or_insert_with(|| vec![0u8; PAGE_SIZE as usize].into_boxed_slice())
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        match self.page(addr) {
+            Some(page) => page[(addr & (PAGE_SIZE - 1)) as usize],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: u64, value: u8) {
+        let page = self.page_mut(addr);
+        page[(addr & (PAGE_SIZE - 1)) as usize] = value;
+    }
+
+    /// Reads `size` bytes (1–8) little-endian, zero-extended to u64.
+    pub fn read(&self, addr: u64, size: u8) -> u64 {
+        debug_assert!(matches!(size, 1 | 2 | 4 | 8));
+        let mut value = 0u64;
+        for i in 0..size as u64 {
+            value |= (self.read_u8(addr.wrapping_add(i)) as u64) << (8 * i);
+        }
+        value
+    }
+
+    /// Writes the low `size` bytes (1–8) of `value` little-endian.
+    pub fn write(&mut self, addr: u64, value: u64, size: u8) {
+        debug_assert!(matches!(size, 1 | 2 | 4 | 8));
+        for i in 0..size as u64 {
+            self.write_u8(addr.wrapping_add(i), (value >> (8 * i)) as u8);
+        }
+    }
+
+    /// Bulk-initializes memory from a byte slice.
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        for (i, &b) in bytes.iter().enumerate() {
+            self.write_u8(addr + i as u64, b);
+        }
+    }
+
+    /// Reads `len` bytes into a vector.
+    pub fn read_bytes(&self, addr: u64, len: usize) -> Vec<u8> {
+        (0..len as u64).map(|i| self.read_u8(addr + i)).collect()
+    }
+
+    /// Number of materialized 4 KiB pages.
+    pub fn touched_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untouched_memory_reads_zero() {
+        let mem = SparseMemory::new();
+        assert_eq!(mem.read(0xDEAD_BEEF, 8), 0);
+    }
+
+    #[test]
+    fn little_endian_roundtrip() {
+        let mut mem = SparseMemory::new();
+        mem.write(0x1000, 0x1122_3344_5566_7788, 8);
+        assert_eq!(mem.read(0x1000, 8), 0x1122_3344_5566_7788);
+        assert_eq!(mem.read(0x1000, 4), 0x5566_7788);
+        assert_eq!(mem.read(0x1000, 1), 0x88);
+        assert_eq!(mem.read_u8(0x1007), 0x11);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut mem = SparseMemory::new();
+        mem.write(PAGE_SIZE - 4, 0xAABB_CCDD_EEFF_0011, 8);
+        assert_eq!(mem.read(PAGE_SIZE - 4, 8), 0xAABB_CCDD_EEFF_0011);
+        assert_eq!(mem.touched_pages(), 2);
+    }
+
+    #[test]
+    fn bulk_bytes() {
+        let mut mem = SparseMemory::new();
+        mem.write_bytes(0x2000, b"hello");
+        assert_eq!(mem.read_bytes(0x2000, 5), b"hello");
+    }
+}

@@ -1,0 +1,87 @@
+//! Multi-memory sandboxes: all four explicit regions (`hmov0`–`hmov3`).
+//!
+//! Wasm's multi-memory proposal gives one instance several linear
+//! memories; under guard pages each costs another 8 GiB reservation and
+//! another pinned base register, while HFI assigns each to an explicit
+//! region register (§2, §3.3.1 "multiplex HFI's (finite) registers among
+//! a larger number of multi-memories").
+
+use hfi_core::region::{ExplicitDataRegion, ImplicitCodeRegion};
+use hfi_core::{HfiFault, Region, SandboxConfig};
+use hfi_sim::{AluOp, Cond, HmovOperand, Machine, ProgramBuilder, Reg, Stop};
+
+const CODE_BASE: u64 = 0x40_0000;
+const MEM_BASES: [u64; 4] = [0x100_0000, 0x200_0000, 0x300_0000, 0x400_0000];
+
+fn setup(asm: &mut ProgramBuilder, sizes: [u64; 4]) {
+    let code = ImplicitCodeRegion::new(CODE_BASE, 0xFFFF, true).expect("valid");
+    asm.hfi_set_region(0, Region::Code(code));
+    for (i, (&base, &size)) in MEM_BASES.iter().zip(&sizes).enumerate() {
+        let region = ExplicitDataRegion::large(base, size, true, true).expect("valid");
+        asm.hfi_set_region(6 + i as u8, Region::Explicit(region));
+    }
+    asm.hfi_enter(SandboxConfig::hybrid());
+}
+
+#[test]
+fn each_hmov_addresses_its_own_memory() {
+    let mut asm = ProgramBuilder::new(CODE_BASE);
+    setup(&mut asm, [1 << 20; 4]);
+    for region in 0..4u8 {
+        asm.movi(Reg(1), 100 + region as i64);
+        asm.hmov_store(region, Reg(1), HmovOperand::disp(0x20), 8);
+    }
+    asm.hfi_exit();
+    asm.halt();
+    let mut machine = Machine::new(asm.finish());
+    let result = machine.run(1_000_000);
+    assert_eq!(result.stop, Stop::Halted);
+    for (i, &base) in MEM_BASES.iter().enumerate() {
+        assert_eq!(machine.mem.read(base + 0x20, 8), 100 + i as u64, "memory {i}");
+    }
+}
+
+#[test]
+fn memories_have_independent_bounds() {
+    // Memory 2 is tiny; the same offset that works in memory 0 traps in
+    // memory 2.
+    let mut asm = ProgramBuilder::new(CODE_BASE);
+    setup(&mut asm, [1 << 20, 1 << 20, 1 << 16, 1 << 20]);
+    asm.hmov_load(0, Reg(1), HmovOperand::disp(0x2_0000), 8); // fine in mem0
+    asm.hmov_load(2, Reg(2), HmovOperand::disp(0x2_0000), 8); // traps in mem2
+    asm.hfi_exit();
+    asm.halt();
+    let mut machine = Machine::new(asm.finish());
+    let result = machine.run(1_000_000);
+    assert!(
+        matches!(result.stop, Stop::Fault(HfiFault::Hmov { region: 2, .. })),
+        "got {:?}",
+        result.stop
+    );
+}
+
+#[test]
+fn cross_memory_copy() {
+    // memcpy from memory 1 to memory 3 through registers — the
+    // shared-buffer pattern multi-memories exist for.
+    let mut asm = ProgramBuilder::new(CODE_BASE);
+    setup(&mut asm, [1 << 20; 4]);
+    let (i, v) = (Reg(5), Reg(6));
+    asm.movi(i, 0);
+    let top = asm.label_here("top");
+    asm.hmov_load(1, v, HmovOperand::indexed(i, 1, 0), 8);
+    asm.hmov_store(3, v, HmovOperand::indexed(i, 1, 0), 8);
+    asm.alu_ri(AluOp::Add, i, i, 8);
+    asm.branch_i(Cond::LtU, i, 256, top);
+    asm.hfi_exit();
+    asm.halt();
+    let mut machine = Machine::new(asm.finish());
+    for k in 0..32u64 {
+        machine.mem.write(MEM_BASES[1] + k * 8, 0x1111 * (k + 1), 8);
+    }
+    let result = machine.run(1_000_000);
+    assert_eq!(result.stop, Stop::Halted);
+    for k in 0..32u64 {
+        assert_eq!(machine.mem.read(MEM_BASES[3] + k * 8, 8), 0x1111 * (k + 1));
+    }
+}

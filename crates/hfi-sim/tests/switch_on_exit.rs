@@ -1,0 +1,136 @@
+//! Pipeline-level tests of the switch-on-exit extension (paper §3.4/§4.5):
+//! a trusted runtime running in its own serialized hybrid sandbox
+//! multiplexes unserialized child sandboxes; child exits atomically
+//! restore the parent's register file without disabling HFI, and the
+//! per-switch serialization cost disappears.
+
+use hfi_core::region::{ExplicitDataRegion, ImplicitCodeRegion, ImplicitDataRegion};
+use hfi_core::{HfiFault, Region, SandboxConfig, NUM_REGIONS};
+use hfi_sim::{AluOp, Cond, HmovOperand, Machine, MemOperand, ProgramBuilder, Reg, Stop};
+
+const CODE_BASE: u64 = 0x40_0000;
+
+fn regions() -> (Region, Region, [Option<Region>; NUM_REGIONS]) {
+    let code = Region::Code(ImplicitCodeRegion::new(CODE_BASE, 0xFFFF, true).expect("valid"));
+    let parent_data =
+        Region::Data(ImplicitDataRegion::new(0x10_0000, 0xFFFF, true, true).expect("valid"));
+    let child_heap = Region::Explicit(
+        ExplicitDataRegion::large(0x100_0000, 1 << 20, true, true).expect("valid"),
+    );
+    let mut child_regions: [Option<Region>; NUM_REGIONS] = [None; NUM_REGIONS];
+    child_regions[0] = Some(code);
+    child_regions[6] = Some(child_heap);
+    (code, parent_data, child_regions)
+}
+
+/// Builds: parent enters serialized hybrid sandbox; loops `iters` times
+/// running a child (enter_child + small hmov workload + hfi_exit);
+/// then the parent itself exits and halts.
+fn build_switch_loop(iters: i64, serialize_children: bool) -> Machine {
+    let (code, parent_data, child_regions) = regions();
+    let mut asm = ProgramBuilder::new(CODE_BASE);
+    asm.hfi_set_region(0, code);
+    asm.hfi_set_region(2, parent_data);
+    asm.hfi_enter(SandboxConfig::hybrid().serialized());
+    let iter = Reg(5);
+    asm.movi(iter, 0);
+    let top = asm.label_here("top");
+    if serialize_children {
+        // Strawman: full serialization on every child entry/exit, no
+        // switch-on-exit (children share the parent's register file, so
+        // re-install the child heap each time).
+        asm.hfi_set_region(6, child_regions[6].expect("heap set"));
+        asm.hfi_enter(SandboxConfig::hybrid().serialized());
+    } else {
+        asm.hfi_enter_child(SandboxConfig::hybrid(), child_regions);
+    }
+    // Child workload: a couple of heap accesses.
+    asm.movi(Reg(1), 7);
+    asm.hmov_store(0, Reg(1), HmovOperand::disp(0x10), 8);
+    asm.hmov_load(0, Reg(2), HmovOperand::disp(0x10), 8);
+    asm.hfi_exit(); // switch-on-exit: back to the parent, HFI still on
+    if serialize_children {
+        // The strawman's exit disabled HFI; re-enter the parent sandbox.
+        asm.hfi_enter(SandboxConfig::hybrid().serialized());
+    }
+    asm.alu_ri(AluOp::Add, iter, iter, 1);
+    asm.branch_i(Cond::LtU, iter, iters, top);
+    asm.hfi_exit();
+    asm.halt();
+    Machine::new(asm.finish())
+}
+
+#[test]
+fn child_exit_returns_to_parent_with_hfi_enabled() {
+    let mut machine = build_switch_loop(3, false);
+    let result = machine.run(1_000_000);
+    assert_eq!(result.stop, Stop::Halted);
+    assert_eq!(result.regs[2], 7, "child workload must have run");
+    // After the run the final parent hfi_exit disabled HFI.
+    assert!(!machine.hfi.enabled());
+}
+
+#[test]
+fn parent_regions_restored_after_child_exit() {
+    // After a child exits, the parent can touch its own data region
+    // (which the child's register file did not include).
+    let (code, parent_data, child_regions) = regions();
+    let mut asm = ProgramBuilder::new(CODE_BASE);
+    asm.hfi_set_region(0, code);
+    asm.hfi_set_region(2, parent_data);
+    asm.hfi_enter(SandboxConfig::hybrid().serialized());
+    asm.hfi_enter_child(SandboxConfig::hybrid(), child_regions);
+    asm.hfi_exit(); // back to parent
+    asm.movi(Reg(1), 0x10_0040);
+    asm.movi(Reg(2), 99);
+    asm.store(Reg(2), MemOperand::base_disp(Reg(1), 0), 8); // parent region
+    asm.hfi_exit();
+    asm.halt();
+    let mut machine = Machine::new(asm.finish());
+    let result = machine.run(1_000_000);
+    assert_eq!(result.stop, Stop::Halted, "parent data region must be live again");
+    assert_eq!(machine.mem.read(0x10_0040, 8), 99);
+}
+
+#[test]
+fn child_cannot_touch_parent_data() {
+    // While the child runs, the parent's implicit data region is swapped
+    // out: the same store that succeeds in the parent faults in the child.
+    let (code, parent_data, child_regions) = regions();
+    let mut asm = ProgramBuilder::new(CODE_BASE);
+    asm.hfi_set_region(0, code);
+    asm.hfi_set_region(2, parent_data);
+    asm.hfi_enter(SandboxConfig::hybrid().serialized());
+    asm.hfi_enter_child(SandboxConfig::hybrid(), child_regions);
+    asm.movi(Reg(1), 0x10_0040); // parent's region, not the child's
+    asm.movi(Reg(2), 1);
+    asm.store(Reg(2), MemOperand::base_disp(Reg(1), 0), 8);
+    asm.hfi_exit();
+    asm.hfi_exit();
+    asm.halt();
+    let mut machine = Machine::new(asm.finish());
+    let result = machine.run(1_000_000);
+    assert!(
+        matches!(result.stop, Stop::Fault(HfiFault::DataBounds { .. })),
+        "got {:?}",
+        result.stop
+    );
+}
+
+#[test]
+fn switch_on_exit_is_cheaper_than_per_child_serialization() {
+    // The §4.5 claim, measured in the pipeline: multiplexing N children
+    // with switch-on-exit costs less than serializing every entry/exit.
+    let iters = 40;
+    let mut soe = build_switch_loop(iters, false);
+    let soe_cycles = soe.run(10_000_000).cycles;
+    let mut serialized = build_switch_loop(iters, true);
+    let ser_cycles = serialized.run(10_000_000).cycles;
+    assert!(
+        soe_cycles < ser_cycles,
+        "switch-on-exit {soe_cycles} !< serialized {ser_cycles}"
+    );
+    // And the per-iteration saving is on the order of the drain costs.
+    let saving = (ser_cycles - soe_cycles) / iters as u64;
+    assert!(saving > 20, "per-iteration saving only {saving} cycles");
+}

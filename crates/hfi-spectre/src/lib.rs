@@ -1,0 +1,36 @@
+//! # hfi-spectre — Spectre proofs-of-concept against the simulated core
+//!
+//! Reproduces the paper's security evaluation (§5.3, Fig. 7): the in-place
+//! Spectre-PHT attack in the style of Google SafeSide, and a Spectre-BTB
+//! variant in the style of TransientFail, both running on the `hfi-sim`
+//! out-of-order core and leaking through the simulated data cache.
+//!
+//! Each attack runs in two configurations:
+//!
+//! * **Unprotected** — the secret-dependent speculative load fills a cache
+//!   line; a timed probe recovers the secret byte.
+//! * **HFI** — the victim installs implicit regions covering everything
+//!   *except* the secret; the speculative out-of-bounds load fails its
+//!   region check before the physical address resolves, so the cache is
+//!   never touched and the probe sees uniform misses (paper §4.1).
+//!
+//! ```
+//! use hfi_spectre::{run_pht_attack, Protection};
+//!
+//! let vulnerable = run_pht_attack(Protection::None);
+//! assert!(vulnerable.leaked());
+//! let defended = run_pht_attack(Protection::Hfi);
+//! assert!(!defended.leaked());
+//! ```
+#![warn(missing_docs)]
+
+pub mod btb;
+pub mod layout;
+pub mod pht;
+
+pub use btb::run_attack as run_btb_attack;
+pub use layout::SpectreLayout;
+pub use pht::{
+    run_attack as run_pht_attack, run_attack_with_secret as run_pht_attack_with_secret,
+    AttackOutcome, Protection, HIT_THRESHOLD,
+};

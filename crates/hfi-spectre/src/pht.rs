@@ -1,0 +1,249 @@
+//! The in-place Spectre-PHT attack (Google SafeSide style, paper §5.3).
+//!
+//! Structure:
+//!
+//! 1. **Train** — run the bounds-checked gadget with in-bounds indices so
+//!    the PHT learns the "in bounds" (not-taken) direction.
+//! 2. **Flush** — evict the length variable (so the branch resolves late)
+//!    and all 256 probe lines.
+//! 3. **Attack** — run the gadget once with an out-of-bounds index. The
+//!    mispredicted branch speculatively executes
+//!    `array2[array1[evil] * stride]`, transmitting the secret into the
+//!    data cache before the squash.
+//! 4. **Probe** — time a load from each probe slot with `rdtsc`; the one
+//!    warm line reveals the byte.
+//!
+//! With HFI enabled and the protective regions of
+//! [`SpectreLayout::protective_data_regions`] installed, the speculative
+//! `array1[evil]` load fails its implicit-region check *before* the cache
+//! is touched, so no secret-dependent line warms (paper §4.1, Fig. 7).
+
+use hfi_core::{Region, SandboxConfig};
+use hfi_sim::{AluOp, Cond, Machine, MemOperand, ProgramBuilder, Reg, Stop};
+
+use crate::layout::SpectreLayout;
+
+/// Whether the victim protects itself with HFI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Protection {
+    /// No sandbox: the classic vulnerable configuration.
+    None,
+    /// HFI enabled with regions covering everything except the secret.
+    Hfi,
+}
+
+/// The outcome of one attack run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttackOutcome {
+    /// Measured probe latency (cycles) for each of the 256 byte guesses.
+    pub latencies: Vec<u64>,
+    /// The secret byte planted in the victim.
+    pub secret: u8,
+    /// Guesses whose latency fell below the hit/miss threshold.
+    pub warm_indices: Vec<u8>,
+    /// Cycles the whole run took.
+    pub cycles: u64,
+    /// Wrong-path loads that performed cache accesses.
+    pub speculative_loads: u64,
+}
+
+impl AttackOutcome {
+    /// Did the attack recover the secret?
+    pub fn leaked(&self) -> bool {
+        self.warm_indices.contains(&self.secret)
+    }
+}
+
+/// Latency threshold separating cache hits from misses. L2 hits measure
+/// ~20 cycles in the probe loop; memory ~200+.
+pub const HIT_THRESHOLD: u64 = 100;
+
+/// Builds the complete train→flush→attack→probe program.
+pub fn build_attack(layout: &SpectreLayout, protection: Protection) -> hfi_sim::Program {
+    let mut asm = ProgramBuilder::new(layout.code_base);
+    // Register plan:
+    let idx = Reg(1); // gadget input index
+    let arr1 = Reg(2); // array1 base
+    let len_ptr = Reg(3); // &array1_len
+    let len = Reg(5);
+    let byte = Reg(6); // loaded (possibly secret) byte
+    let arr2 = Reg(4); // array2 base
+    let tmp = Reg(7);
+    let iter = Reg(8);
+    let t0 = Reg(10);
+    let t1 = Reg(11);
+    let lat_ptr = Reg(13);
+
+    if protection == Protection::Hfi {
+        asm.hfi_set_region(0, Region::Code(layout.code_region()));
+        for (i, region) in layout.protective_data_regions().into_iter().enumerate() {
+            asm.hfi_set_region(2 + i as u8, Region::Data(region));
+        }
+        asm.hfi_enter(SandboxConfig::hybrid().serialized());
+    }
+
+    asm.movi(arr1, layout.array1 as i64);
+    asm.movi(len_ptr, layout.len_addr as i64);
+    asm.movi(arr2, layout.array2 as i64);
+    asm.movi(lat_ptr, layout.latencies as i64);
+
+    // The gadget, emitted once so training and attack share branch PCs:
+    // executed with idx in `idx`; leaks array2[array1[idx] * stride] when
+    // idx is (speculatively) accepted.
+    let gadget = asm.label();
+    let gadget_end = asm.label();
+    let after_gadget_ret = asm.label();
+    let train_loop = asm.label();
+    let flush_phase = asm.label();
+
+    asm.jump(train_loop);
+
+    asm.place(gadget);
+    asm.load(len, MemOperand::base_disp(len_ptr, 0), 8);
+    asm.branch(Cond::GeU, idx, len, gadget_end); // bounds check
+    asm.load(byte, MemOperand::full(arr1, idx, 1, 0), 1);
+    asm.alu_ri(AluOp::Shl, byte, byte, layout.stride.trailing_zeros() as i64);
+    asm.load(tmp, MemOperand::full(arr2, byte, 1, 0), 1); // transmit
+    asm.place(gadget_end);
+    asm.ret();
+
+    // --- Training: 32 in-bounds runs. ---
+    asm.place(train_loop);
+    asm.movi(iter, 0);
+    let train_top = asm.label_here("train_top");
+    asm.alu_ri(AluOp::And, idx, iter, (layout.array1_len - 1) as i64);
+    asm.call(gadget);
+    asm.alu_ri(AluOp::Add, iter, iter, 1);
+    asm.branch_i(Cond::LtU, iter, 32, train_top);
+    asm.jump(flush_phase);
+    asm.place(after_gadget_ret);
+
+    // --- Flush: evict the length and all probe lines. ---
+    asm.place(flush_phase);
+    asm.fence();
+    asm.flush(MemOperand::base_disp(len_ptr, 0));
+    asm.movi(iter, 0);
+    let flush_top = asm.label_here("flush_top");
+    asm.flush(MemOperand::full(arr2, iter, 1, 0));
+    asm.alu_ri(AluOp::Add, iter, iter, layout.stride as i64);
+    asm.branch_i(Cond::LtU, iter, (256 * layout.stride) as i64, flush_top);
+    asm.fence();
+
+    // --- Attack: three out-of-bounds attempts. The first speculative
+    // pass only warms the (cold) secret line itself; the second completes
+    // the dependent transmit inside the speculation window — the same
+    // retry structure real PoCs use. The length is re-flushed each
+    // attempt to keep the branch resolving late. ---
+    let attempts = Reg(14);
+    asm.movi(attempts, 0);
+    let attack_top = asm.label_here("attack_top");
+    asm.flush(MemOperand::base_disp(len_ptr, 0));
+    asm.fence();
+    asm.movi(idx, layout.evil_index() as i64);
+    asm.call(gadget);
+    asm.fence();
+    asm.alu_ri(AluOp::Add, attempts, attempts, 1);
+    asm.branch_i(Cond::LtU, attempts, 3, attack_top);
+
+    // --- Probe: time each of the 256 slots. ---
+    asm.movi(iter, 0);
+    let probe_top = asm.label_here("probe_top");
+    asm.alu_ri(AluOp::Shl, byte, iter, layout.stride.trailing_zeros() as i64);
+    asm.fence();
+    asm.rdtsc(t0);
+    asm.load(tmp, MemOperand::full(arr2, byte, 1, 0), 1);
+    asm.fence();
+    asm.rdtsc(t1);
+    asm.alu(AluOp::Sub, t1, t1, t0);
+    asm.store(t1, MemOperand::full(lat_ptr, iter, 8, 0), 8);
+    asm.alu_ri(AluOp::Add, iter, iter, 1);
+    asm.branch_i(Cond::LtU, iter, 256, probe_top);
+
+    if protection == Protection::Hfi {
+        asm.hfi_exit();
+    }
+    asm.halt();
+    asm.finish()
+}
+
+/// Runs the Spectre-PHT attack under the given protection and returns the
+/// probe latencies and verdict.
+pub fn run_attack(protection: Protection) -> AttackOutcome {
+    run_attack_with_secret(protection, b'I')
+}
+
+/// Like [`run_attack`] with a chosen secret byte (must be non-zero: a
+/// blocked HFI load forwards zero, which aliases probe slot 0).
+pub fn run_attack_with_secret(protection: Protection, secret: u8) -> AttackOutcome {
+    assert_ne!(secret, 0, "secret 0 aliases the blocked-load value");
+    let layout = SpectreLayout::new();
+    let program = build_attack(&layout, protection);
+    let mut machine = Machine::new(program);
+
+    // Plant victim data: in-bounds array1 entries read as 1 so training
+    // warms only slot 1; the secret sits outside array1's region.
+    for i in 0..layout.array1_len {
+        machine.mem.write(layout.array1 + i, 1, 1);
+    }
+    machine.mem.write(layout.len_addr, layout.array1_len, 8);
+    machine.mem.write(layout.secret_addr, secret as u64, 1);
+
+    let result = machine.run(10_000_000);
+    assert_eq!(result.stop, Stop::Halted, "attack program must run to completion");
+
+    let latencies: Vec<u64> =
+        (0..256).map(|i| machine.mem.read(layout.latencies + i * 8, 8)).collect();
+    let warm_indices = latencies
+        .iter()
+        .enumerate()
+        .filter(|(_, &lat)| lat < HIT_THRESHOLD)
+        .map(|(i, _)| i as u8)
+        .collect();
+    AttackOutcome {
+        latencies,
+        secret,
+        warm_indices,
+        cycles: result.cycles,
+        speculative_loads: result.stats.squashed_loads_executed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unprotected_victim_leaks_the_secret() {
+        let outcome = run_attack(Protection::None);
+        assert!(
+            outcome.leaked(),
+            "expected leak; warm={:?} lat[secret]={}",
+            outcome.warm_indices,
+            outcome.latencies[outcome.secret as usize]
+        );
+        assert!(outcome.speculative_loads > 0, "attack must execute wrong-path loads");
+    }
+
+    #[test]
+    fn hfi_blocks_the_leak() {
+        let outcome = run_attack(Protection::Hfi);
+        assert!(
+            !outcome.leaked(),
+            "secret must not be recoverable; warm={:?}",
+            outcome.warm_indices
+        );
+        // The secret's probe slot must look like a miss (Fig. 7: no access
+        // latency below the threshold).
+        assert!(outcome.latencies[outcome.secret as usize] >= HIT_THRESHOLD);
+    }
+
+    #[test]
+    fn leak_works_for_multiple_secrets() {
+        for secret in [7u8, 42, 200] {
+            let outcome = run_attack_with_secret(Protection::None, secret);
+            assert!(outcome.leaked(), "secret {secret} not leaked");
+            let blocked = run_attack_with_secret(Protection::Hfi, secret);
+            assert!(!blocked.leaked(), "secret {secret} leaked despite HFI");
+        }
+    }
+}

@@ -1,0 +1,33 @@
+use hfi_wasm::compiler::*;
+use hfi_wasm::ir::*;
+use hfi_sim::Machine;
+
+fn main() {
+    let mut b = IrBuilder::new("pressure");
+    let vars: Vec<_> = (0..4).map(|_| b.vreg()).collect();
+    for (k, &v) in vars.iter().enumerate() {
+        b.constant(v, k as i64 + 1);
+    }
+    let acc = b.vreg();
+    b.constant(acc, 0);
+    let iter = b.vreg();
+    b.constant(iter, 0);
+    let top = b.label_here();
+    for &v in &vars {
+        b.bin(AluOp::Add, acc, acc, v);
+    }
+    b.bin_i(AluOp::Add, iter, iter, 1);
+    b.br_if_i(Cond::LtU, iter, 2, top);
+    b.ret(acc);
+    let kernel = b.finish();
+    let mut opts = CompileOptions::new(Isolation::Hfi);
+    opts.extra_reserved_regs = 9; // force spills with only ~3 regs
+    let compiled = compile(&kernel, &opts);
+    println!("spills={} allocatable={}", compiled.stats.spilled_vregs, compiled.stats.allocatable_regs);
+    for (i, inst) in compiled.program.iter().enumerate() {
+        println!("{i:3} {inst:?}");
+    }
+    let mut m = Machine::new(compiled.program);
+    let r = m.run(1_000_000);
+    println!("result={} expected={}", r.regs[0], (1+2+3+4)*2);
+}

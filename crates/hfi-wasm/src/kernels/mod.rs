@@ -1,0 +1,132 @@
+//! The workload library: IR kernels mirroring the suites the paper
+//! evaluates on.
+//!
+//! Every kernel carries a *native Rust reference implementation* whose
+//! result is computed at construction time; the test suite runs each
+//! kernel through every isolation backend and both executors and checks
+//! the result against the reference — a three-way differential test of
+//! kernel, compiler, and simulator.
+//!
+//! * [`sightglass`] — 16 short kernels mirroring the Sightglass programs
+//!   used for the Fig. 2 emulation cross-validation ("primitives from
+//!   cryptography, mathematics, string manipulation, and control flow").
+//! * [`speclike`] — 10 long-running kernels shaped after the paper's
+//!   SPEC INT 2006 subset (Fig. 3), spanning the profiles that drive SFI
+//!   overhead: memory-op density, branchiness, and code footprint.
+//! * [`render`] — the Firefox library-sandboxing workloads of §6.2:
+//!   JPEG-style block decoding and font reflow.
+//! * [`faas`] — the Table 1 FaaS workloads: XML→JSON, image
+//!   classification, SHA-256 checking, templated HTML.
+
+pub mod faas;
+pub mod render;
+pub mod sightglass;
+pub mod speclike;
+mod util;
+
+use crate::ir::IrFunction;
+
+/// A ready-to-run workload: IR, initial heap image, and the reference
+/// result it must produce.
+#[derive(Debug, Clone)]
+pub struct Kernel {
+    /// Kernel name (matches the paper's benchmark names where relevant).
+    pub name: String,
+    /// The IR to compile.
+    pub func: IrFunction,
+    /// Initial heap contents as (offset, bytes) pairs.
+    pub heap_init: Vec<(u32, Vec<u8>)>,
+    /// The result the kernel must return (from the Rust reference).
+    pub expected: u64,
+}
+
+impl Kernel {
+    /// Total bytes of heap initialization data.
+    pub fn heap_init_len(&self) -> usize {
+        self.heap_init.iter().map(|(_, bytes)| bytes.len()).sum()
+    }
+}
+
+/// Convenience: every Fig. 2 kernel at the given scale.
+pub fn sightglass_suite(scale: u32) -> Vec<Kernel> {
+    sightglass::suite(scale)
+}
+
+/// Convenience: every Fig. 3 kernel at the given scale.
+pub fn spec_suite(scale: u32) -> Vec<Kernel> {
+    speclike::suite(scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::{compile, CompileOptions, Isolation, RESULT_REG};
+    use hfi_sim::{Functional, Machine, Stop};
+
+    fn check_kernel(kernel: &Kernel, isolation: Isolation) {
+        let opts = CompileOptions::new(isolation);
+        let compiled = compile(&kernel.func, &opts);
+
+        // Cycle-level machine.
+        let mut machine = Machine::new(compiled.program.clone());
+        for (off, bytes) in &kernel.heap_init {
+            machine.mem.write_bytes(opts.heap_base + *off as u64, bytes);
+        }
+        let result = machine.run(400_000_000);
+        assert_eq!(result.stop, Stop::Halted, "{} [{isolation}] did not halt", kernel.name);
+        assert_eq!(
+            result.regs[RESULT_REG.0 as usize], kernel.expected,
+            "{} [{isolation}] cycle-sim result mismatch",
+            kernel.name
+        );
+
+        // Functional executor must agree.
+        let mut functional = Functional::new(compiled.program);
+        for (off, bytes) in &kernel.heap_init {
+            functional.mem.write_bytes(opts.heap_base + *off as u64, bytes);
+        }
+        let fresult = functional.run(2_000_000_000);
+        assert_eq!(fresult.stop, Stop::Halted);
+        assert_eq!(
+            fresult.regs[RESULT_REG.0 as usize], kernel.expected,
+            "{} [{isolation}] functional result mismatch",
+            kernel.name
+        );
+    }
+
+    #[test]
+    fn sightglass_kernels_match_reference_under_all_strategies() {
+        for kernel in sightglass_suite(1) {
+            for isolation in Isolation::ALL {
+                check_kernel(&kernel, isolation);
+            }
+        }
+    }
+
+    #[test]
+    fn spec_kernels_match_reference_under_all_strategies() {
+        for kernel in spec_suite(1) {
+            for isolation in Isolation::ALL {
+                check_kernel(&kernel, isolation);
+            }
+        }
+    }
+
+    #[test]
+    fn render_kernels_match_reference() {
+        for kernel in [render::jpeg_like(1, 16, 16), render::font_reflow(1)] {
+            for isolation in [Isolation::GuardPages, Isolation::Hfi] {
+                check_kernel(&kernel, isolation);
+            }
+        }
+    }
+
+    #[test]
+    fn faas_kernels_match_reference() {
+        for kernel in faas::suite(1) {
+            for isolation in [Isolation::GuardPages, Isolation::BoundsChecks, Isolation::Hfi] {
+                check_kernel(&kernel, isolation);
+            }
+        }
+    }
+}

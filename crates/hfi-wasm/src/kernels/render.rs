@@ -1,0 +1,254 @@
+//! Firefox library-sandboxing workloads (§6.2): JPEG-style image decoding
+//! and font reflow.
+//!
+//! The paper sandboxes `libjpeg` and `libgraphite` in Firefox with
+//! Wasm2c and measures render time under each isolation scheme. These
+//! kernels keep the relevant structure: the JPEG kernel does per-8×8-block
+//! dequantize + integer butterfly IDCT + clamp (compute whose intensity
+//! grows with compression level), and the reflow kernel does per-glyph
+//! advance/kerning lookups with line breaking. The §6.2 harness invokes
+//! the image kernel once per *row of blocks*, crossing a sandbox
+//! transition each time, exactly as Fig. 4's per-pixel-row enters/exits.
+
+use hfi_sim::isa::{AluOp, Cond};
+
+use super::util::{random_bytes, random_text};
+use super::Kernel;
+use crate::ir::IrBuilder;
+
+/// JPEG-like block decode. `quality` ∈ {1, 2, 3} (≈ none/default/best
+/// compression: higher = more coefficient work per block);
+/// `blocks_x`/`blocks_y` give the image size in 8×8 blocks.
+pub fn jpeg_like(quality: u32, blocks_x: u32, blocks_y: u32) -> Kernel {
+    let coeffs_per_block = 16 * quality; // compression level ⇒ coeff count
+    let nblocks = (blocks_x * blocks_y) as usize;
+    let coeffs = random_bytes(0x1DC7 + quality as u64, nblocks * 64);
+    let quant = random_bytes(0x9A27, 64);
+    const QUANT: u32 = 0;
+    const COEFF: u32 = 0x100;
+    let out_base: u32 = 0x100 + (nblocks as u32) * 64;
+
+    let mut b = IrBuilder::new("jpeg-like");
+    let (blk, k, c, q, v, addr, acc, row) = (
+        b.vreg(),
+        b.vreg(),
+        b.vreg(),
+        b.vreg(),
+        b.vreg(),
+        b.vreg(),
+        b.vreg(),
+        b.vreg(),
+    );
+    // Decoder statistics live across the whole image (range tracking for
+    // clamping and quality heuristics, as real decoders keep).
+    let (maxpix, energy, nonzero) = (b.vreg(), b.vreg(), b.vreg());
+    b.constant(maxpix, 0);
+    b.constant(energy, 0);
+    b.constant(nonzero, 0);
+    b.constant(acc, 0);
+    b.constant(blk, 0);
+    let blk_top = b.label_here();
+    // Dequantize the active coefficients into the output block.
+    b.constant(k, 0);
+    let deq_top = b.label_here();
+    b.bin_i(AluOp::Shl, addr, blk, 6);
+    b.bin(AluOp::Add, addr, addr, k);
+    b.load(c, addr, COEFF, 1);
+    b.load(q, k, QUANT, 1);
+    b.bin_i(AluOp::Or, q, q, 1); // quant entries are non-zero
+    b.bin(AluOp::Mul, v, c, q);
+    b.store(v, addr, out_base, 2);
+    b.bin_i(AluOp::Add, k, k, 1);
+    b.br_if_i(Cond::LtU, k, coeffs_per_block as i64, deq_top);
+    // Butterfly rows: v[i] = (v[i] + v[i+4]) >> 1 ^ pattern, 8 rows of 4.
+    b.constant(row, 0);
+    let bf_top = b.label_here();
+    b.constant(k, 0);
+    let bf_inner = b.label_here();
+    b.bin_i(AluOp::Shl, addr, blk, 6);
+    b.bin_i(AluOp::Shl, v, row, 3);
+    b.bin(AluOp::Add, addr, addr, v);
+    b.bin(AluOp::Add, addr, addr, k);
+    b.load(c, addr, out_base, 2);
+    b.load(q, addr, out_base + 4, 2);
+    b.bin(AluOp::Add, c, c, q);
+    b.bin_i(AluOp::Shr, c, c, 1);
+    b.bin_i(AluOp::And, c, c, 0xFF); // clamp to pixel range
+    b.store(c, addr, out_base, 1);
+    b.bin(AluOp::Add, acc, acc, c);
+    b.bin_i(AluOp::Rotl, acc, acc, 1);
+    let not_max = b.label();
+    b.br_if(Cond::LtU, c, maxpix, not_max);
+    b.mov(maxpix, c);
+    b.place(not_max);
+    b.bin(AluOp::Add, energy, energy, c);
+    let is_zero = b.label();
+    b.br_if_i(Cond::Eq, c, 0, is_zero);
+    b.bin_i(AluOp::Add, nonzero, nonzero, 1);
+    b.place(is_zero);
+    b.bin_i(AluOp::Add, k, k, 1);
+    b.br_if_i(Cond::LtU, k, 4, bf_inner);
+    b.bin_i(AluOp::Add, row, row, 1);
+    b.br_if_i(Cond::LtU, row, 8, bf_top);
+    b.bin_i(AluOp::Add, blk, blk, 1);
+    b.br_if_i(Cond::LtU, blk, nblocks as i64, blk_top);
+    b.bin(AluOp::Add, acc, acc, energy);
+    b.bin_i(AluOp::Rotl, acc, acc, 9);
+    b.bin(AluOp::Xor, acc, acc, maxpix);
+    b.bin(AluOp::Add, acc, acc, nonzero);
+    b.ret(acc);
+    let func = b.finish();
+
+    // Reference, mirroring the IR's overlapping byte-granular accesses:
+    // u16 stores at stride 1 overlap their neighbours, exactly as the
+    // generated code's little-endian stores do.
+    let mut acc = 0u64;
+    let (mut maxpix, mut energy, mut nonzero) = (0u64, 0u64, 0u64);
+    for blk in 0..nblocks {
+        let mut bytes = vec![0u8; 64 * 2 + 16];
+        for k in 0..coeffs_per_block as usize {
+            let c = coeffs[blk * 64 + k] as u64;
+            let q = (quant[k] | 1) as u64;
+            let v = (c * q) as u16;
+            bytes[k..k + 2].copy_from_slice(&v.to_le_bytes()[..]);
+        }
+        for row in 0..8u64 {
+            for k in 0..4u64 {
+                let off = (row * 8 + k) as usize;
+                let c = u16::from_le_bytes([bytes[off], bytes[off + 1]]) as u64;
+                let q = u16::from_le_bytes([bytes[off + 4], bytes[off + 5]]) as u64;
+                let v = ((c + q) >> 1) & 0xFF;
+                bytes[off] = v as u8;
+                acc = acc.wrapping_add(v).rotate_left(1);
+                if v >= maxpix {
+                    maxpix = v;
+                }
+                energy = energy.wrapping_add(v);
+                if v != 0 {
+                    nonzero += 1;
+                }
+            }
+        }
+    }
+    acc = acc.wrapping_add(energy).rotate_left(9) ^ maxpix;
+    acc = acc.wrapping_add(nonzero);
+    Kernel {
+        name: format!("jpeg-like-q{quality}"),
+        func,
+        heap_init: vec![(QUANT, quant), (COEFF, coeffs)],
+        expected: acc,
+    }
+}
+
+/// Font reflow: per-glyph advance + kerning lookups with line breaking
+/// (libgraphite's text-shaping profile).
+pub fn font_reflow(scale: u32) -> Kernel {
+    let len = 4096 * scale as usize;
+    let text = random_text(0xF047, len);
+    let advances = random_bytes(0xADA, 256);
+    let kerning = random_bytes(0x3E4, 256); // kern by (prev ^ cur) class
+    const ADV: u32 = 0;
+    const KERN: u32 = 0x100;
+    const TEXT: u32 = 0x1000;
+    const LINE_WIDTH: u64 = 3800;
+
+    let mut b = IrBuilder::new("font-reflow");
+    let (i, ch, prev, adv, kern, x, lines, cls, acc) = (
+        b.vreg(),
+        b.vreg(),
+        b.vreg(),
+        b.vreg(),
+        b.vreg(),
+        b.vreg(),
+        b.vreg(),
+        b.vreg(),
+        b.vreg(),
+    );
+    // Shaping statistics live across the reflow (widest line, kern sum).
+    let (widest, kern_total) = (b.vreg(), b.vreg());
+    b.constant(widest, 0);
+    b.constant(kern_total, 0);
+    b.constant(i, 0);
+    b.constant(prev, 0);
+    b.constant(x, 0);
+    b.constant(lines, 1);
+    b.constant(acc, 0);
+    let top = b.label_here();
+    let no_break = b.label();
+    b.load(ch, i, TEXT, 1);
+    b.load(adv, ch, ADV, 1);
+    b.bin(AluOp::Xor, cls, ch, prev);
+    b.bin_i(AluOp::And, cls, cls, 0xFF);
+    b.load(kern, cls, KERN, 1);
+    b.bin_i(AluOp::And, kern, kern, 7);
+    b.bin(AluOp::Add, x, x, adv);
+    b.bin(AluOp::Add, x, x, kern);
+    b.bin(AluOp::Add, kern_total, kern_total, kern);
+    let not_widest = b.label();
+    b.br_if(Cond::LtU, x, widest, not_widest);
+    b.mov(widest, x);
+    b.place(not_widest);
+    b.br_if_i(Cond::LtU, x, LINE_WIDTH as i64, no_break);
+    b.bin_i(AluOp::Add, lines, lines, 1);
+    b.constant(x, 0);
+    b.place(no_break);
+    b.bin(AluOp::Add, acc, acc, x);
+    b.bin_i(AluOp::Rotl, acc, acc, 1);
+    b.mov(prev, ch);
+    b.bin_i(AluOp::Add, i, i, 1);
+    b.br_if_i(Cond::LtU, i, len as i64, top);
+    b.bin_i(AluOp::Shl, lines, lines, 48);
+    b.bin(AluOp::Xor, acc, acc, lines);
+    b.bin(AluOp::Add, acc, acc, widest);
+    b.bin_i(AluOp::Rotl, acc, acc, 21);
+    b.bin(AluOp::Xor, acc, acc, kern_total);
+    b.ret(acc);
+    let func = b.finish();
+
+    let (mut prev, mut x, mut lines, mut acc) = (0u8, 0u64, 1u64, 0u64);
+    let (mut widest, mut kern_total) = (0u64, 0u64);
+    for &ch in &text {
+        let adv = advances[ch as usize] as u64;
+        let kern = (kerning[(ch ^ prev) as usize] & 7) as u64;
+        x += adv + kern;
+        kern_total += kern;
+        if x >= widest {
+            widest = x;
+        }
+        if x >= LINE_WIDTH {
+            lines += 1;
+            x = 0;
+        }
+        acc = acc.wrapping_add(x).rotate_left(1);
+        prev = ch;
+    }
+    acc ^= lines << 48;
+    acc = acc.wrapping_add(widest).rotate_left(21) ^ kern_total;
+    Kernel {
+        name: "font-reflow".into(),
+        func,
+        heap_init: vec![(ADV, advances), (KERN, kerning), (TEXT, text)],
+        expected: acc,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn higher_quality_means_more_work() {
+        // More compressed (higher quality level) images do more
+        // coefficient work — the §6.2 "more compute intensive" axis.
+        let q1 = jpeg_like(1, 4, 4);
+        let q3 = jpeg_like(3, 4, 4);
+        assert_ne!(q1.expected, q3.expected);
+        assert!(q1.name.contains("q1") && q3.name.contains("q3"));
+    }
+
+    #[test]
+    fn reflow_counts_lines() {
+        let k = font_reflow(1);
+        assert!(k.expected >> 48 > 1, "must break at least one line");
+    }
+}

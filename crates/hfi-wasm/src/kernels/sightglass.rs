@@ -1,0 +1,895 @@
+//! Sightglass-like kernels (Fig. 2's cross-validation suite).
+//!
+//! The paper validates its software emulation against gem5 on Sightglass:
+//! "various short Wasm-friendly programs, mainly primitives from
+//! cryptography, mathematics, string manipulation, and control flow."
+//! These 16 kernels mirror that suite name-for-name. Cryptographic
+//! permutations are *in the style of* their namesakes (same ARX/bitwise
+//! structure and operation mix) rather than test-vector-exact — Fig. 2
+//! measures instruction-mix-dependent timing, not ciphertexts.
+//!
+//! Each constructor returns a [`Kernel`] whose `expected` value comes from
+//! a Rust reference implementation executed at build time.
+
+use hfi_sim::isa::{AluOp, Cond};
+
+use super::util::{random_bytes, random_text};
+use super::Kernel;
+use crate::ir::IrBuilder;
+
+/// All 16 kernels at `scale` (scale 1 suits the cycle simulator).
+pub fn suite(scale: u32) -> Vec<Kernel> {
+    vec![
+        blake3_scalar(scale),
+        ackermann(scale),
+        base64(scale),
+        ctype(scale),
+        fib2(scale),
+        gimli(scale),
+        keccak(scale),
+        memmove(scale),
+        minicsv(scale),
+        nestedloop(scale),
+        random(scale),
+        ratelimit(scale),
+        sieve(scale),
+        switch_kernel(scale),
+        xblabla20(scale),
+        xchacha20(scale),
+    ]
+}
+
+/// Iterative Fibonacci (control flow + 64-bit adds).
+pub fn fib2(scale: u32) -> Kernel {
+    let n = 40 + 10 * scale as u64;
+    let mut b = IrBuilder::new("fib2");
+    let (a, c, t, i) = (b.vreg(), b.vreg(), b.vreg(), b.vreg());
+    b.constant(a, 0);
+    b.constant(c, 1);
+    b.constant(i, 0);
+    let top = b.label_here();
+    b.bin(AluOp::Add, t, a, c);
+    b.bin(AluOp::Add, a, c, t); // a' = c + (a + c)  — two adds per iter
+    b.bin(AluOp::Add, c, t, a);
+    b.bin_i(AluOp::Add, i, i, 1);
+    b.br_if_i(Cond::LtU, i, n as i64, top);
+    b.ret(a);
+    let func = b.finish();
+
+    // Reference.
+    let (mut ra, mut rc): (u64, u64) = (0, 1);
+    for _ in 0..n {
+        let t = ra.wrapping_add(rc);
+        ra = rc.wrapping_add(t);
+        rc = t.wrapping_add(ra);
+    }
+    Kernel { name: "fib2".into(), func, heap_init: vec![], expected: ra }
+}
+
+/// Ackermann via an explicit stack in linear memory (recursion profile).
+pub fn ackermann(scale: u32) -> Kernel {
+    let (m0, n0) = (2u64, 3 + scale as u64);
+    let mut b = IrBuilder::new("ackermann");
+    let (sp, m, n) = (b.vreg(), b.vreg(), b.vreg());
+    b.constant(sp, 0);
+    b.constant(m, m0 as i64);
+    b.constant(n, n0 as i64);
+    // push m
+    b.store(m, sp, 0, 8);
+    b.bin_i(AluOp::Add, sp, sp, 8);
+    let loop_top = b.label_here();
+    let m_zero = b.label();
+    let n_zero = b.label();
+    let next = b.label();
+    let done = b.label();
+    // pop m
+    b.bin_i(AluOp::Sub, sp, sp, 8);
+    b.load(m, sp, 0, 8);
+    b.br_if_i(Cond::Eq, m, 0, m_zero);
+    b.br_if_i(Cond::Eq, n, 0, n_zero);
+    // push m-1; push m; n -= 1
+    b.bin_i(AluOp::Sub, m, m, 1);
+    b.store(m, sp, 0, 8);
+    b.bin_i(AluOp::Add, m, m, 1);
+    b.store(m, sp, 8, 8);
+    b.bin_i(AluOp::Add, sp, sp, 16);
+    b.bin_i(AluOp::Sub, n, n, 1);
+    b.br(next);
+    b.place(m_zero);
+    b.bin_i(AluOp::Add, n, n, 1);
+    b.br(next);
+    b.place(n_zero);
+    b.bin_i(AluOp::Sub, m, m, 1);
+    b.store(m, sp, 0, 8);
+    b.bin_i(AluOp::Add, sp, sp, 8);
+    b.constant(n, 1);
+    b.place(next);
+    b.br_if_i(Cond::Eq, sp, 0, done);
+    b.br(loop_top);
+    b.place(done);
+    b.ret(n);
+    let func = b.finish();
+
+    // Reference (same explicit-stack algorithm).
+    let mut stack = vec![m0];
+    let mut n = n0;
+    while let Some(m) = stack.pop() {
+        if m == 0 {
+            n += 1;
+        } else if n == 0 {
+            stack.push(m - 1);
+            n = 1;
+        } else {
+            stack.push(m - 1);
+            stack.push(m);
+            n -= 1;
+        }
+    }
+    Kernel { name: "ackermann".into(), func, heap_init: vec![], expected: n }
+}
+
+/// Base64 encoding with a table lookup (string manipulation).
+pub fn base64(scale: u32) -> Kernel {
+    const TABLE: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+    let len = 3 * 256 * scale; // multiple of 3
+    let input = random_bytes(0xB64, len as usize);
+    const IN: u32 = 0x1000;
+    const OUT: u32 = 0x9000;
+
+    let mut b = IrBuilder::new("base64");
+    let (i, o, b0, b1, b2, word, idx, ch, acc) = (
+        b.vreg(),
+        b.vreg(),
+        b.vreg(),
+        b.vreg(),
+        b.vreg(),
+        b.vreg(),
+        b.vreg(),
+        b.vreg(),
+        b.vreg(),
+    );
+    b.constant(i, 0);
+    b.constant(o, 0);
+    b.constant(acc, 0);
+    let top = b.label_here();
+    b.load(b0, i, IN, 1);
+    b.load(b1, i, IN + 1, 1);
+    b.load(b2, i, IN + 2, 1);
+    b.bin_i(AluOp::Shl, word, b0, 16);
+    b.bin_i(AluOp::Shl, b1, b1, 8);
+    b.bin(AluOp::Or, word, word, b1);
+    b.bin(AluOp::Or, word, word, b2);
+    for k in 0..4u32 {
+        b.bin_i(AluOp::Shr, idx, word, (18 - 6 * k) as i64);
+        b.bin_i(AluOp::And, idx, idx, 0x3F);
+        b.load(ch, idx, 0, 1); // table at heap offset 0
+        b.store(ch, o, OUT + k, 1);
+        b.bin(AluOp::Add, acc, acc, ch);
+    }
+    b.bin_i(AluOp::Add, i, i, 3);
+    b.bin_i(AluOp::Add, o, o, 4);
+    b.br_if_i(Cond::LtU, i, len as i64, top);
+    b.ret(acc);
+    let func = b.finish();
+
+    // Reference.
+    let mut acc: u64 = 0;
+    for chunk in input.chunks(3) {
+        let word =
+            ((chunk[0] as u64) << 16) | ((chunk[1] as u64) << 8) | chunk[2] as u64;
+        for k in 0..4 {
+            let idx = (word >> (18 - 6 * k)) & 0x3F;
+            acc = acc.wrapping_add(TABLE[idx as usize] as u64);
+        }
+    }
+    Kernel {
+        name: "base64".into(),
+        func,
+        heap_init: vec![(0, TABLE.to_vec()), (IN, input)],
+        expected: acc,
+    }
+}
+
+/// Character classification by table lookup (ctype).
+pub fn ctype(scale: u32) -> Kernel {
+    let len = 4096 * scale as usize;
+    let text = random_text(0xC793, len);
+    // Class table: 1 = alpha, 2 = digit, 4 = space, 0 otherwise.
+    let mut table = vec![0u8; 256];
+    for c in 0..256u32 {
+        let ch = c as u8;
+        table[c as usize] = if ch.is_ascii_alphabetic() {
+            1
+        } else if ch.is_ascii_digit() {
+            2
+        } else if ch == b' ' || ch == b'\n' {
+            4
+        } else {
+            0
+        };
+    }
+    const TEXT: u32 = 0x1000;
+
+    let mut b = IrBuilder::new("ctype");
+    let (i, ch, class, alpha, digit, space, out) =
+        (b.vreg(), b.vreg(), b.vreg(), b.vreg(), b.vreg(), b.vreg(), b.vreg());
+    b.constant(i, 0);
+    b.constant(alpha, 0);
+    b.constant(digit, 0);
+    b.constant(space, 0);
+    let top = b.label_here();
+    let not_alpha = b.label();
+    let not_digit = b.label();
+    let next = b.label();
+    b.load(ch, i, TEXT, 1);
+    b.load(class, ch, 0, 1);
+    b.br_if_i(Cond::Ne, class, 1, not_alpha);
+    b.bin_i(AluOp::Add, alpha, alpha, 1);
+    b.br(next);
+    b.place(not_alpha);
+    b.br_if_i(Cond::Ne, class, 2, not_digit);
+    b.bin_i(AluOp::Add, digit, digit, 1);
+    b.br(next);
+    b.place(not_digit);
+    b.br_if_i(Cond::Ne, class, 4, next);
+    b.bin_i(AluOp::Add, space, space, 1);
+    b.place(next);
+    b.bin_i(AluOp::Add, i, i, 1);
+    b.br_if_i(Cond::LtU, i, len as i64, top);
+    b.bin_i(AluOp::Shl, out, alpha, 40);
+    b.bin_i(AluOp::Shl, digit, digit, 20);
+    b.bin(AluOp::Or, out, out, digit);
+    b.bin(AluOp::Or, out, out, space);
+    b.ret(out);
+    let func = b.finish();
+
+    let (mut alpha, mut digit, mut space) = (0u64, 0u64, 0u64);
+    for &ch in &text {
+        match table[ch as usize] {
+            1 => alpha += 1,
+            2 => digit += 1,
+            4 => space += 1,
+            _ => {}
+        }
+    }
+    let expected = (alpha << 40) | (digit << 20) | space;
+    Kernel {
+        name: "ctype".into(),
+        func,
+        heap_init: vec![(0, table), (TEXT, text)],
+        expected,
+    }
+}
+
+/// ARX compression rounds in the style of BLAKE3's scalar path.
+pub fn blake3_scalar(scale: u32) -> Kernel {
+    arx_kernel("blake3-scalar", 0xB1A3, 8, 64 * scale, &[32, 24, 16, 63])
+}
+
+/// ARX rounds in the style of the BlaBla/xblabla20 permutation.
+pub fn xblabla20(scale: u32) -> Kernel {
+    arx_kernel("xblabla20", 0xB1AB, 8, 80 * scale, &[32, 24, 16, 63])
+}
+
+/// Shared ARX permutation builder: `lanes` u64 words in the heap, mixed
+/// with add/xor/rotate quarter-rounds; returns a lane checksum.
+fn arx_kernel(name: &str, seed: u64, lanes: u32, rounds: u32, rots: &[u32; 4]) -> Kernel {
+    let state = random_bytes(seed, lanes as usize * 8);
+    let mut b = IrBuilder::new(name);
+    let (r, a, c, d, i, acc) = (b.vreg(), b.vreg(), b.vreg(), b.vreg(), b.vreg(), b.vreg());
+    b.constant(r, 0);
+    let round_top = b.label_here();
+    // Quarter-round over lane pairs (i, i + lanes/2).
+    b.constant(i, 0);
+    let lane_top = b.label_here();
+    b.load(a, i, 0, 8);
+    b.load(c, i, lanes * 4, 8); // partner lane (lanes/2 * 8 bytes)
+    b.bin(AluOp::Add, a, a, c);
+    b.bin(AluOp::Xor, d, c, a);
+    b.bin_i(AluOp::Rotl, d, d, rots[0] as i64);
+    b.bin(AluOp::Add, a, a, d);
+    b.bin(AluOp::Xor, c, d, a);
+    b.bin_i(AluOp::Rotl, c, c, rots[1] as i64);
+    b.bin(AluOp::Add, a, a, c);
+    b.bin(AluOp::Xor, d, c, a);
+    b.bin_i(AluOp::Rotl, d, d, rots[2] as i64);
+    b.bin_i(AluOp::Rotl, a, a, rots[3] as i64);
+    b.store(a, i, 0, 8);
+    b.store(d, i, lanes * 4, 8);
+    b.bin_i(AluOp::Add, i, i, 8);
+    b.br_if_i(Cond::LtU, i, (lanes * 4) as i64, lane_top);
+    b.bin_i(AluOp::Add, r, r, 1);
+    b.br_if_i(Cond::LtU, r, rounds as i64, round_top);
+    // Checksum.
+    b.constant(acc, 0);
+    b.constant(i, 0);
+    let sum_top = b.label_here();
+    b.load(a, i, 0, 8);
+    b.bin(AluOp::Xor, acc, acc, a);
+    b.bin_i(AluOp::Rotl, acc, acc, 7);
+    b.bin_i(AluOp::Add, i, i, 8);
+    b.br_if_i(Cond::LtU, i, (lanes * 8) as i64, sum_top);
+    b.ret(acc);
+    let func = b.finish();
+
+    // Reference.
+    let mut words: Vec<u64> = state
+        .chunks(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+        .collect();
+    let half = lanes as usize / 2;
+    for _ in 0..rounds {
+        for lane in 0..half {
+            let (mut a, c0) = (words[lane], words[lane + half]);
+            a = a.wrapping_add(c0);
+            let mut d = (c0 ^ a).rotate_left(rots[0]);
+            a = a.wrapping_add(d);
+            let mut c = (d ^ a).rotate_left(rots[1]);
+            a = a.wrapping_add(c);
+            d = (c ^ a).rotate_left(rots[2]);
+            a = a.rotate_left(rots[3]);
+            words[lane] = a;
+            words[lane + half] = d;
+            let _ = &mut c;
+        }
+    }
+    let mut acc = 0u64;
+    for &w in &words {
+        acc = (acc ^ w).rotate_left(7);
+    }
+    Kernel { name: name.into(), func, heap_init: vec![(0, state)], expected: acc }
+}
+
+/// Permutation rounds in the style of Gimli (SP-box: rotate/shift/logic).
+pub fn gimli(scale: u32) -> Kernel {
+    let words = 6u32;
+    let state = random_bytes(0x617, words as usize * 8);
+    let rounds = 96 * scale;
+    let mut b = IrBuilder::new("gimli");
+    let (r, x, y, z, t, i, acc) =
+        (b.vreg(), b.vreg(), b.vreg(), b.vreg(), b.vreg(), b.vreg(), b.vreg());
+    b.constant(r, 0);
+    let round_top = b.label_here();
+    b.constant(i, 0);
+    let col_top = b.label_here();
+    b.load(x, i, 0, 8);
+    b.load(y, i, 16, 8);
+    b.load(z, i, 32, 8);
+    b.bin_i(AluOp::Rotl, x, x, 24);
+    b.bin_i(AluOp::Rotl, y, y, 9);
+    // x' = z ^ y ^ ((x & y) << 3)
+    b.bin(AluOp::And, t, x, y);
+    b.bin_i(AluOp::Shl, t, t, 3);
+    b.bin(AluOp::Xor, t, t, y);
+    b.bin(AluOp::Xor, t, t, z);
+    b.store(t, i, 32, 8);
+    // y' = y ^ x ^ ((x | z) << 1)
+    b.bin(AluOp::Or, t, x, z);
+    b.bin_i(AluOp::Shl, t, t, 1);
+    b.bin(AluOp::Xor, t, t, x);
+    b.bin(AluOp::Xor, t, t, y);
+    b.store(t, i, 16, 8);
+    // z' = x ^ (z << 1) ^ ((y & z) << 2)
+    b.bin(AluOp::And, t, y, z);
+    b.bin_i(AluOp::Shl, t, t, 2);
+    b.bin_i(AluOp::Shl, z, z, 1);
+    b.bin(AluOp::Xor, t, t, z);
+    b.bin(AluOp::Xor, t, t, x);
+    b.store(t, i, 0, 8);
+    b.bin_i(AluOp::Add, i, i, 8);
+    b.br_if_i(Cond::LtU, i, 16, col_top);
+    b.bin_i(AluOp::Add, r, r, 1);
+    b.br_if_i(Cond::LtU, r, rounds as i64, round_top);
+    b.constant(acc, 0);
+    b.constant(i, 0);
+    let sum_top = b.label_here();
+    b.load(x, i, 0, 8);
+    b.bin(AluOp::Xor, acc, acc, x);
+    b.bin_i(AluOp::Rotl, acc, acc, 11);
+    b.bin_i(AluOp::Add, i, i, 8);
+    b.br_if_i(Cond::LtU, i, (words * 8) as i64, sum_top);
+    b.ret(acc);
+    let func = b.finish();
+
+    let mut w: Vec<u64> = state
+        .chunks(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+        .collect();
+    for _ in 0..rounds {
+        for col in 0..2usize {
+            let x = w[col].rotate_left(24);
+            let y = w[col + 2].rotate_left(9);
+            let z = w[col + 4];
+            w[col + 4] = ((x & y) << 3) ^ y ^ z;
+            w[col + 2] = ((x | z) << 1) ^ x ^ y;
+            w[col] = ((y & z) << 2) ^ (z << 1) ^ x;
+        }
+    }
+    let mut acc = 0u64;
+    for &word in &w {
+        acc = (acc ^ word).rotate_left(11);
+    }
+    Kernel { name: "gimli".into(), func, heap_init: vec![(0, state)], expected: acc }
+}
+
+/// Keccak-style lane mixing: parity columns + rotations over 25 lanes.
+pub fn keccak(scale: u32) -> Kernel {
+    let state = random_bytes(0xEC, 25 * 8);
+    let rounds = 24 * scale;
+    const PAR: u32 = 25 * 8; // parity scratch: 5 u64s
+    let mut b = IrBuilder::new("keccak");
+    let (r, i, j, t, u, acc) = (b.vreg(), b.vreg(), b.vreg(), b.vreg(), b.vreg(), b.vreg());
+    b.constant(r, 0);
+    let round_top = b.label_here();
+    // Column parity: par[c] = xor of lanes c, c+5, ..., c+20.
+    b.constant(i, 0);
+    let par_top = b.label_here();
+    b.constant(t, 0);
+    for k in 0..5u32 {
+        b.load(u, i, k * 40, 8);
+        b.bin(AluOp::Xor, t, t, u);
+    }
+    b.store(t, i, PAR, 8);
+    b.bin_i(AluOp::Add, i, i, 8);
+    b.br_if_i(Cond::LtU, i, 40, par_top);
+    // Mix parity back with a rotation (theta-like).
+    b.constant(i, 0);
+    let mix_top = b.label_here();
+    // j = (i + 8) mod 40  (next column)
+    b.bin_i(AluOp::Add, j, i, 8);
+    b.bin_i(AluOp::Rem, j, j, 40);
+    b.load(t, j, PAR, 8);
+    b.bin_i(AluOp::Rotl, t, t, 1);
+    for k in 0..5u32 {
+        b.load(u, i, k * 40, 8);
+        b.bin(AluOp::Xor, u, u, t);
+        b.bin_i(AluOp::Rotl, u, u, (7 * k + 1) as i64);
+        b.store(u, i, k * 40, 8);
+    }
+    b.bin_i(AluOp::Add, i, i, 8);
+    b.br_if_i(Cond::LtU, i, 40, mix_top);
+    b.bin_i(AluOp::Add, r, r, 1);
+    b.br_if_i(Cond::LtU, r, rounds as i64, round_top);
+    b.constant(acc, 0);
+    b.constant(i, 0);
+    let sum_top = b.label_here();
+    b.load(t, i, 0, 8);
+    b.bin(AluOp::Xor, acc, acc, t);
+    b.bin_i(AluOp::Rotl, acc, acc, 3);
+    b.bin_i(AluOp::Add, i, i, 8);
+    b.br_if_i(Cond::LtU, i, 200, sum_top);
+    b.ret(acc);
+    let func = b.finish();
+
+    let mut lanes: Vec<u64> = state
+        .chunks(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+        .collect();
+    for _ in 0..rounds {
+        let mut par = [0u64; 5];
+        for (c, p) in par.iter_mut().enumerate() {
+            for k in 0..5 {
+                *p ^= lanes[c + 5 * k];
+            }
+        }
+        for c in 0..5usize {
+            let t = par[(c + 1) % 5].rotate_left(1);
+            for k in 0..5 {
+                lanes[c + 5 * k] = (lanes[c + 5 * k] ^ t).rotate_left(7 * k as u32 + 1);
+            }
+        }
+    }
+    let mut acc = 0u64;
+    for &lane in &lanes {
+        acc = (acc ^ lane).rotate_left(3);
+    }
+    Kernel { name: "keccak".into(), func, heap_init: vec![(0, state)], expected: acc }
+}
+
+/// Bulk copy: 8-byte chunks plus byte tail, then verify by checksum.
+pub fn memmove(scale: u32) -> Kernel {
+    let len = 8 * 1024 * scale as usize + 5; // non-multiple of 8 for the tail
+    let src = random_bytes(0x333, len);
+    const SRC: u32 = 0x1000;
+    const DST: u32 = 0x80_000;
+    let mut b = IrBuilder::new("memmove");
+    let (i, t, acc) = (b.vreg(), b.vreg(), b.vreg());
+    let words = (len / 8 * 8) as i64;
+    b.constant(i, 0);
+    let top = b.label_here();
+    b.load(t, i, SRC, 8);
+    b.store(t, i, DST, 8);
+    b.bin_i(AluOp::Add, i, i, 8);
+    b.br_if_i(Cond::LtU, i, words, top);
+    let tail_top = b.label_here();
+    b.load(t, i, SRC, 1);
+    b.store(t, i, DST, 1);
+    b.bin_i(AluOp::Add, i, i, 1);
+    b.br_if_i(Cond::LtU, i, len as i64, tail_top);
+    // Checksum destination.
+    b.constant(acc, 0);
+    b.constant(i, 0);
+    let sum_top = b.label_here();
+    b.load(t, i, DST, 1);
+    b.bin(AluOp::Add, acc, acc, t);
+    b.bin_i(AluOp::Rotl, acc, acc, 1);
+    b.bin_i(AluOp::Add, i, i, 7);
+    b.br_if_i(Cond::LtU, i, len as i64, sum_top);
+    b.ret(acc);
+    let func = b.finish();
+
+    let mut acc = 0u64;
+    let mut i = 0usize;
+    while i < len {
+        acc = acc.wrapping_add(src[i] as u64).rotate_left(1);
+        i += 7;
+    }
+    Kernel {
+        name: "memmove".into(),
+        func,
+        heap_init: vec![(SRC, src)],
+        expected: acc,
+    }
+}
+
+/// CSV scanning: count rows and fields (string manipulation + branches).
+pub fn minicsv(scale: u32) -> Kernel {
+    let len = 4096 * scale as usize;
+    let text = random_text(0xC5F, len);
+    const TEXT: u32 = 0x1000;
+    let mut b = IrBuilder::new("minicsv");
+    let (i, ch, rows, fields, out) = (b.vreg(), b.vreg(), b.vreg(), b.vreg(), b.vreg());
+    b.constant(i, 0);
+    b.constant(rows, 0);
+    b.constant(fields, 0);
+    let top = b.label_here();
+    let not_comma = b.label();
+    let next = b.label();
+    b.load(ch, i, TEXT, 1);
+    b.br_if_i(Cond::Ne, ch, b',' as i64, not_comma);
+    b.bin_i(AluOp::Add, fields, fields, 1);
+    b.br(next);
+    b.place(not_comma);
+    b.br_if_i(Cond::Ne, ch, b'\n' as i64, next);
+    b.bin_i(AluOp::Add, rows, rows, 1);
+    b.bin_i(AluOp::Add, fields, fields, 1);
+    b.place(next);
+    b.bin_i(AluOp::Add, i, i, 1);
+    b.br_if_i(Cond::LtU, i, len as i64, top);
+    b.bin_i(AluOp::Shl, out, rows, 32);
+    b.bin(AluOp::Or, out, out, fields);
+    b.ret(out);
+    let func = b.finish();
+
+    let (mut rows, mut fields) = (0u64, 0u64);
+    for &ch in &text {
+        if ch == b',' {
+            fields += 1;
+        } else if ch == b'\n' {
+            rows += 1;
+            fields += 1;
+        }
+    }
+    Kernel {
+        name: "minicsv".into(),
+        func,
+        heap_init: vec![(TEXT, text)],
+        expected: (rows << 32) | fields,
+    }
+}
+
+/// Pure control flow: triple nested loop.
+pub fn nestedloop(scale: u32) -> Kernel {
+    let n = 12 + 4 * scale as u64;
+    let mut b = IrBuilder::new("nestedloop");
+    let (i, j, k, acc) = (b.vreg(), b.vreg(), b.vreg(), b.vreg());
+    b.constant(acc, 0);
+    b.constant(i, 0);
+    let it = b.label_here();
+    b.constant(j, 0);
+    let jt = b.label_here();
+    b.constant(k, 0);
+    let kt = b.label_here();
+    b.bin_i(AluOp::Add, acc, acc, 1);
+    b.bin_i(AluOp::Add, k, k, 1);
+    b.br_if_i(Cond::LtU, k, n as i64, kt);
+    b.bin_i(AluOp::Add, j, j, 1);
+    b.br_if_i(Cond::LtU, j, n as i64, jt);
+    b.bin_i(AluOp::Add, i, i, 1);
+    b.br_if_i(Cond::LtU, i, n as i64, it);
+    b.ret(acc);
+    let func = b.finish();
+    Kernel { name: "nestedloop".into(), func, heap_init: vec![], expected: n * n * n }
+}
+
+/// LCG random generation with stores (math + streaming writes).
+pub fn random(scale: u32) -> Kernel {
+    let iters = 4096 * scale as u64;
+    const A: i64 = 6364136223846793005u64 as i64;
+    const C: i64 = 1442695040888963407u64 as i64;
+    let mut b = IrBuilder::new("random");
+    let (x, i, slot) = (b.vreg(), b.vreg(), b.vreg());
+    b.constant(x, 0x5EED);
+    b.constant(i, 0);
+    let top = b.label_here();
+    b.bin_i(AluOp::Mul, x, x, A);
+    b.bin_i(AluOp::Add, x, x, C);
+    b.bin_i(AluOp::And, slot, i, 1023);
+    b.bin_i(AluOp::Shl, slot, slot, 3);
+    b.store(x, slot, 0, 8);
+    b.bin_i(AluOp::Add, i, i, 1);
+    b.br_if_i(Cond::LtU, i, iters as i64, top);
+    b.ret(x);
+    let func = b.finish();
+
+    let mut x = 0x5EEDu64;
+    for _ in 0..iters {
+        x = x.wrapping_mul(A as u64).wrapping_add(C as u64);
+    }
+    Kernel { name: "random".into(), func, heap_init: vec![], expected: x }
+}
+
+/// Token-bucket rate limiter over synthetic event timestamps.
+pub fn ratelimit(scale: u32) -> Kernel {
+    let events = 2048 * scale as u64;
+    // Synthetic timestamps: t += (lcg % 7), stored as u64s.
+    let mut times = Vec::with_capacity(events as usize * 8);
+    let mut t = 0u64;
+    let mut x = 0xABCDu64;
+    let mut ts = Vec::new();
+    for _ in 0..events {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        t += x % 7;
+        ts.push(t);
+        times.extend_from_slice(&t.to_le_bytes());
+    }
+    const TS: u32 = 0x1000;
+    const CAP: u64 = 20;
+    let mut b = IrBuilder::new("ratelimit");
+    let (i, now, last, tokens, allowed, delta) =
+        (b.vreg(), b.vreg(), b.vreg(), b.vreg(), b.vreg(), b.vreg());
+    let (addr,) = (b.vreg(),);
+    b.constant(i, 0);
+    b.constant(last, 0);
+    b.constant(tokens, CAP as i64);
+    b.constant(allowed, 0);
+    let top = b.label_here();
+    let no_cap = b.label();
+    let no_take = b.label();
+    let next = b.label();
+    b.bin_i(AluOp::Shl, addr, i, 3);
+    b.load(now, addr, TS, 8);
+    b.bin(AluOp::Sub, delta, now, last);
+    b.bin(AluOp::Add, tokens, tokens, delta);
+    b.br_if_i(Cond::LtU, tokens, CAP as i64, no_cap);
+    b.constant(tokens, CAP as i64);
+    b.place(no_cap);
+    b.br_if_i(Cond::Eq, tokens, 0, no_take);
+    b.bin_i(AluOp::Sub, tokens, tokens, 1);
+    b.bin_i(AluOp::Add, allowed, allowed, 1);
+    b.br(next);
+    b.place(no_take);
+    b.place(next);
+    b.bin(AluOp::Add, last, now, delta); // deliberately quirky update
+    b.bin(AluOp::Sub, last, last, delta);
+    b.bin_i(AluOp::Add, i, i, 1);
+    b.br_if_i(Cond::LtU, i, events as i64, top);
+    b.ret(allowed);
+    let func = b.finish();
+
+    let (mut last, mut tokens, mut allowed) = (0u64, CAP, 0u64);
+    for &now in &ts {
+        tokens = (tokens + (now - last)).min(CAP);
+        if tokens > 0 {
+            tokens -= 1;
+            allowed += 1;
+        }
+        last = now;
+    }
+    Kernel {
+        name: "ratelimit".into(),
+        func,
+        heap_init: vec![(TS, times)],
+        expected: allowed,
+    }
+}
+
+/// Sieve of Eratosthenes (byte stores + division-free inner loop).
+pub fn sieve(scale: u32) -> Kernel {
+    let n = 8192 * scale as u64;
+    let mut b = IrBuilder::new("sieve");
+    let (i, j, flag, count) = (b.vreg(), b.vreg(), b.vreg(), b.vreg());
+    b.constant(i, 2);
+    let outer = b.label_here();
+    let skip = b.label();
+    let inner_done = b.label();
+    b.load(flag, i, 0, 1);
+    b.br_if_i(Cond::Ne, flag, 0, skip);
+    // Mark multiples.
+    b.bin(AluOp::Add, j, i, i);
+    let inner = b.label_here();
+    b.br_if_i(Cond::GeU, j, n as i64, inner_done);
+    b.constant(flag, 1);
+    b.store(flag, j, 0, 1);
+    b.bin(AluOp::Add, j, j, i);
+    b.br(inner);
+    b.place(inner_done);
+    b.place(skip);
+    b.bin_i(AluOp::Add, i, i, 1);
+    b.br_if_i(Cond::LtU, i, n as i64, outer);
+    // Count primes.
+    b.constant(count, 0);
+    b.constant(i, 2);
+    let count_top = b.label_here();
+    let not_prime = b.label();
+    b.load(flag, i, 0, 1);
+    b.br_if_i(Cond::Ne, flag, 0, not_prime);
+    b.bin_i(AluOp::Add, count, count, 1);
+    b.place(not_prime);
+    b.bin_i(AluOp::Add, i, i, 1);
+    b.br_if_i(Cond::LtU, i, n as i64, count_top);
+    b.ret(count);
+    let func = b.finish();
+
+    let mut composite = vec![false; n as usize];
+    let mut count = 0u64;
+    for i in 2..n as usize {
+        if !composite[i] {
+            count += 1;
+            let mut j = 2 * i;
+            while j < n as usize {
+                composite[j] = true;
+                j += i;
+            }
+        }
+    }
+    Kernel { name: "sieve".into(), func, heap_init: vec![], expected: count }
+}
+
+/// Dense multiway dispatch (a Wasm `br_table` lowered to a compare chain).
+pub fn switch_kernel(scale: u32) -> Kernel {
+    let len = 4096 * scale as usize;
+    let input = random_bytes(0x517C, len);
+    const IN: u32 = 0x1000;
+    let mut b = IrBuilder::new("switch");
+    let (i, ch, sel, acc) = (b.vreg(), b.vreg(), b.vreg(), b.vreg());
+    b.constant(i, 0);
+    b.constant(acc, 0);
+    let top = b.label_here();
+    let next = b.label();
+    let cases: Vec<_> = (0..8).map(|_| b.label()).collect();
+    b.load(ch, i, IN, 1);
+    b.bin_i(AluOp::And, sel, ch, 7);
+    for (k, &case) in cases.iter().enumerate() {
+        b.br_if_i(Cond::Eq, sel, k as i64, case);
+    }
+    b.br(next);
+    for (k, &case) in cases.iter().enumerate() {
+        b.place(case);
+        match k % 4 {
+            0 => {
+                b.bin(AluOp::Add, acc, acc, ch);
+            }
+            1 => {
+                b.bin(AluOp::Xor, acc, acc, ch);
+            }
+            2 => {
+                b.bin_i(AluOp::Rotl, acc, acc, 5);
+            }
+            _ => {
+                b.bin(AluOp::Sub, acc, acc, ch);
+            }
+        }
+        b.br(next);
+    }
+    b.place(next);
+    b.bin_i(AluOp::Add, i, i, 1);
+    b.br_if_i(Cond::LtU, i, len as i64, top);
+    b.ret(acc);
+    let func = b.finish();
+
+    let mut acc = 0u64;
+    for &ch in &input {
+        match ch & 7 {
+            0 | 4 => acc = acc.wrapping_add(ch as u64),
+            1 | 5 => acc ^= ch as u64,
+            2 | 6 => acc = acc.rotate_left(5),
+            _ => acc = acc.wrapping_sub(ch as u64),
+        }
+    }
+    Kernel {
+        name: "switch".into(),
+        func,
+        heap_init: vec![(IN, input)],
+        expected: acc,
+    }
+}
+
+/// ChaCha-style quarter rounds with explicit 32-bit masking (ALU dense).
+pub fn xchacha20(scale: u32) -> Kernel {
+    let state = random_bytes(0xC4AC, 16 * 8); // 16 words, stored as u64 slots
+    let rounds = 40 * scale;
+    const MASK: i64 = 0xFFFF_FFFF;
+    let mut b = IrBuilder::new("xchacha20");
+    let (r, a, d, i, t, acc) = (b.vreg(), b.vreg(), b.vreg(), b.vreg(), b.vreg(), b.vreg());
+    b.constant(r, 0);
+    let round_top = b.label_here();
+    b.constant(i, 0);
+    let qr_top = b.label_here();
+    b.load(a, i, 0, 8);
+    b.load(d, i, 64, 8);
+    // a = (a + d) & m; d ^= a; d = rotl32(d, 16)
+    for rot in [16i64, 12, 8, 7] {
+        b.bin(AluOp::Add, a, a, d);
+        b.bin_i(AluOp::And, a, a, MASK);
+        b.bin(AluOp::Xor, d, d, a);
+        // rotl32(d, rot) = ((d << rot) | (d >> (32 - rot))) & m
+        b.bin_i(AluOp::Shl, t, d, rot);
+        b.bin_i(AluOp::Shr, d, d, 32 - rot);
+        b.bin(AluOp::Or, d, d, t);
+        b.bin_i(AluOp::And, d, d, MASK);
+    }
+    b.store(a, i, 0, 8);
+    b.store(d, i, 64, 8);
+    b.bin_i(AluOp::Add, i, i, 8);
+    b.br_if_i(Cond::LtU, i, 64, qr_top);
+    b.bin_i(AluOp::Add, r, r, 1);
+    b.br_if_i(Cond::LtU, r, rounds as i64, round_top);
+    b.constant(acc, 0);
+    b.constant(i, 0);
+    let sum_top = b.label_here();
+    b.load(a, i, 0, 8);
+    b.bin(AluOp::Add, acc, acc, a);
+    b.bin_i(AluOp::Rotl, acc, acc, 13);
+    b.bin_i(AluOp::Add, i, i, 8);
+    b.br_if_i(Cond::LtU, i, 128, sum_top);
+    b.ret(acc);
+    let func = b.finish();
+
+    let mut words: Vec<u64> = state
+        .chunks(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+        .collect();
+    for _ in 0..rounds {
+        for lane in 0..8usize {
+            let mut a = words[lane];
+            let mut d = words[lane + 8];
+            for rot in [16u32, 12, 8, 7] {
+                a = a.wrapping_add(d) & 0xFFFF_FFFF;
+                d ^= a;
+                d = ((d << rot) | (d >> (32 - rot))) & 0xFFFF_FFFF;
+            }
+            words[lane] = a;
+            words[lane + 8] = d;
+        }
+    }
+    let mut acc = 0u64;
+    for &w in &words {
+        acc = acc.wrapping_add(w).rotate_left(13);
+    }
+    Kernel { name: "xchacha20".into(), func, heap_init: vec![(0, state)], expected: acc }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_sixteen_kernels() {
+        let suite = suite(1);
+        assert_eq!(suite.len(), 16);
+        let names: Vec<_> = suite.iter().map(|k| k.name.clone()).collect();
+        for expected in ["fib2", "sieve", "keccak", "base64", "xchacha20"] {
+            assert!(names.iter().any(|n| n == expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn scaling_changes_work_not_correctness() {
+        // The same kernel at scale 2 must still self-validate (the
+        // reference recomputes).
+        let k1 = fib2(1);
+        let k2 = fib2(2);
+        assert_ne!(k1.expected, k2.expected);
+    }
+}

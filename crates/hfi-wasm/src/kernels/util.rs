@@ -1,0 +1,39 @@
+//! Shared helpers for kernel construction.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic pseudo-random bytes for kernel inputs.
+pub fn random_bytes(seed: u64, len: usize) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len).map(|_| rng.gen()).collect()
+}
+
+/// Deterministic ASCII-ish text (letters, digits, spaces, punctuation).
+pub fn random_text(seed: u64, len: usize) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    const ALPHABET: &[u8] = b"abcdefghij KLMNOPQRST0123456789,.\n<>/=\"";
+    (0..len).map(|_| ALPHABET[rng.gen_range(0..ALPHABET.len())]).collect()
+}
+
+/// A simple 64-bit mix for checksums in reference implementations.
+#[allow(dead_code)] // exercised by tests; kept for kernel authors
+pub fn mix(acc: u64, value: u64) -> u64 {
+    (acc ^ value).wrapping_mul(0x100_0000_01B3).rotate_left(17)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_bytes_deterministic() {
+        assert_eq!(random_bytes(7, 32), random_bytes(7, 32));
+        assert_ne!(random_bytes(7, 32), random_bytes(8, 32));
+    }
+
+    #[test]
+    fn text_is_printable() {
+        assert!(random_text(1, 100).iter().all(|&b| b == b'\n' || (0x20..0x7F).contains(&b)));
+    }
+}

@@ -1,0 +1,33 @@
+//! # hfi-wasm — a Wasm-like runtime and compiler over the HFI simulator
+//!
+//! The paper integrates HFI into Wasm2c and Wasmtime (§5.1). This crate
+//! rebuilds the pieces of those toolchains that the experiments exercise:
+//!
+//! * [`ir`] — a Wasm-like virtual-register IR with *sandbox-relative*
+//!   linear-memory operations;
+//! * [`compiler`] — lowering to the simulated ISA with linear-scan
+//!   register allocation and one backend per isolation strategy (guard
+//!   pages / explicit bounds checks / HFI `hmov` / native), so register
+//!   pressure, per-access check code, and code-size effects arise
+//!   organically (Fig. 3, §6.1);
+//! * [`runtime`] — sandbox lifecycle over the modelled address space:
+//!   guard reservations, `mprotect` growth vs. region-register growth,
+//!   per-sandbox vs. batched `madvise` teardown (§5.1, §6.1, §6.3);
+//! * [`transitions`] — the context-switch cost spectrum from zero-cost
+//!   calls to IPC (§1, §2);
+//! * [`kernels`] — the workload library (Sightglass-like, SPEC-like,
+//!   render, FaaS), each with a native Rust reference implementation for
+//!   differential testing.
+#![warn(missing_docs)]
+
+pub mod compiler;
+pub mod ir;
+pub mod kernels;
+pub mod runtime;
+pub mod transitions;
+
+pub use compiler::{compile, CompileOptions, CompileStats, CompiledKernel, Isolation, RESULT_REG};
+pub use ir::{IrBuilder, IrFunction};
+pub use kernels::{sightglass_suite, spec_suite, Kernel};
+pub use runtime::{RuntimeError, SandboxId, SandboxRuntime, GUARD_RESERVATION, WASM_PAGE};
+pub use transitions::Transition;

@@ -1,0 +1,48 @@
+//! Library sandboxing: the Firefox use case (§6.2).
+//!
+//! A host application renders images through an untrusted decoder
+//! library. The library is compiled for the HFI backend and runs in a
+//! hybrid sandbox; the host compares isolation schemes and then feeds
+//! the sandboxed decoder a malicious input that makes it reach out of
+//! bounds — which HFI turns into a precise trap instead of a corruption.
+//!
+//! Run with: `cargo run --release --example library_sandboxing`
+
+use hfi_repro::hfi_sim::{Machine, Stop};
+use hfi_repro::hfi_wasm::compiler::{compile, CompileOptions, Isolation};
+use hfi_repro::hfi_wasm::ir::{AluOp, IrBuilder};
+use hfi_repro::hfi_wasm::kernels::render;
+
+fn main() {
+    // --- Render a "JPEG" under each isolation scheme. ---
+    let image = render::jpeg_like(2, 8, 6); // 480p-ish, default quality
+    println!("decoding {} under three schemes:", image.name);
+    for isolation in [Isolation::BoundsChecks, Isolation::GuardPages, Isolation::Hfi] {
+        let opts = CompileOptions::new(isolation);
+        let compiled = compile(&image.func, &opts);
+        let mut machine = Machine::new(compiled.program);
+        for (off, bytes) in &image.heap_init {
+            machine.mem.write_bytes(opts.heap_base + *off as u64, bytes);
+        }
+        let result = machine.run(1_000_000_000);
+        assert_eq!(result.stop, Stop::Halted);
+        assert_eq!(result.regs[0], image.expected, "decode must be correct");
+        println!("  {isolation:>14}: {} cycles (checksum ok)", result.cycles);
+    }
+
+    // --- A compromised decoder tries to read host memory. ---
+    let mut evil = IrBuilder::new("evil-decoder");
+    let addr = evil.vreg();
+    let v = evil.vreg();
+    evil.constant(addr, (1 << 30) as i64); // far outside the 16 MiB heap
+    evil.load(v, addr, 0, 8);
+    evil.bin_i(AluOp::Add, v, v, 1);
+    evil.ret(v);
+    let opts = CompileOptions::new(Isolation::Hfi);
+    let compiled = compile(&evil.finish(), &opts);
+    let mut machine = Machine::new(compiled.program);
+    let result = machine.run(1_000_000);
+    println!("\nmalicious decoder: {:?}", result.stop);
+    println!("exit-reason MSR:   {:?}", result.exit_reason);
+    assert!(matches!(result.stop, Stop::Fault(_)), "HFI must trap the stray access");
+}

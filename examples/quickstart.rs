@@ -1,0 +1,69 @@
+//! Quickstart: the HFI programming model in five minutes.
+//!
+//! Sets up regions, enters a sandbox, performs checked accesses, and
+//! demonstrates precise trapping — first at the architectural level
+//! (`hfi-core`), then end-to-end on the cycle-level simulator.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use hfi_repro::hfi_core::region::{ExplicitDataRegion, ImplicitCodeRegion, ImplicitDataRegion};
+use hfi_repro::hfi_core::{Access, HfiContext, Region, SandboxConfig};
+use hfi_repro::hfi_sim::{HmovOperand, Machine, ProgramBuilder, Reg, Stop};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ---------------------------------------------------------------
+    // 1. The architectural model: region registers + checks.
+    // ---------------------------------------------------------------
+    let mut hfi = HfiContext::new();
+
+    // Code region (slot 0): 64 KiB of executable code at 4 MiB.
+    hfi.set_region(0, Region::Code(ImplicitCodeRegion::new(0x40_0000, 0xFFFF, true)?))
+        .expect("slot 0 accepts code regions");
+    // Implicit data region (slot 2): a stack the sandbox may use.
+    hfi.set_region(2, Region::Data(ImplicitDataRegion::new(0x7000_0000, 0xFFFF, true, true)?))
+        .expect("slot 2 accepts data regions");
+    // Explicit region (slot 6 = hmov0): a 1 MiB heap, 64 KiB-grained.
+    hfi.set_region(6, Region::Explicit(ExplicitDataRegion::large(0x1000_0000, 1 << 20, true, true)?))
+        .expect("slot 6 accepts explicit regions");
+
+    // Enter a hybrid sandbox (trusted Wasm runtime inside).
+    hfi.enter(SandboxConfig::hybrid()).expect("not inside a native sandbox");
+    println!("sandbox entered: {}", hfi.enabled());
+
+    // hmov0 with offset 0x100 resolves relative to the heap base...
+    let ea = hfi.hmov_check(0, 0x100, 1, 0, 8).expect("in bounds");
+    println!("hmov0 [0x100] -> effective address {ea:#x}");
+    // ...and out-of-bounds offsets trap precisely:
+    println!("hmov0 [1 MiB] -> {:?}", hfi.hmov_check(0, 1 << 20, 1, 0, 8).unwrap_err());
+    // Ordinary accesses outside every implicit region trap too:
+    println!(
+        "stray write  -> {:?}",
+        hfi.check_data(0xDEAD_0000, 8, Access::Write).unwrap_err()
+    );
+    hfi.exit().expect("sandbox is active");
+
+    // ---------------------------------------------------------------
+    // 2. End-to-end on the out-of-order simulator.
+    // ---------------------------------------------------------------
+    let mut asm = ProgramBuilder::new(0x40_0000);
+    let code = ImplicitCodeRegion::new(0x40_0000, 0xFFFF, true)?;
+    let heap = ExplicitDataRegion::large(0x1000_0000, 1 << 20, true, true)?;
+    asm.hfi_set_region(0, Region::Code(code));
+    asm.hfi_set_region(6, Region::Explicit(heap));
+    asm.hfi_enter(SandboxConfig::hybrid().serialized());
+    asm.movi(Reg(1), 42);
+    asm.hmov_store(0, Reg(1), HmovOperand::disp(0x40), 8); // heap[0x40] = 42
+    asm.hmov_load(0, Reg(2), HmovOperand::disp(0x40), 8); // r2 = heap[0x40]
+    asm.hfi_exit();
+    asm.halt();
+
+    let mut machine = Machine::new(asm.finish());
+    let result = machine.run(100_000);
+    assert_eq!(result.stop, Stop::Halted);
+    println!(
+        "\nsimulated run: {} cycles, {} instructions, r2 = {}",
+        result.cycles, result.stats.committed, result.regs[2]
+    );
+    println!("heap[0x40] physically = {}", machine.mem.read(0x1000_0040, 8));
+    Ok(())
+}

@@ -1,0 +1,31 @@
+//! Spectre-PHT against the simulated core, with and without HFI (§5.3).
+//!
+//! Without HFI the attack recovers the secret byte through the cache
+//! side channel; with HFI's implicit regions installed the speculative
+//! out-of-bounds load never reaches the cache and the probe shows
+//! uniform misses.
+//!
+//! Run with: `cargo run --release --example spectre_demo`
+
+use hfi_repro::hfi_spectre::{run_pht_attack_with_secret, Protection, HIT_THRESHOLD};
+
+fn main() {
+    let secret = b'K';
+    for protection in [Protection::None, Protection::Hfi] {
+        let outcome = run_pht_attack_with_secret(protection, secret);
+        println!("--- protection: {protection:?} ---");
+        println!("  wrong-path loads executed: {}", outcome.speculative_loads);
+        println!(
+            "  probe latency at secret '{}': {} cycles (threshold {})",
+            secret as char, outcome.latencies[secret as usize], HIT_THRESHOLD
+        );
+        match outcome
+            .warm_indices
+            .iter()
+            .find(|&&b| b == secret)
+        {
+            Some(_) => println!("  LEAKED: attacker recovered the secret byte\n"),
+            None => println!("  safe: no secret-dependent cache line was warmed\n"),
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! # hfi-repro — reproduction of HFI (ASPLOS 2023) in Rust
+//!
+//! Umbrella crate re-exporting the whole reproduction of *"Going beyond
+//! the Limits of SFI: Flexible and Secure Hardware-Assisted In-Process
+//! Isolation with HFI"* (Narayan et al.). See the repository README for
+//! the tour, `DESIGN.md` for the system inventory and substitution map,
+//! and `EXPERIMENTS.md` for paper-vs-measured results.
+//!
+//! The integration tests under `tests/` and the runnable examples under
+//! `examples/` live at this crate; the substance is in the member crates:
+//!
+//! * [`hfi_core`] — the HFI architecture (regions, instructions, faults);
+//! * [`hfi_sim`] — the cycle-level speculative simulator + emulation;
+//! * [`hfi_mem`] — the cost-accounted virtual-memory model;
+//! * [`hfi_wasm`] — IR, compiler backends, runtime, workload kernels;
+//! * [`hfi_native`] — native-binary sandboxing experiments;
+//! * [`hfi_spectre`] — Spectre-PHT/BTB attacks and their HFI mitigation;
+//! * [`hfi_faas`] — the FaaS platform experiments.
+//!
+//! ```
+//! use hfi_repro::hfi_core::{HfiContext, Region, SandboxConfig};
+//! use hfi_repro::hfi_core::region::ImplicitCodeRegion;
+//!
+//! let mut hfi = HfiContext::new();
+//! let code = ImplicitCodeRegion::new(0x40_0000, 0xFFFF, true)?;
+//! hfi.set_region(0, Region::Code(code)).unwrap();
+//! hfi.enter(SandboxConfig::hybrid()).unwrap();
+//! assert!(hfi.enabled());
+//! # Ok::<(), hfi_repro::hfi_core::RegionError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use hfi_core;
+pub use hfi_faas;
+pub use hfi_mem;
+pub use hfi_native;
+pub use hfi_sim;
+pub use hfi_spectre;
+pub use hfi_wasm;

@@ -1,0 +1,124 @@
+//! Cross-crate integration: the full pipeline from IR through compiler,
+//! runtime, simulator, and HFI semantics.
+
+use hfi_repro::hfi_core::{CostModel, SandboxConfig};
+use hfi_repro::hfi_sim::{emulate, uses_hfi, Machine, Stop};
+use hfi_repro::hfi_wasm::compiler::{compile, CompileOptions, Isolation};
+use hfi_repro::hfi_wasm::kernels::{sightglass, speclike};
+use hfi_repro::hfi_wasm::runtime::{SandboxRuntime, WASM_PAGE};
+use hfi_repro::hfi_wasm::Transition;
+
+#[test]
+fn a_kernel_survives_the_whole_stack() {
+    // IR -> compile(HFI) -> emulate -> both programs compute the result.
+    let kernel = sightglass::base64(1);
+    let opts = CompileOptions::new(Isolation::Hfi);
+    let compiled = compile(&kernel.func, &opts);
+    assert!(uses_hfi(&compiled.program));
+
+    let mut machine = Machine::new(compiled.program.clone());
+    for (off, bytes) in &kernel.heap_init {
+        machine.mem.write_bytes(opts.heap_base + *off as u64, bytes);
+    }
+    let hw = machine.run(1_000_000_000);
+    assert_eq!(hw.stop, Stop::Halted);
+    assert_eq!(hw.regs[0], kernel.expected);
+
+    let emulated = emulate(&compiled.program);
+    assert!(!uses_hfi(&emulated));
+    let mut machine = Machine::new(emulated);
+    for (off, bytes) in &kernel.heap_init {
+        machine.mem.write_bytes(opts.heap_base + *off as u64, bytes);
+        machine.mem.write_bytes(hfi_repro::hfi_sim::EMULATION_BASE + *off as u64, bytes);
+    }
+    let emu = machine.run(1_000_000_000);
+    assert_eq!(emu.stop, Stop::Halted);
+    assert_eq!(emu.regs[0], kernel.expected);
+
+    // Fig. 2's premise: the two agree within a few percent.
+    let ratio = emu.cycles as f64 / hw.cycles as f64;
+    assert!((0.9..1.1).contains(&ratio), "emulation ratio {ratio}");
+}
+
+#[test]
+fn lifecycle_and_execution_compose() {
+    // Allocate a sandbox via the runtime, then run a kernel "in" it by
+    // compiling against the runtime-assigned heap base.
+    let mut runtime = SandboxRuntime::new(Isolation::Hfi, 47);
+    runtime.set_max_heap(64 << 20);
+    let id = runtime.create_sandbox(4).expect("create");
+    runtime.grow(id, 252).expect("grow to 16 MiB");
+    assert_eq!(runtime.heap_pages(id).expect("live"), 256);
+
+    let kernel = sightglass::sieve(1);
+    let mut opts = CompileOptions::new(Isolation::Hfi);
+    opts.heap_base = runtime.heap_base(id).expect("live");
+    opts.heap_size = 256 * WASM_PAGE;
+    let compiled = compile(&kernel.func, &opts);
+    let mut machine = Machine::new(compiled.program);
+    for (off, bytes) in &kernel.heap_init {
+        machine.mem.write_bytes(opts.heap_base + *off as u64, bytes);
+    }
+    let result = machine.run(1_000_000_000);
+    assert_eq!(result.stop, Stop::Halted);
+    assert_eq!(result.regs[0], kernel.expected);
+
+    runtime.teardown(id).expect("teardown");
+}
+
+#[test]
+fn spec_suite_ordering_holds_end_to_end() {
+    // The Fig. 3 claim, as an invariant: bounds checks are never faster
+    // than guard pages, and HFI is never slower than bounds checks.
+    for kernel in speclike::suite(1).into_iter().take(3) {
+        let run = |isolation| {
+            let opts = CompileOptions::new(isolation);
+            let compiled = compile(&kernel.func, &opts);
+            let mut machine = Machine::new(compiled.program);
+            for (off, bytes) in &kernel.heap_init {
+                machine.mem.write_bytes(opts.heap_base + *off as u64, bytes);
+            }
+            let result = machine.run(1_000_000_000);
+            assert_eq!(result.stop, Stop::Halted, "{}", kernel.name);
+            assert_eq!(result.regs[0], kernel.expected, "{}", kernel.name);
+            result.cycles
+        };
+        let guard = run(Isolation::GuardPages);
+        let bounds = run(Isolation::BoundsChecks);
+        let hfi = run(Isolation::Hfi);
+        assert!(bounds >= guard, "{}: bounds {bounds} < guard {guard}", kernel.name);
+        assert!(hfi < bounds, "{}: hfi {hfi} >= bounds {bounds}", kernel.name);
+    }
+}
+
+#[test]
+fn serialized_sandbox_costs_what_the_model_says() {
+    // The instruction-level serialized enter/exit and the analytic
+    // transition model must agree on the order of magnitude.
+    let costs = CostModel::default();
+    let modelled = Transition::HfiSerialized.round_trip_cycles(&costs);
+
+    let build = |serialize: bool| {
+        let mut asm = hfi_repro::hfi_sim::ProgramBuilder::new(0x40_0000);
+        let code =
+            hfi_repro::hfi_core::region::ImplicitCodeRegion::new(0x40_0000, 0xFFFF, true)
+                .expect("valid");
+        asm.hfi_set_region(0, hfi_repro::hfi_core::Region::Code(code));
+        let config =
+            if serialize { SandboxConfig::hybrid().serialized() } else { SandboxConfig::hybrid() };
+        for _ in 0..32 {
+            asm.hfi_enter(config);
+            asm.hfi_exit();
+        }
+        asm.halt();
+        let mut machine = Machine::new(asm.finish());
+        machine.run(10_000_000).cycles
+    };
+    let measured_delta = (build(true) - build(false)) / 32;
+    // Same order of magnitude (serialization drains dominate both).
+    assert!(
+        measured_delta as f64 > modelled as f64 * 0.3
+            && (measured_delta as f64) < modelled as f64 * 3.0,
+        "modelled {modelled} vs measured {measured_delta}"
+    );
+}

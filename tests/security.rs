@@ -1,0 +1,187 @@
+//! The paper's security evaluation (§5.3) as an integration suite:
+//! out-of-bounds accesses trap, Spectre attacks are mitigated, and the
+//! sandboxing invariants hold across crate boundaries.
+
+use hfi_repro::hfi_core::region::{ExplicitDataRegion, ImplicitCodeRegion, ImplicitDataRegion};
+use hfi_repro::hfi_core::{ExitReason, HfiFault, Region, SandboxConfig};
+use hfi_repro::hfi_sim::{Cond, Machine, MemOperand, ProgramBuilder, Reg, Stop};
+use hfi_repro::hfi_spectre::{run_btb_attack, run_pht_attack, Protection, HIT_THRESHOLD};
+use hfi_repro::hfi_wasm::compiler::{compile, CompileOptions, Isolation, TRAP_MARKER};
+use hfi_repro::hfi_wasm::ir::IrBuilder;
+
+const CODE_BASE: u64 = 0x40_0000;
+
+fn sandboxed_program<F: FnOnce(&mut ProgramBuilder)>(body: F) -> Machine {
+    let mut asm = ProgramBuilder::new(CODE_BASE);
+    let code = ImplicitCodeRegion::new(CODE_BASE, 0xFFFF, true).expect("valid region");
+    let data = ImplicitDataRegion::new(0x10_0000, 0xFFFF, true, true).expect("valid region");
+    let heap = ExplicitDataRegion::large(0x100_0000, 1 << 20, true, true).expect("valid region");
+    asm.hfi_set_region(0, Region::Code(code));
+    asm.hfi_set_region(2, Region::Data(data));
+    asm.hfi_set_region(6, Region::Explicit(heap));
+    asm.hfi_enter(SandboxConfig::hybrid());
+    body(&mut asm);
+    asm.hfi_exit();
+    asm.halt();
+    Machine::new(asm.finish())
+}
+
+#[test]
+fn oob_data_read_traps() {
+    let mut machine = sandboxed_program(|asm| {
+        asm.movi(Reg(1), 0x50_0000);
+        asm.load(Reg(2), MemOperand::base_disp(Reg(1), 0), 8);
+    });
+    let result = machine.run(1_000_000);
+    assert!(matches!(result.stop, Stop::Fault(HfiFault::DataBounds { .. })));
+    assert!(matches!(result.exit_reason, Some(ExitReason::Fault(_))));
+}
+
+#[test]
+fn oob_data_write_traps() {
+    let mut machine = sandboxed_program(|asm| {
+        asm.movi(Reg(1), 0x50_0000);
+        asm.movi(Reg(2), 7);
+        asm.store(Reg(2), MemOperand::base_disp(Reg(1), 0), 8);
+    });
+    let result = machine.run(1_000_000);
+    assert!(matches!(result.stop, Stop::Fault(HfiFault::DataBounds { .. })));
+    // The faulting store must NOT have reached memory.
+    assert_eq!(machine.mem.read(0x50_0000, 8), 0);
+}
+
+#[test]
+fn oob_hmov_traps_precisely() {
+    let mut machine = sandboxed_program(|asm| {
+        asm.movi(Reg(1), (1 << 20) - 4); // in bounds base...
+        asm.hmov_load(0, Reg(2), hfi_repro::hfi_sim::HmovOperand::indexed(Reg(1), 1, 8), 8);
+    });
+    let result = machine.run(1_000_000);
+    assert!(matches!(
+        result.stop,
+        Stop::Fault(HfiFault::Hmov { region: 0, .. })
+    ));
+}
+
+#[test]
+fn negative_hmov_offset_traps() {
+    let mut machine = sandboxed_program(|asm| {
+        asm.movi(Reg(1), -64);
+        asm.hmov_load(0, Reg(2), hfi_repro::hfi_sim::HmovOperand::indexed(Reg(1), 1, 0), 8);
+    });
+    let result = machine.run(1_000_000);
+    assert!(matches!(result.stop, Stop::Fault(HfiFault::Hmov { .. })));
+}
+
+#[test]
+fn oob_instruction_fetch_traps() {
+    // Jump out of the code region: the decoder converts the fetch into a
+    // faulting NOP (paper §4.1).
+    let mut machine = sandboxed_program(|asm| {
+        asm.movi(Reg(1), 0x90_0000); // outside the code region
+        asm.jump_ind(Reg(1));
+    });
+    let result = machine.run(1_000_000);
+    assert!(matches!(result.stop, Stop::Fault(HfiFault::CodeBounds { .. })));
+}
+
+#[test]
+fn wasm_oob_traps_under_every_enforcing_backend() {
+    let mut b = IrBuilder::new("oob");
+    let addr = b.vreg();
+    let v = b.vreg();
+    b.constant(addr, (1 << 30) as i64);
+    b.load(v, addr, 0, 8);
+    b.ret(v);
+    let kernel = b.finish();
+    for isolation in [Isolation::BoundsChecks, Isolation::Hfi] {
+        let compiled = compile(&kernel, &CompileOptions::new(isolation));
+        let mut machine = Machine::new(compiled.program);
+        let result = machine.run(1_000_000);
+        match isolation {
+            Isolation::BoundsChecks => {
+                // Software SFI branches to its trap handler.
+                assert_eq!(result.stop, Stop::Halted);
+                assert_eq!(result.regs[0], TRAP_MARKER);
+            }
+            _ => {
+                // HFI raises a hardware fault.
+                assert!(matches!(result.stop, Stop::Fault(HfiFault::Hmov { .. })));
+            }
+        }
+    }
+}
+
+#[test]
+fn spectre_pht_leaks_without_hfi_and_not_with() {
+    let vulnerable = run_pht_attack(Protection::None);
+    assert!(vulnerable.leaked(), "baseline must be vulnerable");
+    let defended = run_pht_attack(Protection::Hfi);
+    assert!(!defended.leaked(), "HFI must block the PHT attack");
+    assert!(defended.latencies[defended.secret as usize] >= HIT_THRESHOLD);
+}
+
+#[test]
+fn spectre_btb_leaks_without_hfi_and_not_with() {
+    let vulnerable = run_btb_attack(Protection::None);
+    assert!(vulnerable.leaked(), "baseline must be vulnerable");
+    let defended = run_btb_attack(Protection::Hfi);
+    assert!(!defended.leaked(), "HFI must block the BTB attack");
+}
+
+#[test]
+fn native_sandbox_cannot_lift_its_own_regions() {
+    // Untrusted native code tries to widen its data region: trap.
+    let mut asm = ProgramBuilder::new(CODE_BASE);
+    let code = ImplicitCodeRegion::new(CODE_BASE, 0xFFFF, true).expect("valid region");
+    let wide = ImplicitDataRegion::new(0, 0xFFFF_FFFF, true, true).expect("valid region");
+    asm.hfi_set_region(0, Region::Code(code));
+    asm.hfi_enter(SandboxConfig {
+        kind: hfi_repro::hfi_core::SandboxKind::Native,
+        serialize: true,
+        switch_on_exit: false,
+        exit_handler: None,
+    });
+    asm.hfi_set_region(2, Region::Data(wide)); // privileged!
+    asm.halt();
+    let mut machine = Machine::new(asm.finish());
+    let result = machine.run(1_000_000);
+    assert!(matches!(result.stop, Stop::Fault(HfiFault::PrivilegedInstruction)));
+}
+
+#[test]
+fn fault_reason_lands_in_msr() {
+    let mut machine = sandboxed_program(|asm| {
+        asm.movi(Reg(1), 0x77_0000);
+        asm.load(Reg(2), MemOperand::base_disp(Reg(1), 0), 4);
+    });
+    let result = machine.run(1_000_000);
+    match result.exit_reason {
+        Some(ExitReason::Fault(HfiFault::DataBounds { addr, .. })) => {
+            assert_eq!(addr, 0x77_0000);
+        }
+        other => panic!("MSR should record the faulting address, got {other:?}"),
+    }
+}
+
+#[test]
+fn trap_in_loop_is_precise() {
+    // The faulting iteration's index must be architecturally visible:
+    // everything before the fault committed, nothing after.
+    let mut machine = sandboxed_program(|asm| {
+        let top = asm.label();
+        asm.movi(Reg(1), 0);
+        asm.place(top);
+        asm.alu_ri(hfi_repro::hfi_sim::AluOp::Add, Reg(1), Reg(1), 1);
+        // Access heap[r1 * 0x40000]: iterations 0..4 are in the 1 MiB
+        // region, iteration 4 (offset 0x100000) faults.
+        asm.hmov_load(0, Reg(2), hfi_repro::hfi_sim::HmovOperand::indexed(Reg(1), 1, 0), 8);
+        asm.alu_ri(hfi_repro::hfi_sim::AluOp::Shl, Reg(3), Reg(1), 18);
+        asm.hmov_load(0, Reg(2), hfi_repro::hfi_sim::HmovOperand::indexed(Reg(3), 1, 0), 8);
+        asm.branch_i(Cond::LtU, Reg(1), 100, top);
+    });
+    let result = machine.run(1_000_000);
+    assert!(matches!(result.stop, Stop::Fault(HfiFault::Hmov { .. })));
+    // r1 == 4 exactly at the fault.
+    assert_eq!(result.regs[1], 4);
+}
