@@ -1,42 +1,35 @@
-//! Criterion benchmarks of sandbox lifecycle operations (host time of the
-//! modelled operations — the simulated costs are reported by the
-//! micro_* binaries).
+//! Benchmarks of sandbox lifecycle operations (host time of the modelled
+//! operations — the simulated costs are reported by the micro_*
+//! binaries).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+#[path = "support/mod.rs"]
+mod support;
+
 use hfi_wasm::compiler::Isolation;
 use hfi_wasm::runtime::SandboxRuntime;
+use support::Bench;
 
-fn bench_lifecycle(c: &mut Criterion) {
-    c.bench_function("create_teardown_guard_pages", |b| {
-        b.iter(|| {
-            let mut rt = SandboxRuntime::new(Isolation::GuardPages, 47);
-            let id = rt.create_sandbox(16).unwrap();
-            rt.teardown(id).unwrap();
-        })
+fn main() {
+    let bench = Bench::new(1000);
+
+    bench.run("create_teardown_guard_pages", || {
+        let mut rt = SandboxRuntime::new(Isolation::GuardPages, 47);
+        let id = rt.create_sandbox(16).unwrap();
+        rt.teardown(id).unwrap();
     });
-    c.bench_function("create_teardown_hfi", |b| {
-        b.iter(|| {
-            let mut rt = SandboxRuntime::new(Isolation::Hfi, 47);
-            let id = rt.create_sandbox(16).unwrap();
-            rt.teardown(id).unwrap();
-        })
-    });
-    c.bench_function("grow_64k_hfi", |b| {
+    bench.run("create_teardown_hfi", || {
         let mut rt = SandboxRuntime::new(Isolation::Hfi, 47);
-        let id = rt.create_sandbox(1).unwrap();
-        let mut grown = 1u64;
-        b.iter(|| {
-            if grown < 60_000 {
-                rt.grow(id, 1).unwrap();
-                grown += 1;
-            }
-        })
+        let id = rt.create_sandbox(16).unwrap();
+        rt.teardown(id).unwrap();
+    });
+
+    let mut rt = SandboxRuntime::new(Isolation::Hfi, 47);
+    let id = rt.create_sandbox(1).unwrap();
+    let mut grown = 1u64;
+    bench.run("grow_64k_hfi", || {
+        if grown < 60_000 {
+            rt.grow(id, 1).unwrap();
+            grown += 1;
+        }
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(1)).warm_up_time(std::time::Duration::from_millis(200));
-    targets = bench_lifecycle
-}
-criterion_main!(benches);

@@ -1,19 +1,28 @@
-//! Criterion microbenchmarks: HFI's check primitives.
+//! Microbenchmarks: HFI's check primitives.
 //!
 //! These are host-time benchmarks of the architectural model itself —
 //! useful as a regression guard on the hot paths every simulated memory
 //! access takes (implicit first-match, hmov effective-address check, the
 //! 32-bit-comparator model).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+#[path = "support/mod.rs"]
+mod support;
+
 use hfi_core::region::{ExplicitDataRegion, ImplicitCodeRegion, ImplicitDataRegion};
 use hfi_core::{Access, HfiContext, Region, SandboxConfig};
+use support::{black_box, Bench};
 
 fn context() -> HfiContext {
     let mut hfi = HfiContext::new();
-    hfi.set_region(0, Region::Code(ImplicitCodeRegion::new(0x40_0000, 0xFFFFF, true).unwrap()))
-        .unwrap();
-    for (i, base) in [0x10_0000u64, 0x20_0000, 0x30_0000, 0x7000_0000].iter().enumerate() {
+    hfi.set_region(
+        0,
+        Region::Code(ImplicitCodeRegion::new(0x40_0000, 0xFFFFF, true).unwrap()),
+    )
+    .unwrap();
+    for (i, base) in [0x10_0000u64, 0x20_0000, 0x30_0000, 0x7000_0000]
+        .iter()
+        .enumerate()
+    {
         let region = ImplicitDataRegion::new(*base, 0xFFFF, true, true).unwrap();
         hfi.set_region(2 + i, Region::Data(region)).unwrap();
     }
@@ -23,49 +32,38 @@ fn context() -> HfiContext {
     hfi
 }
 
-fn bench_checks(c: &mut Criterion) {
+fn main() {
+    let bench = Bench::new(800);
+
     let hfi = context();
-    c.bench_function("implicit_check_first_region", |b| {
-        b.iter(|| hfi.check_data(black_box(0x10_0800), 8, Access::Read))
+    bench.run("implicit_check_first_region", || {
+        hfi.check_data(black_box(0x10_0800), 8, Access::Read)
     });
-    c.bench_function("implicit_check_last_region", |b| {
-        b.iter(|| hfi.check_data(black_box(0x7000_0800), 8, Access::Write))
+    bench.run("implicit_check_last_region", || {
+        hfi.check_data(black_box(0x7000_0800), 8, Access::Write)
     });
-    c.bench_function("implicit_check_miss", |b| {
-        b.iter(|| hfi.check_data(black_box(0xDEAD_0000), 8, Access::Read))
+    bench.run("implicit_check_miss", || {
+        hfi.check_data(black_box(0xDEAD_0000), 8, Access::Read)
     });
-    c.bench_function("hmov_check_hit", |b| {
-        b.iter(|| hfi.hmov_check(0, black_box(0x1234), 8, 0x10, 8))
+    bench.run("hmov_check_hit", || {
+        hfi.hmov_check(0, black_box(0x1234), 8, 0x10, 8)
     });
-    c.bench_function("fetch_check", |b| b.iter(|| hfi.check_fetch(black_box(0x40_1000), 4)));
+    bench.run("fetch_check", || hfi.check_fetch(black_box(0x40_1000), 4));
 
     let region = ExplicitDataRegion::large(0x1000_0000, 256 << 20, true, true).unwrap();
-    c.bench_function("hardware_comparator_large", |b| {
-        b.iter(|| region.hardware_check(black_box(0x1100_0000), 8))
+    bench.run("hardware_comparator_large", || {
+        region.hardware_check(black_box(0x1100_0000), 8)
     });
-}
 
-fn bench_transitions(c: &mut Criterion) {
-    c.bench_function("enter_exit_roundtrip", |b| {
-        let mut hfi = context();
+    let mut hfi = context();
+    hfi.exit().unwrap();
+    bench.run("enter_exit_roundtrip", || {
+        hfi.enter(SandboxConfig::hybrid()).unwrap();
         hfi.exit().unwrap();
-        b.iter(|| {
-            hfi.enter(SandboxConfig::hybrid()).unwrap();
-            hfi.exit().unwrap();
-        })
     });
-    c.bench_function("xsave_xrstor_roundtrip", |b| {
-        let mut hfi = context();
-        b.iter(|| {
-            let area = hfi.save_area();
-            hfi.restore_area(black_box(&area)).unwrap();
-        })
+    let mut hfi = context();
+    bench.run("xsave_xrstor_roundtrip", || {
+        let area = hfi.save_area();
+        hfi.restore_area(black_box(&area)).unwrap();
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_millis(800)).warm_up_time(std::time::Duration::from_millis(200));
-    targets = bench_checks, bench_transitions
-}
-criterion_main!(benches);

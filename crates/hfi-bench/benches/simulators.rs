@@ -1,38 +1,32 @@
-//! Criterion benchmarks of the two execution vehicles: cycle-level and
-//! functional simulation speed on a fixed kernel (host instructions per
-//! simulated instruction is the relevant regression metric).
+//! Benchmarks of the two execution vehicles: cycle-level and functional
+//! simulation speed on a fixed kernel (host instructions per simulated
+//! instruction is the relevant regression metric).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+#[path = "support/mod.rs"]
+mod support;
+
 use hfi_sim::{Functional, Machine};
 use hfi_wasm::compiler::{compile, CompileOptions, Isolation};
 use hfi_wasm::kernels::sightglass;
+use support::Bench;
 
-fn bench_simulators(c: &mut Criterion) {
+fn main() {
+    let bench = Bench::new(3000);
+
     let kernel = sightglass::sieve(1);
     let opts = CompileOptions::new(Isolation::Hfi);
     let compiled = compile(&kernel.func, &opts);
 
-    c.bench_function("cycle_sim_sieve", |b| {
-        b.iter(|| {
-            let mut machine = Machine::new(compiled.program.clone());
-            let result = machine.run(400_000_000);
-            assert_eq!(result.regs[0], kernel.expected);
-            result.cycles
-        })
+    bench.run("cycle_sim_sieve", || {
+        let mut machine = Machine::new(compiled.program.clone());
+        let result = machine.run(400_000_000);
+        assert_eq!(result.regs[0], kernel.expected);
+        result.cycles
     });
-    c.bench_function("functional_sieve", |b| {
-        b.iter(|| {
-            let mut machine = Functional::new(compiled.program.clone());
-            let result = machine.run(2_000_000_000);
-            assert_eq!(result.regs[0], kernel.expected);
-            result.cycles
-        })
+    bench.run("functional_sieve", || {
+        let mut machine = Functional::new(compiled.program.clone());
+        let result = machine.run(2_000_000_000);
+        assert_eq!(result.regs[0], kernel.expected);
+        result.cycles
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_simulators
-}
-criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Minimal host-time measurement shared by the `harness = false` bench
+//! binaries. A deliberate stand-in for Criterion that builds offline:
+//! adaptive batch sizing, a few timed samples, min/mean ns-per-iteration.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Number of timed samples per benchmark.
+const SAMPLES: usize = 7;
+
+/// A bench runner with a fixed per-benchmark time budget.
+pub struct Bench {
+    warmup: Duration,
+    sample_target: Duration,
+}
+
+impl Bench {
+    /// A runner spending roughly `total_ms` milliseconds per benchmark
+    /// (split across warmup and [`SAMPLES`] samples).
+    pub fn new(total_ms: u64) -> Self {
+        Self {
+            warmup: Duration::from_millis(total_ms / 4),
+            sample_target: Duration::from_millis((total_ms * 3 / 4) / SAMPLES as u64),
+        }
+    }
+
+    /// Times `f`, printing `name: <min> ns/iter (mean <mean>, <n> iters/sample)`.
+    pub fn run<T>(&self, name: &str, mut f: impl FnMut() -> T) {
+        // Warm up and estimate the cost of one iteration.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warmup || warm_iters == 0 {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let batch = ((self.sample_target.as_secs_f64() / per_iter.max(1e-9)) as u64).max(1);
+
+        let mut samples_ns = [0.0f64; SAMPLES];
+        for sample in samples_ns.iter_mut() {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            *sample = start.elapsed().as_nanos() as f64 / batch as f64;
+        }
+        let min = samples_ns.iter().copied().fold(f64::INFINITY, f64::min);
+        let mean = samples_ns.iter().sum::<f64>() / SAMPLES as f64;
+        println!("{name}: {min:.1} ns/iter (mean {mean:.1}, {batch} iters/sample)");
+    }
+}

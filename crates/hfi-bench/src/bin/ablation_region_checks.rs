@@ -8,21 +8,24 @@
 //!    hypothetical arbitrary-bounds design needing two 64-bit compares:
 //!    what region shapes each admits and what hardware each costs.
 
-use hfi_bench::print_table;
+use hfi_bench::{print_table, Harness};
 use hfi_core::region::{ExplicitDataRegion, ImplicitDataRegion, RegionError};
 use hfi_core::{Access, HfiContext, Region, SandboxConfig};
 use std::time::Instant;
 
 fn main() {
+    let mut harness = Harness::from_env("ablation_region_checks");
+
     // --- 1. Implicit first-match: per-lookup model cost vs. count. ---
-    let mut rows = Vec::new();
-    for count in 1..=4usize {
+    let reps = harness.iters(2_000_000, 50_000);
+    let counts: Vec<usize> = (1..=4).collect();
+    let cells = harness.run_grid(&counts, |count| {
+        let count = *count;
         let mut hfi = HfiContext::new();
         hfi.set_region(
             0,
             Region::Code(
-                hfi_core::region::ImplicitCodeRegion::new(0x40_0000, 0xFFFF, true)
-                    .expect("valid"),
+                hfi_core::region::ImplicitCodeRegion::new(0x40_0000, 0xFFFF, true).expect("valid"),
             ),
         )
         .expect("code slot");
@@ -37,7 +40,6 @@ fn main() {
         hfi.enter(SandboxConfig::hybrid()).expect("enter");
         // Probe the LAST region (worst case for a serial first-match).
         let addr = 0x10_0000 + (count as u64 - 1) * 0x10_0000 + 0x800;
-        let reps = 2_000_000u64;
         let start = Instant::now();
         let mut ok = 0u64;
         for i in 0..reps {
@@ -47,12 +49,19 @@ fn main() {
         }
         let ns = start.elapsed().as_nanos() as f64 / reps as f64;
         assert_eq!(ok, reps);
-        rows.push(vec![
-            count.to_string(),
-            format!("{ns:.1} ns"),
-            format!("{} x 64-bit AND + EQ", count),
-        ]);
-    }
+        ns
+    });
+    let rows: Vec<Vec<String>> = counts
+        .iter()
+        .zip(&cells)
+        .map(|(count, ns)| {
+            vec![
+                count.to_string(),
+                format!("{ns:.1} ns"),
+                format!("{count} x 64-bit AND + EQ"),
+            ]
+        })
+        .collect();
     print_table(
         "Implicit first-match lookup: worst-case region position",
         &["data regions", "model ns/check", "hardware budget"],
@@ -60,29 +69,53 @@ fn main() {
     );
     println!("  (in hardware all comparisons run in parallel with the dtb lookup: zero latency;");
     println!("   the budget is 4 AND gates + 4 equality checks — paper S4 component list)");
+    for (count, ns) in counts.iter().zip(&cells) {
+        harness.note(&[
+            ("data_regions", count.to_string()),
+            ("reps", reps.to_string()),
+            ("model_ns_per_check", format!("{ns:.3}")),
+        ]);
+    }
 
     // --- 2. Explicit-region constraints vs. arbitrary bounds. ---
     let cases: Vec<(&str, Result<ExplicitDataRegion, RegionError>)> = vec![
-        ("large 64K-aligned, 1 MiB", ExplicitDataRegion::large(0x10_0000, 1 << 20, true, true)),
-        ("large unaligned base", ExplicitDataRegion::large(0x10_1234, 1 << 20, true, true)),
-        ("large unaligned bound", ExplicitDataRegion::large(0x10_0000, 0x1_2345, true, true)),
-        ("small byte-granular", ExplicitDataRegion::small(0x1234_5678, 999, true, true)),
+        (
+            "large 64K-aligned, 1 MiB",
+            ExplicitDataRegion::large(0x10_0000, 1 << 20, true, true),
+        ),
+        (
+            "large unaligned base",
+            ExplicitDataRegion::large(0x10_1234, 1 << 20, true, true),
+        ),
+        (
+            "large unaligned bound",
+            ExplicitDataRegion::large(0x10_0000, 0x1_2345, true, true),
+        ),
+        (
+            "small byte-granular",
+            ExplicitDataRegion::small(0x1234_5678, 999, true, true),
+        ),
         (
             "small spanning 4 GiB",
             ExplicitDataRegion::small((1 << 32) - 100, 200, true, true),
         ),
-        ("small 5 GiB bound", ExplicitDataRegion::small(0, 5 << 30, true, true)),
+        (
+            "small 5 GiB bound",
+            ExplicitDataRegion::small(0, 5 << 30, true, true),
+        ),
     ];
     let rows: Vec<Vec<String>> = cases
         .into_iter()
         .map(|(name, result)| {
-            vec![
-                name.to_string(),
-                match result {
-                    Ok(_) => "accepted".into(),
-                    Err(e) => format!("rejected: {e}"),
-                },
-            ]
+            let verdict = match result {
+                Ok(_) => "accepted".to_string(),
+                Err(e) => format!("rejected: {e}"),
+            };
+            harness.note(&[
+                ("region_shape", name.to_string()),
+                ("verdict", verdict.clone()),
+            ]);
+            vec![name.to_string(), verdict]
         })
         .collect();
     print_table(
@@ -94,4 +127,5 @@ fn main() {
     println!("  overflow check for all four explicit regions (S4.2). Arbitrary base/bound");
     println!("  regions would need TWO 64-bit comparators per region: ~16x the comparator");
     println!("  bits, in the timing-critical AGU/dtb neighbourhood the paper refuses to grow.");
+    harness.finish().expect("write bench records");
 }

@@ -7,13 +7,12 @@
 //! expensive). The paper's design bet is that the middle posture
 //! recovers almost all of the unserialized performance.
 
-use hfi_bench::print_table;
+use hfi_bench::{print_table, Harness};
 use hfi_core::region::{ExplicitDataRegion, ImplicitCodeRegion, ImplicitDataRegion};
 use hfi_core::{Region, SandboxConfig, NUM_REGIONS};
-use hfi_sim::{AluOp, Cond, HmovOperand, Machine, ProgramBuilder, Reg, Stop};
+use hfi_sim::{AluOp, Cond, Executor, HmovOperand, Machine, ProgramBuilder, Reg, RunRecord, Stop};
 
 const CODE_BASE: u64 = 0x40_0000;
-const ITERS: i64 = 200;
 
 #[derive(Clone, Copy, PartialEq)]
 enum Posture {
@@ -22,7 +21,7 @@ enum Posture {
     Serialized,
 }
 
-fn build(posture: Posture) -> Machine {
+fn build(posture: Posture, iters: i64) -> Machine {
     let code = Region::Code(ImplicitCodeRegion::new(CODE_BASE, 0xFFFF, true).expect("valid"));
     let parent_data =
         Region::Data(ImplicitDataRegion::new(0x10_0000, 0xFFFF, true, true).expect("valid"));
@@ -62,7 +61,7 @@ fn build(posture: Posture) -> Machine {
     asm.hmov_load(0, Reg(2), HmovOperand::disp(0), 8);
     asm.hfi_exit();
     asm.alu_ri(AluOp::Add, iter, iter, 1);
-    asm.branch_i(Cond::LtU, iter, ITERS, top);
+    asm.branch_i(Cond::LtU, iter, iters, top);
     if posture == Posture::SwitchOnExit {
         asm.hfi_exit();
     }
@@ -71,32 +70,59 @@ fn build(posture: Posture) -> Machine {
 }
 
 fn main() {
-    let mut rows = Vec::new();
-    let mut base = 0u64;
-    for (name, posture, safety) in [
-        ("unserialized", Posture::Unserialized, "speculation may escape"),
-        ("switch-on-exit", Posture::SwitchOnExit, "safe within sandbox set"),
+    let mut harness = Harness::from_env("ablation_serialization");
+    let iters = harness.iters(200, 20) as i64;
+    let grid = [
+        (
+            "unserialized",
+            Posture::Unserialized,
+            "speculation may escape",
+        ),
+        (
+            "switch-on-exit",
+            Posture::SwitchOnExit,
+            "safe within sandbox set",
+        ),
         ("fully serialized", Posture::Serialized, "safe"),
-    ] {
-        let mut machine = build(posture);
+    ];
+    let cells: Vec<(u64, RunRecord)> = harness.run_grid(&grid, |(name, posture, _)| {
+        let mut machine = build(*posture, iters);
         let result = machine.run(10_000_000);
-        assert_eq!(result.stop, Stop::Halted);
-        let per_switch = result.cycles / ITERS as u64;
-        if posture == Posture::Unserialized {
-            base = per_switch;
-        }
+        assert_eq!(result.stop, Stop::Halted, "{name} did not halt");
+        (result.cycles, Executor::stats(&machine))
+    });
+
+    let base = cells[0].0 / iters as u64;
+    let mut rows = Vec::new();
+    for ((name, _, safety), (cycles, record)) in grid.iter().zip(&cells) {
+        let per_switch = cycles / iters as u64;
         rows.push(vec![
             name.to_string(),
             per_switch.to_string(),
             format!("{:+}", per_switch as i64 - base as i64),
-            result.stats.serializations.to_string(),
+            record.serializations.to_string(),
             safety.to_string(),
         ]);
+        harness.record(
+            &[
+                ("posture", name.to_string()),
+                ("switches", iters.to_string()),
+                ("cycles_per_switch", per_switch.to_string()),
+            ],
+            record,
+        );
     }
     print_table(
-        &format!("Ablation: cycles per sandbox switch ({ITERS} switches)"),
-        &["posture", "cycles/switch", "vs unserialized", "pipeline drains", "spectre posture"],
+        &format!("Ablation: cycles per sandbox switch ({iters} switches)"),
+        &[
+            "posture",
+            "cycles/switch",
+            "vs unserialized",
+            "pipeline drains",
+            "spectre posture",
+        ],
         &rows,
     );
     println!("\n  paper S4.5: switch-on-exit removes most serialization cost while staying safe");
+    harness.finish().expect("write bench records");
 }

@@ -1,50 +1,40 @@
 //! Figure 2: accuracy of the compiler-based HFI emulation.
 //!
-//! Runs each Sightglass-like kernel twice on the cycle simulator — once
-//! with real HFI instructions (hardware model) and once after the
-//! Appendix A.2 emulation transform — and reports the emulated runtime as
-//! a percentage of the simulated runtime. The paper finds 98%–108% with a
+//! Runs each Sightglass-like kernel on all three executor vehicles —
+//! real HFI instructions on the cycle simulator, the Appendix A.2
+//! emulation transform on the same simulator, and the calibrated
+//! functional interpreter — and reports the emulated runtime as a
+//! percentage of the simulated runtime. The paper finds 98%–108% with a
 //! geomean difference of 1.62%.
 
-use hfi_bench::{geomean, print_table, run_on_machine};
-use hfi_sim::{emulate, Machine, Stop, EMULATION_BASE};
-use hfi_wasm::compiler::{compile, CompileOptions, Isolation};
-use hfi_wasm::kernels::sightglass;
+use hfi_bench::{fig2_grid, geomean, print_table, Harness};
 
 fn main() {
+    let mut harness = Harness::from_env("fig2");
+    let cells = fig2_grid(&harness);
+
     let mut rows = Vec::new();
     let mut ratios = Vec::new();
-    for kernel in sightglass::suite(1) {
-        let opts = CompileOptions::new(Isolation::Hfi);
-        let hw = run_on_machine(&kernel, Isolation::Hfi);
-
-        // The emulated variant: same program through the A.2 transform.
-        // hmov turns into absolute addressing at EMULATION_BASE, so the
-        // heap image is mirrored there (the paper's emulation likewise
-        // runs the heap at its fixed base).
-        let compiled = compile(&kernel.func, &opts);
-        let emulated = emulate(&compiled.program);
-        let mut machine = Machine::new(emulated);
-        for (off, bytes) in &kernel.heap_init {
-            machine.mem.write_bytes(opts.heap_base + *off as u64, bytes);
-            machine.mem.write_bytes(EMULATION_BASE + *off as u64, bytes);
-        }
-        let result = machine.run(4_000_000_000);
-        assert_eq!(result.stop, Stop::Halted, "{} emulation did not halt", kernel.name);
-        assert_eq!(result.regs[0], kernel.expected, "{} emulation wrong result", kernel.name);
-
-        let ratio = result.cycles as f64 / hw.cycles as f64;
+    for cell in &cells {
+        let ratio = cell.emulated.cycles as f64 / cell.cycle.cycles as f64;
         ratios.push(ratio);
         rows.push(vec![
-            kernel.name.clone(),
-            hw.cycles.to_string(),
-            result.cycles.to_string(),
+            cell.kernel.clone(),
+            cell.cycle.cycles.to_string(),
+            cell.emulated.cycles.to_string(),
             format!("{:.1}%", ratio * 100.0),
+            format!("{:.0}", cell.functional.cycles),
         ]);
     }
     print_table(
         "Figure 2: emulated HFI vs. simulated HFI (cycle simulator)",
-        &["kernel", "hfi cycles", "emulated cycles", "emu/hfi"],
+        &[
+            "kernel",
+            "hfi cycles",
+            "emulated cycles",
+            "emu/hfi",
+            "functional cycles",
+        ],
         &rows,
     );
     let gm = geomean(&ratios);
@@ -54,4 +44,15 @@ fn main() {
         (geomean(&ratios.iter().map(|r| r.max(1.0 / r)).collect::<Vec<_>>()) - 1.0) * 100.0
     );
     println!("  paper: overheads 98%-108% of simulation, geomean diff 1.62%");
+
+    for cell in &cells {
+        let context = [
+            ("kernel", cell.kernel.clone()),
+            ("isolation", "hfi".to_string()),
+        ];
+        harness.record(&context, &cell.cycle.record);
+        harness.record(&context, &cell.emulated.record);
+        harness.record(&context, &cell.functional);
+    }
+    harness.finish().expect("write bench records");
 }

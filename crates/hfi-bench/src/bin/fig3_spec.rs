@@ -6,25 +6,35 @@
 //! pages (median 95.88%), with 445.gobmk the one benchmark where HFI
 //! loses — i-cache pressure from longer hmov encodings.
 
-use hfi_bench::{geomean, median, print_table, run_on_machine};
+use hfi_bench::{fig3_grid, geomean, median, print_table, Fig3Cell, Harness, FIG3_SCHEMES};
 use hfi_wasm::compiler::Isolation;
-use hfi_wasm::kernels::speclike;
 
 fn main() {
+    let mut harness = Harness::from_env("fig3");
+    let cells = fig3_grid(&harness);
+
     let mut rows = Vec::new();
     let mut bounds_norm = Vec::new();
     let mut hfi_norm = Vec::new();
-    for kernel in speclike::suite(1) {
-        let guard = run_on_machine(&kernel, Isolation::GuardPages);
-        let bounds = run_on_machine(&kernel, Isolation::BoundsChecks);
-        let hfi = run_on_machine(&kernel, Isolation::Hfi);
-        let b = bounds.cycles as f64 / guard.cycles as f64;
-        let h = hfi.cycles as f64 / guard.cycles as f64;
+    // Suite-major order: each kernel's cells are one contiguous chunk in
+    // FIG3_SCHEMES order (guard, bounds, hfi).
+    for chunk in cells.chunks(FIG3_SCHEMES.len()) {
+        let by_scheme = |iso: Isolation| -> &Fig3Cell {
+            chunk
+                .iter()
+                .find(|c| c.isolation == iso)
+                .expect("complete grid chunk")
+        };
+        let guard = by_scheme(Isolation::GuardPages);
+        let bounds = by_scheme(Isolation::BoundsChecks);
+        let hfi = by_scheme(Isolation::Hfi);
+        let b = bounds.run.cycles as f64 / guard.run.cycles as f64;
+        let h = hfi.run.cycles as f64 / guard.run.cycles as f64;
         bounds_norm.push(b);
         hfi_norm.push(h);
         rows.push(vec![
-            kernel.name.clone(),
-            guard.cycles.to_string(),
+            guard.kernel.clone(),
+            guard.run.cycles.to_string(),
             format!("{:.1}%", b * 100.0),
             format!("{:.1}%", h * 100.0),
         ]);
@@ -44,4 +54,15 @@ fn main() {
         median(&hfi_norm) * 100.0,
         geomean(&hfi_norm) * 100.0
     );
+
+    for cell in &cells {
+        harness.record(
+            &[
+                ("kernel", cell.kernel.clone()),
+                ("isolation", cell.isolation.to_string()),
+            ],
+            &cell.run.record,
+        );
+    }
+    harness.finish().expect("write bench records");
 }

@@ -5,8 +5,9 @@
 //! amortize it. The paper: HFI beats guard pages by 14%–37% on images and
 //! 8.7% on font reflow; more-compressed images benefit more.
 
-use hfi_bench::{print_table, run_functional};
+use hfi_bench::{print_table, run_functional_record, Harness};
 use hfi_core::CostModel;
+use hfi_sim::RunRecord;
 use hfi_wasm::compiler::Isolation;
 use hfi_wasm::kernels::render;
 use hfi_wasm::Transition;
@@ -17,56 +18,111 @@ const SIZES: [(&str, u32, u32); 3] = [("1920p", 24, 16), ("480p", 8, 6), ("240p"
 /// more coefficient work.
 const QUALITIES: [(&str, u32); 3] = [("best", 3), ("default", 2), ("none", 1)];
 
+const SCHEMES: [Isolation; 3] = [
+    Isolation::BoundsChecks,
+    Isolation::GuardPages,
+    Isolation::Hfi,
+];
+
+struct ImageCell {
+    config: String,
+    scheme: Isolation,
+    total: f64,
+    record: RunRecord,
+}
+
 fn main() {
+    let mut harness = Harness::from_env("fig4");
     let costs = CostModel::default();
-    let schemes = [Isolation::BoundsChecks, Isolation::GuardPages, Isolation::Hfi];
-    let mut rows = Vec::new();
-    for (qlabel, quality) in QUALITIES {
-        for (slabel, bx, by) in SIZES {
-            let kernel = render::jpeg_like(quality, bx, by);
-            let mut cells = vec![format!("{qlabel}/{slabel}")];
-            let mut guard_total = 0.0;
-            for scheme in schemes {
-                let compute = run_functional(&kernel, scheme);
-                // One sandbox invocation per block row (Fig. 4's
-                // per-line-of-pixels enters/exits).
-                // Firefox's Wasm2c integration uses springboard-style
-                // transitions (context save/clear) for the software
-                // schemes; HFI adds its serialized enter/exit on top of a
-                // plain call.
-                let transition = match scheme {
-                    Isolation::Hfi => Transition::HfiSerialized.round_trip_cycles(&costs),
-                    _ => Transition::Springboard.round_trip_cycles(&costs),
-                } as f64;
-                let total = compute + by as f64 * transition;
-                if scheme == Isolation::GuardPages {
-                    guard_total = total;
-                }
-                cells.push(format!("{:.0}", total));
+
+    // --- Image decode: one cell per (quality × size × scheme). ---
+    let mut grid = Vec::new();
+    for (qlabel, quality) in harness.subset(QUALITIES.to_vec(), 1) {
+        for (slabel, bx, by) in harness.subset(SIZES.to_vec(), 1) {
+            for scheme in SCHEMES {
+                grid.push((format!("{qlabel}/{slabel}"), quality, bx, by, scheme));
             }
-            let hfi_total: f64 = cells[3].parse().expect("numeric cell");
-            cells.push(format!("{:+.1}%", (hfi_total / guard_total - 1.0) * 100.0));
-            rows.push(cells);
         }
+    }
+    let cells = harness.run_grid(&grid, |(config, quality, bx, by, scheme)| {
+        let kernel = render::jpeg_like(*quality, *bx, *by);
+        let record = run_functional_record(&kernel, *scheme);
+        // One sandbox invocation per block row (Fig. 4's
+        // per-line-of-pixels enters/exits). Firefox's Wasm2c integration
+        // uses springboard-style transitions (context save/clear) for the
+        // software schemes; HFI adds its serialized enter/exit on top of
+        // a plain call.
+        let transition = match scheme {
+            Isolation::Hfi => Transition::HfiSerialized.round_trip_cycles(&costs),
+            _ => Transition::Springboard.round_trip_cycles(&costs),
+        } as f64;
+        ImageCell {
+            config: config.clone(),
+            scheme: *scheme,
+            total: record.cycles + *by as f64 * transition,
+            record,
+        }
+    });
+
+    let mut rows = Vec::new();
+    for chunk in cells.chunks(SCHEMES.len()) {
+        let total = |iso: Isolation| -> f64 {
+            chunk
+                .iter()
+                .find(|c| c.scheme == iso)
+                .expect("complete chunk")
+                .total
+        };
+        let guard_total = total(Isolation::GuardPages);
+        let hfi_total = total(Isolation::Hfi);
+        rows.push(vec![
+            chunk[0].config.clone(),
+            format!("{:.0}", total(Isolation::BoundsChecks)),
+            format!("{:.0}", guard_total),
+            format!("{:.0}", hfi_total),
+            format!("{:+.1}%", (hfi_total / guard_total - 1.0) * 100.0),
+        ]);
     }
     print_table(
         "Figure 4: image decode cycles (bounds / guard / hfi), per-row transitions",
         &["config", "bounds", "guard", "hfi", "hfi vs guard"],
         &rows,
     );
+    for cell in &cells {
+        harness.record(
+            &[
+                ("workload", format!("image/{}", cell.config)),
+                ("isolation", cell.scheme.to_string()),
+                ("total_cycles", format!("{:.0}", cell.total)),
+            ],
+            &cell.record,
+        );
+    }
 
-    // Font rendering (§6.2: guard 1823 ms, bounds 2022 ms, HFI 1677 ms).
+    // --- Font rendering (§6.2: guard 1823 ms, bounds 2022 ms, HFI 1677 ms). ---
     let font = render::font_reflow(4);
+    let reflows = harness.iters(10, 2) as f64;
+    let font_cells = harness.run_grid(&SCHEMES, |scheme| run_functional_record(&font, *scheme));
+    let guard_idx = SCHEMES
+        .iter()
+        .position(|s| *s == Isolation::GuardPages)
+        .expect("guard pages in schemes");
+    let guard_cycles = font_cells[guard_idx].cycles * reflows;
     let mut rows = Vec::new();
-    let reflows = 10.0;
-    let guard_ms = run_functional(&font, Isolation::GuardPages);
-    for scheme in schemes {
-        let cycles = run_functional(&font, scheme) * reflows;
+    for (scheme, record) in SCHEMES.iter().zip(&font_cells) {
+        let cycles = record.cycles * reflows;
         rows.push(vec![
             scheme.to_string(),
             format!("{:.0}", cycles),
-            format!("{:.1}%", cycles / (guard_ms * reflows) * 100.0),
+            format!("{:.1}%", cycles / guard_cycles * 100.0),
         ]);
+        harness.record(
+            &[
+                ("workload", "font-reflow".to_string()),
+                ("isolation", scheme.to_string()),
+            ],
+            record,
+        );
     }
     print_table(
         "§6.2 font reflow x10 (normalized to guard pages)",
@@ -75,4 +131,5 @@ fn main() {
     );
     println!("\n  paper: font reflow guard 1823ms / bounds 2022ms (111%) / hfi 1677ms (92%)");
     println!("  paper: image decode hfi beats guard pages by 14%-37%");
+    harness.finish().expect("write bench records");
 }

@@ -1,21 +1,36 @@
 //! Figure 5 / §6.4.2: NGINX with sandboxed OpenSSL — throughput vs. file
 //! size under no protection, MPK, and HFI's native sandbox.
 
-use hfi_bench::print_table;
+use hfi_bench::{print_table, Harness};
 use hfi_native::nginx::{Protection, ServerModel, FIG5_FILE_SIZES};
 
+const PROTECTIONS: [Protection; 3] = [Protection::None, Protection::Mpk, Protection::HfiNative];
+
 fn main() {
+    let mut harness = Harness::from_env("fig5");
     let model = ServerModel::default();
+    let sizes = harness.subset(FIG5_FILE_SIZES.to_vec(), 3);
+    let grid: Vec<(u64, Protection)> = sizes
+        .iter()
+        .flat_map(|size| PROTECTIONS.iter().map(move |p| (*size, *p)))
+        .collect();
+    let cells = harness.run_grid(&grid, |(size, protection)| {
+        (
+            model.request(*size, *protection),
+            model.overhead(*size, *protection),
+        )
+    });
+
     let mut rows = Vec::new();
-    for &size in &FIG5_FILE_SIZES {
-        let none = model.request(size, Protection::None);
-        let mpk = model.request(size, Protection::Mpk);
-        let hfi = model.request(size, Protection::HfiNative);
+    for (chunk, size) in cells.chunks(PROTECTIONS.len()).zip(&sizes) {
+        let (none, _) = &chunk[0];
+        let (mpk, mpk_over) = &chunk[1];
+        let (hfi, hfi_over) = &chunk[2];
         rows.push(vec![
             format!("{}K", size >> 10),
             format!("{:.0}", none.requests_per_second),
-            format!("{:.0} ({:.1}%)", mpk.requests_per_second, model.overhead(size, Protection::Mpk) * 100.0),
-            format!("{:.0} ({:.1}%)", hfi.requests_per_second, model.overhead(size, Protection::HfiNative) * 100.0),
+            format!("{:.0} ({:.1}%)", mpk.requests_per_second, mpk_over * 100.0),
+            format!("{:.0} ({:.1}%)", hfi.requests_per_second, hfi_over * 100.0),
         ]);
     }
     print_table(
@@ -25,4 +40,17 @@ fn main() {
     );
     println!("\n  paper: HFI overhead 2.9%-6.1%; MPK 1.9%-5.3% (HFI slightly above MPK");
     println!("  because it moves region metadata into registers on each transition)");
+
+    for ((size, protection), (request, overhead)) in grid.iter().zip(&cells) {
+        harness.note(&[
+            ("file_bytes", size.to_string()),
+            ("protection", protection.to_string()),
+            (
+                "requests_per_second",
+                format!("{:.1}", request.requests_per_second),
+            ),
+            ("overhead", format!("{:.4}", overhead)),
+        ]);
+    }
+    harness.finish().expect("write bench records");
 }

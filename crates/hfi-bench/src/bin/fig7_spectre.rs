@@ -5,41 +5,63 @@
 //! secret's slot is the one warm (low-latency) line; with HFI no
 //! latency falls below the threshold at the secret.
 
-use hfi_bench::print_table;
+use hfi_bench::{print_table, Harness};
 use hfi_spectre::{btb, pht, Protection, HIT_THRESHOLD};
 
+type Attack = fn(Protection) -> hfi_spectre::AttackOutcome;
+
 fn main() {
-    let attacks: [(&str, fn(Protection) -> hfi_spectre::AttackOutcome); 2] = [
+    let mut harness = Harness::from_env("fig7");
+    let attacks: [(&str, Attack); 2] = [
         ("Spectre-PHT (SafeSide-style)", pht::run_attack),
         ("Spectre-BTB (TransientFail-style)", btb::run_attack),
     ];
-    for (name, run) in attacks {
-        println!("\n#### {name} ####");
-        for protection in [Protection::None, Protection::Hfi] {
-            let outcome = run(protection);
-            let secret = outcome.secret as usize;
-            let mut rows = Vec::new();
-            for guess in (secret.saturating_sub(2))..=(secret + 2).min(255) {
-                rows.push(vec![
-                    format!("{guess}{}", if guess == secret { " <- secret" } else { "" }),
-                    outcome.latencies[guess].to_string(),
-                    (if outcome.latencies[guess] < HIT_THRESHOLD { "HIT" } else { "miss" })
-                        .to_string(),
-                ]);
-            }
-            print_table(
-                &format!("{protection:?}: probe latencies near the secret"),
-                &["byte guess", "latency (cycles)", "cache"],
-                &rows,
-            );
-            println!(
-                "  leaked secret: {} | warm slots: {:?} | wrong-path loads: {}",
-                outcome.leaked(),
-                outcome.warm_indices,
-                outcome.speculative_loads
-            );
+    let grid: Vec<(usize, Protection)> = (0..attacks.len())
+        .flat_map(|i| [Protection::None, Protection::Hfi].map(|p| (i, p)))
+        .collect();
+    let outcomes = harness.run_grid(&grid, |(attack, protection)| {
+        attacks[*attack].1(*protection)
+    });
+
+    for ((attack, protection), outcome) in grid.iter().zip(&outcomes) {
+        let name = attacks[*attack].0;
+        if *protection == Protection::None {
+            println!("\n#### {name} ####");
         }
+        let secret = outcome.secret as usize;
+        let mut rows = Vec::new();
+        for guess in (secret.saturating_sub(2))..=(secret + 2).min(255) {
+            rows.push(vec![
+                format!("{guess}{}", if guess == secret { " <- secret" } else { "" }),
+                outcome.latencies[guess].to_string(),
+                (if outcome.latencies[guess] < HIT_THRESHOLD {
+                    "HIT"
+                } else {
+                    "miss"
+                })
+                .to_string(),
+            ]);
+        }
+        print_table(
+            &format!("{protection:?}: probe latencies near the secret"),
+            &["byte guess", "latency (cycles)", "cache"],
+            &rows,
+        );
+        println!(
+            "  leaked secret: {} | warm slots: {:?} | wrong-path loads: {}",
+            outcome.leaked(),
+            outcome.warm_indices,
+            outcome.speculative_loads
+        );
+        harness.note(&[
+            ("attack", name.to_string()),
+            ("protection", format!("{protection:?}")),
+            ("leaked", outcome.leaked().to_string()),
+            ("speculative_loads", outcome.speculative_loads.to_string()),
+            ("warm_slots", format!("{:?}", outcome.warm_indices)),
+        ]);
     }
     println!("\n  paper (Fig. 7): clear sub-threshold signal at the secret without HFI;");
     println!("  no probe latency below the threshold with HFI regions installed.");
+    harness.finish().expect("write bench records");
 }

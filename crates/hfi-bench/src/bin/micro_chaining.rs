@@ -1,33 +1,56 @@
 //! §2: function chaining — an N-stage FaaS pipeline composed in-process
 //! (HFI sandbox hops) vs. as one process per stage (IPC hops).
 
-use hfi_bench::print_table;
+use hfi_bench::{print_table, Harness};
 use hfi_core::CostModel;
 use hfi_faas::{evaluate_chain, Composition, ProfiledWorkload};
 use hfi_wasm::kernels::faas;
 
 fn main() {
+    let mut harness = Harness::from_env("micro_chaining");
     let costs = CostModel::default();
     let workload = ProfiledWorkload::profile(&faas::templated_html(1));
     println!(
         "pipeline stage: {} ({:.0} cycles of compute per stage)",
         workload.name, workload.base_cycles
     );
+    let stages = harness.subset(vec![2usize, 4, 8, 16], 2);
+    let grid: Vec<(usize, Composition)> = stages
+        .iter()
+        .flat_map(|n| {
+            [
+                Composition::HfiSwitchOnExit,
+                Composition::HfiSerialized,
+                Composition::ProcessPerStage,
+            ]
+            .map(|c| (*n, c))
+        })
+        .collect();
+    let chains = harness.run_grid(&grid, |(n, composition)| {
+        evaluate_chain(*composition, *n, workload.base_cycles, &costs)
+    });
+
     let mut rows = Vec::new();
-    for stages in [2usize, 4, 8, 16] {
-        for composition in [
-            Composition::HfiSwitchOnExit,
-            Composition::HfiSerialized,
-            Composition::ProcessPerStage,
-        ] {
-            let chain = evaluate_chain(composition, stages, workload.base_cycles, &costs);
-            rows.push(vec![
-                stages.to_string(),
-                composition.to_string(),
-                format!("{:.1}", chain.total_us),
-                format!("{:.2}%", chain.transition_cycles / chain.total_cycles * 100.0),
-            ]);
-        }
+    for ((n, composition), chain) in grid.iter().zip(&chains) {
+        rows.push(vec![
+            n.to_string(),
+            composition.to_string(),
+            format!("{:.1}", chain.total_us),
+            format!(
+                "{:.2}%",
+                chain.transition_cycles / chain.total_cycles * 100.0
+            ),
+        ]);
+        harness.note(&[
+            ("stages", n.to_string()),
+            ("composition", composition.to_string()),
+            ("total_us", format!("{:.3}", chain.total_us)),
+            (
+                "transition_cycles",
+                format!("{:.0}", chain.transition_cycles),
+            ),
+            ("total_cycles", format!("{:.0}", chain.total_cycles)),
+        ]);
     }
     print_table(
         "Function chaining: end-to-end latency by composition",
@@ -36,4 +59,5 @@ fn main() {
     );
     println!("\n  paper S2: in-process hops are function-call-priced; IPC is 1000x-10000x a call,");
     println!("  which is why FaaS providers want many sandboxes in ONE address space.");
+    harness.finish().expect("write bench records");
 }

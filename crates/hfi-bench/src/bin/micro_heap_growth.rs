@@ -2,30 +2,57 @@
 //! 4 GiB in 64 KiB increments. The paper: mprotect() takes 10.92 s, HFI
 //! 370 ms — about 30x.
 
-use hfi_bench::print_table;
+use hfi_bench::{print_table, Harness};
 use hfi_wasm::compiler::Isolation;
 use hfi_wasm::runtime::SandboxRuntime;
 
 fn main() {
-    let grow_all = |isolation: Isolation| -> (f64, u64) {
-        let mut rt = SandboxRuntime::new(isolation, 47);
+    let mut harness = Harness::from_env("micro_heap_growth");
+    // Full mode grows to 4 GiB; smoke stops at 64 MiB.
+    let steps = harness.iters(
+        (4u64 << 30) / (64 << 10) - 1,
+        (64u64 << 20) / (64 << 10) - 1,
+    );
+    let grid = [Isolation::GuardPages, Isolation::Hfi];
+    let cells = harness.run_grid(&grid, |isolation| {
+        let mut rt = SandboxRuntime::new(*isolation, 47);
         let id = rt.create_sandbox(1).expect("create");
         rt.reset_clock();
-        let steps = (4u64 << 30) / (64 << 10) - 1;
         for _ in 0..steps {
             rt.grow(id, 1).expect("grow");
         }
         (rt.elapsed_ns(), rt.space().stats().syscalls)
-    };
-    let (mprotect_ns, guard_syscalls) = grow_all(Isolation::GuardPages);
-    let (hfi_ns, hfi_syscalls) = grow_all(Isolation::Hfi);
+    });
+    let (mprotect_ns, guard_syscalls) = cells[0];
+    let (hfi_ns, hfi_syscalls) = cells[1];
     print_table(
         "§6.1: growing 1 page -> 4 GiB in 64 KiB steps",
         &["scheme", "total time", "syscalls"],
         &[
-            vec!["mprotect (guard pages)".into(), format!("{:.1} ms", mprotect_ns / 1e6), guard_syscalls.to_string()],
-            vec!["hfi_set_region".into(), format!("{:.1} ms", hfi_ns / 1e6), hfi_syscalls.to_string()],
+            vec![
+                "mprotect (guard pages)".into(),
+                format!("{:.1} ms", mprotect_ns / 1e6),
+                guard_syscalls.to_string(),
+            ],
+            vec![
+                "hfi_set_region".into(),
+                format!("{:.1} ms", hfi_ns / 1e6),
+                hfi_syscalls.to_string(),
+            ],
         ],
     );
-    println!("\n  ratio: {:.1}x  (paper: 10.92s vs 370ms = 29.5x)", mprotect_ns / hfi_ns);
+    println!(
+        "\n  ratio: {:.1}x  (paper: 10.92s vs 370ms = 29.5x)",
+        mprotect_ns / hfi_ns
+    );
+
+    for (isolation, (ns, syscalls)) in grid.iter().zip(&cells) {
+        harness.note(&[
+            ("isolation", isolation.to_string()),
+            ("grow_steps", steps.to_string()),
+            ("total_ns", format!("{ns:.0}")),
+            ("syscalls", syscalls.to_string()),
+        ]);
+    }
+    harness.finish().expect("write bench records");
 }

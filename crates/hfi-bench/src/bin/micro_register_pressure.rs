@@ -2,36 +2,66 @@
 //! the allocator (what guard pages / bounds checks cost in registers).
 //! Paper, on Wasmtime's Spidermonkey benchmark: 2.25% and 2.40%.
 
-use hfi_bench::{print_table, run_on_machine_with};
+use hfi_bench::{print_table, run_on_machine_with, Harness};
 use hfi_wasm::compiler::{CompileOptions, Isolation};
 use hfi_wasm::kernels::speclike;
 
 fn main() {
+    let mut harness = Harness::from_env("micro_register_pressure");
     // Register-hungry workloads sitting at the allocator's spill edge.
-    let kernels = [speclike::h264_like(1), speclike::mcf_like(1), speclike::hmmer_like(1)];
+    let kernels = harness.subset(
+        vec![
+            speclike::h264_like(1),
+            speclike::mcf_like(1),
+            speclike::hmmer_like(1),
+        ],
+        1,
+    );
+    let grid: Vec<(usize, u8)> = (0..kernels.len())
+        .flat_map(|k| (0u8..=2).map(move |r| (k, r)))
+        .collect();
+    let cells = harness.run_grid(&grid, |(k, reserved)| {
+        let mut opts = CompileOptions::new(Isolation::Hfi);
+        opts.extra_reserved_regs = *reserved;
+        run_on_machine_with(&kernels[*k], &opts)
+    });
+
     let mut rows = Vec::new();
-    for kernel in &kernels {
-        let mut base_cycles = 0.0;
-        for reserved in 0u8..=2 {
-            let mut opts = CompileOptions::new(Isolation::Hfi);
-            opts.extra_reserved_regs = reserved;
-            let run = run_on_machine_with(kernel, &opts);
-            if reserved == 0 {
-                base_cycles = run.cycles as f64;
-            }
-            rows.push(vec![
-                kernel.name.clone(),
-                reserved.to_string(),
-                run.cycles.to_string(),
-                run.compiled.stats.spilled_vregs.to_string(),
-                format!("{:+.2}%", (run.cycles as f64 / base_cycles - 1.0) * 100.0),
-            ]);
+    let mut base_cycles = 0.0;
+    for ((k, reserved), run) in grid.iter().zip(&cells) {
+        if *reserved == 0 {
+            base_cycles = run.cycles as f64;
         }
+        rows.push(vec![
+            kernels[*k].name.clone(),
+            reserved.to_string(),
+            run.cycles.to_string(),
+            run.compiled.stats.spilled_vregs.to_string(),
+            format!("{:+.2}%", (run.cycles as f64 / base_cycles - 1.0) * 100.0),
+        ]);
+        harness.record(
+            &[
+                ("kernel", kernels[*k].name.clone()),
+                ("reserved_regs", reserved.to_string()),
+                (
+                    "spilled_vregs",
+                    run.compiled.stats.spilled_vregs.to_string(),
+                ),
+            ],
+            &run.record,
+        );
     }
     print_table(
         "§6.1: cost of reserving registers from the allocator",
-        &["kernel", "reserved regs", "cycles", "spilled vregs", "overhead"],
+        &[
+            "kernel",
+            "reserved regs",
+            "cycles",
+            "spilled vregs",
+            "overhead",
+        ],
         &rows,
     );
     println!("\n  paper (Spidermonkey in Wasmtime): 1 reg -> 2.25%, 2 regs -> 2.40%");
+    harness.finish().expect("write bench records");
 }

@@ -2,20 +2,45 @@
 //! address space per sandbox (16K sandboxes in 47 bits); HFI's footprint
 //! is the heap alone (256K 1-GiB sandboxes in 48 bits).
 
-use hfi_bench::print_table;
+use hfi_bench::{print_table, Harness};
 use hfi_faas::max_concurrent_sandboxes;
 use hfi_wasm::compiler::Isolation;
 
 fn main() {
-    let guard = max_concurrent_sandboxes(Isolation::GuardPages, 47, 4 << 30);
-    let hfi_1g = max_concurrent_sandboxes(Isolation::Hfi, 48, 1 << 30);
+    let mut harness = Harness::from_env("micro_scalability");
+    let grid = [
+        (
+            "guard pages, 47-bit VA (8 GiB each)",
+            Isolation::GuardPages,
+            47u32,
+            4u64 << 30,
+        ),
+        ("hfi, 48-bit VA, 1 GiB heaps", Isolation::Hfi, 48, 1 << 30),
+    ];
+    let cells = harness.run_grid(&grid, |(_, isolation, va_bits, heap)| {
+        max_concurrent_sandboxes(*isolation, *va_bits, *heap)
+    });
+    let rows: Vec<Vec<String>> = grid
+        .iter()
+        .zip(&cells)
+        .map(|((label, ..), max)| vec![label.to_string(), max.to_string()])
+        .collect();
     print_table(
         "§6.3.2: maximum concurrent sandboxes",
         &["configuration", "max sandboxes"],
-        &[
-            vec!["guard pages, 47-bit VA (8 GiB each)".into(), guard.to_string()],
-            vec!["hfi, 48-bit VA, 1 GiB heaps".into(), hfi_1g.to_string()],
-        ],
+        &rows,
     );
-    println!("\n  paper: ~16K with guard reservations (S2); 256,000 1-GiB sandboxes with HFI (S6.3.2)");
+    println!(
+        "\n  paper: ~16K with guard reservations (S2); 256,000 1-GiB sandboxes with HFI (S6.3.2)"
+    );
+
+    for ((_, isolation, va_bits, heap), max) in grid.iter().zip(&cells) {
+        harness.note(&[
+            ("isolation", isolation.to_string()),
+            ("va_bits", va_bits.to_string()),
+            ("heap_bytes", heap.to_string()),
+            ("max_sandboxes", max.to_string()),
+        ]);
+    }
+    harness.finish().expect("write bench records");
 }

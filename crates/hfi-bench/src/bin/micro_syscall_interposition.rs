@@ -1,15 +1,19 @@
 //! §6.4.1: syscall interposition — HFI's microcode redirect vs.
 //! Seccomp-bpf. Paper: Seccomp costs 2.1% more than HFI.
 
-use hfi_bench::print_table;
+use hfi_bench::{print_table, Harness};
 use hfi_native::syscalls::{run_benchmark, Interposition};
 
 fn main() {
-    let iters = 2000;
-    let runs: Vec<_> = [Interposition::None, Interposition::Hfi, Interposition::Seccomp]
-        .into_iter()
-        .map(|mechanism| run_benchmark(iters, mechanism))
-        .collect();
+    let mut harness = Harness::from_env("micro_syscall_interposition");
+    let iters = harness.iters(2000, 200);
+    let grid = [
+        Interposition::None,
+        Interposition::Hfi,
+        Interposition::Seccomp,
+    ];
+    let runs = harness.run_grid(&grid, |mechanism| run_benchmark(iters, *mechanism));
+
     let hfi_cycles = runs[1].cycles as f64;
     let rows: Vec<Vec<String>> = runs
         .iter()
@@ -28,4 +32,18 @@ fn main() {
         &rows,
     );
     println!("\n  paper: Seccomp-bpf imposes 2.1% over HFI interposition");
+
+    for run in &runs {
+        harness.note(&[
+            ("mechanism", format!("{:?}", run.mechanism)),
+            ("iterations", iters.to_string()),
+            ("cycles", run.cycles.to_string()),
+            ("kernel_syscalls", run.syscalls.to_string()),
+            (
+                "syscalls_redirected",
+                run.result.stats.syscalls_redirected.to_string(),
+            ),
+        ]);
+    }
+    harness.finish().expect("write bench records");
 }

@@ -2,32 +2,44 @@
 //! policies. Paper: stock 25.7 µs, HFI-batched 23.1 µs (-10.1%),
 //! batching without HFI 31.1 µs.
 
-use hfi_bench::print_table;
+use hfi_bench::{print_table, Harness};
 use hfi_faas::{teardown_experiment, TeardownPolicy};
 
 fn main() {
-    let mut rows = Vec::new();
-    let mut stock_us = 0.0;
-    for policy in [
+    let mut harness = Harness::from_env("micro_teardown");
+    let sandboxes = harness.iters(2000, 200) as usize;
+    let grid = [
         TeardownPolicy::StockPerSandbox,
         TeardownPolicy::HfiBatched,
         TeardownPolicy::BatchedWithGuards,
-    ] {
-        let result = teardown_experiment(2000, policy).expect("experiment");
-        if policy == TeardownPolicy::StockPerSandbox {
-            stock_us = result.per_sandbox_us;
-        }
+    ];
+    let results = harness.run_grid(&grid, |policy| {
+        teardown_experiment(sandboxes, *policy).expect("experiment")
+    });
+
+    let stock_us = results[0].per_sandbox_us;
+    let mut rows = Vec::new();
+    for (policy, result) in grid.iter().zip(&results) {
         rows.push(vec![
             format!("{policy:?}"),
             format!("{:.1} us", result.per_sandbox_us),
             result.madvise_calls.to_string(),
             format!("{:+.1}%", (result.per_sandbox_us / stock_us - 1.0) * 100.0),
         ]);
+        harness.note(&[
+            ("policy", format!("{policy:?}")),
+            ("sandboxes", sandboxes.to_string()),
+            ("per_sandbox_us", format!("{:.3}", result.per_sandbox_us)),
+            ("madvise_calls", result.madvise_calls.to_string()),
+        ]);
     }
     print_table(
-        "§6.3.1: teardown cost per sandbox (2000 sandboxes)",
+        &format!("§6.3.1: teardown cost per sandbox ({sandboxes} sandboxes)"),
         &["policy", "per-sandbox", "madvise calls", "vs stock"],
         &rows,
     );
-    println!("\n  paper: stock 25.7us | hfi-batched 23.1us (-10.1%) | batched-with-guards 31.1us (+21%)");
+    println!(
+        "\n  paper: stock 25.7us | hfi-batched 23.1us (-10.1%) | batched-with-guards 31.1us (+21%)"
+    );
+    harness.finish().expect("write bench records");
 }

@@ -2,21 +2,23 @@
 //! transitions to process IPC, including HFI's serialized and
 //! switch-on-exit variants.
 
-use hfi_bench::print_table;
+use hfi_bench::{print_table, Harness};
 use hfi_core::CostModel;
 use hfi_wasm::Transition;
 
 fn main() {
+    let mut harness = Harness::from_env("micro_transitions");
     let costs = CostModel::default();
-    let zero = Transition::ZeroCost.round_trip_cycles(&costs) as f64;
+    let cycles = harness.run_grid(&Transition::ALL, |t| t.round_trip_cycles(&costs));
+    let zero = cycles[0] as f64;
     let rows: Vec<Vec<String>> = Transition::ALL
         .iter()
-        .map(|t| {
-            let cycles = t.round_trip_cycles(&costs);
+        .zip(&cycles)
+        .map(|(t, c)| {
             vec![
                 t.to_string(),
-                cycles.to_string(),
-                format!("{:.1}x", cycles as f64 / zero),
+                c.to_string(),
+                format!("{:.1}x", *c as f64 / zero),
             ]
         })
         .collect();
@@ -27,4 +29,12 @@ fn main() {
     );
     println!("\n  paper: Wasm transitions are 'low 10s of cycles, roughly a function call';");
     println!("  IPC is 1000x-10000x; switch-on-exit removes most serialization cost (S4.5)");
+
+    for (t, c) in Transition::ALL.iter().zip(&cycles) {
+        harness.note(&[
+            ("mechanism", t.to_string()),
+            ("round_trip_cycles", c.to_string()),
+        ]);
+    }
+    harness.finish().expect("write bench records");
 }

@@ -1,10 +1,28 @@
 //! Table 1: FaaS workloads under Lucet(Unsafe) / Lucet+HFI / Lucet+Swivel.
 
-use hfi_bench::print_table;
-use hfi_faas::build_table1;
+use hfi_bench::{print_table, Harness};
+use hfi_core::CostModel;
+use hfi_faas::{evaluate, ProfiledWorkload, Scheme, WorkloadRow};
+use hfi_wasm::kernels::faas;
+
+const SCHEMES: [Scheme; 3] = [Scheme::Unsafe, Scheme::Hfi, Scheme::Swivel];
 
 fn main() {
-    let rows = build_table1(1);
+    let mut harness = Harness::from_env("table1");
+    let costs = CostModel::default();
+    // Profiling (one functional run per workload) happens in the grid
+    // too: each cell profiles its own workload, so cells stay
+    // independent and the grid parallelizes cleanly.
+    let kernels = harness.subset(faas::suite(1), 2);
+    let rows: Vec<WorkloadRow> = harness.run_grid(&kernels, |kernel| {
+        let profiled = ProfiledWorkload::profile(kernel);
+        let cells = SCHEMES.map(|scheme| (scheme, evaluate(&profiled, scheme, &costs)));
+        WorkloadRow {
+            name: profiled.name.clone(),
+            cells,
+        }
+    });
+
     let mut cells = Vec::new();
     for row in &rows {
         for (scheme, cell) in &row.cells {
@@ -17,14 +35,31 @@ fn main() {
                 format!("{:.2}MiB", cell.binary_bytes as f64 / (1 << 20) as f64),
                 format!("{:+.1}%", row.tail_inflation(*scheme) * 100.0),
             ]);
+            harness.note(&[
+                ("workload", row.name.clone()),
+                ("scheme", scheme.to_string()),
+                ("avg_latency_ms", format!("{:.4}", cell.avg_latency_ms)),
+                ("tail_latency_ms", format!("{:.4}", cell.tail_latency_ms)),
+                ("throughput_rps", format!("{:.2}", cell.throughput_rps)),
+                ("binary_bytes", cell.binary_bytes.to_string()),
+            ]);
         }
     }
     print_table(
         "Table 1: FaaS latency/throughput under Spectre protection",
-        &["workload", "scheme", "avg lat", "tail lat", "thruput", "bin size", "tail vs unsafe"],
+        &[
+            "workload",
+            "scheme",
+            "avg lat",
+            "tail lat",
+            "thruput",
+            "bin size",
+            "tail vs unsafe",
+        ],
         &cells,
     );
     println!("\n  paper: HFI raises tail latency 0%-2%; Swivel 9%-42%, hitting");
     println!("  branchy workloads (templated HTML, XML) hardest and dense math least.");
     println!("  (absolute times differ: our workloads are test-scaled; see EXPERIMENTS.md)");
+    harness.finish().expect("write bench records");
 }

@@ -1,0 +1,303 @@
+//! The shared experiment harness: job grids, worker fan-out, and
+//! JSON-lines run telemetry.
+//!
+//! Every figure/table binary builds a grid of independent cells
+//! (kernel × isolation × executor), hands it to [`Harness::run_grid`],
+//! and gets results back **in grid order** regardless of how many worker
+//! threads ran them — so `--jobs 4` output is bit-identical to a
+//! sequential run. After the grid, binaries append [`RunRecord`]s (or
+//! model-level [`Harness::note`] lines) and [`Harness::finish`] writes
+//! them to `target/bench-records/<figure>.jsonl`.
+//!
+//! Configuration comes from the command line and the environment:
+//!
+//! * `--jobs N` / `HFI_JOBS=N` — worker threads (`0` = all cores;
+//!   default 1, the sequential fallback).
+//! * `--smoke` / `HFI_SMOKE=1` — scaled-down iteration counts and kernel
+//!   subsets, for CI.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use hfi_sim::RunRecord;
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn context_json(figure: &str, context: &[(&str, String)]) -> String {
+    let mut line = format!("\"figure\":\"{}\"", json_escape(figure));
+    for (key, value) in context {
+        line.push_str(&format!(
+            ",\"{}\":\"{}\"",
+            json_escape(key),
+            json_escape(value)
+        ));
+    }
+    line
+}
+
+/// The experiment harness for one figure/table binary.
+#[derive(Debug)]
+pub struct Harness {
+    figure: String,
+    jobs: usize,
+    smoke: bool,
+    lines: Vec<String>,
+}
+
+impl Harness {
+    /// A harness configured from `--jobs`/`--smoke` command-line flags
+    /// and the `HFI_JOBS`/`HFI_SMOKE` environment (flags win).
+    pub fn from_env(figure: &str) -> Self {
+        let mut jobs: Option<usize> = None;
+        let mut smoke = false;
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--smoke" => smoke = true,
+                "--jobs" => jobs = args.next().and_then(|v| v.parse().ok()),
+                _ if arg.starts_with("--jobs=") => {
+                    jobs = arg["--jobs=".len()..].parse().ok();
+                }
+                _ => {}
+            }
+        }
+        if jobs.is_none() {
+            jobs = std::env::var("HFI_JOBS").ok().and_then(|v| v.parse().ok());
+        }
+        if !smoke {
+            smoke = std::env::var("HFI_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
+        }
+        Self::new(figure, jobs.unwrap_or(1), smoke)
+    }
+
+    /// A harness with explicit settings (tests use this; binaries use
+    /// [`Harness::from_env`]). `jobs == 0` means one worker per core.
+    pub fn new(figure: &str, jobs: usize, smoke: bool) -> Self {
+        let jobs = if jobs == 0 {
+            std::thread::available_parallelism()
+                .map(usize::from)
+                .unwrap_or(1)
+        } else {
+            jobs
+        };
+        Harness {
+            figure: figure.to_string(),
+            jobs,
+            smoke,
+            lines: Vec::new(),
+        }
+    }
+
+    /// Worker-thread count for [`Harness::run_grid`].
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Whether this is a scaled-down CI run.
+    pub fn smoke(&self) -> bool {
+        self.smoke
+    }
+
+    /// Picks the iteration count for the current mode.
+    pub fn iters(&self, full: u64, smoke: u64) -> u64 {
+        if self.smoke {
+            smoke
+        } else {
+            full
+        }
+    }
+
+    /// In smoke mode, truncates a suite to its first `smoke_len` entries.
+    pub fn subset<T>(&self, mut items: Vec<T>, smoke_len: usize) -> Vec<T> {
+        if self.smoke {
+            items.truncate(smoke_len);
+        }
+        items
+    }
+
+    /// Runs one closure per grid cell across the worker pool and returns
+    /// the results **in cell order**.
+    ///
+    /// Workers pull cells from a shared cursor (no pre-partitioning, so
+    /// an expensive cell does not serialize a whole stripe) and deposit
+    /// each result in its cell's slot; with deterministic cell closures
+    /// the returned vector is bit-identical for any `--jobs` value.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from any cell (the harnesses' correctness
+    /// assertions live inside the cells).
+    pub fn run_grid<J, R, F>(&self, cells: &[J], f: F) -> Vec<R>
+    where
+        J: Sync,
+        R: Send,
+        F: Fn(&J) -> R + Sync,
+    {
+        let n = cells.len();
+        if self.jobs <= 1 || n <= 1 {
+            return cells.iter().map(f).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            let mut workers = Vec::new();
+            for _ in 0..self.jobs.min(n) {
+                workers.push(scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let result = f(&cells[i]);
+                    *slots[i].lock().expect("unpoisoned slot") = Some(result);
+                }));
+            }
+            // Join explicitly so a panicking cell fails the experiment
+            // loudly instead of leaving empty slots.
+            for worker in workers {
+                if let Err(panic) = worker.join() {
+                    std::panic::resume_unwind(panic);
+                }
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("unpoisoned slot")
+                    .expect("worker filled slot")
+            })
+            .collect()
+    }
+
+    /// Appends one telemetry line: the figure name, the caller's context
+    /// key/values, and the full counter surface of `record`.
+    pub fn record(&mut self, context: &[(&str, String)], record: &RunRecord) {
+        let line = format!(
+            "{{{},{}}}",
+            context_json(&self.figure, context),
+            record.json_fields()
+        );
+        self.lines.push(line);
+    }
+
+    /// Appends a context-only telemetry line, for model-level experiments
+    /// that have no pipeline counters (queueing models, cost tables).
+    pub fn note(&mut self, context: &[(&str, String)]) {
+        self.lines
+            .push(format!("{{{}}}", context_json(&self.figure, context)));
+    }
+
+    /// Telemetry lines accumulated so far (tests inspect these).
+    pub fn lines(&self) -> &[String] {
+        &self.lines
+    }
+
+    /// Writes the accumulated lines to
+    /// `target/bench-records/<figure>.jsonl` and returns the path.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the directory or file cannot
+    /// be written.
+    pub fn finish(&self) -> std::io::Result<PathBuf> {
+        let target = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_string());
+        let dir = PathBuf::from(target).join("bench-records");
+        fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{}.jsonl", self.figure));
+        let mut file = fs::File::create(&path)?;
+        for line in &self.lines {
+            writeln!(file, "{line}")?;
+        }
+        eprintln!(
+            "[harness] {} record(s) -> {}",
+            self.lines.len(),
+            path.display()
+        );
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_order_is_deterministic_across_job_counts() {
+        let cells: Vec<u64> = (0..97).collect();
+        let work = |cell: &u64| {
+            // Uneven per-cell cost so workers interleave.
+            let mut acc = *cell;
+            for _ in 0..(cell % 13) * 1000 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            (*cell, acc)
+        };
+        let sequential = Harness::new("test", 1, false).run_grid(&cells, work);
+        for jobs in [2, 4, 8] {
+            let parallel = Harness::new("test", jobs, false).run_grid(&cells, work);
+            assert_eq!(sequential, parallel, "jobs={jobs} must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn smoke_scales_iterations_and_suites() {
+        let full = Harness::new("test", 1, false);
+        let smoke = Harness::new("test", 1, true);
+        assert_eq!(full.iters(1000, 10), 1000);
+        assert_eq!(smoke.iters(1000, 10), 10);
+        assert_eq!(full.subset(vec![1, 2, 3, 4], 2), vec![1, 2, 3, 4]);
+        assert_eq!(smoke.subset(vec![1, 2, 3, 4], 2), vec![1, 2]);
+    }
+
+    #[test]
+    fn telemetry_lines_carry_context_and_counters() {
+        let mut harness = Harness::new("figX", 1, false);
+        harness.note(&[("kernel", "fib\"2".to_string())]);
+        assert_eq!(
+            harness.lines()[0],
+            "{\"figure\":\"figX\",\"kernel\":\"fib\\\"2\"}"
+        );
+
+        let program = {
+            let mut asm = hfi_sim::ProgramBuilder::new(0x1000);
+            asm.movi(hfi_sim::Reg(0), 7);
+            asm.halt();
+            asm.finish()
+        };
+        let mut machine = hfi_sim::Machine::new(program);
+        machine.run(1_000);
+        let record = hfi_sim::Executor::stats(&machine);
+        harness.record(&[("isolation", "hfi".to_string())], &record);
+        let line = &harness.lines()[1];
+        assert!(
+            line.starts_with("{\"figure\":\"figX\",\"isolation\":\"hfi\",\"executor\":\"cycle\"")
+        );
+        assert!(line.ends_with('}'));
+        assert!(line.contains("\"rob_stall_cycles\":"));
+        assert_eq!(line.matches('{').count(), 1);
+    }
+
+    #[test]
+    fn zero_jobs_means_all_cores() {
+        let harness = Harness::new("test", 0, false);
+        assert!(harness.jobs() >= 1);
+    }
+}

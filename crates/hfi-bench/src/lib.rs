@@ -1,14 +1,28 @@
 //! # hfi-bench — experiment harnesses for every table and figure
 //!
-//! One binary per experiment (see DESIGN.md's experiment index); this
-//! library holds the shared plumbing: kernel runners for both executors
-//! and plain-text table output.
+//! One binary per experiment (see DESIGN.md's experiment index). This
+//! library holds the shared plumbing:
+//!
+//! * [`Harness`] — job-grid fan-out over worker threads with
+//!   deterministic result ordering, `--smoke` scaling, and JSON-lines
+//!   [`RunRecord`] telemetry under `target/bench-records/`.
+//! * Cell runners ([`run_on_machine`], [`run_functional`],
+//!   [`run_emulated`], [`run_cell`]) — compile a kernel, execute it on
+//!   one [`Executor`] vehicle, check the architectural result against
+//!   the kernel's Rust reference, and capture the full counter surface.
+//! * Shared figure grids ([`fig3_grid`], [`fig2_grid`]) used by both
+//!   the binaries and the cross-executor integration tests.
+//! * Plain-text table output and summary statistics.
 
 #![warn(missing_docs)]
 
-use hfi_sim::{Functional, Machine, Stop};
+pub mod harness;
+
+use hfi_sim::{Emulated, Executor, Functional, Machine, RunRecord, Stop};
 use hfi_wasm::compiler::{compile, CompileOptions, CompiledKernel, Isolation};
-use hfi_wasm::kernels::Kernel;
+use hfi_wasm::kernels::{sightglass, speclike, Kernel};
+
+pub use harness::Harness;
 
 /// Prints a fixed-width text table.
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
@@ -20,8 +34,11 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
         }
     }
     let line = |cells: Vec<String>| {
-        let joined: Vec<String> =
-            cells.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}", w = w)).collect();
+        let joined: Vec<String> = cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect();
         println!("  {}", joined.join("  "));
     };
     line(headers.iter().map(|h| h.to_string()).collect());
@@ -31,7 +48,12 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     }
 }
 
-/// Result of running one kernel on the cycle simulator.
+/// Cycle budget for cycle-level runs (the machine stops past this).
+pub const MACHINE_LIMIT: u64 = 4_000_000_000;
+/// Instruction budget for functional runs.
+pub const FUNCTIONAL_LIMIT: u64 = 50_000_000_000;
+
+/// Result of running one kernel on a cycle-level vehicle.
 #[derive(Debug, Clone)]
 pub struct KernelRun {
     /// Cycles consumed.
@@ -40,15 +62,50 @@ pub struct KernelRun {
     pub instructions: u64,
     /// The compiled artifact (for code-size reporting).
     pub compiled: CompiledKernel,
+    /// The full counter surface of the run.
+    pub record: RunRecord,
 }
 
-/// Compiles and runs `kernel` on the cycle-level machine, checking the
-/// result against the kernel's reference.
+/// Loads a kernel's heap image, runs `executor` to completion, checks
+/// the result against the kernel's Rust reference, and returns the
+/// unified counter snapshot. This is the one code path every vehicle
+/// shares; the per-vehicle wrappers below only pick the executor.
 ///
 /// # Panics
 ///
 /// Panics if the kernel misbehaves (does not halt or returns a wrong
 /// result) — harnesses must not silently report nonsense.
+pub fn run_cell(executor: &mut dyn Executor, kernel: &Kernel, heap_base: u64) -> RunRecord {
+    for (off, bytes) in &kernel.heap_init {
+        executor.prepare(heap_base + *off as u64, bytes);
+    }
+    let limit = match executor.kind() {
+        hfi_sim::ExecutorKind::Functional => FUNCTIONAL_LIMIT,
+        _ => MACHINE_LIMIT,
+    };
+    let stop = executor.run(limit);
+    assert_eq!(
+        stop,
+        Stop::Halted,
+        "{} did not halt on {}",
+        kernel.name,
+        executor.kind()
+    );
+    assert_eq!(
+        executor.regs()[0],
+        kernel.expected,
+        "{} wrong result on {}",
+        kernel.name,
+        executor.kind()
+    );
+    executor.stats()
+}
+
+/// Compiles and runs `kernel` on the cycle-level machine.
+///
+/// # Panics
+///
+/// Panics if the kernel misbehaves.
 pub fn run_on_machine(kernel: &Kernel, isolation: Isolation) -> KernelRun {
     let opts = CompileOptions::new(isolation);
     run_on_machine_with(kernel, &opts)
@@ -62,13 +119,45 @@ pub fn run_on_machine(kernel: &Kernel, isolation: Isolation) -> KernelRun {
 pub fn run_on_machine_with(kernel: &Kernel, opts: &CompileOptions) -> KernelRun {
     let compiled = compile(&kernel.func, opts);
     let mut machine = Machine::new(compiled.program.clone());
-    for (off, bytes) in &kernel.heap_init {
-        machine.mem.write_bytes(opts.heap_base + *off as u64, bytes);
+    let record = run_cell(&mut machine, kernel, opts.heap_base);
+    KernelRun {
+        cycles: record.cycles as u64,
+        instructions: record.committed,
+        compiled,
+        record,
     }
-    let result = machine.run(4_000_000_000);
-    assert_eq!(result.stop, Stop::Halted, "{} did not halt", kernel.name);
-    assert_eq!(result.regs[0], kernel.expected, "{} wrong result", kernel.name);
-    KernelRun { cycles: result.cycles, instructions: result.stats.committed, compiled }
+}
+
+/// Compiles and runs `kernel` through the Appendix A.2 emulation
+/// transform on the cycle-level machine (the Fig. 2 "emulated" leg).
+///
+/// # Panics
+///
+/// Panics if the kernel misbehaves.
+pub fn run_emulated(kernel: &Kernel, isolation: Isolation) -> KernelRun {
+    let opts = CompileOptions::new(isolation);
+    let compiled = compile(&kernel.func, &opts);
+    let mut emulated = Emulated::from_arc(&compiled.program, opts.heap_base);
+    let record = run_cell(&mut emulated, kernel, opts.heap_base);
+    KernelRun {
+        cycles: record.cycles as u64,
+        instructions: record.committed,
+        compiled,
+        record,
+    }
+}
+
+/// Runs `kernel` on the fast functional executor; returns modelled
+/// cycles and the counter snapshot.
+///
+/// # Panics
+///
+/// Panics if the kernel misbehaves.
+pub fn run_functional_record(kernel: &Kernel, isolation: Isolation) -> RunRecord {
+    let opts = CompileOptions::new(isolation);
+    let compiled = compile(&kernel.func, &opts);
+    let mut functional = Functional::new(compiled.program);
+    run_cell(&mut functional, kernel, opts.heap_base)
 }
 
 /// Runs `kernel` on the fast functional executor; returns modelled cycles.
@@ -77,16 +166,76 @@ pub fn run_on_machine_with(kernel: &Kernel, opts: &CompileOptions) -> KernelRun 
 ///
 /// Panics if the kernel misbehaves.
 pub fn run_functional(kernel: &Kernel, isolation: Isolation) -> f64 {
-    let opts = CompileOptions::new(isolation);
-    let compiled = compile(&kernel.func, &opts);
-    let mut machine = Functional::new(compiled.program);
-    for (off, bytes) in &kernel.heap_init {
-        machine.mem.write_bytes(opts.heap_base + *off as u64, bytes);
-    }
-    let result = machine.run(50_000_000_000);
-    assert_eq!(result.stop, Stop::Halted, "{} did not halt", kernel.name);
-    assert_eq!(result.regs[0], kernel.expected, "{} wrong result", kernel.name);
-    result.cycles
+    run_functional_record(kernel, isolation).cycles
+}
+
+/// The isolation schemes of the Fig. 3 comparison, in presentation order.
+pub const FIG3_SCHEMES: [Isolation; 3] = [
+    Isolation::GuardPages,
+    Isolation::BoundsChecks,
+    Isolation::Hfi,
+];
+
+/// One (kernel × isolation) cell of the Fig. 3 grid.
+#[derive(Debug, Clone)]
+pub struct Fig3Cell {
+    /// Kernel name.
+    pub kernel: String,
+    /// Isolation scheme this cell ran under.
+    pub isolation: Isolation,
+    /// The cycle-level run.
+    pub run: KernelRun,
+}
+
+/// Runs the Fig. 3 grid — the SPEC-like suite × [`FIG3_SCHEMES`] — on
+/// the cycle simulator through `harness`, in suite-major order. In smoke
+/// mode the suite is truncated to its first three kernels.
+///
+/// # Panics
+///
+/// Panics if any kernel misbehaves.
+pub fn fig3_grid(harness: &Harness) -> Vec<Fig3Cell> {
+    let kernels = harness.subset(speclike::suite(1), 3);
+    let cells: Vec<(&Kernel, Isolation)> = kernels
+        .iter()
+        .flat_map(|kernel| FIG3_SCHEMES.iter().map(move |iso| (kernel, *iso)))
+        .collect();
+    harness.run_grid(&cells, |(kernel, isolation)| Fig3Cell {
+        kernel: kernel.name.clone(),
+        isolation: *isolation,
+        run: run_on_machine(kernel, *isolation),
+    })
+}
+
+/// One kernel of the Fig. 2 cross-executor grid: the same program on all
+/// three vehicles under HFI.
+#[derive(Debug, Clone)]
+pub struct Fig2Cell {
+    /// Kernel name.
+    pub kernel: String,
+    /// Real HFI instructions on the cycle simulator.
+    pub cycle: KernelRun,
+    /// The Appendix A.2 emulation on the cycle simulator.
+    pub emulated: KernelRun,
+    /// The calibrated functional interpreter.
+    pub functional: RunRecord,
+}
+
+/// Runs the Fig. 2 cross-executor grid — the Sightglass-like suite on
+/// cycle, emulated, and functional vehicles — through `harness`. In
+/// smoke mode the suite is truncated to its first three kernels.
+///
+/// # Panics
+///
+/// Panics if any kernel misbehaves on any vehicle.
+pub fn fig2_grid(harness: &Harness) -> Vec<Fig2Cell> {
+    let kernels = harness.subset(sightglass::suite(1), 3);
+    harness.run_grid(&kernels, |kernel| Fig2Cell {
+        kernel: kernel.name.clone(),
+        cycle: run_on_machine(kernel, Isolation::Hfi),
+        emulated: run_emulated(kernel, Isolation::Hfi),
+        functional: run_functional_record(kernel, Isolation::Hfi),
+    })
 }
 
 /// Geometric mean of a slice.
@@ -123,5 +272,35 @@ mod tests {
         let run = run_on_machine(&kernel, Isolation::Hfi);
         assert!(run.cycles > 0);
         assert!(run.instructions > 0);
+        assert!(
+            run.record.hfi_checks > 0,
+            "HFI run must exercise the checker"
+        );
+    }
+
+    #[test]
+    fn all_three_vehicles_agree_on_results() {
+        let kernel = hfi_wasm::kernels::sightglass::fib2(1);
+        let cycle = run_on_machine(&kernel, Isolation::Hfi);
+        let emulated = run_emulated(&kernel, Isolation::Hfi);
+        let functional = run_functional_record(&kernel, Isolation::Hfi);
+        // Same committed work on both cycle-level vehicles (the A.2
+        // transform is index-preserving) and a successful functional run.
+        assert!(emulated.instructions > 0);
+        assert!(functional.committed > 0);
+        assert!(cycle.cycles > 0 && emulated.cycles > 0);
+    }
+
+    #[test]
+    fn fig3_smoke_grid_is_parallel_deterministic() {
+        let sequential = fig3_grid(&Harness::new("fig3", 1, true));
+        let parallel = fig3_grid(&Harness::new("fig3", 4, true));
+        assert_eq!(sequential.len(), parallel.len());
+        for (a, b) in sequential.iter().zip(&parallel) {
+            assert_eq!(a.kernel, b.kernel);
+            assert_eq!(a.isolation, b.isolation);
+            assert_eq!(a.run.cycles, b.run.cycles, "{}", a.kernel);
+            assert_eq!(a.run.record, b.run.record, "{}", a.kernel);
+        }
     }
 }

@@ -636,7 +636,11 @@ impl HfiContext {
     /// `xsave` with the save-hfi-regs flag: snapshots HFI state for an OS
     /// process context switch (paper §3.3.3).
     pub fn save_area(&self) -> HfiSaveArea {
-        HfiSaveArea { regions: self.regions, config: self.config, enabled: self.enabled }
+        HfiSaveArea {
+            regions: self.regions,
+            config: self.config,
+            enabled: self.enabled,
+        }
     }
 
     /// `xrstor` with the save-hfi-regs flag.
@@ -702,9 +706,11 @@ mod tests {
         let mut hfi = HfiContext::new();
         hfi.set_region(0, code_region(0, 0xFFF)).unwrap();
         // Slot 2: read-only view of [0x1000, 0x2000).
-        hfi.set_region(2, data_region(0x1000, 0xFFF, true, false)).unwrap();
+        hfi.set_region(2, data_region(0x1000, 0xFFF, true, false))
+            .unwrap();
         // Slot 3: read-write covering the same range — shadowed by slot 2.
-        hfi.set_region(3, data_region(0x1000, 0xFFF, true, true)).unwrap();
+        hfi.set_region(3, data_region(0x1000, 0xFFF, true, true))
+            .unwrap();
         hfi.enter(SandboxConfig::hybrid()).unwrap();
         assert!(hfi.check_data(0x1800, 8, Access::Read).is_ok());
         // First match (read-only) wins even though a later region permits.
@@ -715,7 +721,8 @@ mod tests {
     fn access_may_not_straddle_region_edge() {
         let mut hfi = HfiContext::new();
         hfi.set_region(0, code_region(0, 0xFFF)).unwrap();
-        hfi.set_region(2, data_region(0x1000, 0xFFF, true, true)).unwrap();
+        hfi.set_region(2, data_region(0x1000, 0xFFF, true, true))
+            .unwrap();
         hfi.enter(SandboxConfig::hybrid()).unwrap();
         assert!(hfi.check_data(0x1FF8, 8, Access::Read).is_ok());
         assert!(hfi.check_data(0x1FF9, 8, Access::Read).is_err());
@@ -736,12 +743,18 @@ mod tests {
         let err = hfi.hmov_check(0, -1, 1, 0, 1).unwrap_err();
         assert_eq!(
             err,
-            HfiFault::Hmov { region: 0, violation: HmovViolation::NegativeOperand }
+            HfiFault::Hmov {
+                region: 0,
+                violation: HmovViolation::NegativeOperand
+            }
         );
         let err = hfi.hmov_check(0, 0, 1, -8, 1).unwrap_err();
         assert_eq!(
             err,
-            HfiFault::Hmov { region: 0, violation: HmovViolation::NegativeOperand }
+            HfiFault::Hmov {
+                region: 0,
+                violation: HmovViolation::NegativeOperand
+            }
         );
     }
 
@@ -750,7 +763,13 @@ mod tests {
         let mut hfi = ctx_with_heap();
         hfi.enter(SandboxConfig::hybrid()).unwrap();
         let err = hfi.hmov_check(0, i64::MAX, 8, 0, 1).unwrap_err();
-        assert_eq!(err, HfiFault::Hmov { region: 0, violation: HmovViolation::Overflow });
+        assert_eq!(
+            err,
+            HfiFault::Hmov {
+                region: 0,
+                violation: HmovViolation::Overflow
+            }
+        );
     }
 
     #[test]
@@ -761,7 +780,10 @@ mod tests {
         assert!(hfi.hmov_check(0, 0, 1, (1 << 20) - 1, 1).is_ok());
         assert_eq!(
             hfi.hmov_check(0, 0, 1, 1 << 20, 1).unwrap_err(),
-            HfiFault::Hmov { region: 0, violation: HmovViolation::OutOfBounds }
+            HfiFault::Hmov {
+                region: 0,
+                violation: HmovViolation::OutOfBounds
+            }
         );
     }
 
@@ -771,7 +793,10 @@ mod tests {
         hfi.enter(SandboxConfig::hybrid()).unwrap();
         assert_eq!(
             hfi.hmov_check(3, 0, 1, 0, 1).unwrap_err(),
-            HfiFault::Hmov { region: 3, violation: HmovViolation::RegionNotConfigured }
+            HfiFault::Hmov {
+                region: 3,
+                violation: HmovViolation::RegionNotConfigured
+            }
         );
     }
 
@@ -783,8 +808,12 @@ mod tests {
         hfi.enter(SandboxConfig::hybrid()).unwrap();
         assert!(hfi.hmov_check_access(1, 0, 1, 0, 8, Access::Read).is_ok());
         assert_eq!(
-            hfi.hmov_check_access(1, 0, 1, 0, 8, Access::Write).unwrap_err(),
-            HfiFault::Hmov { region: 1, violation: HmovViolation::PermissionDenied }
+            hfi.hmov_check_access(1, 0, 1, 0, 8, Access::Write)
+                .unwrap_err(),
+            HfiFault::Hmov {
+                region: 1,
+                violation: HmovViolation::PermissionDenied
+            }
         );
     }
 
@@ -831,7 +860,10 @@ mod tests {
         assert!(!hfi.enabled());
         assert_eq!(
             hfi.exit_reason(),
-            Some(ExitReason::Syscall { number: 2, kind: SyscallKind::Syscall })
+            Some(ExitReason::Syscall {
+                number: 2,
+                kind: SyscallKind::Syscall
+            })
         );
     }
 
@@ -839,7 +871,10 @@ mod tests {
     fn hybrid_syscall_allowed() {
         let mut hfi = ctx_with_heap();
         hfi.enter(SandboxConfig::hybrid()).unwrap();
-        assert_eq!(hfi.syscall(1, SyscallKind::Syscall), SyscallDisposition::Allow);
+        assert_eq!(
+            hfi.syscall(1, SyscallKind::Syscall),
+            SyscallDisposition::Allow
+        );
         assert!(hfi.enabled());
     }
 
@@ -867,7 +902,8 @@ mod tests {
         let mut hfi = HfiContext::new();
         // The trusted runtime runs in its own serialized hybrid sandbox.
         hfi.set_region(0, code_region(0x40_0000, 0xFFFF)).unwrap();
-        hfi.set_region(2, data_region(0x10_0000, 0xFFFF, true, true)).unwrap();
+        hfi.set_region(2, data_region(0x10_0000, 0xFFFF, true, true))
+            .unwrap();
         hfi.enter(SandboxConfig::hybrid().serialized()).unwrap();
         let parent_region = hfi.region(2).unwrap();
 
@@ -877,7 +913,10 @@ mod tests {
         child_regions[2] = Some(data_region(0x20_0000, 0xFFFF, true, true));
         let effect = hfi
             .enter_child(
-                SandboxConfig { kind: SandboxKind::Hybrid, ..SandboxConfig::hybrid() },
+                SandboxConfig {
+                    kind: SandboxKind::Hybrid,
+                    ..SandboxConfig::hybrid()
+                },
                 child_regions,
             )
             .unwrap();
@@ -907,7 +946,10 @@ mod tests {
     fn fault_disables_sandbox_and_records_reason() {
         let mut hfi = ctx_with_heap();
         hfi.enter(SandboxConfig::native(0x9000)).unwrap();
-        let fault = HfiFault::DataBounds { addr: 0xBAD, access: Access::Write };
+        let fault = HfiFault::DataBounds {
+            addr: 0xBAD,
+            access: Access::Write,
+        };
         let disposition = hfi.deliver_fault(fault);
         assert_eq!(disposition, ExitDisposition::JumpToHandler(0x9000));
         assert!(!hfi.enabled());
@@ -919,7 +961,10 @@ mod tests {
         let mut hfi = ctx_with_heap();
         let saved = hfi.save_area();
         hfi.enter(SandboxConfig::native(0x1)).unwrap();
-        assert_eq!(hfi.restore_area(&saved).unwrap_err(), HfiFault::PrivilegedInstruction);
+        assert_eq!(
+            hfi.restore_area(&saved).unwrap_err(),
+            HfiFault::PrivilegedInstruction
+        );
     }
 
     #[test]
@@ -938,7 +983,9 @@ mod tests {
         // Code region in a data slot faults.
         assert!(hfi.set_region(2, code_region(0, 0xFFF)).is_err());
         // Data region in an explicit slot faults.
-        assert!(hfi.set_region(6, data_region(0, 0xFFF, true, true)).is_err());
+        assert!(hfi
+            .set_region(6, data_region(0, 0xFFF, true, true))
+            .is_err());
         // Explicit region in a code slot faults.
         let explicit = ExplicitDataRegion::small(0, 0x100, true, true).unwrap();
         assert!(hfi.set_region(0, Region::Explicit(explicit)).is_err());

@@ -186,7 +186,10 @@ mod tests {
 
     #[test]
     fn fault_display_is_informative() {
-        let fault = HfiFault::DataBounds { addr: 0x1000, access: Access::Write };
+        let fault = HfiFault::DataBounds {
+            addr: 0x1000,
+            access: Access::Write,
+        };
         assert!(fault.to_string().contains("0x1000"));
         assert!(fault.to_string().contains("write"));
     }
@@ -194,14 +197,20 @@ mod tests {
     #[test]
     fn exit_reason_fault_detection() {
         assert!(!ExitReason::Exit.is_fault());
-        let syscall = ExitReason::Syscall { number: 2, kind: SyscallKind::Syscall };
+        let syscall = ExitReason::Syscall {
+            number: 2,
+            kind: SyscallKind::Syscall,
+        };
         assert!(!syscall.is_fault());
         assert!(ExitReason::Fault(HfiFault::Hardware { addr: 0 }).is_fault());
     }
 
     #[test]
     fn hmov_violation_display() {
-        let fault = HfiFault::Hmov { region: 2, violation: HmovViolation::Overflow };
+        let fault = HfiFault::Hmov {
+            region: 2,
+            violation: HmovViolation::Overflow,
+        };
         let text = fault.to_string();
         assert!(text.contains("hmov2"));
         assert!(text.contains("overflow"));

@@ -124,7 +124,11 @@ impl ImplicitCodeRegion {
     /// `base_prefix` is not aligned to the region size.
     pub fn new(base_prefix: u64, lsb_mask: u64, exec: bool) -> Result<Self, RegionError> {
         validate_prefix(base_prefix, lsb_mask)?;
-        Ok(Self { base_prefix, lsb_mask, exec })
+        Ok(Self {
+            base_prefix,
+            lsb_mask,
+            exec,
+        })
     }
 
     /// The region's base address prefix.
@@ -173,7 +177,12 @@ impl ImplicitDataRegion {
         write: bool,
     ) -> Result<Self, RegionError> {
         validate_prefix(base_prefix, lsb_mask)?;
-        Ok(Self { base_prefix, lsb_mask, read, write })
+        Ok(Self {
+            base_prefix,
+            lsb_mask,
+            read,
+            write,
+        })
     }
 
     /// The region's base address prefix.
@@ -281,10 +290,14 @@ impl ExplicitDataRegion {
         if bound == 0 {
             return Err(RegionError::EmptyRegion);
         }
-        let end = base.checked_add(bound).ok_or(RegionError::AddressOverflow)?;
+        let end = base
+            .checked_add(bound)
+            .ok_or(RegionError::AddressOverflow)?;
         match size_class {
             ExplicitSize::Large => {
-                if base % LARGE_REGION_ALIGN != 0 || bound % LARGE_REGION_ALIGN != 0 {
+                if !base.is_multiple_of(LARGE_REGION_ALIGN)
+                    || !bound.is_multiple_of(LARGE_REGION_ALIGN)
+                {
                     return Err(RegionError::Unaligned64K);
                 }
                 if bound > LARGE_REGION_MAX {
@@ -302,7 +315,13 @@ impl ExplicitDataRegion {
                 }
             }
         }
-        Ok(Self { base, bound, read, write, size_class })
+        Ok(Self {
+            base,
+            bound,
+            read,
+            write,
+            size_class,
+        })
     }
 
     /// Convenience constructor for a large (64 KiB-grain) region.

@@ -1,118 +1,132 @@
-//! Property-based tests for the HFI region algebra.
+//! Randomized tests for the HFI region algebra.
 //!
 //! These verify the invariants the paper's hardware design relies on:
 //! the cheap microarchitectural checks (prefix match, single 32-bit
 //! comparator) must agree exactly with the architectural bounds semantics.
+//!
+//! The cases are driven by the vendored deterministic PRNG rather than
+//! `proptest` so the suite builds offline; seeds are fixed, so failures
+//! reproduce exactly.
 
 use hfi_core::context::{SandboxConfig, NUM_REGIONS};
-use hfi_core::region::{
-    ExplicitDataRegion, ImplicitDataRegion, Region, LARGE_REGION_ALIGN,
-};
+use hfi_core::region::{ExplicitDataRegion, ImplicitDataRegion, Region, LARGE_REGION_ALIGN};
 use hfi_core::{Access, HfiContext};
-use proptest::prelude::*;
+use hfi_util::Rng;
 
-/// Strategy for a valid implicit region: pick an order k and an aligned base.
-fn implicit_region() -> impl Strategy<Value = ImplicitDataRegion> {
-    (4u32..40, 0u64..(1 << 20)).prop_map(|(order, slot)| {
-        let mask = (1u64 << order) - 1;
-        let base = (slot << order) & !mask;
-        ImplicitDataRegion::new(base, mask, true, true).expect("constructed valid region")
-    })
+const CASES: u64 = 512;
+
+/// A valid implicit region: pick an order k and an aligned base.
+fn implicit_region(rng: &mut Rng) -> ImplicitDataRegion {
+    let order = rng.range_u64(4, 40) as u32;
+    let slot = rng.below(1 << 20);
+    let mask = (1u64 << order) - 1;
+    let base = (slot << order) & !mask;
+    ImplicitDataRegion::new(base, mask, true, true).expect("constructed valid region")
 }
 
-/// Strategy for a valid large explicit region.
-fn large_region() -> impl Strategy<Value = ExplicitDataRegion> {
-    (0u64..(1 << 24), 1u64..(1 << 16)).prop_map(|(base_unit, bound_unit)| {
-        ExplicitDataRegion::large(
-            base_unit * LARGE_REGION_ALIGN,
-            bound_unit * LARGE_REGION_ALIGN,
-            true,
-            true,
-        )
-        .expect("constructed valid large region")
-    })
-}
-
-/// Strategy for a valid small explicit region (byte granular, confined to
-/// one 4 GiB window).
-fn small_region() -> impl Strategy<Value = ExplicitDataRegion> {
-    (0u64..256, 0u64..((1 << 32) - 1), 1u64..(1 << 20)).prop_flat_map(
-        |(window, offset, max_bound)| {
-            let base = (window << 32) + offset;
-            let room = (1u64 << 32) - offset;
-            let bound = max_bound.min(room).max(1);
-            Just(
-                ExplicitDataRegion::small(base, bound, true, true)
-                    .expect("constructed valid small region"),
-            )
-        },
+/// A valid large explicit region.
+fn large_region(rng: &mut Rng) -> ExplicitDataRegion {
+    let base_unit = rng.below(1 << 24);
+    let bound_unit = rng.range_u64(1, 1 << 16);
+    ExplicitDataRegion::large(
+        base_unit * LARGE_REGION_ALIGN,
+        bound_unit * LARGE_REGION_ALIGN,
+        true,
+        true,
     )
+    .expect("constructed valid large region")
 }
 
-proptest! {
-    /// Prefix containment must equal arithmetic range containment.
-    #[test]
-    fn prefix_match_equals_range_check(region in implicit_region(), addr: u64) {
+/// A valid small explicit region (byte granular, confined to one 4 GiB
+/// window).
+fn small_region(rng: &mut Rng) -> ExplicitDataRegion {
+    let window = rng.below(256);
+    let offset = rng.below((1 << 32) - 1);
+    let max_bound = rng.range_u64(1, 1 << 20);
+    let base = (window << 32) + offset;
+    let room = (1u64 << 32) - offset;
+    let bound = max_bound.min(room).max(1);
+    ExplicitDataRegion::small(base, bound, true, true).expect("constructed valid small region")
+}
+
+/// Prefix containment must equal arithmetic range containment.
+#[test]
+fn prefix_match_equals_range_check() {
+    let mut rng = Rng::new(0x01);
+    for _ in 0..CASES {
+        let region = implicit_region(&mut rng);
+        let addr = rng.next_u64();
         let lo = region.base_prefix();
         let hi = lo + region.lsb_mask();
-        prop_assert_eq!(region.contains(addr), addr >= lo && addr <= hi);
+        assert_eq!(region.contains(addr), addr >= lo && addr <= hi);
     }
+}
 
-    /// The single-comparator hardware check of §4.2 must agree with the
-    /// exact architectural bounds semantics for large regions.
-    #[test]
-    fn large_hardware_check_matches_exact(
-        region in large_region(),
-        offset in 0u64..(1 << 33),
-        size in 1u64..16,
-    ) {
+/// The single-comparator hardware check of §4.2 must agree with the exact
+/// architectural bounds semantics for large regions.
+#[test]
+fn large_hardware_check_matches_exact() {
+    let mut rng = Rng::new(0x02);
+    for _ in 0..CASES {
+        let region = large_region(&mut rng);
+        let offset = rng.below(1 << 33);
+        let size = rng.range_u64(1, 16);
         let exact = region.offset_in_bounds(offset, size);
         let hw = region.hardware_check(region.base() + offset, size);
-        prop_assert_eq!(exact, hw, "offset={:#x} size={}", offset, size);
+        assert_eq!(exact, hw, "offset={offset:#x} size={size}");
     }
+}
 
-    /// ...and for small regions, including the carry (33rd) bit.
-    #[test]
-    fn small_hardware_check_matches_exact(
-        region in small_region(),
-        offset in 0u64..(1 << 33),
-        size in 1u64..16,
-    ) {
+/// ...and for small regions, including the carry (33rd) bit.
+#[test]
+fn small_hardware_check_matches_exact() {
+    let mut rng = Rng::new(0x03);
+    for _ in 0..CASES {
+        let region = small_region(&mut rng);
         // The hardware check presumes the offset itself fits the small
         // region's addressable range (offsets are 32-bit values in the
         // hmov encoding for small regions).
-        prop_assume!(offset < (1 << 32));
+        let offset = rng.below(1 << 32);
+        let size = rng.range_u64(1, 16);
         let exact = region.offset_in_bounds(offset, size);
         let hw = region.hardware_check(region.base() + offset, size);
-        prop_assert_eq!(exact, hw, "offset={:#x} size={}", offset, size);
+        assert_eq!(exact, hw, "offset={offset:#x} size={size}");
     }
+}
 
-    /// hmov never yields an effective address outside [base, base+bound).
-    #[test]
-    fn hmov_ea_always_in_region(
-        region in large_region(),
-        index in any::<i64>(),
-        scale in prop::sample::select(vec![1u64, 2, 4, 8]),
-        disp in any::<i64>(),
-        size in 1u64..16,
-    ) {
+/// hmov never yields an effective address outside [base, base+bound).
+#[test]
+fn hmov_ea_always_in_region() {
+    let mut rng = Rng::new(0x04);
+    for _ in 0..CASES {
+        let region = large_region(&mut rng);
+        let index = rng.next_u64() as i64;
+        let scale = *rng.pick(&[1u64, 2, 4, 8]);
+        let disp = rng.next_u64() as i64;
+        let size = rng.range_u64(1, 16);
+
         let mut hfi = HfiContext::new();
         hfi.set_region(6, Region::Explicit(region)).unwrap();
         hfi.enter(SandboxConfig::hybrid()).unwrap();
         if let Ok(ea) = hfi.hmov_check(0, index, scale, disp, size) {
-            prop_assert!(ea >= region.base());
-            prop_assert!(ea + size <= region.base() + region.bound());
+            assert!(ea >= region.base());
+            assert!(ea + size <= region.base() + region.bound());
         }
     }
+}
 
-    /// First-match implicit semantics: an access succeeds iff the first
-    /// containing region permits the whole access.
-    #[test]
-    fn implicit_first_match_oracle(
-        regions in prop::collection::vec(implicit_region(), 1..4),
-        addr: u64,
-        size in 1u64..16,
-    ) {
+/// First-match implicit semantics: an access succeeds iff the first
+/// containing region permits the whole access.
+#[test]
+fn implicit_first_match_oracle() {
+    let mut rng = Rng::new(0x05);
+    for _ in 0..CASES {
+        let count = rng.range_u64(1, 4) as usize;
+        let regions: Vec<ImplicitDataRegion> =
+            (0..count).map(|_| implicit_region(&mut rng)).collect();
+        let addr = rng.next_u64();
+        let size = rng.range_u64(1, 16);
+
         let mut hfi = HfiContext::new();
         for (i, r) in regions.iter().enumerate() {
             hfi.set_region(2 + i, Region::Data(*r)).unwrap();
@@ -120,17 +134,24 @@ proptest! {
         hfi.enter(SandboxConfig::hybrid()).unwrap();
 
         let oracle = regions.iter().find(|r| r.contains(addr)).map(|r| {
-            addr.checked_add(size - 1).map(|last| r.contains(last)).unwrap_or(false)
+            addr.checked_add(size - 1)
+                .map(|last| r.contains(last))
+                .unwrap_or(false)
         });
         let verdict = hfi.check_data(addr, size, Access::Read).is_ok();
-        prop_assert_eq!(verdict, oracle.unwrap_or(false));
+        assert_eq!(verdict, oracle.unwrap_or(false));
     }
+}
 
-    /// xsave/xrstor round-trips the complete register file.
-    #[test]
-    fn save_restore_roundtrip(
-        regions in prop::collection::vec(implicit_region(), 0..4),
-    ) {
+/// xsave/xrstor round-trips the complete register file.
+#[test]
+fn save_restore_roundtrip() {
+    let mut rng = Rng::new(0x06);
+    for _ in 0..CASES {
+        let count = rng.below(4) as usize;
+        let regions: Vec<ImplicitDataRegion> =
+            (0..count).map(|_| implicit_region(&mut rng)).collect();
+
         let mut hfi = HfiContext::new();
         for (i, r) in regions.iter().enumerate() {
             hfi.set_region(2 + i, Region::Data(*r)).unwrap();
@@ -139,7 +160,7 @@ proptest! {
         let mut restored = HfiContext::new();
         restored.restore_area(&area).unwrap();
         for slot in 0..NUM_REGIONS {
-            prop_assert_eq!(restored.region(slot).unwrap(), hfi.region(slot).unwrap());
+            assert_eq!(restored.region(slot).unwrap(), hfi.region(slot).unwrap());
         }
     }
 }

@@ -1,0 +1,82 @@
+//! Pins the region-register slot layout against the paper.
+//!
+//! Appendix A.1 numbers the slots `(0-1) code, (2-5) implicit_data,
+//! (6-10) explicit_data`, but §3.2 and the `hmov{0-3}` instruction set
+//! fix the explicit count at four. We follow the body text — explicit
+//! slots are `6..=9`, ten registers total — and DESIGN.md documents the
+//! appendix off-by-one. These tests keep that decision from regressing
+//! silently: every constant and every slot/kind pairing is pinned.
+
+use hfi_core::region::{ExplicitDataRegion, ImplicitCodeRegion, ImplicitDataRegion};
+use hfi_core::{
+    HfiContext, Region, FIRST_EXPLICIT_SLOT, NUM_CODE_REGIONS, NUM_EXPLICIT_REGIONS,
+    NUM_IMPLICIT_DATA_REGIONS, NUM_REGIONS,
+};
+
+fn code() -> Region {
+    Region::Code(ImplicitCodeRegion::new(0x40_0000, 0xFFFF, true).expect("valid code region"))
+}
+
+fn data() -> Region {
+    Region::Data(ImplicitDataRegion::new(0x10_0000, 0xFFFF, true, true).expect("valid data region"))
+}
+
+fn explicit() -> Region {
+    Region::Explicit(
+        ExplicitDataRegion::large(0x100_0000, 1 << 20, true, true).expect("valid explicit region"),
+    )
+}
+
+#[test]
+fn constants_match_the_paper_body_text() {
+    assert_eq!(NUM_CODE_REGIONS, 2, "slots 0-1 are implicit code");
+    assert_eq!(NUM_IMPLICIT_DATA_REGIONS, 4, "slots 2-5 are implicit data");
+    assert_eq!(
+        NUM_EXPLICIT_REGIONS, 4,
+        "hmov0-3 address exactly four explicit regions"
+    );
+    assert_eq!(NUM_REGIONS, 10, "ten region registers total");
+    assert_eq!(FIRST_EXPLICIT_SLOT, 6, "explicit slots start at 6");
+    assert_eq!(
+        FIRST_EXPLICIT_SLOT + NUM_EXPLICIT_REGIONS,
+        NUM_REGIONS,
+        "explicit slots are 6..=9 (not 6..=10 as Appendix A.1 numbers them)"
+    );
+}
+
+#[test]
+fn each_slot_range_accepts_only_its_kind() {
+    for slot in 0..NUM_REGIONS {
+        let expected_kind = if slot < NUM_CODE_REGIONS {
+            "code"
+        } else if slot < FIRST_EXPLICIT_SLOT {
+            "data"
+        } else {
+            "explicit"
+        };
+        for (kind, region) in [("code", code()), ("data", data()), ("explicit", explicit())] {
+            let mut hfi = HfiContext::new();
+            let result = hfi.set_region(slot, region);
+            if kind == expected_kind {
+                assert!(result.is_ok(), "slot {slot} must accept {kind}");
+            } else {
+                assert!(result.is_err(), "slot {slot} must reject {kind}");
+            }
+        }
+    }
+}
+
+#[test]
+fn appendix_slot_ten_does_not_exist() {
+    let mut hfi = HfiContext::new();
+    // Appendix A.1's "6-10" range would make this valid; the body text's
+    // four-explicit-slot budget makes it a fault.
+    assert!(hfi.set_region(NUM_REGIONS, explicit()).is_err());
+    assert!(hfi.region(NUM_REGIONS).is_err());
+    // The last real slot works.
+    assert!(hfi.set_region(NUM_REGIONS - 1, explicit()).is_ok());
+    assert!(hfi
+        .region(NUM_REGIONS - 1)
+        .expect("readable slot")
+        .is_some());
+}

@@ -23,6 +23,8 @@ pub mod platform;
 pub mod table1;
 
 pub use chaining::{evaluate_chain, ChainResult, Composition};
-pub use lifecycle::{max_concurrent_sandboxes, teardown_experiment, TeardownPolicy, TeardownResult};
+pub use lifecycle::{
+    max_concurrent_sandboxes, teardown_experiment, TeardownPolicy, TeardownResult,
+};
 pub use platform::{evaluate, simulate_queue, CellResult, ProfiledWorkload, Scheme, CPU_HZ};
 pub use table1::{build as build_table1, WorkloadRow};

@@ -56,8 +56,9 @@ pub fn teardown_experiment(
     };
     let mut runtime = SandboxRuntime::new(isolation, 48);
     runtime.set_max_heap(64 << 20); // modest heaps so 2000 sandboxes fit
-    let ids: Vec<_> =
-        (0..count).map(|_| runtime.create_sandbox(16)).collect::<Result<_, _>>()?;
+    let ids: Vec<_> = (0..count)
+        .map(|_| runtime.create_sandbox(16))
+        .collect::<Result<_, _>>()?;
     for &id in &ids {
         // Trivial workload: write some constant data into the heap.
         runtime.touch_heap(id, 256 << 10)?;
@@ -113,8 +114,7 @@ mod tests {
         let n = 256;
         let stock = teardown_experiment(n, TeardownPolicy::StockPerSandbox).expect("stock");
         let hfi = teardown_experiment(n, TeardownPolicy::HfiBatched).expect("hfi");
-        let guarded =
-            teardown_experiment(n, TeardownPolicy::BatchedWithGuards).expect("guarded");
+        let guarded = teardown_experiment(n, TeardownPolicy::BatchedWithGuards).expect("guarded");
         assert!(
             hfi.per_sandbox_us < stock.per_sandbox_us,
             "HFI batched {:.1}µs !< stock {:.1}µs",

@@ -21,10 +21,9 @@
 
 use hfi_core::CostModel;
 use hfi_sim::{Functional, FunctionalResult, Stop};
+use hfi_util::Rng;
 use hfi_wasm::compiler::{compile, CompileOptions, Isolation};
 use hfi_wasm::kernels::Kernel;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Simulated CPU frequency (cycles per second).
 pub const CPU_HZ: f64 = 3.3e9;
@@ -151,13 +150,13 @@ pub fn simulate_queue(
 ) -> (f64, f64) {
     let service_s = service_cycles / CPU_HZ;
     let mean_interarrival = service_s / utilization;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::new(seed);
     let mut clock = 0.0f64;
     let mut server_free_at = 0.0f64;
     let mut sojourns: Vec<f64> = Vec::with_capacity(requests);
     for _ in 0..requests {
-        // Exponential inter-arrival.
-        let u: f64 = rng.gen_range(1e-12..1.0);
+        // Exponential inter-arrival (clamp u away from 0 so ln is finite).
+        let u: f64 = rng.f64().max(1e-12);
         clock += -mean_interarrival * u.ln();
         let start = clock.max(server_free_at);
         let done = start + service_s;
@@ -172,11 +171,7 @@ pub fn simulate_queue(
 }
 
 /// Evaluates one (workload, scheme) cell.
-pub fn evaluate(
-    workload: &ProfiledWorkload,
-    scheme: Scheme,
-    costs: &CostModel,
-) -> CellResult {
+pub fn evaluate(workload: &ProfiledWorkload, scheme: Scheme, costs: &CostModel) -> CellResult {
     let cycles = workload.service_cycles(scheme, costs);
     let (avg, p99) = simulate_queue(cycles, 0.60, 4000, 0x5EED);
     CellResult {

@@ -38,7 +38,10 @@ pub fn build(scale: u32) -> Vec<WorkloadRow> {
             let profiled = ProfiledWorkload::profile(kernel);
             let cells = [Scheme::Unsafe, Scheme::Hfi, Scheme::Swivel]
                 .map(|scheme| (scheme, evaluate(&profiled, scheme, &costs)));
-            WorkloadRow { name: profiled.name.clone(), cells }
+            WorkloadRow {
+                name: profiled.name.clone(),
+                cells,
+            }
         })
         .collect()
 }

@@ -26,11 +26,20 @@ pub struct Prot {
 
 impl Prot {
     /// `PROT_NONE`: reserved address space with no access (guard regions).
-    pub const NONE: Prot = Prot { read: false, write: false };
+    pub const NONE: Prot = Prot {
+        read: false,
+        write: false,
+    };
     /// `PROT_READ | PROT_WRITE`.
-    pub const READ_WRITE: Prot = Prot { read: true, write: true };
+    pub const READ_WRITE: Prot = Prot {
+        read: true,
+        write: true,
+    };
     /// `PROT_READ`.
-    pub const READ: Prot = Prot { read: true, write: false };
+    pub const READ: Prot = Prot {
+        read: true,
+        write: false,
+    };
 }
 
 /// A failed address-space operation.
@@ -131,7 +140,10 @@ impl AddressSpace {
 
     /// Creates an address space with explicit cost parameters.
     pub fn with_costs(va_bits: u32, costs: OsCosts) -> Self {
-        assert!((30..=57).contains(&va_bits), "va_bits out of modelled range");
+        assert!(
+            (30..=57).contains(&va_bits),
+            "va_bits out of modelled range"
+        );
         Self {
             va_bits,
             vmas: BTreeMap::new(),
@@ -256,14 +268,21 @@ impl AddressSpace {
         if len == 0 {
             return Err(MemError::ZeroLength);
         }
-        if len % PAGE_SIZE != 0 {
+        if !len.is_multiple_of(PAGE_SIZE) {
             return Err(MemError::Unaligned);
         }
         self.charge_syscall();
         self.stats.mmaps += 1;
         let addr = self.find_gap(len).ok_or(MemError::OutOfAddressSpace)?;
         self.charge(self.vma_maintenance_ns());
-        self.vmas.insert(addr, Vma { len, prot, resident_pages: 0 });
+        self.vmas.insert(
+            addr,
+            Vma {
+                len,
+                prot,
+                resident_pages: 0,
+            },
+        );
         Ok(addr)
     }
 
@@ -278,7 +297,7 @@ impl AddressSpace {
         if len == 0 {
             return Err(MemError::ZeroLength);
         }
-        if len % PAGE_SIZE != 0 || addr % PAGE_SIZE != 0 {
+        if !len.is_multiple_of(PAGE_SIZE) || !addr.is_multiple_of(PAGE_SIZE) {
             return Err(MemError::Unaligned);
         }
         if addr + len > self.va_size() {
@@ -290,7 +309,14 @@ impl AddressSpace {
             return Err(MemError::Overlap);
         }
         self.charge(self.vma_maintenance_ns());
-        self.vmas.insert(addr, Vma { len, prot, resident_pages: 0 });
+        self.vmas.insert(
+            addr,
+            Vma {
+                len,
+                prot,
+                resident_pages: 0,
+            },
+        );
         Ok(())
     }
 
@@ -366,7 +392,7 @@ impl AddressSpace {
         if len == 0 {
             return Err(MemError::ZeroLength);
         }
-        if len % PAGE_SIZE != 0 || addr % PAGE_SIZE != 0 {
+        if !len.is_multiple_of(PAGE_SIZE) || !addr.is_multiple_of(PAGE_SIZE) {
             return Err(MemError::Unaligned);
         }
         self.charge_syscall();
@@ -404,7 +430,7 @@ impl AddressSpace {
         if len == 0 {
             return Err(MemError::ZeroLength);
         }
-        if len % PAGE_SIZE != 0 || addr % PAGE_SIZE != 0 {
+        if !len.is_multiple_of(PAGE_SIZE) || !addr.is_multiple_of(PAGE_SIZE) {
             return Err(MemError::Unaligned);
         }
         self.charge_syscall();
@@ -424,7 +450,9 @@ impl AddressSpace {
         }
         self.stats.pages_discarded += discarded;
         self.charge(self.costs.page_discard_ns * discarded as f64);
-        self.charge(self.costs.reserved_walk_ns_per_gib * reserved_bytes as f64 / (1u64 << 30) as f64);
+        self.charge(
+            self.costs.reserved_walk_ns_per_gib * reserved_bytes as f64 / (1u64 << 30) as f64,
+        );
         if discarded > 0 {
             self.maybe_shootdown();
         }
@@ -441,7 +469,7 @@ impl AddressSpace {
         if len == 0 {
             return Err(MemError::ZeroLength);
         }
-        if len % PAGE_SIZE != 0 || addr % PAGE_SIZE != 0 {
+        if !len.is_multiple_of(PAGE_SIZE) || !addr.is_multiple_of(PAGE_SIZE) {
             return Err(MemError::Unaligned);
         }
         self.charge_syscall();
@@ -560,10 +588,10 @@ mod tests {
     #[test]
     fn touch_and_discard_accounting() {
         let mut space = AddressSpace::new(40);
-        let base = space.mmap(1 * GIB, Prot::READ_WRITE).unwrap();
+        let base = space.mmap(GIB, Prot::READ_WRITE).unwrap();
         space.touch(base, 1 << 20).unwrap();
         assert_eq!(space.resident_pages(), 256);
-        space.madvise_dontneed(base, 1 * GIB).unwrap();
+        space.madvise_dontneed(base, GIB).unwrap();
         assert_eq!(space.resident_pages(), 0);
         assert_eq!(space.stats().pages_discarded, 256);
     }
@@ -585,12 +613,14 @@ mod tests {
         let _guard = with_guards.mmap(8 * GIB, Prot::NONE).unwrap();
         with_guards.touch(heap, 2 << 20).unwrap();
         with_guards.reset_clock();
-        with_guards.madvise_dontneed(heap, 2 << 20 + 0).unwrap();
+        with_guards.madvise_dontneed(heap, 2 << 20).unwrap();
         let heap_only = with_guards.elapsed_ns();
         with_guards.touch(heap, 2 << 20).unwrap();
         with_guards.reset_clock();
         // One batched call across heap + guard.
-        with_guards.madvise_dontneed(heap, (2 << 20) + 8 * GIB).unwrap();
+        with_guards
+            .madvise_dontneed(heap, (2 << 20) + 8 * GIB)
+            .unwrap();
         let with_guard_walk = with_guards.elapsed_ns();
         assert!(with_guard_walk > heap_only);
     }
@@ -612,7 +642,9 @@ mod tests {
     #[test]
     fn mmap_fixed_detects_overlap() {
         let mut space = AddressSpace::new(40);
-        space.mmap_fixed(0x100_0000, 1 << 20, Prot::READ_WRITE).unwrap();
+        space
+            .mmap_fixed(0x100_0000, 1 << 20, Prot::READ_WRITE)
+            .unwrap();
         assert_eq!(
             space.mmap_fixed(0x100_0000 + (1 << 19), 1 << 20, Prot::NONE),
             Err(MemError::Overlap)

@@ -1,54 +1,102 @@
-//! Property-based tests of the address-space model: random operation
+//! Randomized tests of the address-space model: random operation
 //! sequences must preserve the VMA invariants the cost model depends on.
+//!
+//! Driven by the vendored deterministic PRNG (fixed seeds, offline
+//! build) instead of `proptest`.
 
 use hfi_mem::{AddressSpace, Prot, PAGE_SIZE};
-use proptest::prelude::*;
+use hfi_util::Rng;
 
 #[derive(Debug, Clone)]
 enum Op {
-    Mmap { pages: u64, writable: bool },
-    MprotectWithin { slot: usize, first: u64, count: u64, writable: bool },
-    MunmapWithin { slot: usize, first: u64, count: u64 },
-    Madvise { slot: usize },
-    Touch { slot: usize, bytes: u64 },
+    Mmap {
+        pages: u64,
+        writable: bool,
+    },
+    MprotectWithin {
+        slot: usize,
+        first: u64,
+        count: u64,
+        writable: bool,
+    },
+    MunmapWithin {
+        slot: usize,
+        first: u64,
+        count: u64,
+    },
+    Madvise {
+        slot: usize,
+    },
+    Touch {
+        slot: usize,
+        bytes: u64,
+    },
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (1u64..64, any::<bool>()).prop_map(|(pages, writable)| Op::Mmap { pages, writable }),
-        (0usize..8, 0u64..32, 1u64..16, any::<bool>()).prop_map(
-            |(slot, first, count, writable)| Op::MprotectWithin { slot, first, count, writable }
-        ),
-        (0usize..8, 0u64..32, 1u64..16)
-            .prop_map(|(slot, first, count)| Op::MunmapWithin { slot, first, count }),
-        (0usize..8).prop_map(|slot| Op::Madvise { slot }),
-        (0usize..8, 1u64..5000).prop_map(|(slot, bytes)| Op::Touch { slot, bytes }),
-    ]
+fn random_op(rng: &mut Rng) -> Op {
+    match rng.below(5) {
+        0 => Op::Mmap {
+            pages: rng.range_u64(1, 64),
+            writable: rng.bool(),
+        },
+        1 => Op::MprotectWithin {
+            slot: rng.below(8) as usize,
+            first: rng.below(32),
+            count: rng.range_u64(1, 16),
+            writable: rng.bool(),
+        },
+        2 => Op::MunmapWithin {
+            slot: rng.below(8) as usize,
+            first: rng.below(32),
+            count: rng.range_u64(1, 16),
+        },
+        3 => Op::Madvise {
+            slot: rng.below(8) as usize,
+        },
+        _ => Op::Touch {
+            slot: rng.below(8) as usize,
+            bytes: rng.range_u64(1, 5000),
+        },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-    #[test]
-    fn address_space_invariants_hold(ops in prop::collection::vec(op_strategy(), 1..60)) {
+#[test]
+fn address_space_invariants_hold() {
+    let mut rng = Rng::new(0x11);
+    for _case in 0..64 {
+        let steps = rng.range_u64(1, 60);
         let mut space = AddressSpace::new(36);
         // (base, pages) of live regions we created, for targeting.
         let mut slots: Vec<(u64, u64)> = Vec::new();
         let mut last_clock = 0.0f64;
-        for op in ops {
-            match op {
+        for _ in 0..steps {
+            match random_op(&mut rng) {
                 Op::Mmap { pages, writable } => {
-                    let prot = if writable { Prot::READ_WRITE } else { Prot::NONE };
+                    let prot = if writable {
+                        Prot::READ_WRITE
+                    } else {
+                        Prot::NONE
+                    };
                     if let Ok(base) = space.mmap(pages * PAGE_SIZE, prot) {
-                        prop_assert_eq!(base % PAGE_SIZE, 0, "mmap returns aligned bases");
+                        assert_eq!(base % PAGE_SIZE, 0, "mmap returns aligned bases");
                         slots.push((base, pages));
                     }
                 }
-                Op::MprotectWithin { slot, first, count, writable } => {
+                Op::MprotectWithin {
+                    slot,
+                    first,
+                    count,
+                    writable,
+                } => {
                     if let Some(&(base, pages)) = slots.get(slot % slots.len().max(1)) {
                         let first = first % pages;
                         let count = count.min(pages - first);
                         if count > 0 {
-                            let prot = if writable { Prot::READ_WRITE } else { Prot::READ };
+                            let prot = if writable {
+                                Prot::READ_WRITE
+                            } else {
+                                Prot::READ
+                            };
                             space
                                 .mprotect(base + first * PAGE_SIZE, count * PAGE_SIZE, prot)
                                 .expect("mprotect inside a live mapping succeeds");
@@ -86,25 +134,30 @@ proptest! {
                 }
             }
             // Invariants after every step:
-            prop_assert!(space.reserved_bytes() <= space.va_size());
-            prop_assert!(
+            assert!(space.reserved_bytes() <= space.va_size());
+            assert!(
                 space.resident_pages() * PAGE_SIZE <= space.reserved_bytes(),
                 "residency cannot exceed reservations"
             );
-            prop_assert!(space.elapsed_ns() >= last_clock, "time is monotonic");
+            assert!(space.elapsed_ns() >= last_clock, "time is monotonic");
             last_clock = space.elapsed_ns();
         }
     }
+}
 
-    #[test]
-    fn mmap_regions_never_overlap(sizes in prop::collection::vec(1u64..64, 1..30)) {
+#[test]
+fn mmap_regions_never_overlap() {
+    let mut rng = Rng::new(0x12);
+    for _case in 0..64 {
+        let count = rng.range_u64(1, 30);
         let mut space = AddressSpace::new(36);
         let mut ranges: Vec<(u64, u64)> = Vec::new();
-        for pages in sizes {
+        for _ in 0..count {
+            let pages = rng.range_u64(1, 64);
             if let Ok(base) = space.mmap(pages * PAGE_SIZE, Prot::READ_WRITE) {
                 let end = base + pages * PAGE_SIZE;
                 for &(other_base, other_end) in &ranges {
-                    prop_assert!(
+                    assert!(
                         end <= other_base || base >= other_end,
                         "[{base:#x},{end:#x}) overlaps [{other_base:#x},{other_end:#x})"
                     );
@@ -113,26 +166,30 @@ proptest! {
             }
         }
     }
+}
 
-    #[test]
-    fn mprotect_split_preserves_coverage(
-        pages in 4u64..64,
-        cut_first in 1u64..32,
-        cut_count in 1u64..16,
-    ) {
+#[test]
+fn mprotect_split_preserves_coverage() {
+    let mut rng = Rng::new(0x13);
+    for _case in 0..256 {
+        let pages = rng.range_u64(4, 64);
+        let cut_first = rng.range_u64(1, 32) % (pages - 1);
+        let cut_count = rng.range_u64(1, 16).min(pages - cut_first);
         let mut space = AddressSpace::new(36);
         let base = space.mmap(pages * PAGE_SIZE, Prot::NONE).expect("fits");
-        let cut_first = cut_first % (pages - 1);
-        let cut_count = cut_count.min(pages - cut_first);
         space
-            .mprotect(base + cut_first * PAGE_SIZE, cut_count * PAGE_SIZE, Prot::READ_WRITE)
+            .mprotect(
+                base + cut_first * PAGE_SIZE,
+                cut_count * PAGE_SIZE,
+                Prot::READ_WRITE,
+            )
             .expect("in-range mprotect");
         // Every page is still mapped, with the right protection.
         for page in 0..pages {
             let addr = base + page * PAGE_SIZE;
             let prot = space.prot_at(addr).expect("page still mapped");
             let expected_writable = page >= cut_first && page < cut_first + cut_count;
-            prop_assert_eq!(prot.write, expected_writable, "page {}", page);
+            assert_eq!(prot.write, expected_writable, "page {page}");
         }
     }
 }

@@ -130,15 +130,26 @@ impl ServerModel {
 
     /// Throughput overhead of `protection` vs. unprotected at one size.
     pub fn overhead(&self, file_bytes: u64, protection: Protection) -> f64 {
-        let base = self.request(file_bytes, Protection::None).requests_per_second;
+        let base = self
+            .request(file_bytes, Protection::None)
+            .requests_per_second;
         let protected = self.request(file_bytes, protection).requests_per_second;
         base / protected - 1.0
     }
 }
 
 /// The file sizes Fig. 5 sweeps (0 through 128 KiB).
-pub const FIG5_FILE_SIZES: [u64; 9] =
-    [0, 1 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10, 128 << 10];
+pub const FIG5_FILE_SIZES: [u64; 9] = [
+    0,
+    1 << 10,
+    2 << 10,
+    4 << 10,
+    8 << 10,
+    16 << 10,
+    32 << 10,
+    64 << 10,
+    128 << 10,
+];
 
 #[cfg(test)]
 mod tests {
@@ -166,7 +177,11 @@ mod tests {
             let mpk = model.overhead(size, Protection::Mpk);
             let hfi = model.overhead(size, Protection::HfiNative);
             assert!(mpk < hfi, "MPK must beat HFI at {size}B");
-            assert!(mpk > 0.015 && mpk < 0.06, "MPK overhead {:.1}% at {size}B", mpk * 100.0);
+            assert!(
+                mpk > 0.015 && mpk < 0.06,
+                "MPK overhead {:.1}% at {size}B",
+                mpk * 100.0
+            );
         }
     }
 
@@ -174,7 +189,9 @@ mod tests {
     fn throughput_decreases_with_file_size() {
         let model = ServerModel::default();
         let small = model.request(0, Protection::None).requests_per_second;
-        let large = model.request(128 << 10, Protection::None).requests_per_second;
+        let large = model
+            .request(128 << 10, Protection::None)
+            .requests_per_second;
         assert!(small > large);
     }
 

@@ -70,8 +70,8 @@ fn build(iterations: u64, mechanism: Interposition) -> hfi_sim::Program {
             // Two-pass build to learn the handler address.
             let build_once = |handler_pc: i64| {
                 let mut asm = ProgramBuilder::new(CODE_BASE);
-                let code = ImplicitCodeRegion::new(CODE_BASE, 0xFFFF, true)
-                    .expect("aligned code region");
+                let code =
+                    ImplicitCodeRegion::new(CODE_BASE, 0xFFFF, true).expect("aligned code region");
                 let handler = asm.label();
                 let sandbox = asm.label();
                 asm.hfi_set_region(0, Region::Code(code));
@@ -124,7 +124,11 @@ pub fn run_benchmark(iterations: u64, mechanism: Interposition) -> Interposition
         }));
     }
     let result = machine.run(5_000_000_000);
-    assert_eq!(result.stop, Stop::Halted, "{mechanism:?} benchmark must halt");
+    assert_eq!(
+        result.stop,
+        Stop::Halted,
+        "{mechanism:?} benchmark must halt"
+    );
     InterpositionRun {
         mechanism,
         cycles: result.cycles,

@@ -47,7 +47,10 @@ pub struct ProgramBuilder {
 impl ProgramBuilder {
     /// Starts a program whose code is linked at byte address `base`.
     pub fn new(base: u64) -> Self {
-        Self { base, ..Self::default() }
+        Self {
+            base,
+            ..Self::default()
+        }
     }
 
     /// Creates an unplaced label for forward references.
@@ -128,23 +131,49 @@ impl ProgramBuilder {
 
     /// `hmov{region}` load.
     pub fn hmov_load(&mut self, region: u8, dst: Reg, mem: HmovOperand, size: u8) -> &mut Self {
-        self.push(Inst::HmovLoad { region, dst, mem, size })
+        self.push(Inst::HmovLoad {
+            region,
+            dst,
+            mem,
+            size,
+        })
     }
 
     /// `hmov{region}` store.
     pub fn hmov_store(&mut self, region: u8, src: Reg, mem: HmovOperand, size: u8) -> &mut Self {
-        self.push(Inst::HmovStore { region, src, mem, size })
+        self.push(Inst::HmovStore {
+            region,
+            src,
+            mem,
+            size,
+        })
     }
 
     /// Conditional branch to `label`.
     pub fn branch(&mut self, cond: Cond, a: Reg, b: Reg, label: Label) -> &mut Self {
-        self.push_branch(Inst::Branch { cond, a, b, target: usize::MAX }, label);
+        self.push_branch(
+            Inst::Branch {
+                cond,
+                a,
+                b,
+                target: usize::MAX,
+            },
+            label,
+        );
         self
     }
 
     /// Conditional branch (register vs. immediate) to `label`.
     pub fn branch_i(&mut self, cond: Cond, a: Reg, imm: i64, label: Label) -> &mut Self {
-        self.push_branch(Inst::BranchI { cond, a, imm, target: usize::MAX }, label);
+        self.push_branch(
+            Inst::BranchI {
+                cond,
+                a,
+                imm,
+                target: usize::MAX,
+            },
+            label,
+        );
         self
     }
 
@@ -207,7 +236,10 @@ impl ProgramBuilder {
         config: SandboxConfig,
         regions: [Option<Region>; hfi_core::NUM_REGIONS],
     ) -> &mut Self {
-        self.push(Inst::HfiEnterChild { config, regions: Box::new(regions) })
+        self.push(Inst::HfiEnterChild {
+            config,
+            regions: Box::new(regions),
+        })
     }
 
     /// `hfi_exit`.

@@ -41,7 +41,14 @@ impl Cache {
         assert!(num_sets.is_power_of_two() && num_sets >= 1);
         Self {
             sets: vec![
-                vec![Line { tag: 0, lru: 0, valid: false }; assoc];
+                vec![
+                    Line {
+                        tag: 0,
+                        lru: 0,
+                        valid: false
+                    };
+                    assoc
+                ];
                 num_sets as usize
             ],
             assoc,
@@ -76,14 +83,20 @@ impl Cache {
         let victim = (0..assoc)
             .min_by_key(|&way| if set[way].valid { set[way].lru } else { 0 })
             .expect("assoc >= 1");
-        set[victim] = Line { tag, lru: now, valid: true };
+        set[victim] = Line {
+            tag,
+            lru: now,
+            valid: true,
+        };
         false
     }
 
     /// Probes without modifying state: would `addr` hit?
     pub fn probe(&self, addr: u64) -> bool {
         let (set_idx, tag) = self.index(addr);
-        self.sets[set_idx].iter().any(|line| line.valid && line.tag == tag)
+        self.sets[set_idx]
+            .iter()
+            .any(|line| line.valid && line.tag == tag)
     }
 
     /// Evicts the line containing `addr` (clflush).
@@ -127,7 +140,12 @@ pub struct CacheLatencies {
 impl Default for CacheLatencies {
     fn default() -> Self {
         // Skylake-like: 4-cycle L1, 12-cycle L2, ~200-cycle DRAM.
-        Self { l1: 4, l2: 12, memory: 200, tlb_miss: 30 }
+        Self {
+            l1: 4,
+            l2: 12,
+            memory: 200,
+            tlb_miss: 30,
+        }
     }
 }
 
@@ -173,7 +191,11 @@ impl CacheHierarchy {
     /// lookup — and, with HFI, the region checks (paper Fig. 1) — so TLB
     /// hits add nothing.
     pub fn data_access(&mut self, addr: u64, now: u64) -> u64 {
-        let tlb_pen = if self.dtlb.access(addr, now) { 0 } else { self.latencies.tlb_miss };
+        let tlb_pen = if self.dtlb.access(addr, now) {
+            0
+        } else {
+            self.latencies.tlb_miss
+        };
         let lat = if self.l1d.access(addr, now) {
             self.latencies.l1
         } else if self.l2.access(addr, now) {
@@ -251,7 +273,7 @@ mod tests {
             cache.access(0x0, 1);
             cache
         };
-        let mut cache = cache_before.clone();
+        let cache = cache_before.clone();
         let _ = cache.probe(0x12345);
         assert_eq!(cache.stats(), cache_before.stats());
     }

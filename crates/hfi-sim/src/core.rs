@@ -20,9 +20,11 @@
 //! Serialization (`cpuid`, `is-serialized` enter/exit, in-sandbox region
 //! updates) drains the ROB at decode and charges the §3.4 pipeline cost.
 
+use std::sync::Arc;
+
 use hfi_core::{
-    Access, CostModel, ExitDisposition, ExitReason, HfiContext, HfiFault,
-    SyscallDisposition, SyscallKind,
+    Access, CostModel, ExitDisposition, ExitReason, HfiContext, HfiFault, SyscallDisposition,
+    SyscallKind,
 };
 
 use crate::cache::CacheHierarchy;
@@ -87,8 +89,15 @@ pub struct CoreStats {
     pub committed: u64,
     /// Squashed (wrong-path) instructions.
     pub squashed: u64,
+    /// Committed branches (conditional and indirect).
+    pub branches: u64,
     /// Conditional-branch mispredictions.
     pub mispredicts: u64,
+    /// Cycles the front end could not decode because the ROB was full.
+    pub rob_stall_cycles: u64,
+    /// HFI checks performed (fetch, implicit-data, and `hmov` checks
+    /// evaluated while a sandbox was active).
+    pub hfi_checks: u64,
     /// Pipeline drains for serialization.
     pub serializations: u64,
     /// Loads that executed speculatively and were later squashed — the
@@ -165,13 +174,21 @@ impl OsModel for DefaultOs {
     ) -> SyscallOutcome {
         self.serviced += 1;
         if number == 0 {
-            return SyscallOutcome { ret: 0, extra_cycles: 0, exit: true };
+            return SyscallOutcome {
+                ret: 0,
+                extra_cycles: 0,
+                exit: true,
+            };
         }
         // Model open/read/close-style calls: VFS walk + page-cache read
         // is on the order of a microsecond (~3300 cycles at 3.3 GHz)
         // beyond the bare kernel entry/exit.
         let _ = regs;
-        SyscallOutcome { ret: 0, extra_cycles: self.filter_cycles + 3300, exit: false }
+        SyscallOutcome {
+            ret: 0,
+            extra_cycles: self.filter_cycles + 3300,
+            exit: false,
+        }
     }
 }
 
@@ -232,7 +249,7 @@ struct RobEntry {
 /// The complete simulated machine: program, memory, caches, predictors,
 /// HFI state, and the out-of-order pipeline.
 pub struct Machine {
-    program: Program,
+    program: Arc<Program>,
     /// Data memory.
     pub mem: SparseMemory,
     /// Cache hierarchy and dTLB.
@@ -283,14 +300,18 @@ impl std::fmt::Debug for Machine {
 
 impl Machine {
     /// Creates a machine executing `program` from its first instruction.
-    pub fn new(program: Program) -> Self {
+    ///
+    /// Accepts a [`Program`] by value or an [`Arc<Program>`]; harnesses
+    /// that run one compiled kernel on many machines share the `Arc`
+    /// instead of cloning instruction vectors per cell.
+    pub fn new(program: impl Into<Arc<Program>>) -> Self {
         Self::with_config(program, CoreConfig::default())
     }
 
     /// Creates a machine with explicit structural parameters.
-    pub fn with_config(program: Program, config: CoreConfig) -> Self {
+    pub fn with_config(program: impl Into<Arc<Program>>, config: CoreConfig) -> Self {
         Self {
-            program,
+            program: program.into(),
             mem: SparseMemory::new(),
             caches: CacheHierarchy::new(),
             hfi: HfiContext::new(),
@@ -337,6 +358,16 @@ impl Machine {
         self.cycle
     }
 
+    /// Counters so far.
+    pub fn core_stats(&self) -> CoreStats {
+        self.stats
+    }
+
+    /// Snapshot of the architectural register file.
+    pub fn regs(&self) -> [u64; 16] {
+        self.regs
+    }
+
     /// The program under execution.
     pub fn program(&self) -> &Program {
         &self.program
@@ -352,7 +383,10 @@ impl Machine {
             if entry.dst == Some(reg) {
                 return match entry.state {
                     EntryState::Done => Operand::Ready(entry.value),
-                    _ => Operand::Wait { seq: entry.seq, reg },
+                    _ => Operand::Wait {
+                        seq: entry.seq,
+                        reg,
+                    },
                 };
             }
         }
@@ -379,6 +413,10 @@ impl Machine {
         if self.cycle < self.fetch_stall_until {
             return;
         }
+        if self.rob.len() >= self.config.rob_size {
+            self.stats.rob_stall_cycles += 1;
+            return;
+        }
         for _ in 0..self.config.decode_width {
             if self.rob.len() >= self.config.rob_size {
                 break;
@@ -401,12 +439,17 @@ impl Machine {
 
             // HFI code-region check, in parallel with decode (§4.1). On
             // failure the micro-op becomes a faulting NOP.
+            if self.hfi.enabled() {
+                self.stats.hfi_checks += 1;
+            }
             if let Err(fault) = self.hfi.check_fetch(pc, len) {
                 self.push_entry(RobEntry {
                     seq: 0,
                     inst_idx,
                     pc,
-                    state: EntryState::Executing { done_at: self.cycle + 1 },
+                    state: EntryState::Executing {
+                        done_at: self.cycle + 1,
+                    },
                     dst: None,
                     value: 0,
                     srcs: [None, None, None],
@@ -572,14 +615,16 @@ impl Machine {
                 entry.predicted_next = Some(next);
             }
             Inst::Call { target } => {
-                self.call_stack_undo.push((self.next_seq, self.call_stack.clone()));
+                self.call_stack_undo
+                    .push((self.next_seq, self.call_stack.clone()));
                 self.call_stack.push(inst_idx + 1);
                 next = *target;
             }
             Inst::Ret => {
                 // The decode-time call stack is exact along the fetched
                 // path, so returns never mispredict in this model.
-                self.call_stack_undo.push((self.next_seq, self.call_stack.clone()));
+                self.call_stack_undo
+                    .push((self.next_seq, self.call_stack.clone()));
                 next = self.call_stack.pop().unwrap_or(self.program.len());
             }
             Inst::Syscall => {
@@ -611,7 +656,10 @@ impl Machine {
                     Ok((disposition, _)) => match disposition {
                         ExitDisposition::FallThrough | ExitDisposition::SwitchedToParent => {}
                         ExitDisposition::JumpToHandler(handler) => {
-                            next = self.program.index_of_pc(handler).unwrap_or(self.program.len());
+                            next = self
+                                .program
+                                .index_of_pc(handler)
+                                .unwrap_or(self.program.len());
                         }
                     },
                     Err(fault) => entry.fault = Some(fault),
@@ -673,7 +721,9 @@ impl Machine {
 
     fn push_entry(&mut self, mut entry: RobEntry) {
         entry.seq = self.next_seq;
-        entry.hfi_gen = self.hfi_gen.min(entry.hfi_gen_before.unwrap_or(self.hfi_gen));
+        entry.hfi_gen = self
+            .hfi_gen
+            .min(entry.hfi_gen_before.unwrap_or(self.hfi_gen));
         self.next_seq += 1;
         self.rob.push(entry);
     }
@@ -697,8 +747,10 @@ impl Machine {
                 if inst_idx + 1 < self.program.len() {
                     self.regs[14] = self.program.pc_of(inst_idx + 1);
                 }
-                self.fetch_index =
-                    self.program.index_of_pc(handler).unwrap_or(self.program.len());
+                self.fetch_index = self
+                    .program
+                    .index_of_pc(handler)
+                    .unwrap_or(self.program.len());
             }
             SyscallDisposition::Allow => {
                 self.stats.syscalls_to_os += 1;
@@ -810,7 +862,11 @@ impl Machine {
                 Inst::Branch { cond, target, .. } => {
                     self.alu_ops_this_cycle += 1;
                     let taken = cond.eval(v(0), v(1));
-                    let actual = if taken { target } else { self.rob[i].inst_idx + 1 };
+                    let actual = if taken {
+                        target
+                    } else {
+                        self.rob[i].inst_idx + 1
+                    };
                     let pc = self.rob[i].pc;
                     self.pht.update(pc, taken);
                     if self.rob[i].predicted_next != Some(actual) {
@@ -821,10 +877,16 @@ impl Machine {
                         break;
                     }
                 }
-                Inst::BranchI { cond, imm, target, .. } => {
+                Inst::BranchI {
+                    cond, imm, target, ..
+                } => {
                     self.alu_ops_this_cycle += 1;
                     let taken = cond.eval(v(0), imm as u64);
-                    let actual = if taken { target } else { self.rob[i].inst_idx + 1 };
+                    let actual = if taken {
+                        target
+                    } else {
+                        self.rob[i].inst_idx + 1
+                    };
                     let pc = self.rob[i].pc;
                     self.pht.update(pc, taken);
                     if self.rob[i].predicted_next != Some(actual) {
@@ -878,6 +940,9 @@ impl Machine {
                     let addr = effective_address(&mem, v(0), v(1));
                     // Implicit-region check, parallel with the dtb: zero
                     // latency; a failure blocks the (commit-time) access.
+                    if self.hfi_history[self.rob[i].hfi_gen].enabled() {
+                        self.stats.hfi_checks += 1;
+                    }
                     let hfi = &self.hfi_history[self.rob[i].hfi_gen];
                     if let Err(fault) = hfi.check_data(addr, size as u64, Access::Write) {
                         self.rob[i].fault = Some(fault);
@@ -886,7 +951,10 @@ impl Machine {
                     self.rob[i].store_value = Some(v(2));
                     self.finish(i, 0, 1);
                 }
-                Inst::HmovLoad { region, mem, size, .. } => {
+                Inst::HmovLoad {
+                    region, mem, size, ..
+                } => {
+                    self.stats.hfi_checks += 1;
                     match self.hfi_history[self.rob[i].hfi_gen].hmov_check_access(
                         region,
                         v(1) as i64,
@@ -904,8 +972,11 @@ impl Machine {
                         }
                     }
                 }
-                Inst::HmovStore { region, mem, size, .. } => {
+                Inst::HmovStore {
+                    region, mem, size, ..
+                } => {
                     self.mem_ops_this_cycle += 1;
+                    self.stats.hfi_checks += 1;
                     match self.hfi_history[self.rob[i].hfi_gen].hmov_check_access(
                         region,
                         v(1) as i64,
@@ -935,8 +1006,9 @@ impl Machine {
             self.fetch_index = correct_next;
             // The refill penalty may not cancel a longer pending stall
             // (e.g. a kernel round trip).
-            self.fetch_stall_until =
-                self.fetch_stall_until.max(self.cycle + self.config.redirect_penalty);
+            self.fetch_stall_until = self
+                .fetch_stall_until
+                .max(self.cycle + self.config.redirect_penalty);
         }
     }
 
@@ -972,6 +1044,9 @@ impl Machine {
         }
         self.mem_ops_this_cycle += 1;
         if hmov_region.is_none() {
+            if self.hfi_history[self.rob[i].hfi_gen].enabled() {
+                self.stats.hfi_checks += 1;
+            }
             let hfi = &self.hfi_history[self.rob[i].hfi_gen];
             if let Err(fault) = hfi.check_data(addr, size as u64, Access::Read) {
                 // The bounds check fails before the physical address
@@ -993,7 +1068,9 @@ impl Machine {
 
     fn finish(&mut self, i: usize, value: u64, latency: u64) {
         self.rob[i].value = value;
-        self.rob[i].state = EntryState::Executing { done_at: self.cycle + latency.max(1) };
+        self.rob[i].state = EntryState::Executing {
+            done_at: self.cycle + latency.max(1),
+        };
     }
 
     fn squash_after(&mut self, rob_idx: usize) {
@@ -1035,16 +1112,26 @@ impl Machine {
 
     fn commit(&mut self) {
         for _ in 0..self.config.commit_width {
-            let Some(entry) = self.rob.first() else { return };
+            let Some(entry) = self.rob.first() else {
+                return;
+            };
             if !matches!(entry.state, EntryState::Done) {
                 return;
             }
             let entry = self.rob.remove(0);
             // Undo snapshots older than a committed entry can never be
             // needed again.
-            if let Some(pos) = self.call_stack_undo.iter().position(|(seq, _)| *seq > entry.seq) {
+            if let Some(pos) = self
+                .call_stack_undo
+                .iter()
+                .position(|(seq, _)| *seq > entry.seq)
+            {
                 self.call_stack_undo.drain(..pos);
-            } else if self.call_stack_undo.iter().all(|(seq, _)| *seq <= entry.seq) {
+            } else if self
+                .call_stack_undo
+                .iter()
+                .all(|(seq, _)| *seq <= entry.seq)
+            {
                 self.call_stack_undo.clear();
             }
             if let Some(fault) = entry.fault {
@@ -1052,6 +1139,12 @@ impl Machine {
                 return;
             }
             self.stats.committed += 1;
+            if matches!(
+                self.program.inst(entry.inst_idx),
+                Inst::Branch { .. } | Inst::BranchI { .. } | Inst::JumpInd { .. }
+            ) {
+                self.stats.branches += 1;
+            }
             if let Some(dst) = entry.dst {
                 self.regs[dst.0 as usize] = entry.value;
             }
@@ -1089,7 +1182,8 @@ impl Machine {
             }
             ExitDisposition::FallThrough | ExitDisposition::SwitchedToParent => {
                 self.fetch_stall_until = self.cycle + self.config.signal_delivery;
-                self.signal_handler.and_then(|h| self.program.index_of_pc(h))
+                self.signal_handler
+                    .and_then(|h| self.program.index_of_pc(h))
             }
         };
         match target {
@@ -1153,13 +1247,7 @@ fn alu_eval(op: AluOp, a: u64, b: u64) -> u64 {
         AluOp::Add => a.wrapping_add(b),
         AluOp::Sub => a.wrapping_sub(b),
         AluOp::Mul => a.wrapping_mul(b),
-        AluOp::Div => {
-            if b == 0 {
-                0
-            } else {
-                a / b
-            }
-        }
+        AluOp::Div => a.checked_div(b).unwrap_or(0),
         AluOp::Rem => {
             if b == 0 {
                 a
@@ -1185,8 +1273,8 @@ mod tests {
     use super::*;
     use crate::asm::ProgramBuilder;
     use crate::isa::Cond;
-    use hfi_core::{Region, SandboxConfig};
     use hfi_core::region::{ExplicitDataRegion, ImplicitCodeRegion, ImplicitDataRegion};
+    use hfi_core::{Region, SandboxConfig};
 
     const CODE_BASE: u64 = 0x40_0000;
 
@@ -1436,7 +1524,7 @@ mod tests {
         // rebuild with known addresses.
         let prog = asm.finish();
         let handler_pc = prog.pc_of(2); // jump=1 inst at idx1? verify below
-        // Rebuild properly now that we know the layout.
+                                        // Rebuild properly now that we know the layout.
         let mut asm2 = ProgramBuilder::new(CODE_BASE);
         let handler2 = asm2.label();
         let sandbox2 = asm2.label();
@@ -1459,7 +1547,10 @@ mod tests {
         assert_eq!(result.stats.syscalls_redirected, 1);
         assert_eq!(
             result.exit_reason,
-            Some(ExitReason::Syscall { number: 42, kind: SyscallKind::Syscall })
+            Some(ExitReason::Syscall {
+                number: 42,
+                kind: SyscallKind::Syscall
+            })
         );
     }
 
@@ -1498,16 +1589,16 @@ mod tests {
         let skip = asm.label();
         asm.movi(Reg(1), 0x6_0000);
         asm.flush(MemOperand::base_disp(Reg(1), 0)); // make the condition load slow
-        // Train the branch taken? Here the PHT inits weakly-taken, so the
-        // first prediction is taken; condition resolves to not-taken.
+                                                     // Train the branch taken? Here the PHT inits weakly-taken, so the
+                                                     // first prediction is taken; condition resolves to not-taken.
         asm.load(Reg(2), MemOperand::base_disp(Reg(1), 0), 8); // slow, value 0
         asm.branch_i(Cond::Eq, Reg(2), 0, skip); // actually taken... invert:
-        // wrong-path body below executes only speculatively if predicted
-        // not-taken; to keep it simple we instead make the *taken* target
-        // skip, and put the leak on the fall-through (wrong) path when the
-        // branch is actually taken but predicted not-taken is impossible
-        // with weak-taken init. So: flip with a pre-training loop is
-        // overkill for a unit test — directly verify both outcomes below.
+                                                 // wrong-path body below executes only speculatively if predicted
+                                                 // not-taken; to keep it simple we instead make the *taken* target
+                                                 // skip, and put the leak on the fall-through (wrong) path when the
+                                                 // branch is actually taken but predicted not-taken is impossible
+                                                 // with weak-taken init. So: flip with a pre-training loop is
+                                                 // overkill for a unit test — directly verify both outcomes below.
         asm.movi(Reg(3), probe_addr);
         asm.load(Reg(4), MemOperand::base_disp(Reg(3), 0), 8); // wrong path
         asm.place(skip);

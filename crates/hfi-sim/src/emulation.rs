@@ -68,9 +68,18 @@ pub fn emulate(program: &Program) -> Program {
             // Region metadata moves: modelled as a register move per
             // metadata register (cost captured by a mov of a large
             // immediate, which also matches the encoding length).
-            Inst::HfiSetRegion { .. } => Inst::MovI { dst: Reg(15), imm: 1 << 40 },
-            Inst::HfiClearRegion { .. } => Inst::MovI { dst: Reg(15), imm: 0 },
-            Inst::HfiClearAllRegions => Inst::MovI { dst: Reg(15), imm: 0 },
+            Inst::HfiSetRegion { .. } => Inst::MovI {
+                dst: Reg(15),
+                imm: 1 << 40,
+            },
+            Inst::HfiClearRegion { .. } => Inst::MovI {
+                dst: Reg(15),
+                imm: 0,
+            },
+            Inst::HfiClearAllRegions => Inst::MovI {
+                dst: Reg(15),
+                imm: 0,
+            },
             other => other.clone(),
         })
         .collect();
@@ -104,9 +113,7 @@ pub fn uses_hfi(program: &Program) -> bool {
 /// memory type. `region_slots` lists the explicit-region bases/bounds in
 /// use, exactly as the real program's `hfi_set_region` calls configure
 /// them.
-pub fn emulation_mirror_ranges(
-    region_slots: &[(u64, u64)],
-) -> Vec<(u64, u64, u64)> {
+pub fn emulation_mirror_ranges(region_slots: &[(u64, u64)]) -> Vec<(u64, u64, u64)> {
     // (src_base, dst_base, len)
     region_slots
         .iter()
@@ -127,7 +134,9 @@ mod tests {
     fn emulated_program_has_no_hfi() {
         let prog = Program::new(
             vec![
-                Inst::HfiEnter { config: hfi_core::SandboxConfig::hybrid().serialized() },
+                Inst::HfiEnter {
+                    config: hfi_core::SandboxConfig::hybrid().serialized(),
+                },
                 Inst::HmovLoad {
                     region: 0,
                     dst: Reg(1),
@@ -170,12 +179,16 @@ mod tests {
     #[test]
     fn serialized_enter_becomes_cpuid() {
         let serialized = Program::new(
-            vec![Inst::HfiEnter { config: hfi_core::SandboxConfig::hybrid().serialized() }],
+            vec![Inst::HfiEnter {
+                config: hfi_core::SandboxConfig::hybrid().serialized(),
+            }],
             0,
         );
         assert!(matches!(emulate(&serialized).inst(0), Inst::Cpuid));
         let unserialized = Program::new(
-            vec![Inst::HfiEnter { config: hfi_core::SandboxConfig::hybrid() }],
+            vec![Inst::HfiEnter {
+                config: hfi_core::SandboxConfig::hybrid(),
+            }],
             0,
         );
         assert!(matches!(emulate(&unserialized).inst(0), Inst::Nop));

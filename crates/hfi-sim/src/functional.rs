@@ -9,6 +9,8 @@
 //! identically — all checks consult the same [`HfiContext`] — only the
 //! timing model is simplified.
 
+use std::sync::Arc;
+
 use hfi_core::{
     Access, CostModel, ExitDisposition, HfiContext, HfiFault, SyscallDisposition, SyscallKind,
 };
@@ -39,7 +41,14 @@ pub struct FunctionalCosts {
 impl Default for FunctionalCosts {
     fn default() -> Self {
         // Roughly 1/IPC contributions on the modelled 8-wide core.
-        Self { alu: 0.35, mul: 1.0, div: 20.0, mem: 0.9, branch: 0.7, control: 1.0 }
+        Self {
+            alu: 0.35,
+            mul: 1.0,
+            div: 20.0,
+            mem: 0.9,
+            branch: 0.7,
+            control: 1.0,
+        }
     }
 }
 
@@ -54,6 +63,11 @@ pub struct FunctionalStats {
     pub branches: u64,
     /// Serializations performed.
     pub serializations: u64,
+    /// HFI checks performed (fetch, implicit-data, and `hmov` checks
+    /// evaluated while a sandbox was active).
+    pub hfi_checks: u64,
+    /// Faults delivered.
+    pub faults: u64,
     /// Syscalls redirected by HFI.
     pub syscalls_redirected: u64,
     /// Syscalls serviced by the OS model.
@@ -75,7 +89,7 @@ pub struct FunctionalResult {
 
 /// The functional executor.
 pub struct Functional {
-    program: Program,
+    program: Arc<Program>,
     /// Data memory.
     pub mem: SparseMemory,
     /// HFI register state (identical semantics to the cycle model).
@@ -104,9 +118,12 @@ impl std::fmt::Debug for Functional {
 
 impl Functional {
     /// Creates a functional machine for `program`.
-    pub fn new(program: Program) -> Self {
+    ///
+    /// Accepts a [`Program`] by value or an [`Arc<Program>`] (see
+    /// [`Machine::new`](crate::core::Machine::new)).
+    pub fn new(program: impl Into<Arc<Program>>) -> Self {
         Self {
-            program,
+            program: program.into(),
             mem: SparseMemory::new(),
             hfi: HfiContext::new(),
             costs: CostModel::default(),
@@ -135,6 +152,21 @@ impl Functional {
         self.regs[reg.0 as usize]
     }
 
+    /// Snapshot of the architectural register file.
+    pub fn regs(&self) -> [u64; 16] {
+        self.regs
+    }
+
+    /// Modelled cycles so far.
+    pub fn cycles(&self) -> f64 {
+        self.cycles
+    }
+
+    /// Counters so far.
+    pub fn functional_stats(&self) -> FunctionalStats {
+        self.stats
+    }
+
     fn ea(&self, mem: &MemOperand) -> u64 {
         let base = mem.base.map(|r| self.regs[r.0 as usize]).unwrap_or(0);
         let index = mem.index.map(|r| self.regs[r.0 as usize]).unwrap_or(0);
@@ -143,6 +175,7 @@ impl Functional {
     }
 
     fn fault(&mut self, fault: HfiFault, pc_out: &mut usize) -> Option<Stop> {
+        self.stats.faults += 1;
         self.cycles += self.costs.serialize_cycles as f64; // trap overhead floor
         let disposition = self.hfi.deliver_fault(fault);
         let handler = match disposition {
@@ -173,6 +206,9 @@ impl Functional {
             }
             let byte_pc = self.program.pc_of(pc);
             let inst = self.program.inst(pc).clone();
+            if self.hfi.enabled() {
+                self.stats.hfi_checks += 1;
+            }
             if let Err(fault) = self.hfi.check_fetch(byte_pc, inst.encoded_len()) {
                 match self.fault(fault, &mut pc) {
                     Some(s) => {
@@ -209,6 +245,9 @@ impl Functional {
                 Inst::Load { dst, mem, size } => {
                     self.cycles += self.weights.mem;
                     self.stats.mem_ops += 1;
+                    if self.hfi.enabled() {
+                        self.stats.hfi_checks += 1;
+                    }
                     let addr = self.ea(&mem);
                     if let Err(f) = self.hfi.check_data(addr, size as u64, Access::Read) {
                         match self.fault(f, &mut pc) {
@@ -224,6 +263,9 @@ impl Functional {
                 Inst::Store { src, mem, size } => {
                     self.cycles += self.weights.mem;
                     self.stats.mem_ops += 1;
+                    if self.hfi.enabled() {
+                        self.stats.hfi_checks += 1;
+                    }
                     let addr = self.ea(&mem);
                     if let Err(f) = self.hfi.check_data(addr, size as u64, Access::Write) {
                         match self.fault(f, &mut pc) {
@@ -236,9 +278,15 @@ impl Functional {
                     }
                     self.mem.write(addr, self.regs[src.0 as usize], size);
                 }
-                Inst::HmovLoad { region, dst, mem, size } => {
+                Inst::HmovLoad {
+                    region,
+                    dst,
+                    mem,
+                    size,
+                } => {
                     self.cycles += self.weights.mem;
                     self.stats.mem_ops += 1;
+                    self.stats.hfi_checks += 1;
                     let index = mem.index.map(|r| self.regs[r.0 as usize]).unwrap_or(0);
                     match self.hfi.hmov_check_access(
                         region,
@@ -258,9 +306,15 @@ impl Functional {
                         },
                     }
                 }
-                Inst::HmovStore { region, src, mem, size } => {
+                Inst::HmovStore {
+                    region,
+                    src,
+                    mem,
+                    size,
+                } => {
                     self.cycles += self.weights.mem;
                     self.stats.mem_ops += 1;
+                    self.stats.hfi_checks += 1;
                     let index = mem.index.map(|r| self.regs[r.0 as usize]).unwrap_or(0);
                     match self.hfi.hmov_check_access(
                         region,
@@ -287,7 +341,12 @@ impl Functional {
                         next = target;
                     }
                 }
-                Inst::BranchI { cond, a, imm, target } => {
+                Inst::BranchI {
+                    cond,
+                    a,
+                    imm,
+                    target,
+                } => {
                     self.cycles += self.weights.branch;
                     self.stats.branches += 1;
                     if cond.eval(self.regs[a.0 as usize], imm as u64) {
@@ -403,8 +462,8 @@ impl Functional {
                     }
                 }
                 Inst::HfiEnterChild { config, regions } => {
-                    self.cycles += (self.costs.enter_exit_base_cycles
-                        + self.costs.set_region_cycles) as f64;
+                    self.cycles +=
+                        (self.costs.enter_exit_base_cycles + self.costs.set_region_cycles) as f64;
                     match self.hfi.enter_child(config, *regions) {
                         Ok(effect) => {
                             if effect == hfi_core::SerializationEffect::Serialize {
@@ -433,8 +492,7 @@ impl Functional {
                                 next = match self.program.index_of_pc(handler) {
                                     Some(idx) => idx,
                                     None => {
-                                        stop =
-                                            Stop::Fault(HfiFault::Hardware { addr: handler });
+                                        stop = Stop::Fault(HfiFault::Hardware { addr: handler });
                                         break;
                                     }
                                 };
@@ -513,7 +571,12 @@ impl Functional {
             }
             pc = next;
         }
-        FunctionalResult { cycles: self.cycles, stop, stats: self.stats, regs: self.regs }
+        FunctionalResult {
+            cycles: self.cycles,
+            stop,
+            stats: self.stats,
+            regs: self.regs,
+        }
     }
 
     fn weight_of(&self, op: AluOp) -> f64 {
@@ -530,13 +593,7 @@ fn alu(op: AluOp, a: u64, b: u64) -> u64 {
         AluOp::Add => a.wrapping_add(b),
         AluOp::Sub => a.wrapping_sub(b),
         AluOp::Mul => a.wrapping_mul(b),
-        AluOp::Div => {
-            if b == 0 {
-                0
-            } else {
-                a / b
-            }
-        }
+        AluOp::Div => a.checked_div(b).unwrap_or(0),
         AluOp::Rem => {
             if b == 0 {
                 a
@@ -566,8 +623,8 @@ pub fn alu_reference(op: AluOp, a: u64, b: u64) -> u64 {
 mod tests {
     use super::*;
     use crate::asm::ProgramBuilder;
-    use hfi_core::{Region, SandboxConfig};
     use hfi_core::region::{ExplicitDataRegion, ImplicitCodeRegion};
+    use hfi_core::{Region, SandboxConfig};
 
     #[test]
     fn functional_matches_simple_arithmetic() {

@@ -125,17 +125,32 @@ pub struct MemOperand {
 impl MemOperand {
     /// `[base + disp]`.
     pub fn base_disp(base: Reg, disp: i64) -> Self {
-        Self { base: Some(base), index: None, scale: 1, disp }
+        Self {
+            base: Some(base),
+            index: None,
+            scale: 1,
+            disp,
+        }
     }
 
     /// `[base + index*scale + disp]`.
     pub fn full(base: Reg, index: Reg, scale: u8, disp: i64) -> Self {
-        Self { base: Some(base), index: Some(index), scale, disp }
+        Self {
+            base: Some(base),
+            index: Some(index),
+            scale,
+            disp,
+        }
     }
 
     /// `[abs_disp]` — absolute, register-free addressing.
     pub fn absolute(disp: i64) -> Self {
-        Self { base: None, index: None, scale: 1, disp }
+        Self {
+            base: None,
+            index: None,
+            scale: 1,
+            disp,
+        }
     }
 }
 
@@ -155,12 +170,20 @@ pub struct HmovOperand {
 impl HmovOperand {
     /// `[region_base + disp]`.
     pub fn disp(disp: i64) -> Self {
-        Self { index: None, scale: 1, disp }
+        Self {
+            index: None,
+            scale: 1,
+            disp,
+        }
     }
 
     /// `[region_base + index*scale + disp]`.
     pub fn indexed(index: Reg, scale: u8, disp: i64) -> Self {
-        Self { index: Some(index), scale, disp }
+        Self {
+            index: Some(index),
+            scale,
+            disp,
+        }
     }
 }
 
@@ -394,10 +417,7 @@ impl Inst {
     pub fn is_mem(&self) -> bool {
         matches!(
             self,
-            Inst::Load { .. }
-                | Inst::Store { .. }
-                | Inst::HmovLoad { .. }
-                | Inst::HmovStore { .. }
+            Inst::Load { .. } | Inst::Store { .. } | Inst::HmovLoad { .. } | Inst::HmovStore { .. }
         )
     }
 }
@@ -423,7 +443,12 @@ impl Program {
             pcs.push(pc);
             pc += inst.encoded_len();
         }
-        Self { insts, pcs, code_len: pc - base, base }
+        Self {
+            insts,
+            pcs,
+            code_len: pc - base,
+            base,
+        }
     }
 
     /// The instruction at `index`.
@@ -479,9 +504,17 @@ mod tests {
 
     #[test]
     fn hmov_is_longer_than_mov() {
-        let mov = Inst::Load { dst: Reg(0), mem: MemOperand::base_disp(Reg(1), 0), size: 8 };
-        let hmov =
-            Inst::HmovLoad { region: 0, dst: Reg(0), mem: HmovOperand::disp(0), size: 8 };
+        let mov = Inst::Load {
+            dst: Reg(0),
+            mem: MemOperand::base_disp(Reg(1), 0),
+            size: 8,
+        };
+        let hmov = Inst::HmovLoad {
+            region: 0,
+            dst: Reg(0),
+            mem: HmovOperand::disp(0),
+            size: 8,
+        };
         assert_eq!(hmov.encoded_len(), mov.encoded_len() + 1);
     }
 
@@ -489,9 +522,12 @@ mod tests {
     fn program_layout_is_cumulative() {
         let prog = Program::new(
             vec![
-                Inst::Nop,                          // 1 byte at 0x1000
-                Inst::MovI { dst: Reg(0), imm: 1 }, // 5 bytes at 0x1001
-                Inst::Halt,                         // 1 byte at 0x1006
+                Inst::Nop, // 1 byte at 0x1000
+                Inst::MovI {
+                    dst: Reg(0),
+                    imm: 1,
+                }, // 5 bytes at 0x1001
+                Inst::Halt, // 1 byte at 0x1006
             ],
             0x1000,
         );
@@ -515,7 +551,21 @@ mod tests {
 
     #[test]
     fn large_immediates_encode_longer() {
-        assert_eq!(Inst::MovI { dst: Reg(0), imm: 1 }.encoded_len(), 5);
-        assert_eq!(Inst::MovI { dst: Reg(0), imm: 1 << 40 }.encoded_len(), 10);
+        assert_eq!(
+            Inst::MovI {
+                dst: Reg(0),
+                imm: 1
+            }
+            .encoded_len(),
+            5
+        );
+        assert_eq!(
+            Inst::MovI {
+                dst: Reg(0),
+                imm: 1 << 40
+            }
+            .encoded_len(),
+            10
+        );
     }
 }

@@ -26,6 +26,7 @@ pub mod asm;
 pub mod cache;
 pub mod core;
 pub mod emulation;
+pub mod exec;
 pub mod functional;
 pub mod isa;
 pub mod mem;
@@ -35,6 +36,7 @@ pub use crate::core::{CoreConfig, CoreStats, Machine, OsModel, RunResult, Stop, 
 pub use asm::{Label, ProgramBuilder};
 pub use cache::{Cache, CacheHierarchy, CacheLatencies};
 pub use emulation::{emulate, uses_hfi, EMULATION_BASE};
+pub use exec::{Emulated, Executor, ExecutorKind, RunRecord};
 pub use functional::{Functional, FunctionalCosts, FunctionalResult, FunctionalStats};
 pub use isa::{AluOp, Cond, HmovOperand, Inst, MemOperand, Program, Reg};
 pub use mem::SparseMemory;

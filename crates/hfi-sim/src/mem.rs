@@ -20,8 +20,8 @@ impl SparseMemory {
         Self::default()
     }
 
-    fn page(&self, addr: u64) -> Option<&Box<[u8]>> {
-        self.pages.get(&(addr >> PAGE_BITS))
+    fn page(&self, addr: u64) -> Option<&[u8]> {
+        self.pages.get(&(addr >> PAGE_BITS)).map(|p| &p[..])
     }
 
     fn page_mut(&mut self, addr: u64) -> &mut Box<[u8]> {

@@ -18,7 +18,10 @@ impl PatternHistoryTable {
     pub fn new(entries: usize) -> Self {
         assert!(entries.is_power_of_two());
         // Initialize weakly-taken so cold branches behave plausibly.
-        Self { counters: vec![2; entries], mask: entries - 1 }
+        Self {
+            counters: vec![2; entries],
+            mask: entries - 1,
+        }
     }
 
     fn index(&self, pc: u64) -> usize {
@@ -53,7 +56,10 @@ impl BranchTargetBuffer {
     /// `entries` must be a power of two.
     pub fn new(entries: usize) -> Self {
         assert!(entries.is_power_of_two());
-        Self { entries: vec![None; entries], mask: entries - 1 }
+        Self {
+            entries: vec![None; entries],
+            mask: entries - 1,
+        }
     }
 
     fn index(&self, pc: u64) -> usize {
@@ -85,7 +91,10 @@ pub struct ReturnAddressStack {
 impl ReturnAddressStack {
     /// A RAS of `depth` entries.
     pub fn new(depth: usize) -> Self {
-        Self { stack: Vec::with_capacity(depth), depth }
+        Self {
+            stack: Vec::with_capacity(depth),
+            depth,
+        }
     }
 
     /// Pushes a return address (on call fetch).

@@ -37,7 +37,11 @@ fn each_hmov_addresses_its_own_memory() {
     let result = machine.run(1_000_000);
     assert_eq!(result.stop, Stop::Halted);
     for (i, &base) in MEM_BASES.iter().enumerate() {
-        assert_eq!(machine.mem.read(base + 0x20, 8), 100 + i as u64, "memory {i}");
+        assert_eq!(
+            machine.mem.read(base + 0x20, 8),
+            100 + i as u64,
+            "memory {i}"
+        );
     }
 }
 

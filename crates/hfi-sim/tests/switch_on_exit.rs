@@ -88,7 +88,11 @@ fn parent_regions_restored_after_child_exit() {
     asm.halt();
     let mut machine = Machine::new(asm.finish());
     let result = machine.run(1_000_000);
-    assert_eq!(result.stop, Stop::Halted, "parent data region must be live again");
+    assert_eq!(
+        result.stop,
+        Stop::Halted,
+        "parent data region must be live again"
+    );
     assert_eq!(machine.mem.read(0x10_0040, 8), 99);
 }
 

@@ -122,7 +122,12 @@ fn build(
     // target during the attack.
     asm.place(gadget);
     asm.load(byte, MemOperand::full(arr1, idx, 1, 0), 1);
-    asm.alu_ri(AluOp::Shl, byte, byte, layout.stride.trailing_zeros() as i64);
+    asm.alu_ri(
+        AluOp::Shl,
+        byte,
+        byte,
+        layout.stride.trailing_zeros() as i64,
+    );
     asm.load(tmp, MemOperand::full(arr2, byte, 1, 0), 1);
     asm.jump(cont);
 
@@ -134,7 +139,12 @@ fn build(
     asm.place(probe);
     asm.movi(iter, 0);
     let probe_top = asm.label_here("probe_top");
-    asm.alu_ri(AluOp::Shl, byte, iter, layout.stride.trailing_zeros() as i64);
+    asm.alu_ri(
+        AluOp::Shl,
+        byte,
+        iter,
+        layout.stride.trailing_zeros() as i64,
+    );
     asm.fence();
     asm.rdtsc(t0);
     asm.load(tmp, MemOperand::full(arr2, byte, 1, 0), 1);
@@ -186,10 +196,15 @@ pub fn run_attack_with_secret(protection: Protection, secret: u8) -> AttackOutco
     machine.mem.write(layout.secret_addr, secret as u64, 1);
 
     let result = machine.run(10_000_000);
-    assert_eq!(result.stop, Stop::Halted, "attack program must run to completion");
+    assert_eq!(
+        result.stop,
+        Stop::Halted,
+        "attack program must run to completion"
+    );
 
-    let latencies: Vec<u64> =
-        (0..256).map(|i| machine.mem.read(layout.latencies + i * 8, 8)).collect();
+    let latencies: Vec<u64> = (0..256)
+        .map(|i| machine.mem.read(layout.latencies + i * 8, 8))
+        .collect();
     let warm_indices = latencies
         .iter()
         .enumerate()

@@ -62,10 +62,8 @@ impl SpectreLayout {
     pub fn protective_data_regions(&self) -> [ImplicitDataRegion; 4] {
         [
             // 64 bytes: array1 only; the secret at +0x40 is outside.
-            ImplicitDataRegion::new(self.array1, 0x3F, true, true)
-                .expect("array1 region is valid"),
-            ImplicitDataRegion::new(self.len_addr, 0xFFF, true, true)
-                .expect("len region is valid"),
+            ImplicitDataRegion::new(self.array1, 0x3F, true, true).expect("array1 region is valid"),
+            ImplicitDataRegion::new(self.len_addr, 0xFFF, true, true).expect("len region is valid"),
             // 256 slots x 512 B = 128 KiB.
             ImplicitDataRegion::new(self.array2, 256 * self.stride - 1, true, true)
                 .expect("array2 region is valid"),

@@ -102,7 +102,12 @@ pub fn build_attack(layout: &SpectreLayout, protection: Protection) -> hfi_sim::
     asm.load(len, MemOperand::base_disp(len_ptr, 0), 8);
     asm.branch(Cond::GeU, idx, len, gadget_end); // bounds check
     asm.load(byte, MemOperand::full(arr1, idx, 1, 0), 1);
-    asm.alu_ri(AluOp::Shl, byte, byte, layout.stride.trailing_zeros() as i64);
+    asm.alu_ri(
+        AluOp::Shl,
+        byte,
+        byte,
+        layout.stride.trailing_zeros() as i64,
+    );
     asm.load(tmp, MemOperand::full(arr2, byte, 1, 0), 1); // transmit
     asm.place(gadget_end);
     asm.ret();
@@ -148,7 +153,12 @@ pub fn build_attack(layout: &SpectreLayout, protection: Protection) -> hfi_sim::
     // --- Probe: time each of the 256 slots. ---
     asm.movi(iter, 0);
     let probe_top = asm.label_here("probe_top");
-    asm.alu_ri(AluOp::Shl, byte, iter, layout.stride.trailing_zeros() as i64);
+    asm.alu_ri(
+        AluOp::Shl,
+        byte,
+        iter,
+        layout.stride.trailing_zeros() as i64,
+    );
     asm.fence();
     asm.rdtsc(t0);
     asm.load(tmp, MemOperand::full(arr2, byte, 1, 0), 1);
@@ -189,10 +199,15 @@ pub fn run_attack_with_secret(protection: Protection, secret: u8) -> AttackOutco
     machine.mem.write(layout.secret_addr, secret as u64, 1);
 
     let result = machine.run(10_000_000);
-    assert_eq!(result.stop, Stop::Halted, "attack program must run to completion");
+    assert_eq!(
+        result.stop,
+        Stop::Halted,
+        "attack program must run to completion"
+    );
 
-    let latencies: Vec<u64> =
-        (0..256).map(|i| machine.mem.read(layout.latencies + i * 8, 8)).collect();
+    let latencies: Vec<u64> = (0..256)
+        .map(|i| machine.mem.read(layout.latencies + i * 8, 8))
+        .collect();
     let warm_indices = latencies
         .iter()
         .enumerate()
@@ -221,7 +236,10 @@ mod tests {
             outcome.warm_indices,
             outcome.latencies[outcome.secret as usize]
         );
-        assert!(outcome.speculative_loads > 0, "attack must execute wrong-path loads");
+        assert!(
+            outcome.speculative_loads > 0,
+            "attack must execute wrong-path loads"
+        );
     }
 
     #[test]

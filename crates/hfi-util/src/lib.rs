@@ -1,0 +1,14 @@
+//! # hfi-util — dependency-free utilities shared across the workspace
+//!
+//! The build must work with **no registry access** (the experiment
+//! containers are offline), so anything that would normally come from a
+//! small external crate is vendored here instead. Currently that is a
+//! deterministic PRNG ([`Rng`]: xoshiro256++ seeded via SplitMix64),
+//! used for kernel input generation, the FaaS queue simulation, and the
+//! randomized property tests that used to depend on `rand`/`proptest`.
+
+#![warn(missing_docs)]
+
+pub mod rng;
+
+pub use rng::{split_mix64, Rng};

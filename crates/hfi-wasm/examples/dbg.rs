@@ -1,6 +1,6 @@
+use hfi_sim::Machine;
 use hfi_wasm::compiler::*;
 use hfi_wasm::ir::*;
-use hfi_sim::Machine;
 
 fn main() {
     let mut b = IrBuilder::new("pressure");
@@ -23,11 +23,14 @@ fn main() {
     let mut opts = CompileOptions::new(Isolation::Hfi);
     opts.extra_reserved_regs = 9; // force spills with only ~3 regs
     let compiled = compile(&kernel, &opts);
-    println!("spills={} allocatable={}", compiled.stats.spilled_vregs, compiled.stats.allocatable_regs);
+    println!(
+        "spills={} allocatable={}",
+        compiled.stats.spilled_vregs, compiled.stats.allocatable_regs
+    );
     for (i, inst) in compiled.program.iter().enumerate() {
         println!("{i:3} {inst:?}");
     }
     let mut m = Machine::new(compiled.program);
     let r = m.run(1_000_000);
-    println!("result={} expected={}", r.regs[0], (1+2+3+4)*2);
+    println!("result={} expected={}", r.regs[0], (1 + 2 + 3 + 4) * 2);
 }

@@ -45,8 +45,12 @@ pub enum Isolation {
 
 impl Isolation {
     /// All strategies, in the order Fig. 3 reports them.
-    pub const ALL: [Isolation; 4] =
-        [Isolation::None, Isolation::GuardPages, Isolation::BoundsChecks, Isolation::Hfi];
+    pub const ALL: [Isolation; 4] = [
+        Isolation::None,
+        Isolation::GuardPages,
+        Isolation::BoundsChecks,
+        Isolation::Hfi,
+    ];
 
     /// Registers this strategy permanently reserves (heap base / bound).
     pub fn reserved_regs(self) -> u8 {
@@ -128,8 +132,9 @@ pub struct CompileStats {
 /// A compiled kernel.
 #[derive(Debug, Clone)]
 pub struct CompiledKernel {
-    /// The runnable program.
-    pub program: Program,
+    /// The runnable program (shared so executors can hold it without
+    /// duplicating code or data).
+    pub program: std::sync::Arc<Program>,
     /// Compilation statistics.
     pub stats: CompileStats,
     /// The options used.
@@ -257,7 +262,10 @@ fn allocate(func: &IrFunction, pool: &[Reg]) -> (HashMap<VReg, Home>, usize) {
         }
     }
     let depth_of = |pos: usize| -> u32 {
-        loop_spans.iter().filter(|(lo, hi)| (*lo..=*hi).contains(&pos)).count() as u32
+        loop_spans
+            .iter()
+            .filter(|(lo, hi)| (*lo..=*hi).contains(&pos))
+            .count() as u32
     };
     let mut uses: HashMap<VReg, usize> = HashMap::new();
     for (pos, inst) in func.insts.iter().enumerate() {
@@ -372,14 +380,7 @@ impl<'a> Lowerer<'a> {
     }
 
     /// Lowers one linear-memory access. `addr_reg` holds the heap offset.
-    fn lower_mem(
-        &mut self,
-        is_load: bool,
-        value_reg: Reg,
-        addr_reg: Reg,
-        offset: u32,
-        width: u8,
-    ) {
+    fn lower_mem(&mut self, is_load: bool, value_reg: Reg, addr_reg: Reg, offset: u32, width: u8) {
         match self.opts.isolation {
             Isolation::None | Isolation::GuardPages => {
                 let mem = MemOperand::full(HEAP_BASE, addr_reg, 1, offset as i64);
@@ -396,7 +397,8 @@ impl<'a> Lowerer<'a> {
                 // trap, then access through the checked register. The
                 // extra add also sits on the load's address-generation
                 // critical path.
-                self.asm.alu_ri(AluOp::Add, SCRATCH_MEM, addr_reg, offset as i64);
+                self.asm
+                    .alu_ri(AluOp::Add, SCRATCH_MEM, addr_reg, offset as i64);
                 let idx = SCRATCH_MEM;
                 let trap = self.trap;
                 self.asm.branch(Cond::GeU, idx, HEAP_BOUND, trap);
@@ -489,7 +491,14 @@ pub fn compile(func: &IrFunction, opts: &CompileOptions) -> CompiledKernel {
         Isolation::Hfi => {}
     }
 
-    let mut lower = Lowerer { asm, homes: &homes, opts, labels: HashMap::new(), trap, epilogue };
+    let mut lower = Lowerer {
+        asm,
+        homes: &homes,
+        opts,
+        labels: HashMap::new(),
+        trap,
+        epilogue,
+    };
 
     for inst in &func.insts {
         match inst {
@@ -515,13 +524,23 @@ pub fn compile(func: &IrFunction, opts: &CompileOptions) -> CompiledKernel {
                 lower.asm.alu_ri(*op, d, ra, *imm);
                 lower.write_back(*dst);
             }
-            IrInst::Load { dst, addr, offset, width } => {
+            IrInst::Load {
+                dst,
+                addr,
+                offset,
+                width,
+            } => {
                 let ra = lower.read(*addr, SCRATCH_B);
                 let d = lower.def_reg(*dst);
                 lower.lower_mem(true, d, ra, *offset, *width);
                 lower.write_back(*dst);
             }
-            IrInst::Store { src, addr, offset, width } => {
+            IrInst::Store {
+                src,
+                addr,
+                offset,
+                width,
+            } => {
                 let rs = lower.read(*src, SCRATCH_A);
                 let ra = lower.read(*addr, SCRATCH_B);
                 lower.lower_mem(false, rs, ra, *offset, *width);
@@ -536,7 +555,12 @@ pub fn compile(func: &IrFunction, opts: &CompileOptions) -> CompiledKernel {
                 let l = lower.label_for(target.0);
                 lower.asm.branch(*cond, ra, rb, l);
             }
-            IrInst::BrIfI { cond, a, imm, target } => {
+            IrInst::BrIfI {
+                cond,
+                a,
+                imm,
+                target,
+            } => {
                 let ra = lower.read(*a, SCRATCH_A);
                 let l = lower.label_for(target.0);
                 lower.asm.branch_i(*cond, ra, *imm, l);
@@ -597,11 +621,15 @@ pub fn compile(func: &IrFunction, opts: &CompileOptions) -> CompiledKernel {
         mem_ops: func.mem_op_count(),
         inst_count: program.len(),
     };
-    CompiledKernel { program, stats, options: *opts }
+    CompiledKernel {
+        program: program.into(),
+        stats,
+        options: *opts,
+    }
 }
 
 /// The value left in [`RESULT_REG`] by an explicit bounds-check trap.
-pub const TRAP_MARKER: u64 = 0xDEAD_7A9;
+pub const TRAP_MARKER: u64 = 0x0DEA_D7A9;
 
 #[cfg(test)]
 mod tests {

@@ -184,7 +184,12 @@ pub struct IrBuilder {
 impl IrBuilder {
     /// Starts a kernel named `name`.
     pub fn new(name: &str) -> Self {
-        Self { func: IrFunction { name: name.to_owned(), ..IrFunction::default() } }
+        Self {
+            func: IrFunction {
+                name: name.to_owned(),
+                ..IrFunction::default()
+            },
+        }
     }
 
     /// Allocates a fresh virtual register.
@@ -221,7 +226,12 @@ impl IrBuilder {
 
     /// `dst = src` (lowers to an add-zero).
     pub fn mov(&mut self, dst: VReg, src: VReg) -> &mut Self {
-        self.func.insts.push(IrInst::BinI { op: AluOp::Add, dst, a: src, imm: 0 });
+        self.func.insts.push(IrInst::BinI {
+            op: AluOp::Add,
+            dst,
+            a: src,
+            imm: 0,
+        });
         self
     }
 
@@ -239,13 +249,23 @@ impl IrBuilder {
 
     /// Linear-memory load.
     pub fn load(&mut self, dst: VReg, addr: VReg, offset: u32, width: u8) -> &mut Self {
-        self.func.insts.push(IrInst::Load { dst, addr, offset, width });
+        self.func.insts.push(IrInst::Load {
+            dst,
+            addr,
+            offset,
+            width,
+        });
         self
     }
 
     /// Linear-memory store.
     pub fn store(&mut self, src: VReg, addr: VReg, offset: u32, width: u8) -> &mut Self {
-        self.func.insts.push(IrInst::Store { src, addr, offset, width });
+        self.func.insts.push(IrInst::Store {
+            src,
+            addr,
+            offset,
+            width,
+        });
         self
     }
 
@@ -263,7 +283,12 @@ impl IrBuilder {
 
     /// Conditional branch on register vs. immediate.
     pub fn br_if_i(&mut self, cond: Cond, a: VReg, imm: i64, target: IrLabel) -> &mut Self {
-        self.func.insts.push(IrInst::BrIfI { cond, a, imm, target });
+        self.func.insts.push(IrInst::BrIfI {
+            cond,
+            a,
+            imm,
+            target,
+        });
         self
     }
 
@@ -308,8 +333,12 @@ mod tests {
         });
         assert_eq!(uses, vec![VReg(1), VReg(2)]);
         assert_eq!(def, None);
-        let (uses, def) =
-            IrFunction::uses_def(&IrInst::Load { dst: VReg(3), addr: VReg(4), offset: 0, width: 4 });
+        let (uses, def) = IrFunction::uses_def(&IrInst::Load {
+            dst: VReg(3),
+            addr: VReg(4),
+            offset: 0,
+            width: 4,
+        });
         assert_eq!(uses, vec![VReg(4)]);
         assert_eq!(def, Some(VReg(3)));
     }

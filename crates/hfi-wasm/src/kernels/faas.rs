@@ -15,7 +15,12 @@ use crate::ir::IrBuilder;
 
 /// All four workloads at `scale`.
 pub fn suite(scale: u32) -> Vec<Kernel> {
-    vec![xml_to_json(scale), image_classification(scale), sha256_check(scale), templated_html(scale)]
+    vec![
+        xml_to_json(scale),
+        image_classification(scale),
+        sha256_check(scale),
+        templated_html(scale),
+    ]
 }
 
 /// XML→JSON conversion: a byte-level state machine that copies text,
@@ -367,14 +372,14 @@ pub fn sha256_check(scale: u32) -> Kernel {
             wsched[i] = (s0 + wsched[i - 16] + wsched[i - 7]) & 0xFFFF_FFFF;
         }
         for w in wsched {
-            let mut t1 = ((e >> 6) | (e << 26)) & u64::MAX;
+            let mut t1 = (e >> 6) | (e << 26);
             t1 ^= e >> 11;
             t1 ^= e & a;
             t1 ^= h;
             t1 = (t1 + w + 0x428A_2F98) & 0xFFFF_FFFF;
             h = e;
             e = (a + t1) & 0xFFFF_FFFF;
-            a = ((((a >> 2) | (a << 30)) ^ t1) & 0xFFFF_FFFF) ^ 0;
+            a = (((a >> 2) | (a << 30)) ^ t1) & 0xFFFF_FFFF;
         }
     }
     let expected = ((a << 32) | e) ^ h;
@@ -467,7 +472,12 @@ mod tests {
         let names: Vec<String> = suite(1).into_iter().map(|k| k.name).collect();
         assert_eq!(
             names,
-            vec!["xml-to-json", "image-classification", "check-sha256", "templated-html"]
+            vec![
+                "xml-to-json",
+                "image-classification",
+                "check-sha256",
+                "templated-html"
+            ]
         );
     }
 
@@ -476,8 +486,10 @@ mod tests {
         // Table 1: image classification is orders of magnitude slower
         // than the others; our kernels must keep the ordering.
         let suite = suite(1);
-        let sizes: Vec<usize> =
-            suite.iter().map(|k| k.func.insts.len() * k.heap_init_len().max(1)).collect();
+        let sizes: Vec<usize> = suite
+            .iter()
+            .map(|k| k.func.insts.len() * k.heap_init_len().max(1))
+            .collect();
         let _ = sizes; // instruction-count proxy checked in integration
         assert!(suite[1].heap_init_len() > suite[3].heap_init_len());
     }

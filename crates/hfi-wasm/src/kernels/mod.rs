@@ -73,7 +73,12 @@ mod tests {
             machine.mem.write_bytes(opts.heap_base + *off as u64, bytes);
         }
         let result = machine.run(400_000_000);
-        assert_eq!(result.stop, Stop::Halted, "{} [{isolation}] did not halt", kernel.name);
+        assert_eq!(
+            result.stop,
+            Stop::Halted,
+            "{} [{isolation}] did not halt",
+            kernel.name
+        );
         assert_eq!(
             result.regs[RESULT_REG.0 as usize], kernel.expected,
             "{} [{isolation}] cycle-sim result mismatch",
@@ -83,7 +88,9 @@ mod tests {
         // Functional executor must agree.
         let mut functional = Functional::new(compiled.program);
         for (off, bytes) in &kernel.heap_init {
-            functional.mem.write_bytes(opts.heap_base + *off as u64, bytes);
+            functional
+                .mem
+                .write_bytes(opts.heap_base + *off as u64, bytes);
         }
         let fresult = functional.run(2_000_000_000);
         assert_eq!(fresult.stop, Stop::Halted);
@@ -124,7 +131,11 @@ mod tests {
     #[test]
     fn faas_kernels_match_reference() {
         for kernel in faas::suite(1) {
-            for isolation in [Isolation::GuardPages, Isolation::BoundsChecks, Isolation::Hfi] {
+            for isolation in [
+                Isolation::GuardPages,
+                Isolation::BoundsChecks,
+                Isolation::Hfi,
+            ] {
                 check_kernel(&kernel, isolation);
             }
         }

@@ -105,7 +105,7 @@ pub fn jpeg_like(quality: u32, blocks_x: u32, blocks_y: u32) -> Kernel {
     let mut acc = 0u64;
     let (mut maxpix, mut energy, mut nonzero) = (0u64, 0u64, 0u64);
     for blk in 0..nblocks {
-        let mut bytes = vec![0u8; 64 * 2 + 16];
+        let mut bytes = [0u8; 64 * 2 + 16];
         for k in 0..coeffs_per_block as usize {
             let c = coeffs[blk * 64 + k] as u64;
             let q = (quant[k] | 1) as u64;

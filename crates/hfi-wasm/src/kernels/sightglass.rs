@@ -63,7 +63,12 @@ pub fn fib2(scale: u32) -> Kernel {
         ra = rc.wrapping_add(t);
         rc = t.wrapping_add(ra);
     }
-    Kernel { name: "fib2".into(), func, heap_init: vec![], expected: ra }
+    Kernel {
+        name: "fib2".into(),
+        func,
+        heap_init: vec![],
+        expected: ra,
+    }
 }
 
 /// Ackermann via an explicit stack in linear memory (recursion profile).
@@ -125,7 +130,12 @@ pub fn ackermann(scale: u32) -> Kernel {
             n -= 1;
         }
     }
-    Kernel { name: "ackermann".into(), func, heap_init: vec![], expected: n }
+    Kernel {
+        name: "ackermann".into(),
+        func,
+        heap_init: vec![],
+        expected: n,
+    }
 }
 
 /// Base64 encoding with a table lookup (string manipulation).
@@ -175,8 +185,7 @@ pub fn base64(scale: u32) -> Kernel {
     // Reference.
     let mut acc: u64 = 0;
     for chunk in input.chunks(3) {
-        let word =
-            ((chunk[0] as u64) << 16) | ((chunk[1] as u64) << 8) | chunk[2] as u64;
+        let word = ((chunk[0] as u64) << 16) | ((chunk[1] as u64) << 8) | chunk[2] as u64;
         for k in 0..4 {
             let idx = (word >> (18 - 6 * k)) & 0x3F;
             acc = acc.wrapping_add(TABLE[idx as usize] as u64);
@@ -211,8 +220,15 @@ pub fn ctype(scale: u32) -> Kernel {
     const TEXT: u32 = 0x1000;
 
     let mut b = IrBuilder::new("ctype");
-    let (i, ch, class, alpha, digit, space, out) =
-        (b.vreg(), b.vreg(), b.vreg(), b.vreg(), b.vreg(), b.vreg(), b.vreg());
+    let (i, ch, class, alpha, digit, space, out) = (
+        b.vreg(),
+        b.vreg(),
+        b.vreg(),
+        b.vreg(),
+        b.vreg(),
+        b.vreg(),
+        b.vreg(),
+    );
     b.constant(i, 0);
     b.constant(alpha, 0);
     b.constant(digit, 0);
@@ -337,7 +353,12 @@ fn arx_kernel(name: &str, seed: u64, lanes: u32, rounds: u32, rots: &[u32; 4]) -
     for &w in &words {
         acc = (acc ^ w).rotate_left(7);
     }
-    Kernel { name: name.into(), func, heap_init: vec![(0, state)], expected: acc }
+    Kernel {
+        name: name.into(),
+        func,
+        heap_init: vec![(0, state)],
+        expected: acc,
+    }
 }
 
 /// Permutation rounds in the style of Gimli (SP-box: rotate/shift/logic).
@@ -346,8 +367,15 @@ pub fn gimli(scale: u32) -> Kernel {
     let state = random_bytes(0x617, words as usize * 8);
     let rounds = 96 * scale;
     let mut b = IrBuilder::new("gimli");
-    let (r, x, y, z, t, i, acc) =
-        (b.vreg(), b.vreg(), b.vreg(), b.vreg(), b.vreg(), b.vreg(), b.vreg());
+    let (r, x, y, z, t, i, acc) = (
+        b.vreg(),
+        b.vreg(),
+        b.vreg(),
+        b.vreg(),
+        b.vreg(),
+        b.vreg(),
+        b.vreg(),
+    );
     b.constant(r, 0);
     let round_top = b.label_here();
     b.constant(i, 0);
@@ -409,7 +437,12 @@ pub fn gimli(scale: u32) -> Kernel {
     for &word in &w {
         acc = (acc ^ word).rotate_left(11);
     }
-    Kernel { name: "gimli".into(), func, heap_init: vec![(0, state)], expected: acc }
+    Kernel {
+        name: "gimli".into(),
+        func,
+        heap_init: vec![(0, state)],
+        expected: acc,
+    }
 }
 
 /// Keccak-style lane mixing: parity columns + rotations over 25 lanes.
@@ -483,7 +516,12 @@ pub fn keccak(scale: u32) -> Kernel {
     for &lane in &lanes {
         acc = (acc ^ lane).rotate_left(3);
     }
-    Kernel { name: "keccak".into(), func, heap_init: vec![(0, state)], expected: acc }
+    Kernel {
+        name: "keccak".into(),
+        func,
+        heap_init: vec![(0, state)],
+        expected: acc,
+    }
 }
 
 /// Bulk copy: 8-byte chunks plus byte tail, then verify by checksum.
@@ -599,7 +637,12 @@ pub fn nestedloop(scale: u32) -> Kernel {
     b.br_if_i(Cond::LtU, i, n as i64, it);
     b.ret(acc);
     let func = b.finish();
-    Kernel { name: "nestedloop".into(), func, heap_init: vec![], expected: n * n * n }
+    Kernel {
+        name: "nestedloop".into(),
+        func,
+        heap_init: vec![],
+        expected: n * n * n,
+    }
 }
 
 /// LCG random generation with stores (math + streaming writes).
@@ -626,7 +669,12 @@ pub fn random(scale: u32) -> Kernel {
     for _ in 0..iters {
         x = x.wrapping_mul(A as u64).wrapping_add(C as u64);
     }
-    Kernel { name: "random".into(), func, heap_init: vec![], expected: x }
+    Kernel {
+        name: "random".into(),
+        func,
+        heap_init: vec![],
+        expected: x,
+    }
 }
 
 /// Token-bucket rate limiter over synthetic event timestamps.
@@ -638,7 +686,9 @@ pub fn ratelimit(scale: u32) -> Kernel {
     let mut x = 0xABCDu64;
     let mut ts = Vec::new();
     for _ in 0..events {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         t += x % 7;
         ts.push(t);
         times.extend_from_slice(&t.to_le_bytes());
@@ -743,7 +793,12 @@ pub fn sieve(scale: u32) -> Kernel {
             }
         }
     }
-    Kernel { name: "sieve".into(), func, heap_init: vec![], expected: count }
+    Kernel {
+        name: "sieve".into(),
+        func,
+        heap_init: vec![],
+        expected: count,
+    }
 }
 
 /// Dense multiway dispatch (a Wasm `br_table` lowered to a compare chain).
@@ -867,7 +922,12 @@ pub fn xchacha20(scale: u32) -> Kernel {
     for &w in &words {
         acc = acc.wrapping_add(w).rotate_left(13);
     }
-    Kernel { name: "xchacha20".into(), func, heap_init: vec![(0, state)], expected: acc }
+    Kernel {
+        name: "xchacha20".into(),
+        func,
+        heap_init: vec![(0, state)],
+        expected: acc,
+    }
 }
 
 #[cfg(test)]

@@ -48,8 +48,15 @@ pub fn bzip2_like(scale: u32) -> Kernel {
     const MTF: u32 = 0x100; // 256-byte MTF table
     let mut table: Vec<u8> = (0..=255).collect();
     let mut b = IrBuilder::new("401.bzip2-like");
-    let (i, ch, j, probe, acc, prev, run) =
-        (b.vreg(), b.vreg(), b.vreg(), b.vreg(), b.vreg(), b.vreg(), b.vreg());
+    let (i, ch, j, probe, acc, prev, run) = (
+        b.vreg(),
+        b.vreg(),
+        b.vreg(),
+        b.vreg(),
+        b.vreg(),
+        b.vreg(),
+        b.vreg(),
+    );
     // Encoder statistics kept live across the whole pass, as real bzip2
     // does for its coding-table decisions.
     let (positions, longest, parity, runs) = (b.vreg(), b.vreg(), b.vreg(), b.vreg());
@@ -88,8 +95,8 @@ pub fn bzip2_like(scale: u32) -> Kernel {
     b.br(shift);
     b.place(shifted);
     b.store(ch, j, MTF, 1); // j == 0
-    // RLE on the MTF output (the found index is in `probe`'s last scan...
-    // reuse ch as the symbol written to front; run-length on raw input).
+                            // RLE on the MTF output (the found index is in `probe`'s last scan...
+                            // reuse ch as the symbol written to front; run-length on raw input).
     b.br_if(Cond::Ne, ch, prev, not_run);
     b.bin_i(AluOp::Add, run, run, 1);
     b.br(next);
@@ -482,7 +489,12 @@ pub fn sjeng_like(scale: u32) -> Kernel {
             stack.push(2 * node + 1);
         }
     }
-    Kernel { name: "458.sjeng-like".into(), func, heap_init: vec![], expected: best }
+    Kernel {
+        name: "458.sjeng-like".into(),
+        func,
+        heap_init: vec![],
+        expected: best,
+    }
 }
 
 /// Streaming quantum-register updates (libquantum's profile: regular,
@@ -536,7 +548,12 @@ pub fn libquantum_like(scale: u32) -> Kernel {
         acc = acc.wrapping_add(reg[i as usize]);
         i += 257;
     }
-    Kernel { name: "462.libquantum-like".into(), func, heap_init: vec![], expected: acc }
+    Kernel {
+        name: "462.libquantum-like".into(),
+        func,
+        heap_init: vec![],
+        expected: acc,
+    }
 }
 
 /// 4×4 block SAD + butterfly transform (h264's profile).
@@ -744,7 +761,9 @@ pub fn omnetpp_like(scale: u32) -> Kernel {
     let mut x = 0x0E37u64;
     let mut acc = 0u64;
     for _ in 0..events {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         if x & 1 == 1 {
             heap.push(x >> 32);
             let mut i = heap.len() - 1;
@@ -782,7 +801,12 @@ pub fn omnetpp_like(scale: u32) -> Kernel {
         }
     }
     acc ^= heap.len() as u64;
-    Kernel { name: "471.omnetpp-like".into(), func, heap_init: vec![], expected: acc }
+    Kernel {
+        name: "471.omnetpp-like".into(),
+        func,
+        heap_init: vec![],
+        expected: acc,
+    }
 }
 
 /// Greedy grid descent (astar's profile: mixed loads + branches).
@@ -792,8 +816,15 @@ pub fn astar_like(scale: u32) -> Kernel {
     let walks = 160 * scale as u64;
     const GRID: u32 = 0;
     let mut b = IrBuilder::new("473.astar-like");
-    let (w, pos, step, cost, cand, addr, acc) =
-        (b.vreg(), b.vreg(), b.vreg(), b.vreg(), b.vreg(), b.vreg(), b.vreg());
+    let (w, pos, step, cost, cand, addr, acc) = (
+        b.vreg(),
+        b.vreg(),
+        b.vreg(),
+        b.vreg(),
+        b.vreg(),
+        b.vreg(),
+        b.vreg(),
+    );
     // Path statistics kept live across all walks.
     let (rights, downs, maxcost) = (b.vreg(), b.vreg(), b.vreg());
     b.constant(rights, 0);
@@ -934,7 +965,11 @@ pub fn xalancbmk_like(scale: u32) -> Kernel {
         while node < nodes {
             let v = values[node] as u64;
             acc = acc.wrapping_add(v);
-            node = if (v ^ w) & 1 == 1 { 2 * node + 1 } else { 2 * node };
+            node = if (v ^ w) & 1 == 1 {
+                2 * node + 1
+            } else {
+                2 * node
+            };
         }
         acc = acc.rotate_left(3);
     }
@@ -971,7 +1006,10 @@ mod tests {
                 (k.name.clone(), compiled.stats.code_bytes)
             })
             .collect();
-        let gobmk = sizes.iter().find(|(n, _)| n.contains("gobmk")).expect("gobmk present");
+        let gobmk = sizes
+            .iter()
+            .find(|(n, _)| n.contains("gobmk"))
+            .expect("gobmk present");
         for (name, size) in &sizes {
             if !name.contains("gobmk") {
                 assert!(gobmk.1 > *size, "{name} ({size}) >= gobmk ({})", gobmk.1);

@@ -1,19 +1,17 @@
 //! Shared helpers for kernel construction.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hfi_util::Rng;
 
 /// Deterministic pseudo-random bytes for kernel inputs.
 pub fn random_bytes(seed: u64, len: usize) -> Vec<u8> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..len).map(|_| rng.gen()).collect()
+    Rng::new(seed).bytes(len)
 }
 
 /// Deterministic ASCII-ish text (letters, digits, spaces, punctuation).
 pub fn random_text(seed: u64, len: usize) -> Vec<u8> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::new(seed);
     const ALPHABET: &[u8] = b"abcdefghij KLMNOPQRST0123456789,.\n<>/=\"";
-    (0..len).map(|_| ALPHABET[rng.gen_range(0..ALPHABET.len())]).collect()
+    (0..len).map(|_| *rng.pick(ALPHABET)).collect()
 }
 
 /// A simple 64-bit mix for checksums in reference implementations.
@@ -34,6 +32,8 @@ mod tests {
 
     #[test]
     fn text_is_printable() {
-        assert!(random_text(1, 100).iter().all(|&b| b == b'\n' || (0x20..0x7F).contains(&b)));
+        assert!(random_text(1, 100)
+            .iter()
+            .all(|&b| b == b'\n' || (0x20..0x7F).contains(&b)));
     }
 }

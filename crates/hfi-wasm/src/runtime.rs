@@ -159,12 +159,14 @@ impl SandboxRuntime {
         let (base, reserved) = match self.isolation {
             Isolation::GuardPages => {
                 let base = self.space.mmap(GUARD_RESERVATION, Prot::NONE)?;
-                self.space.mprotect(base, initial_pages * WASM_PAGE, Prot::READ_WRITE)?;
+                self.space
+                    .mprotect(base, initial_pages * WASM_PAGE, Prot::READ_WRITE)?;
                 (base, GUARD_RESERVATION)
             }
             Isolation::BoundsChecks | Isolation::None => {
                 let base = self.space.mmap(max_bytes, Prot::NONE)?;
-                self.space.mprotect(base, initial_pages * WASM_PAGE, Prot::READ_WRITE)?;
+                self.space
+                    .mprotect(base, initial_pages * WASM_PAGE, Prot::READ_WRITE)?;
                 (base, max_bytes)
             }
             Isolation::Hfi => {
@@ -250,7 +252,8 @@ impl SandboxRuntime {
     /// Propagates address-space errors (e.g. touching unmapped memory).
     pub fn touch_heap(&mut self, id: SandboxId, bytes: u64) -> Result<(), RuntimeError> {
         let slot = self.slot(id)?.clone();
-        self.space.touch(slot.base, bytes.min(slot.pages * WASM_PAGE))?;
+        self.space
+            .touch(slot.base, bytes.min(slot.pages * WASM_PAGE))?;
         Ok(())
     }
 
@@ -264,7 +267,8 @@ impl SandboxRuntime {
     /// [`RuntimeError::NoSuchSandbox`] for a dead id.
     pub fn teardown(&mut self, id: SandboxId) -> Result<(), RuntimeError> {
         let slot = self.slot(id)?.clone();
-        self.space.madvise_dontneed(slot.base, (slot.pages * WASM_PAGE).max(WASM_PAGE))?;
+        self.space
+            .madvise_dontneed(slot.base, (slot.pages * WASM_PAGE).max(WASM_PAGE))?;
         self.slots[id.0].live = false;
         Ok(())
     }
@@ -363,7 +367,7 @@ mod tests {
             count += 1;
         }
         // 2^40 / 8 GiB = 128.
-        assert!(count <= 128 && count >= 126, "guard count {count}");
+        assert!((126..=128).contains(&count), "guard count {count}");
 
         let mut hfi = SandboxRuntime::new(Isolation::Hfi, 40);
         hfi.set_max_heap(1 << 30);
@@ -379,13 +383,18 @@ mod tests {
     fn batched_teardown_coalesces_adjacent_heaps() {
         let mut rt = SandboxRuntime::new(Isolation::Hfi, 44);
         rt.set_max_heap(1 << 20);
-        let ids: Vec<_> = (0..32).map(|_| rt.create_sandbox(16).expect("create")).collect();
+        let ids: Vec<_> = (0..32)
+            .map(|_| rt.create_sandbox(16).expect("create"))
+            .collect();
         for &id in &ids {
             rt.touch_heap(id, 64 << 10).expect("touch");
             rt.teardown_deferred(id).expect("defer");
         }
         let calls = rt.flush_teardowns().expect("flush");
-        assert_eq!(calls, 1, "adjacent HFI heaps must coalesce into one madvise");
+        assert_eq!(
+            calls, 1,
+            "adjacent HFI heaps must coalesce into one madvise"
+        );
         assert_eq!(rt.live_count(), 0);
     }
 
@@ -394,7 +403,9 @@ mod tests {
         let run = |batched: bool| {
             let mut rt = SandboxRuntime::new(Isolation::Hfi, 44);
             rt.set_max_heap(1 << 20);
-            let ids: Vec<_> = (0..64).map(|_| rt.create_sandbox(16).expect("create")).collect();
+            let ids: Vec<_> = (0..64)
+                .map(|_| rt.create_sandbox(16).expect("create"))
+                .collect();
             for &id in &ids {
                 rt.touch_heap(id, 64 << 10).expect("touch");
             }
@@ -413,7 +424,10 @@ mod tests {
         };
         let per_sandbox = run(false);
         let batched = run(true);
-        assert!(batched < per_sandbox, "batched {batched} !< per-sandbox {per_sandbox}");
+        assert!(
+            batched < per_sandbox,
+            "batched {batched} !< per-sandbox {per_sandbox}"
+        );
     }
 
     #[test]

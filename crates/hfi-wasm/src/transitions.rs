@@ -124,9 +124,14 @@ mod tests {
     #[test]
     fn ordering_is_sane() {
         let costs = CostModel::default();
-        let cycle_costs: Vec<u64> =
-            Transition::ALL.iter().map(|t| t.round_trip_cycles(&costs)).collect();
-        assert!(cycle_costs[0] < cycle_costs[6], "calls beat process switches");
+        let cycle_costs: Vec<u64> = Transition::ALL
+            .iter()
+            .map(|t| t.round_trip_cycles(&costs))
+            .collect();
+        assert!(
+            cycle_costs[0] < cycle_costs[6],
+            "calls beat process switches"
+        );
         assert!(cycle_costs[6] < cycle_costs[7], "process switch beats IPC");
     }
 }

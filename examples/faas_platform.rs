@@ -6,10 +6,10 @@
 //!
 //! Run with: `cargo run --release --example faas_platform`
 
+use hfi_repro::hfi_core::CostModel;
 use hfi_repro::hfi_faas::{
     evaluate, teardown_experiment, ProfiledWorkload, Scheme, TeardownPolicy,
 };
-use hfi_repro::hfi_core::CostModel;
 use hfi_repro::hfi_wasm::compiler::Isolation;
 use hfi_repro::hfi_wasm::kernels::faas;
 use hfi_repro::hfi_wasm::runtime::SandboxRuntime;
@@ -18,8 +18,9 @@ fn main() {
     // --- Lifecycle: create, grow, batch-teardown 64 tenants. ---
     let mut runtime = SandboxRuntime::new(Isolation::Hfi, 47);
     runtime.set_max_heap(64 << 20);
-    let tenants: Vec<_> =
-        (0..64).map(|_| runtime.create_sandbox(4).expect("address space available")).collect();
+    let tenants: Vec<_> = (0..64)
+        .map(|_| runtime.create_sandbox(4).expect("address space available"))
+        .collect();
     for &tenant in &tenants {
         runtime.grow(tenant, 12).expect("below max heap"); // no mprotect!
         runtime.touch_heap(tenant, 512 << 10).expect("heap mapped");
@@ -55,6 +56,9 @@ fn main() {
         TeardownPolicy::BatchedWithGuards,
     ] {
         let r = teardown_experiment(512, policy).expect("experiment");
-        println!("{policy:?}: {:.1} us/sandbox ({} madvise)", r.per_sandbox_us, r.madvise_calls);
+        println!(
+            "{policy:?}: {:.1} us/sandbox ({} madvise)",
+            r.per_sandbox_us, r.madvise_calls
+        );
     }
 }

@@ -17,7 +17,11 @@ fn main() {
     // --- Render a "JPEG" under each isolation scheme. ---
     let image = render::jpeg_like(2, 8, 6); // 480p-ish, default quality
     println!("decoding {} under three schemes:", image.name);
-    for isolation in [Isolation::BoundsChecks, Isolation::GuardPages, Isolation::Hfi] {
+    for isolation in [
+        Isolation::BoundsChecks,
+        Isolation::GuardPages,
+        Isolation::Hfi,
+    ] {
         let opts = CompileOptions::new(isolation);
         let compiled = compile(&image.func, &opts);
         let mut machine = Machine::new(compiled.program);
@@ -44,5 +48,8 @@ fn main() {
     let result = machine.run(1_000_000);
     println!("\nmalicious decoder: {:?}", result.stop);
     println!("exit-reason MSR:   {:?}", result.exit_reason);
-    assert!(matches!(result.stop, Stop::Fault(_)), "HFI must trap the stray access");
+    assert!(
+        matches!(result.stop, Stop::Fault(_)),
+        "HFI must trap the stray access"
+    );
 }

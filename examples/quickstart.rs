@@ -17,24 +17,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut hfi = HfiContext::new();
 
     // Code region (slot 0): 64 KiB of executable code at 4 MiB.
-    hfi.set_region(0, Region::Code(ImplicitCodeRegion::new(0x40_0000, 0xFFFF, true)?))
-        .expect("slot 0 accepts code regions");
+    hfi.set_region(
+        0,
+        Region::Code(ImplicitCodeRegion::new(0x40_0000, 0xFFFF, true)?),
+    )
+    .expect("slot 0 accepts code regions");
     // Implicit data region (slot 2): a stack the sandbox may use.
-    hfi.set_region(2, Region::Data(ImplicitDataRegion::new(0x7000_0000, 0xFFFF, true, true)?))
-        .expect("slot 2 accepts data regions");
+    hfi.set_region(
+        2,
+        Region::Data(ImplicitDataRegion::new(0x7000_0000, 0xFFFF, true, true)?),
+    )
+    .expect("slot 2 accepts data regions");
     // Explicit region (slot 6 = hmov0): a 1 MiB heap, 64 KiB-grained.
-    hfi.set_region(6, Region::Explicit(ExplicitDataRegion::large(0x1000_0000, 1 << 20, true, true)?))
-        .expect("slot 6 accepts explicit regions");
+    hfi.set_region(
+        6,
+        Region::Explicit(ExplicitDataRegion::large(0x1000_0000, 1 << 20, true, true)?),
+    )
+    .expect("slot 6 accepts explicit regions");
 
     // Enter a hybrid sandbox (trusted Wasm runtime inside).
-    hfi.enter(SandboxConfig::hybrid()).expect("not inside a native sandbox");
+    hfi.enter(SandboxConfig::hybrid())
+        .expect("not inside a native sandbox");
     println!("sandbox entered: {}", hfi.enabled());
 
     // hmov0 with offset 0x100 resolves relative to the heap base...
     let ea = hfi.hmov_check(0, 0x100, 1, 0, 8).expect("in bounds");
     println!("hmov0 [0x100] -> effective address {ea:#x}");
     // ...and out-of-bounds offsets trap precisely:
-    println!("hmov0 [1 MiB] -> {:?}", hfi.hmov_check(0, 1 << 20, 1, 0, 8).unwrap_err());
+    println!(
+        "hmov0 [1 MiB] -> {:?}",
+        hfi.hmov_check(0, 1 << 20, 1, 0, 8).unwrap_err()
+    );
     // Ordinary accesses outside every implicit region trap too:
     println!(
         "stray write  -> {:?}",
@@ -64,6 +77,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\nsimulated run: {} cycles, {} instructions, r2 = {}",
         result.cycles, result.stats.committed, result.regs[2]
     );
-    println!("heap[0x40] physically = {}", machine.mem.read(0x1000_0040, 8));
+    println!(
+        "heap[0x40] physically = {}",
+        machine.mem.read(0x1000_0040, 8)
+    );
     Ok(())
 }

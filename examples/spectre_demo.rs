@@ -19,11 +19,7 @@ fn main() {
             "  probe latency at secret '{}': {} cycles (threshold {})",
             secret as char, outcome.latencies[secret as usize], HIT_THRESHOLD
         );
-        match outcome
-            .warm_indices
-            .iter()
-            .find(|&&b| b == secret)
-        {
+        match outcome.warm_indices.iter().find(|&&b| b == secret) {
             Some(_) => println!("  LEAKED: attacker recovered the secret byte\n"),
             None => println!("  safe: no secret-dependent cache line was warmed\n"),
         }

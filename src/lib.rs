@@ -9,13 +9,16 @@
 //! The integration tests under `tests/` and the runnable examples under
 //! `examples/` live at this crate; the substance is in the member crates:
 //!
+//! * [`hfi_util`] — dependency-free shared utilities (vendored PRNG);
 //! * [`hfi_core`] — the HFI architecture (regions, instructions, faults);
 //! * [`hfi_sim`] — the cycle-level speculative simulator + emulation;
 //! * [`hfi_mem`] — the cost-accounted virtual-memory model;
 //! * [`hfi_wasm`] — IR, compiler backends, runtime, workload kernels;
 //! * [`hfi_native`] — native-binary sandboxing experiments;
 //! * [`hfi_spectre`] — Spectre-PHT/BTB attacks and their HFI mitigation;
-//! * [`hfi_faas`] — the FaaS platform experiments.
+//! * [`hfi_faas`] — the FaaS platform experiments;
+//! * [`hfi_bench`] — the shared experiment [`Harness`](hfi_bench::Harness)
+//!   and one binary per paper table/figure.
 //!
 //! ```
 //! use hfi_repro::hfi_core::{HfiContext, Region, SandboxConfig};
@@ -31,10 +34,12 @@
 
 #![warn(missing_docs)]
 
+pub use hfi_bench;
 pub use hfi_core;
 pub use hfi_faas;
 pub use hfi_mem;
 pub use hfi_native;
 pub use hfi_sim;
 pub use hfi_spectre;
+pub use hfi_util;
 pub use hfi_wasm;

@@ -6,16 +6,19 @@
 //! register allocator, every lowering, speculation/squash in the OOO
 //! core, store-to-load forwarding, and the HFI checks — any divergence
 //! between the two executors is a bug somewhere in that stack.
+//!
+//! Cases come from the vendored deterministic PRNG (fixed seeds, offline
+//! build) instead of `proptest`, so every failure reproduces exactly.
 
 use hfi_repro::hfi_sim::{Functional, Machine, Stop};
+use hfi_repro::hfi_util::Rng;
 use hfi_repro::hfi_wasm::compiler::{compile, CompileOptions, Isolation};
 use hfi_repro::hfi_wasm::ir::{AluOp, Cond, IrBuilder, IrFunction};
-use proptest::prelude::*;
 
 /// Builds a random but always-terminating kernel: straight-line blocks
 /// of arithmetic and in-bounds memory traffic inside a bounded counted
 /// loop.
-fn random_kernel(ops: Vec<(u8, u8, u8, i64)>, trip: u8) -> IrFunction {
+fn random_kernel(ops: &[(u8, u8, u8, i64)], trip: u8) -> IrFunction {
     let mut b = IrBuilder::new("fuzz");
     let vregs: Vec<_> = (0..8).map(|_| b.vreg()).collect();
     let iter = b.vreg();
@@ -25,7 +28,7 @@ fn random_kernel(ops: Vec<(u8, u8, u8, i64)>, trip: u8) -> IrFunction {
     }
     b.constant(iter, 0);
     let top = b.label_here();
-    for &(sel, dst, src, imm) in &ops {
+    for &(sel, dst, src, imm) in ops {
         let dst = vregs[dst as usize % 8];
         let src = vregs[src as usize % 8];
         match sel % 8 {
@@ -72,57 +75,78 @@ fn random_kernel(ops: Vec<(u8, u8, u8, i64)>, trip: u8) -> IrFunction {
     b.finish()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-    #[test]
-    fn executors_agree_on_random_programs(
-        ops in prop::collection::vec(
-            (any::<u8>(), any::<u8>(), any::<u8>(), -256i64..256),
-            1..24,
-        ),
-        trip in any::<u8>(),
-        isolation in prop::sample::select(vec![
-            Isolation::GuardPages,
-            Isolation::BoundsChecks,
-            Isolation::Hfi,
-        ]),
-    ) {
-        let kernel = random_kernel(ops, trip);
+/// Draws a random op list for [`random_kernel`].
+fn random_ops(rng: &mut Rng, max_len: u64) -> Vec<(u8, u8, u8, i64)> {
+    let len = rng.range_u64(1, max_len) as usize;
+    (0..len)
+        .map(|_| {
+            (
+                rng.next_u8(),
+                rng.next_u8(),
+                rng.next_u8(),
+                rng.range_i64(-256, 256),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn executors_agree_on_random_programs() {
+    let isolations = [
+        Isolation::GuardPages,
+        Isolation::BoundsChecks,
+        Isolation::Hfi,
+    ];
+    let mut rng = Rng::new(0x21);
+    for case in 0..24 {
+        let ops = random_ops(&mut rng, 24);
+        let trip = rng.next_u8();
+        let isolation = *rng.pick(&isolations);
+
+        let kernel = random_kernel(&ops, trip);
         let opts = CompileOptions::new(isolation);
         let compiled = compile(&kernel, &opts);
 
         let mut machine = Machine::new(compiled.program.clone());
         let cycle_result = machine.run(200_000_000);
-        prop_assert_eq!(&cycle_result.stop, &Stop::Halted);
+        assert_eq!(cycle_result.stop, Stop::Halted, "case {case}");
 
         let mut functional = Functional::new(compiled.program);
         let func_result = functional.run(1_000_000_000);
-        prop_assert_eq!(&func_result.stop, &Stop::Halted);
+        assert_eq!(func_result.stop, Stop::Halted, "case {case}");
 
-        prop_assert_eq!(
+        assert_eq!(
             cycle_result.regs, func_result.regs,
-            "architectural registers diverged under {}", isolation
+            "case {case}: architectural registers diverged under {isolation}"
         );
     }
+}
 
-    #[test]
-    fn backends_agree_with_each_other(
-        ops in prop::collection::vec(
-            (any::<u8>(), any::<u8>(), any::<u8>(), -256i64..256),
-            1..16,
-        ),
-        trip in any::<u8>(),
-    ) {
+#[test]
+fn backends_agree_with_each_other() {
+    let mut rng = Rng::new(0x22);
+    for case in 0..24 {
+        let ops = random_ops(&mut rng, 16);
+        let trip = rng.next_u8();
+
         // All isolation strategies must compute the same kernel result.
-        let kernel = random_kernel(ops, trip);
+        let kernel = random_kernel(&ops, trip);
         let mut results = Vec::new();
-        for isolation in [Isolation::None, Isolation::GuardPages, Isolation::BoundsChecks, Isolation::Hfi] {
+        for isolation in [
+            Isolation::None,
+            Isolation::GuardPages,
+            Isolation::BoundsChecks,
+            Isolation::Hfi,
+        ] {
             let compiled = compile(&kernel, &CompileOptions::new(isolation));
             let mut functional = Functional::new(compiled.program);
             let result = functional.run(1_000_000_000);
-            prop_assert_eq!(&result.stop, &Stop::Halted);
+            assert_eq!(result.stop, Stop::Halted, "case {case}");
             results.push(result.regs[0]);
         }
-        prop_assert!(results.windows(2).all(|w| w[0] == w[1]), "results: {:?}", results);
+        assert!(
+            results.windows(2).all(|w| w[0] == w[1]),
+            "case {case}: results: {results:?}"
+        );
     }
 }

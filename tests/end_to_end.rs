@@ -29,7 +29,9 @@ fn a_kernel_survives_the_whole_stack() {
     let mut machine = Machine::new(emulated);
     for (off, bytes) in &kernel.heap_init {
         machine.mem.write_bytes(opts.heap_base + *off as u64, bytes);
-        machine.mem.write_bytes(hfi_repro::hfi_sim::EMULATION_BASE + *off as u64, bytes);
+        machine
+            .mem
+            .write_bytes(hfi_repro::hfi_sim::EMULATION_BASE + *off as u64, bytes);
     }
     let emu = machine.run(1_000_000_000);
     assert_eq!(emu.stop, Stop::Halted);
@@ -86,8 +88,16 @@ fn spec_suite_ordering_holds_end_to_end() {
         let guard = run(Isolation::GuardPages);
         let bounds = run(Isolation::BoundsChecks);
         let hfi = run(Isolation::Hfi);
-        assert!(bounds >= guard, "{}: bounds {bounds} < guard {guard}", kernel.name);
-        assert!(hfi < bounds, "{}: hfi {hfi} >= bounds {bounds}", kernel.name);
+        assert!(
+            bounds >= guard,
+            "{}: bounds {bounds} < guard {guard}",
+            kernel.name
+        );
+        assert!(
+            hfi < bounds,
+            "{}: hfi {hfi} >= bounds {bounds}",
+            kernel.name
+        );
     }
 }
 
@@ -100,12 +110,14 @@ fn serialized_sandbox_costs_what_the_model_says() {
 
     let build = |serialize: bool| {
         let mut asm = hfi_repro::hfi_sim::ProgramBuilder::new(0x40_0000);
-        let code =
-            hfi_repro::hfi_core::region::ImplicitCodeRegion::new(0x40_0000, 0xFFFF, true)
-                .expect("valid");
+        let code = hfi_repro::hfi_core::region::ImplicitCodeRegion::new(0x40_0000, 0xFFFF, true)
+            .expect("valid");
         asm.hfi_set_region(0, hfi_repro::hfi_core::Region::Code(code));
-        let config =
-            if serialize { SandboxConfig::hybrid().serialized() } else { SandboxConfig::hybrid() };
+        let config = if serialize {
+            SandboxConfig::hybrid().serialized()
+        } else {
+            SandboxConfig::hybrid()
+        };
         for _ in 0..32 {
             asm.hfi_enter(config);
             asm.hfi_exit();

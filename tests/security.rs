@@ -33,7 +33,10 @@ fn oob_data_read_traps() {
         asm.load(Reg(2), MemOperand::base_disp(Reg(1), 0), 8);
     });
     let result = machine.run(1_000_000);
-    assert!(matches!(result.stop, Stop::Fault(HfiFault::DataBounds { .. })));
+    assert!(matches!(
+        result.stop,
+        Stop::Fault(HfiFault::DataBounds { .. })
+    ));
     assert!(matches!(result.exit_reason, Some(ExitReason::Fault(_))));
 }
 
@@ -45,7 +48,10 @@ fn oob_data_write_traps() {
         asm.store(Reg(2), MemOperand::base_disp(Reg(1), 0), 8);
     });
     let result = machine.run(1_000_000);
-    assert!(matches!(result.stop, Stop::Fault(HfiFault::DataBounds { .. })));
+    assert!(matches!(
+        result.stop,
+        Stop::Fault(HfiFault::DataBounds { .. })
+    ));
     // The faulting store must NOT have reached memory.
     assert_eq!(machine.mem.read(0x50_0000, 8), 0);
 }
@@ -54,7 +60,12 @@ fn oob_data_write_traps() {
 fn oob_hmov_traps_precisely() {
     let mut machine = sandboxed_program(|asm| {
         asm.movi(Reg(1), (1 << 20) - 4); // in bounds base...
-        asm.hmov_load(0, Reg(2), hfi_repro::hfi_sim::HmovOperand::indexed(Reg(1), 1, 8), 8);
+        asm.hmov_load(
+            0,
+            Reg(2),
+            hfi_repro::hfi_sim::HmovOperand::indexed(Reg(1), 1, 8),
+            8,
+        );
     });
     let result = machine.run(1_000_000);
     assert!(matches!(
@@ -67,7 +78,12 @@ fn oob_hmov_traps_precisely() {
 fn negative_hmov_offset_traps() {
     let mut machine = sandboxed_program(|asm| {
         asm.movi(Reg(1), -64);
-        asm.hmov_load(0, Reg(2), hfi_repro::hfi_sim::HmovOperand::indexed(Reg(1), 1, 0), 8);
+        asm.hmov_load(
+            0,
+            Reg(2),
+            hfi_repro::hfi_sim::HmovOperand::indexed(Reg(1), 1, 0),
+            8,
+        );
     });
     let result = machine.run(1_000_000);
     assert!(matches!(result.stop, Stop::Fault(HfiFault::Hmov { .. })));
@@ -82,7 +98,10 @@ fn oob_instruction_fetch_traps() {
         asm.jump_ind(Reg(1));
     });
     let result = machine.run(1_000_000);
-    assert!(matches!(result.stop, Stop::Fault(HfiFault::CodeBounds { .. })));
+    assert!(matches!(
+        result.stop,
+        Stop::Fault(HfiFault::CodeBounds { .. })
+    ));
 }
 
 #[test]
@@ -146,7 +165,10 @@ fn native_sandbox_cannot_lift_its_own_regions() {
     asm.halt();
     let mut machine = Machine::new(asm.finish());
     let result = machine.run(1_000_000);
-    assert!(matches!(result.stop, Stop::Fault(HfiFault::PrivilegedInstruction)));
+    assert!(matches!(
+        result.stop,
+        Stop::Fault(HfiFault::PrivilegedInstruction)
+    ));
 }
 
 #[test]
@@ -175,9 +197,19 @@ fn trap_in_loop_is_precise() {
         asm.alu_ri(hfi_repro::hfi_sim::AluOp::Add, Reg(1), Reg(1), 1);
         // Access heap[r1 * 0x40000]: iterations 0..4 are in the 1 MiB
         // region, iteration 4 (offset 0x100000) faults.
-        asm.hmov_load(0, Reg(2), hfi_repro::hfi_sim::HmovOperand::indexed(Reg(1), 1, 0), 8);
+        asm.hmov_load(
+            0,
+            Reg(2),
+            hfi_repro::hfi_sim::HmovOperand::indexed(Reg(1), 1, 0),
+            8,
+        );
         asm.alu_ri(hfi_repro::hfi_sim::AluOp::Shl, Reg(3), Reg(1), 18);
-        asm.hmov_load(0, Reg(2), hfi_repro::hfi_sim::HmovOperand::indexed(Reg(3), 1, 0), 8);
+        asm.hmov_load(
+            0,
+            Reg(2),
+            hfi_repro::hfi_sim::HmovOperand::indexed(Reg(3), 1, 0),
+            8,
+        );
         asm.branch_i(Cond::LtU, Reg(1), 100, top);
     });
     let result = machine.run(1_000_000);
