@@ -1,0 +1,159 @@
+//! Host-side throughput of the cycle-level simulator on the Fig. 3
+//! workload — the scaling lever for every figure in the reproduction.
+//!
+//! Runs the SPEC-like suite under the three Fig. 3 isolation schemes on
+//! the cycle `Machine`, sequentially (per-core simulated-instruction
+//! throughput is the metric; the parallel harness already saturates
+//! cores), and emits `BENCH_throughput.json` at the repo root:
+//!
+//! ```text
+//! cargo run --release -p hfi-bench --bin bench_throughput -- --smoke
+//! ```
+//!
+//! Flags:
+//!
+//! * `--smoke` / `HFI_SMOKE=1` — first three kernels only (CI).
+//! * `--check <baseline.json>` — after measuring, fail (exit 1) if
+//!   aggregate sim-MIPS regressed more than 20% against the baseline
+//!   file's `"sim_mips"` value. Absolute MIPS are host-dependent, so a
+//!   baseline is only meaningful against runs on the same machine class.
+//! * `--out <path>` — output path (default `BENCH_throughput.json`).
+
+use std::time::Instant;
+
+use hfi_bench::{print_table, run_on_machine, Harness, FIG3_SCHEMES};
+use hfi_wasm::kernels::speclike;
+
+/// Allowed fractional sim-MIPS regression before `--check` fails.
+const REGRESSION_BUDGET: f64 = 0.20;
+
+struct CellResult {
+    kernel: String,
+    isolation: String,
+    committed: u64,
+    cycles: u64,
+    host_ns: u64,
+}
+
+fn extract_json_number(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let start = json.find(&needle)? + needle.len();
+    let rest = &json[start..];
+    let end = rest
+        .find(|c: char| c != '.' && c != '-' && c != '+' && c != 'e' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    let harness = Harness::from_env("throughput");
+    let mut check: Option<String> = None;
+    let mut out_path = "BENCH_throughput.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => check = args.next(),
+            "--out" => {
+                if let Some(p) = args.next() {
+                    out_path = p;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let kernels = harness.subset(speclike::suite(1), 3);
+    let mut cells = Vec::new();
+    for kernel in &kernels {
+        for isolation in FIG3_SCHEMES {
+            let started = Instant::now();
+            let run = run_on_machine(kernel, isolation);
+            let host_ns = started.elapsed().as_nanos() as u64;
+            cells.push(CellResult {
+                kernel: kernel.name.clone(),
+                isolation: format!("{isolation:?}"),
+                committed: run.instructions,
+                cycles: run.cycles,
+                host_ns,
+            });
+        }
+    }
+
+    let total_committed: u64 = cells.iter().map(|c| c.committed).sum();
+    let total_cycles: u64 = cells.iter().map(|c| c.cycles).sum();
+    let total_ns: u64 = cells.iter().map(|c| c.host_ns).sum::<u64>().max(1);
+    let sim_mips = total_committed as f64 / (total_ns as f64 / 1e9) / 1e6;
+    let host_ns_per_cycle = total_ns as f64 / total_cycles.max(1) as f64;
+
+    let rows: Vec<Vec<String>> = cells
+        .iter()
+        .map(|c| {
+            let mips = c.committed as f64 / (c.host_ns.max(1) as f64 / 1e9) / 1e6;
+            vec![
+                c.kernel.clone(),
+                c.isolation.clone(),
+                c.committed.to_string(),
+                format!("{:.1}ms", c.host_ns as f64 / 1e6),
+                format!("{mips:.2}"),
+            ]
+        })
+        .collect();
+    print_table(
+        "Simulator throughput on the Fig. 3 workload",
+        &["kernel", "isolation", "committed", "host time", "sim-MIPS"],
+        &rows,
+    );
+    println!(
+        "\n  aggregate: {total_committed} instructions in {:.1} ms -> {sim_mips:.2} sim-MIPS \
+         ({host_ns_per_cycle:.1} host-ns/cycle)",
+        total_ns as f64 / 1e6
+    );
+
+    // Read the baseline before writing the output so `--check` against
+    // the default output path gates on the previous run, not the file
+    // this run is about to write.
+    let baseline_mips = check.as_ref().map(|baseline_path| {
+        let baseline = std::fs::read_to_string(baseline_path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
+        extract_json_number(&baseline, "sim_mips")
+            .unwrap_or_else(|| panic!("no \"sim_mips\" in {baseline_path}"))
+    });
+
+    let mut json = String::from("{");
+    json.push_str(&format!(
+        "\"figure\":\"throughput\",\"mode\":\"{}\",\"sim_mips\":{sim_mips:.3},\
+         \"host_ns_per_cycle\":{host_ns_per_cycle:.3},\"total_committed\":{total_committed},\
+         \"total_cycles\":{total_cycles},\"total_host_ns\":{total_ns},\"cells\":[",
+        if harness.smoke() { "smoke" } else { "full" }
+    ));
+    for (i, c) in cells.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!(
+            "{{\"kernel\":\"{}\",\"isolation\":\"{}\",\"committed\":{},\"cycles\":{},\
+             \"host_ns\":{}}}",
+            c.kernel, c.isolation, c.committed, c.cycles, c.host_ns
+        ));
+    }
+    json.push_str("]}");
+    std::fs::write(&out_path, format!("{json}\n")).expect("write throughput json");
+    eprintln!("[throughput] wrote {out_path}");
+
+    if let Some(baseline_mips) = baseline_mips {
+        let floor = baseline_mips * (1.0 - REGRESSION_BUDGET);
+        println!(
+            "  gate: measured {sim_mips:.2} sim-MIPS vs baseline {baseline_mips:.2} \
+             (floor {floor:.2})"
+        );
+        if sim_mips < floor {
+            eprintln!(
+                "[throughput] FAIL: sim-MIPS regressed more than {:.0}% \
+                 ({sim_mips:.2} < {floor:.2})",
+                REGRESSION_BUDGET * 100.0
+            );
+            std::process::exit(1);
+        }
+        println!("  gate: OK");
+    }
+}

@@ -83,7 +83,9 @@ pub fn run_cell(executor: &mut dyn Executor, kernel: &Kernel, heap_base: u64) ->
         hfi_sim::ExecutorKind::Functional => FUNCTIONAL_LIMIT,
         _ => MACHINE_LIMIT,
     };
+    let started = std::time::Instant::now();
     let stop = executor.run(limit);
+    let host_ns = started.elapsed().as_nanos() as u64;
     assert_eq!(
         stop,
         Stop::Halted,
@@ -98,7 +100,7 @@ pub fn run_cell(executor: &mut dyn Executor, kernel: &Kernel, heap_base: u64) ->
         kernel.name,
         executor.kind()
     );
-    executor.stats()
+    executor.stats().with_host_timing(host_ns)
 }
 
 /// Compiles and runs `kernel` on the cycle-level machine.

@@ -9,9 +9,13 @@
 //! [`CacheHierarchy::data_access`].
 
 /// One set-associative cache with true-LRU replacement.
+///
+/// Ways are stored set-major in one flat allocation; a set is the
+/// `assoc`-long slice at `set_index * assoc`, so a lookup is pure index
+/// arithmetic with no per-set indirection.
 #[derive(Debug, Clone)]
 pub struct Cache {
-    sets: Vec<Vec<Line>>,
+    lines: Box<[Line]>,
     assoc: usize,
     line_bits: u32,
     set_bits: u32,
@@ -40,17 +44,15 @@ impl Cache {
         let num_sets = num_lines / assoc as u64;
         assert!(num_sets.is_power_of_two() && num_sets >= 1);
         Self {
-            sets: vec![
-                vec![
-                    Line {
-                        tag: 0,
-                        lru: 0,
-                        valid: false
-                    };
-                    assoc
-                ];
-                num_sets as usize
-            ],
+            lines: vec![
+                Line {
+                    tag: 0,
+                    lru: 0,
+                    valid: false
+                };
+                num_sets as usize * assoc
+            ]
+            .into_boxed_slice(),
             assoc,
             line_bits: line_bytes.trailing_zeros(),
             set_bits: num_sets.trailing_zeros(),
@@ -70,8 +72,8 @@ impl Cache {
     /// install the line (allocate-on-miss), evicting the LRU way.
     pub fn access(&mut self, addr: u64, now: u64) -> bool {
         let (set_idx, tag) = self.index(addr);
-        let assoc = self.assoc;
-        let set = &mut self.sets[set_idx];
+        let base = set_idx * self.assoc;
+        let set = &mut self.lines[base..base + self.assoc];
         for line in set.iter_mut() {
             if line.valid && line.tag == tag {
                 line.lru = now;
@@ -80,8 +82,11 @@ impl Cache {
             }
         }
         self.misses += 1;
-        let victim = (0..assoc)
-            .min_by_key(|&way| if set[way].valid { set[way].lru } else { 0 })
+        let victim = set
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, line)| if line.valid { line.lru } else { 0 })
+            .map(|(way, _)| way)
             .expect("assoc >= 1");
         set[victim] = Line {
             tag,
@@ -94,7 +99,8 @@ impl Cache {
     /// Probes without modifying state: would `addr` hit?
     pub fn probe(&self, addr: u64) -> bool {
         let (set_idx, tag) = self.index(addr);
-        self.sets[set_idx]
+        let base = set_idx * self.assoc;
+        self.lines[base..base + self.assoc]
             .iter()
             .any(|line| line.valid && line.tag == tag)
     }
@@ -102,7 +108,8 @@ impl Cache {
     /// Evicts the line containing `addr` (clflush).
     pub fn flush(&mut self, addr: u64) {
         let (set_idx, tag) = self.index(addr);
-        for line in &mut self.sets[set_idx] {
+        let base = set_idx * self.assoc;
+        for line in &mut self.lines[base..base + self.assoc] {
             if line.valid && line.tag == tag {
                 line.valid = false;
             }
@@ -111,10 +118,8 @@ impl Cache {
 
     /// Invalidates everything.
     pub fn flush_all(&mut self) {
-        for set in &mut self.sets {
-            for line in set {
-                line.valid = false;
-            }
+        for line in self.lines.iter_mut() {
+            line.valid = false;
         }
     }
 
@@ -268,14 +273,13 @@ mod tests {
 
     #[test]
     fn probe_does_not_modify() {
-        let cache_before = {
-            let mut cache = Cache::new(1024, 2, 64);
-            cache.access(0x0, 1);
-            cache
-        };
-        let cache = cache_before.clone();
+        let mut cache = Cache::new(1024, 2, 64);
+        cache.access(0x0, 1);
+        let stats_before = cache.stats();
         let _ = cache.probe(0x12345);
-        assert_eq!(cache.stats(), cache_before.stats());
+        let _ = cache.probe(0x0);
+        assert_eq!(cache.stats(), stats_before);
+        assert!(cache.probe(0x0), "probe must not evict the resident line");
     }
 
     #[test]

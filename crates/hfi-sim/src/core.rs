@@ -20,6 +20,7 @@
 //! Serialization (`cpuid`, `is-serialized` enter/exit, in-sandbox region
 //! updates) drains the ROB at decode and charges the §3.4 pipeline cost.
 
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 use hfi_core::{
@@ -230,17 +231,16 @@ struct RobEntry {
     predicted_next: Option<usize>,
     /// Fault detected at decode or execute, delivered at commit.
     fault: Option<HfiFault>,
-    /// Snapshot of the HFI context taken before a decode-time HFI state
-    /// change, restored if this entry is squashed.
-    hfi_undo: Option<Box<HfiContext>>,
     /// HFI-state generation current when this entry decoded: memory
     /// operations are checked against the state *their* program-order
     /// position sees, so a younger `hfi_exit` cannot lift checks from an
     /// older in-flight load (and a wrong-path exit still exposes the
     /// younger wrong-path loads that follow it — the §3.4 hazard).
     hfi_gen: usize,
-    /// For HFI-state-mutating entries: the generation before the change
-    /// (squash-restore target).
+    /// For HFI-state-mutating entries: the generation before the change.
+    /// The squash undo is `hfi_history[gen_before]` — the generation
+    /// journal doubles as the speculation-undo record, so no per-entry
+    /// context snapshot is taken.
     hfi_gen_before: Option<usize>,
     /// The load already performed its (speculative) cache access.
     cache_accessed: bool,
@@ -268,23 +268,46 @@ pub struct Machine {
     // Pipeline state.
     regs: [u64; 16],
     /// Speculative-HFI-state history, indexed by generation; in-flight
-    /// memory operations consult the generation at their decode.
+    /// memory operations consult the generation at their decode, and a
+    /// squash restores the oldest squashed entry's `hfi_gen_before`.
     hfi_history: Vec<HfiContext>,
     hfi_gen: usize,
-    rob: Vec<RobEntry>,
+    /// The reorder buffer as a ring: pushed at the back at decode, popped
+    /// at the front at commit, truncated from the back on squash. Entry
+    /// sequence numbers are consecutive, so `seq -> index` is plain
+    /// arithmetic off the head (`seq_index`).
+    rob: VecDeque<RobEntry>,
+    /// Rename table: sequence number of the youngest in-flight producer
+    /// of each architectural register (O(1) operand lookup; rebuilt on
+    /// the rare squash).
+    reg_writer: [Option<u64>; 16],
+    /// Sequence numbers of in-flight stores, oldest first — the
+    /// load/store dependence scan walks only these instead of the whole
+    /// ROB.
+    store_seqs: VecDeque<u64>,
     next_seq: u64,
     cycle: u64,
     fetch_index: usize,
     fetch_stall_until: u64,
     /// Decode-time (speculative-path) call stack of return inst indices.
     call_stack: Vec<usize>,
-    /// Snapshots of the call stack taken before each decode-time call or
-    /// return, so wrong-path pushes *and pops* can be undone on squash.
-    call_stack_undo: Vec<(u64, Vec<usize>)>,
+    /// Delta journal of decode-time call-stack mutations, oldest first:
+    /// a squash replays the inverse deltas newest-first instead of
+    /// restoring a full-stack snapshot.
+    call_journal: VecDeque<(u64, CallDelta)>,
     halted: Option<Stop>,
     stats: CoreStats,
     mem_ops_this_cycle: usize,
     alu_ops_this_cycle: usize,
+}
+
+/// One reversible decode-time call-stack mutation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CallDelta {
+    /// A `Call` pushed a return index (undo: pop it).
+    Pushed,
+    /// A `Ret` popped this return index (undo: push it back).
+    Popped(usize),
 }
 
 impl std::fmt::Debug for Machine {
@@ -324,13 +347,15 @@ impl Machine {
             regs: [0; 16],
             hfi_history: vec![HfiContext::new()],
             hfi_gen: 0,
-            rob: Vec::new(),
+            rob: VecDeque::new(),
+            reg_writer: [None; 16],
+            store_seqs: VecDeque::new(),
             next_seq: 0,
             cycle: 0,
             fetch_index: 0,
             fetch_stall_until: 0,
             call_stack: Vec::new(),
-            call_stack_undo: Vec::new(),
+            call_journal: VecDeque::new(),
             halted: None,
             stats: CoreStats::default(),
             mem_ops_this_cycle: 0,
@@ -373,26 +398,39 @@ impl Machine {
         &self.program
     }
 
+    /// ROB index of the in-flight entry with sequence number `seq`, or
+    /// `None` if it already committed. Sequence numbers are consecutive
+    /// in the ring, so this is index arithmetic off the head.
+    #[inline]
+    fn seq_index(&self, seq: u64) -> Option<usize> {
+        let head = self.rob.front()?.seq;
+        if seq < head {
+            return None;
+        }
+        let idx = (seq - head) as usize;
+        debug_assert!(idx < self.rob.len() && self.rob[idx].seq == seq);
+        Some(idx)
+    }
+
     fn rob_entry(&self, seq: u64) -> Option<&RobEntry> {
-        self.rob.iter().find(|e| e.seq == seq)
+        self.seq_index(seq).map(|i| &self.rob[i])
     }
 
     fn read_operand(&self, reg: Reg) -> Operand {
-        // Youngest in-flight producer wins.
-        for entry in self.rob.iter().rev() {
-            if entry.dst == Some(reg) {
-                return match entry.state {
+        // Youngest in-flight producer wins — the rename table tracks it.
+        match self.reg_writer[reg.0 as usize] {
+            Some(seq) => {
+                let entry = self.rob_entry(seq).expect("rename table in sync");
+                match entry.state {
                     EntryState::Done => Operand::Ready(entry.value),
-                    _ => Operand::Wait {
-                        seq: entry.seq,
-                        reg,
-                    },
-                };
+                    _ => Operand::Wait { seq, reg },
+                }
             }
+            None => Operand::Ready(self.regs[reg.0 as usize]),
         }
-        Operand::Ready(self.regs[reg.0 as usize])
     }
 
+    #[inline]
     fn operand_value(&self, op: Operand) -> Option<u64> {
         match op {
             Operand::Ready(v) => Some(v),
@@ -402,6 +440,17 @@ impl Machine {
                 // Producer already committed: its value is architectural.
                 None => Some(self.regs[reg.0 as usize]),
             },
+        }
+    }
+
+    /// Rebuilds the rename table from the surviving ROB entries (squash
+    /// path only — pushes and commits maintain it incrementally).
+    fn rebuild_reg_writer(&mut self) {
+        self.reg_writer = [None; 16];
+        for entry in &self.rob {
+            if let Some(dst) = entry.dst {
+                self.reg_writer[dst.0 as usize] = Some(entry.seq);
+            }
         }
     }
 
@@ -417,16 +466,19 @@ impl Machine {
             self.stats.rob_stall_cycles += 1;
             return;
         }
+        // Borrow the instruction stream through a shared handle so decode
+        // never clones an `Inst` (the `Arc` bump is once per fetch group).
+        let program = Arc::clone(&self.program);
         for _ in 0..self.config.decode_width {
             if self.rob.len() >= self.config.rob_size {
                 break;
             }
-            if self.fetch_index >= self.program.len() {
+            if self.fetch_index >= program.len() {
                 break;
             }
             let inst_idx = self.fetch_index;
-            let pc = self.program.pc_of(inst_idx);
-            let inst = self.program.inst(inst_idx).clone();
+            let pc = program.pc_of(inst_idx);
+            let inst = program.inst(inst_idx);
             let len = inst.encoded_len();
 
             // I-cache access for this fetch group; a miss stalls the
@@ -459,27 +511,26 @@ impl Machine {
                     store_value: None,
                     predicted_next: None,
                     fault: Some(fault),
-                    hfi_undo: None,
                     hfi_gen: 0,
                     hfi_gen_before: None,
                     cache_accessed: false,
                 });
                 // Fetch cannot meaningfully continue past an OOB PC; stall
                 // until the fault commits and redirects.
-                self.fetch_index = self.program.len();
+                self.fetch_index = program.len();
                 return;
             }
 
             // Serializing instructions drain the ROB before decoding.
-            if self.decode_serializes(&inst) {
+            if self.decode_serializes(inst) {
                 if !self.rob.is_empty() {
                     return; // retry next cycle until drained
                 }
                 self.stats.serializations += 1;
-                self.fetch_stall_until = self.cycle + self.serialize_cost(&inst);
+                self.fetch_stall_until = self.cycle + self.serialize_cost(inst);
             }
 
-            if !self.decode_one(inst_idx, pc, &inst) {
+            if !self.decode_one(inst_idx, pc, inst) {
                 return;
             }
             if matches!(inst, Inst::Syscall) || self.fetch_index != inst_idx + 1 {
@@ -536,7 +587,6 @@ impl Machine {
             store_value: None,
             predicted_next: None,
             fault: None,
-            hfi_undo: None,
             hfi_gen: 0,
             hfi_gen_before: None,
             cache_accessed: false,
@@ -615,17 +665,22 @@ impl Machine {
                 entry.predicted_next = Some(next);
             }
             Inst::Call { target } => {
-                self.call_stack_undo
-                    .push((self.next_seq, self.call_stack.clone()));
+                self.call_journal
+                    .push_back((self.next_seq, CallDelta::Pushed));
                 self.call_stack.push(inst_idx + 1);
                 next = *target;
             }
             Inst::Ret => {
                 // The decode-time call stack is exact along the fetched
                 // path, so returns never mispredict in this model.
-                self.call_stack_undo
-                    .push((self.next_seq, self.call_stack.clone()));
-                next = self.call_stack.pop().unwrap_or(self.program.len());
+                match self.call_stack.pop() {
+                    Some(ret_idx) => {
+                        self.call_journal
+                            .push_back((self.next_seq, CallDelta::Popped(ret_idx)));
+                        next = ret_idx;
+                    }
+                    None => next = self.program.len(),
+                }
             }
             Inst::Syscall => {
                 // ROB is drained (decode_serializes). Handle immediately
@@ -633,15 +688,15 @@ impl Machine {
                 return self.handle_syscall(inst_idx, pc);
             }
             Inst::HfiEnter { config } => {
-                entry.hfi_undo = Some(Box::new(self.hfi.clone()));
+                entry.hfi_gen_before = Some(self.hfi_gen);
                 match self.hfi.enter(*config) {
                     Ok(_) => {}
                     Err(fault) => entry.fault = Some(fault),
                 }
             }
             Inst::HfiEnterChild { config, regions } => {
-                entry.hfi_undo = Some(Box::new(self.hfi.clone()));
-                match self.hfi.enter_child(*config, *regions.clone()) {
+                entry.hfi_gen_before = Some(self.hfi_gen);
+                match self.hfi.enter_child(*config, **regions) {
                     Ok(_) => {}
                     Err(fault) => entry.fault = Some(fault),
                 }
@@ -651,7 +706,7 @@ impl Machine {
                     self.cycle.max(self.fetch_stall_until) + self.costs.set_region_cycles;
             }
             Inst::HfiExit => {
-                entry.hfi_undo = Some(Box::new(self.hfi.clone()));
+                entry.hfi_gen_before = Some(self.hfi_gen);
                 match self.hfi.exit() {
                     Ok((disposition, _)) => match disposition {
                         ExitDisposition::FallThrough | ExitDisposition::SwitchedToParent => {}
@@ -666,13 +721,13 @@ impl Machine {
                 }
             }
             Inst::HfiReenter => {
-                entry.hfi_undo = Some(Box::new(self.hfi.clone()));
+                entry.hfi_gen_before = Some(self.hfi_gen);
                 if let Err(fault) = self.hfi.reenter() {
                     entry.fault = Some(fault);
                 }
             }
             Inst::HfiSetRegion { slot, region } => {
-                entry.hfi_undo = Some(Box::new(self.hfi.clone()));
+                entry.hfi_gen_before = Some(self.hfi_gen);
                 if let Err(fault) = self.hfi.set_region(*slot as usize, *region) {
                     entry.fault = Some(fault);
                 }
@@ -680,13 +735,13 @@ impl Machine {
                     self.cycle.max(self.fetch_stall_until) + self.costs.set_region_cycles;
             }
             Inst::HfiClearRegion { slot } => {
-                entry.hfi_undo = Some(Box::new(self.hfi.clone()));
+                entry.hfi_gen_before = Some(self.hfi_gen);
                 if let Err(fault) = self.hfi.clear_region(*slot as usize) {
                     entry.fault = Some(fault);
                 }
             }
             Inst::HfiClearAllRegions => {
-                entry.hfi_undo = Some(Box::new(self.hfi.clone()));
+                entry.hfi_gen_before = Some(self.hfi_gen);
                 if let Err(fault) = self.hfi.clear_all_regions() {
                     entry.fault = Some(fault);
                 }
@@ -694,8 +749,7 @@ impl Machine {
             Inst::Cpuid | Inst::Fence | Inst::Nop | Inst::Halt => {}
         }
 
-        if entry.hfi_undo.is_some() {
-            entry.hfi_gen_before = Some(self.hfi_gen);
+        if entry.hfi_gen_before.is_some() {
             self.bump_hfi_gen();
         }
         self.push_entry(entry);
@@ -725,7 +779,13 @@ impl Machine {
             .hfi_gen
             .min(entry.hfi_gen_before.unwrap_or(self.hfi_gen));
         self.next_seq += 1;
-        self.rob.push(entry);
+        if let Some(dst) = entry.dst {
+            self.reg_writer[dst.0 as usize] = Some(entry.seq);
+        }
+        if entry.is_store {
+            self.store_seqs.push_back(entry.seq);
+        }
+        self.rob.push_back(entry);
     }
 
     /// Handles a syscall with the ROB drained: consults HFI's microcode
@@ -792,12 +852,15 @@ impl Machine {
         }
 
         // Issue ready entries (oldest first), respecting port limits.
+        // Instructions are borrowed from the shared program — the issue
+        // scan allocates nothing and clones nothing.
+        let program = Arc::clone(&self.program);
         let mut redirect: Option<(usize, usize)> = None; // (rob index, correct next)
         for i in 0..self.rob.len() {
             if !matches!(self.rob[i].state, EntryState::Waiting) {
                 continue;
             }
-            let inst = self.program.inst(self.rob[i].inst_idx).clone();
+            let inst = program.inst(self.rob[i].inst_idx);
             if inst.is_mem() {
                 if self.mem_ops_this_cycle >= self.config.mem_ports {
                     continue;
@@ -806,30 +869,38 @@ impl Machine {
                 continue;
             }
             // Operand readiness.
-            let vals: Vec<Option<u64>> = self.rob[i]
-                .srcs
-                .iter()
-                .map(|s| s.map(|op| self.operand_value(op)).unwrap_or(Some(0)))
-                .collect();
-            if vals.iter().any(|v| v.is_none()) {
+            let mut vals = [0u64; 3];
+            let mut ready = true;
+            for (k, src) in self.rob[i].srcs.iter().enumerate() {
+                if let Some(op) = src {
+                    match self.operand_value(*op) {
+                        Some(v) => vals[k] = v,
+                        None => {
+                            ready = false;
+                            break;
+                        }
+                    }
+                }
+            }
+            if !ready {
                 continue;
             }
-            let v = |k: usize| vals[k].unwrap_or(0);
+            let v = |k: usize| vals[k];
 
             match inst {
                 Inst::AluRR { op, .. } => {
                     self.alu_ops_this_cycle += 1;
-                    let value = alu_eval(op, v(0), v(1));
+                    let value = alu_eval(*op, v(0), v(1));
                     self.finish(i, value, op.latency());
                 }
                 Inst::AluRI { op, imm, .. } => {
                     self.alu_ops_this_cycle += 1;
-                    let value = alu_eval(op, v(0), imm as u64);
+                    let value = alu_eval(*op, v(0), *imm as u64);
                     self.finish(i, value, op.latency());
                 }
                 Inst::MovI { imm, .. } => {
                     self.alu_ops_this_cycle += 1;
-                    self.finish(i, imm as u64, 1);
+                    self.finish(i, *imm as u64, 1);
                 }
                 Inst::Mov { .. } => {
                     self.alu_ops_this_cycle += 1;
@@ -863,7 +934,7 @@ impl Machine {
                     self.alu_ops_this_cycle += 1;
                     let taken = cond.eval(v(0), v(1));
                     let actual = if taken {
-                        target
+                        *target
                     } else {
                         self.rob[i].inst_idx + 1
                     };
@@ -881,9 +952,9 @@ impl Machine {
                     cond, imm, target, ..
                 } => {
                     self.alu_ops_this_cycle += 1;
-                    let taken = cond.eval(v(0), imm as u64);
+                    let taken = cond.eval(v(0), *imm as u64);
                     let actual = if taken {
-                        target
+                        *target
                     } else {
                         self.rob[i].inst_idx + 1
                     };
@@ -927,27 +998,27 @@ impl Machine {
                 }
                 Inst::Flush { mem } => {
                     self.mem_ops_this_cycle += 1;
-                    let addr = effective_address(&mem, v(0), v(1));
+                    let addr = effective_address(mem, v(0), v(1));
                     self.caches.flush_data(addr);
                     self.finish(i, 0, 3);
                 }
                 Inst::Load { mem, size, .. } => {
-                    let addr = effective_address(&mem, v(0), v(1));
-                    self.exec_load(i, addr, size, None);
+                    let addr = effective_address(mem, v(0), v(1));
+                    self.exec_load(i, addr, *size, None);
                 }
                 Inst::Store { mem, size, .. } => {
                     self.mem_ops_this_cycle += 1;
-                    let addr = effective_address(&mem, v(0), v(1));
+                    let addr = effective_address(mem, v(0), v(1));
                     // Implicit-region check, parallel with the dtb: zero
                     // latency; a failure blocks the (commit-time) access.
                     if self.hfi_history[self.rob[i].hfi_gen].enabled() {
                         self.stats.hfi_checks += 1;
                     }
                     let hfi = &self.hfi_history[self.rob[i].hfi_gen];
-                    if let Err(fault) = hfi.check_data(addr, size as u64, Access::Write) {
+                    if let Err(fault) = hfi.check_data(addr, *size as u64, Access::Write) {
                         self.rob[i].fault = Some(fault);
                     }
-                    self.rob[i].mem_addr = Some((addr, size));
+                    self.rob[i].mem_addr = Some((addr, *size));
                     self.rob[i].store_value = Some(v(2));
                     self.finish(i, 0, 1);
                 }
@@ -956,14 +1027,14 @@ impl Machine {
                 } => {
                     self.stats.hfi_checks += 1;
                     match self.hfi_history[self.rob[i].hfi_gen].hmov_check_access(
-                        region,
+                        *region,
                         v(1) as i64,
                         mem.scale as u64,
                         mem.disp,
-                        size as u64,
+                        *size as u64,
                         Access::Read,
                     ) {
-                        Ok(ea) => self.exec_load(i, ea, size, Some(region)),
+                        Ok(ea) => self.exec_load(i, ea, *size, Some(*region)),
                         Err(fault) => {
                             // Failed hmov: no cache access at all.
                             self.mem_ops_this_cycle += 1;
@@ -978,15 +1049,15 @@ impl Machine {
                     self.mem_ops_this_cycle += 1;
                     self.stats.hfi_checks += 1;
                     match self.hfi_history[self.rob[i].hfi_gen].hmov_check_access(
-                        region,
+                        *region,
                         v(1) as i64,
                         mem.scale as u64,
                         mem.disp,
-                        size as u64,
+                        *size as u64,
                         Access::Write,
                     ) {
                         Ok(ea) => {
-                            self.rob[i].mem_addr = Some((ea, size));
+                            self.rob[i].mem_addr = Some((ea, *size));
                             self.rob[i].store_value = Some(v(2));
                             self.finish(i, 0, 1);
                         }
@@ -1017,11 +1088,15 @@ impl Machine {
     fn exec_load(&mut self, i: usize, addr: u64, size: u8, hmov_region: Option<u8>) {
         // Older-store dependence, scanned youngest-first so the most
         // recent matching store wins: wait for unknown addresses; forward
-        // on exact overlap; wait for commit on partial overlap.
-        for j in (0..i).rev() {
-            if !self.rob[j].is_store {
+        // on exact overlap; wait for commit on partial overlap. Only the
+        // in-flight stores are walked, not the whole ROB.
+        let load_seq = self.rob[i].seq;
+        let head_seq = self.rob.front().expect("load entry in rob").seq;
+        for &store_seq in self.store_seqs.iter().rev() {
+            if store_seq >= load_seq {
                 continue;
             }
+            let j = (store_seq - head_seq) as usize;
             match self.rob[j].mem_addr {
                 None => return, // address unknown: stall
                 Some((saddr, ssize)) => {
@@ -1076,34 +1151,47 @@ impl Machine {
     fn squash_after(&mut self, rob_idx: usize) {
         let squash_seq = self.rob[rob_idx].seq;
         // Restore HFI state (and its generation) from the oldest squashed
-        // HFI op.
-        for entry in self.rob[rob_idx + 1..].iter() {
-            if let Some(undo) = &entry.hfi_undo {
-                self.hfi = (**undo).clone();
-                if let Some(gen) = entry.hfi_gen_before {
-                    self.hfi_gen = gen;
-                    self.hfi_history.truncate(gen + 1);
-                }
+        // HFI op: its pre-op generation entry in the history is exactly
+        // the context state just before the first wrong-path mutation.
+        for entry in self.rob.range(rob_idx + 1..) {
+            if let Some(gen) = entry.hfi_gen_before {
+                self.hfi = self.hfi_history[gen].clone();
+                self.hfi_gen = gen;
+                self.hfi_history.truncate(gen + 1);
                 break;
             }
         }
-        // Restore the decode-time call stack: the *oldest* squashed
-        // snapshot is the state just before the first wrong-path call/ret.
-        while let Some((seq, _)) = self.call_stack_undo.last() {
-            if *seq > squash_seq {
-                let (_, snapshot) = self.call_stack_undo.pop().expect("just peeked");
-                self.call_stack = snapshot;
-            } else {
+        // Unwind the decode-time call stack by replaying the wrong-path
+        // deltas in reverse (youngest first).
+        while let Some(&(seq, delta)) = self.call_journal.back() {
+            if seq <= squash_seq {
                 break;
+            }
+            self.call_journal.pop_back();
+            match delta {
+                CallDelta::Pushed => {
+                    self.call_stack.pop();
+                }
+                CallDelta::Popped(ret_idx) => self.call_stack.push(ret_idx),
             }
         }
         let squashed = self.rob.len() - (rob_idx + 1);
         self.stats.squashed += squashed as u64;
-        self.stats.squashed_loads_executed += self.rob[rob_idx + 1..]
-            .iter()
+        self.stats.squashed_loads_executed += self
+            .rob
+            .range(rob_idx + 1..)
             .filter(|e| e.is_load && e.cache_accessed)
             .count() as u64;
         self.rob.truncate(rob_idx + 1);
+        // Reuse the squashed sequence numbers: every reference above
+        // `squash_seq` (journal, store list, rename table, operand waits)
+        // is pruned with the tail, and `seq -> ring index` arithmetic
+        // needs the live window to stay consecutive.
+        self.next_seq = squash_seq + 1;
+        while self.store_seqs.back().is_some_and(|&s| s > squash_seq) {
+            self.store_seqs.pop_back();
+        }
+        self.rebuild_reg_writer();
     }
 
     // ------------------------------------------------------------------
@@ -1112,27 +1200,32 @@ impl Machine {
 
     fn commit(&mut self) {
         for _ in 0..self.config.commit_width {
-            let Some(entry) = self.rob.first() else {
+            let Some(entry) = self.rob.front() else {
                 return;
             };
             if !matches!(entry.state, EntryState::Done) {
                 return;
             }
-            let entry = self.rob.remove(0);
-            // Undo snapshots older than a committed entry can never be
-            // needed again.
-            if let Some(pos) = self
-                .call_stack_undo
-                .iter()
-                .position(|(seq, _)| *seq > entry.seq)
+            let entry = self.rob.pop_front().expect("front just checked");
+            // A committed entry retires its rename-table claim (unless a
+            // younger in-flight producer has already superseded it) and
+            // drains its journal entries: deltas at or below a committed
+            // seq can never be squashed.
+            if let Some(dst) = entry.dst {
+                if self.reg_writer[dst.0 as usize] == Some(entry.seq) {
+                    self.reg_writer[dst.0 as usize] = None;
+                }
+            }
+            if entry.is_store {
+                debug_assert_eq!(self.store_seqs.front(), Some(&entry.seq));
+                self.store_seqs.pop_front();
+            }
+            while self
+                .call_journal
+                .front()
+                .is_some_and(|&(seq, _)| seq <= entry.seq)
             {
-                self.call_stack_undo.drain(..pos);
-            } else if self
-                .call_stack_undo
-                .iter()
-                .all(|(seq, _)| *seq <= entry.seq)
-            {
-                self.call_stack_undo.clear();
+                self.call_journal.pop_front();
             }
             if let Some(fault) = entry.fault {
                 self.deliver_fault_now(fault);
@@ -1171,6 +1264,9 @@ impl Machine {
         self.stats.faults += 1;
         self.stats.squashed += self.rob.len() as u64;
         self.rob.clear();
+        self.reg_writer = [None; 16];
+        self.store_seqs.clear();
+        self.call_journal.clear();
         let disposition = self.hfi.deliver_fault(fault);
         self.bump_hfi_gen();
         let target = match disposition {
@@ -1199,6 +1295,15 @@ impl Machine {
     /// Runs until halt, unhandled fault, or `max_cycles`.
     pub fn run(&mut self, max_cycles: u64) -> RunResult {
         while self.halted.is_none() && self.cycle < max_cycles {
+            // Stall fast-forward: with the ROB empty and the front end
+            // stalled (kernel round trip, signal delivery, serialization
+            // drain), every intervening cycle is architecturally empty —
+            // commit and execute see no entries and the frontend's stall
+            // check returns before any side effect. Jump to the wakeup.
+            if self.rob.is_empty() && self.cycle < self.fetch_stall_until {
+                self.cycle = self.fetch_stall_until.min(max_cycles);
+                continue;
+            }
             self.commit();
             if self.halted.is_some() {
                 break;

@@ -56,7 +56,12 @@ impl std::fmt::Display for ExecutorKind {
 /// Counters an executor cannot observe are zero (the functional model has
 /// no caches, no ROB, and never mispredicts); `predictor_accuracy` is 1.0
 /// when no branches ran.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// The two host-side throughput fields (`sim_mips`, `host_ns_per_cycle`)
+/// describe how fast the *simulator* ran, not the simulated machine; they
+/// are excluded from `PartialEq` so records of identical simulations
+/// compare equal across hosts and runs.
+#[derive(Debug, Clone, Copy)]
 pub struct RunRecord {
     /// Which vehicle ran.
     pub executor: ExecutorKind,
@@ -100,9 +105,51 @@ pub struct RunRecord {
     pub syscalls_redirected: u64,
     /// Syscalls serviced by the OS model.
     pub syscalls_to_os: u64,
+    /// Host-side simulator throughput: committed simulated instructions
+    /// per host microsecond (0.0 when the run was not timed).
+    pub sim_mips: f64,
+    /// Host nanoseconds spent per simulated cycle (0.0 when untimed).
+    pub host_ns_per_cycle: f64,
+}
+
+impl PartialEq for RunRecord {
+    /// Architectural equality: every counter except the host-side
+    /// throughput fields, which vary run to run by construction.
+    fn eq(&self, other: &Self) -> bool {
+        self.executor == other.executor
+            && self.cycles == other.cycles
+            && self.committed == other.committed
+            && self.squashed == other.squashed
+            && self.branches == other.branches
+            && self.mispredicts == other.mispredicts
+            && self.predictor_accuracy == other.predictor_accuracy
+            && self.rob_stall_cycles == other.rob_stall_cycles
+            && self.serializations == other.serializations
+            && self.l1i_hits == other.l1i_hits
+            && self.l1i_misses == other.l1i_misses
+            && self.l1d_hits == other.l1d_hits
+            && self.l1d_misses == other.l1d_misses
+            && self.l2_hits == other.l2_hits
+            && self.l2_misses == other.l2_misses
+            && self.dtlb_hits == other.dtlb_hits
+            && self.dtlb_misses == other.dtlb_misses
+            && self.hfi_checks == other.hfi_checks
+            && self.hfi_faults == other.hfi_faults
+            && self.syscalls_redirected == other.syscalls_redirected
+            && self.syscalls_to_os == other.syscalls_to_os
+    }
 }
 
 impl RunRecord {
+    /// Fills the host-side throughput fields from the wall-clock time of
+    /// the run (`host_ns` nanoseconds for the whole simulation).
+    pub fn with_host_timing(mut self, host_ns: u64) -> Self {
+        let host_ns = host_ns.max(1);
+        self.sim_mips = self.committed as f64 / (host_ns as f64 / 1e9) / 1e6;
+        self.host_ns_per_cycle = host_ns as f64 / self.cycles.max(1.0);
+        self
+    }
+
     /// The record's fields as `"key":value` JSON pairs, without enclosing
     /// braces — callers splice in their own context fields (figure,
     /// kernel, isolation) ahead of them.
@@ -114,7 +161,8 @@ impl RunRecord {
              \"l1i_hits\":{},\"l1i_misses\":{},\"l1d_hits\":{},\"l1d_misses\":{},\
              \"l2_hits\":{},\"l2_misses\":{},\"dtlb_hits\":{},\"dtlb_misses\":{},\
              \"hfi_checks\":{},\"hfi_faults\":{},\
-             \"syscalls_redirected\":{},\"syscalls_to_os\":{}",
+             \"syscalls_redirected\":{},\"syscalls_to_os\":{},\
+             \"sim_mips\":{:.3},\"host_ns_per_cycle\":{:.3}",
             self.executor.as_str(),
             self.cycles,
             self.committed,
@@ -136,6 +184,8 @@ impl RunRecord {
             self.hfi_faults,
             self.syscalls_redirected,
             self.syscalls_to_os,
+            self.sim_mips,
+            self.host_ns_per_cycle,
         )
     }
 
@@ -205,6 +255,8 @@ fn machine_record(machine: &Machine, kind: ExecutorKind) -> RunRecord {
         hfi_faults: stats.faults,
         syscalls_redirected: stats.syscalls_redirected,
         syscalls_to_os: stats.syscalls_to_os,
+        sim_mips: 0.0,
+        host_ns_per_cycle: 0.0,
     }
 }
 
@@ -267,6 +319,8 @@ impl Executor for Functional {
             hfi_faults: stats.faults,
             syscalls_redirected: stats.syscalls_redirected,
             syscalls_to_os: stats.syscalls_to_os,
+            sim_mips: 0.0,
+            host_ns_per_cycle: 0.0,
         }
     }
 
@@ -362,9 +416,12 @@ mod tests {
     #[test]
     fn trait_runs_all_executors() {
         let program = Arc::new(square_program());
+        // Every comparison executor shares the one program allocation;
+        // only the emulation transform materializes a new instruction
+        // stream (by necessity — it rewrites the program).
         let mut executors: Vec<Box<dyn Executor>> = vec![
-            Box::new(Machine::new(program.clone())),
-            Box::new(Functional::new(program.clone())),
+            Box::new(Machine::new(Arc::clone(&program))),
+            Box::new(Functional::new(Arc::clone(&program))),
             Box::new(Emulated::from_arc(&program, 0x1000_0000)),
         ];
         for exec in &mut executors {

@@ -198,6 +198,9 @@ impl Functional {
         let mut pc = 0usize;
         let mut stop = Stop::CycleLimit;
         let mut budget = max_insts;
+        // Borrow the instruction stream through a shared handle so the
+        // interpreter loop never clones an `Inst`.
+        let program = Arc::clone(&self.program);
         'outer: while budget > 0 {
             budget -= 1;
             if pc >= self.program.len() {
@@ -205,7 +208,7 @@ impl Functional {
                 break;
             }
             let byte_pc = self.program.pc_of(pc);
-            let inst = self.program.inst(pc).clone();
+            let inst = program.inst(pc);
             if self.hfi.enabled() {
                 self.stats.hfi_checks += 1;
             }
@@ -222,17 +225,17 @@ impl Functional {
             let mut next = pc + 1;
             match inst {
                 Inst::AluRR { op, dst, a, b } => {
-                    self.cycles += self.weight_of(op);
+                    self.cycles += self.weight_of(*op);
                     self.regs[dst.0 as usize] =
-                        alu(op, self.regs[a.0 as usize], self.regs[b.0 as usize]);
+                        alu(*op, self.regs[a.0 as usize], self.regs[b.0 as usize]);
                 }
                 Inst::AluRI { op, dst, a, imm } => {
-                    self.cycles += self.weight_of(op);
-                    self.regs[dst.0 as usize] = alu(op, self.regs[a.0 as usize], imm as u64);
+                    self.cycles += self.weight_of(*op);
+                    self.regs[dst.0 as usize] = alu(*op, self.regs[a.0 as usize], *imm as u64);
                 }
                 Inst::MovI { dst, imm } => {
                     self.cycles += self.weights.alu;
-                    self.regs[dst.0 as usize] = imm as u64;
+                    self.regs[dst.0 as usize] = *imm as u64;
                 }
                 Inst::Mov { dst, src } => {
                     self.cycles += self.weights.alu;
@@ -248,8 +251,8 @@ impl Functional {
                     if self.hfi.enabled() {
                         self.stats.hfi_checks += 1;
                     }
-                    let addr = self.ea(&mem);
-                    if let Err(f) = self.hfi.check_data(addr, size as u64, Access::Read) {
+                    let addr = self.ea(mem);
+                    if let Err(f) = self.hfi.check_data(addr, *size as u64, Access::Read) {
                         match self.fault(f, &mut pc) {
                             Some(s) => {
                                 stop = s;
@@ -258,7 +261,7 @@ impl Functional {
                             None => continue,
                         }
                     }
-                    self.regs[dst.0 as usize] = self.mem.read(addr, size);
+                    self.regs[dst.0 as usize] = self.mem.read(addr, *size);
                 }
                 Inst::Store { src, mem, size } => {
                     self.cycles += self.weights.mem;
@@ -266,8 +269,8 @@ impl Functional {
                     if self.hfi.enabled() {
                         self.stats.hfi_checks += 1;
                     }
-                    let addr = self.ea(&mem);
-                    if let Err(f) = self.hfi.check_data(addr, size as u64, Access::Write) {
+                    let addr = self.ea(mem);
+                    if let Err(f) = self.hfi.check_data(addr, *size as u64, Access::Write) {
                         match self.fault(f, &mut pc) {
                             Some(s) => {
                                 stop = s;
@@ -276,7 +279,7 @@ impl Functional {
                             None => continue,
                         }
                     }
-                    self.mem.write(addr, self.regs[src.0 as usize], size);
+                    self.mem.write(addr, self.regs[src.0 as usize], *size);
                 }
                 Inst::HmovLoad {
                     region,
@@ -289,14 +292,14 @@ impl Functional {
                     self.stats.hfi_checks += 1;
                     let index = mem.index.map(|r| self.regs[r.0 as usize]).unwrap_or(0);
                     match self.hfi.hmov_check_access(
-                        region,
+                        *region,
                         index as i64,
                         mem.scale as u64,
                         mem.disp,
-                        size as u64,
+                        *size as u64,
                         Access::Read,
                     ) {
-                        Ok(ea) => self.regs[dst.0 as usize] = self.mem.read(ea, size),
+                        Ok(ea) => self.regs[dst.0 as usize] = self.mem.read(ea, *size),
                         Err(f) => match self.fault(f, &mut pc) {
                             Some(s) => {
                                 stop = s;
@@ -317,14 +320,14 @@ impl Functional {
                     self.stats.hfi_checks += 1;
                     let index = mem.index.map(|r| self.regs[r.0 as usize]).unwrap_or(0);
                     match self.hfi.hmov_check_access(
-                        region,
+                        *region,
                         index as i64,
                         mem.scale as u64,
                         mem.disp,
-                        size as u64,
+                        *size as u64,
                         Access::Write,
                     ) {
-                        Ok(ea) => self.mem.write(ea, self.regs[src.0 as usize], size),
+                        Ok(ea) => self.mem.write(ea, self.regs[src.0 as usize], *size),
                         Err(f) => match self.fault(f, &mut pc) {
                             Some(s) => {
                                 stop = s;
@@ -338,7 +341,7 @@ impl Functional {
                     self.cycles += self.weights.branch;
                     self.stats.branches += 1;
                     if cond.eval(self.regs[a.0 as usize], self.regs[b.0 as usize]) {
-                        next = target;
+                        next = *target;
                     }
                 }
                 Inst::BranchI {
@@ -349,13 +352,13 @@ impl Functional {
                 } => {
                     self.cycles += self.weights.branch;
                     self.stats.branches += 1;
-                    if cond.eval(self.regs[a.0 as usize], imm as u64) {
-                        next = target;
+                    if cond.eval(self.regs[a.0 as usize], *imm as u64) {
+                        next = *target;
                     }
                 }
                 Inst::Jump { target } => {
                     self.cycles += self.weights.control;
-                    next = target;
+                    next = *target;
                 }
                 Inst::JumpInd { reg } => {
                     self.cycles += self.weights.control;
@@ -381,7 +384,7 @@ impl Functional {
                 Inst::Call { target } => {
                     self.cycles += self.weights.control;
                     self.call_stack.push(pc + 1);
-                    next = target;
+                    next = *target;
                 }
                 Inst::Ret => {
                     self.cycles += self.weights.control;
@@ -445,7 +448,7 @@ impl Functional {
                 }
                 Inst::HfiEnter { config } => {
                     self.cycles += self.costs.enter_exit_base_cycles as f64;
-                    match self.hfi.enter(config) {
+                    match self.hfi.enter(*config) {
                         Ok(effect) => {
                             if effect == hfi_core::SerializationEffect::Serialize {
                                 self.stats.serializations += 1;
@@ -464,7 +467,7 @@ impl Functional {
                 Inst::HfiEnterChild { config, regions } => {
                     self.cycles +=
                         (self.costs.enter_exit_base_cycles + self.costs.set_region_cycles) as f64;
-                    match self.hfi.enter_child(config, *regions) {
+                    match self.hfi.enter_child(*config, **regions) {
                         Ok(effect) => {
                             if effect == hfi_core::SerializationEffect::Serialize {
                                 self.stats.serializations += 1;
@@ -521,7 +524,7 @@ impl Functional {
                 }
                 Inst::HfiSetRegion { slot, region } => {
                     self.cycles += self.costs.set_region_cycles as f64;
-                    match self.hfi.set_region(slot as usize, region) {
+                    match self.hfi.set_region(*slot as usize, *region) {
                         Ok(effect) => {
                             if effect == hfi_core::SerializationEffect::Serialize {
                                 self.stats.serializations += 1;
@@ -539,7 +542,7 @@ impl Functional {
                 }
                 Inst::HfiClearRegion { slot } => {
                     self.cycles += 1.0;
-                    if let Err(f) = self.hfi.clear_region(slot as usize) {
+                    if let Err(f) = self.hfi.clear_region(*slot as usize) {
                         match self.fault(f, &mut pc) {
                             Some(s) => {
                                 stop = s;

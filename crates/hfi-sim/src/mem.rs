@@ -1,5 +1,6 @@
 //! Sparse data memory for the simulator.
 
+use std::cell::Cell;
 use std::collections::HashMap;
 
 const PAGE_BITS: u32 = 12;
@@ -9,9 +10,19 @@ const PAGE_SIZE: u64 = 1 << PAGE_BITS;
 ///
 /// Pages materialize (zero-filled) on first write; reads of untouched
 /// memory return zero, like anonymous mmap.
+///
+/// The page table maps page number to a slot in flat page storage, with
+/// a one-entry translation cache in front: workload accesses are heavily
+/// page-local, so most reads and writes skip the `HashMap` entirely, and
+/// a non-page-crossing access touches its page once instead of once per
+/// byte.
 #[derive(Debug, Default, Clone)]
 pub struct SparseMemory {
-    pages: HashMap<u64, Box<[u8]>>,
+    page_table: HashMap<u64, u32>,
+    storage: Vec<Box<[u8]>>,
+    /// Most recently resolved (page number, storage slot). Slots are
+    /// stable (pages are never freed), so the entry never goes stale.
+    last: Cell<Option<(u64, u32)>>,
 }
 
 impl SparseMemory {
@@ -20,33 +31,66 @@ impl SparseMemory {
         Self::default()
     }
 
-    fn page(&self, addr: u64) -> Option<&[u8]> {
-        self.pages.get(&(addr >> PAGE_BITS)).map(|p| &p[..])
+    #[inline]
+    fn slot_of(&self, page_no: u64) -> Option<u32> {
+        if let Some((cached_no, slot)) = self.last.get() {
+            if cached_no == page_no {
+                return Some(slot);
+            }
+        }
+        let slot = *self.page_table.get(&page_no)?;
+        self.last.set(Some((page_no, slot)));
+        Some(slot)
     }
 
-    fn page_mut(&mut self, addr: u64) -> &mut Box<[u8]> {
-        self.pages
-            .entry(addr >> PAGE_BITS)
-            .or_insert_with(|| vec![0u8; PAGE_SIZE as usize].into_boxed_slice())
+    #[inline]
+    fn slot_mut(&mut self, page_no: u64) -> u32 {
+        if let Some((cached_no, slot)) = self.last.get() {
+            if cached_no == page_no {
+                return slot;
+            }
+        }
+        let slot = match self.page_table.get(&page_no) {
+            Some(&slot) => slot,
+            None => {
+                let slot = self.storage.len() as u32;
+                self.storage
+                    .push(vec![0u8; PAGE_SIZE as usize].into_boxed_slice());
+                self.page_table.insert(page_no, slot);
+                slot
+            }
+        };
+        self.last.set(Some((page_no, slot)));
+        slot
     }
 
     /// Reads one byte.
     pub fn read_u8(&self, addr: u64) -> u8 {
-        match self.page(addr) {
-            Some(page) => page[(addr & (PAGE_SIZE - 1)) as usize],
+        match self.slot_of(addr >> PAGE_BITS) {
+            Some(slot) => self.storage[slot as usize][(addr & (PAGE_SIZE - 1)) as usize],
             None => 0,
         }
     }
 
     /// Writes one byte.
     pub fn write_u8(&mut self, addr: u64, value: u8) {
-        let page = self.page_mut(addr);
-        page[(addr & (PAGE_SIZE - 1)) as usize] = value;
+        let slot = self.slot_mut(addr >> PAGE_BITS);
+        self.storage[slot as usize][(addr & (PAGE_SIZE - 1)) as usize] = value;
     }
 
     /// Reads `size` bytes (1–8) little-endian, zero-extended to u64.
     pub fn read(&self, addr: u64, size: u8) -> u64 {
         debug_assert!(matches!(size, 1 | 2 | 4 | 8));
+        let offset = (addr & (PAGE_SIZE - 1)) as usize;
+        if offset + size as usize <= PAGE_SIZE as usize {
+            let Some(slot) = self.slot_of(addr >> PAGE_BITS) else {
+                return 0;
+            };
+            let page = &self.storage[slot as usize];
+            let mut buf = [0u8; 8];
+            buf[..size as usize].copy_from_slice(&page[offset..offset + size as usize]);
+            return u64::from_le_bytes(buf);
+        }
         let mut value = 0u64;
         for i in 0..size as u64 {
             value |= (self.read_u8(addr.wrapping_add(i)) as u64) << (8 * i);
@@ -57,6 +101,14 @@ impl SparseMemory {
     /// Writes the low `size` bytes (1–8) of `value` little-endian.
     pub fn write(&mut self, addr: u64, value: u64, size: u8) {
         debug_assert!(matches!(size, 1 | 2 | 4 | 8));
+        let offset = (addr & (PAGE_SIZE - 1)) as usize;
+        if offset + size as usize <= PAGE_SIZE as usize {
+            let slot = self.slot_mut(addr >> PAGE_BITS);
+            let page = &mut self.storage[slot as usize];
+            page[offset..offset + size as usize]
+                .copy_from_slice(&value.to_le_bytes()[..size as usize]);
+            return;
+        }
         for i in 0..size as u64 {
             self.write_u8(addr.wrapping_add(i), (value >> (8 * i)) as u8);
         }
@@ -76,7 +128,7 @@ impl SparseMemory {
 
     /// Number of materialized 4 KiB pages.
     pub fn touched_pages(&self) -> usize {
-        self.pages.len()
+        self.page_table.len()
     }
 }
 

@@ -84,15 +84,26 @@ impl BranchTargetBuffer {
 /// A return address stack.
 #[derive(Debug, Clone, Default)]
 pub struct ReturnAddressStack {
-    stack: Vec<u64>,
+    stack: std::collections::VecDeque<u64>,
     depth: usize,
+}
+
+/// An O(1) squash-recovery token: the top-of-stack index and value at
+/// checkpoint time. Real RAS recovery hardware checkpoints exactly this
+/// (a TOS pointer plus the top entry), not the whole stack — entries the
+/// wrong path overwrote *below* the checkpointed top stay corrupted,
+/// which is the accepted mispredict-on-deep-wrong-path behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RasCheckpoint {
+    len: usize,
+    top: Option<u64>,
 }
 
 impl ReturnAddressStack {
     /// A RAS of `depth` entries.
     pub fn new(depth: usize) -> Self {
         Self {
-            stack: Vec::with_capacity(depth),
+            stack: std::collections::VecDeque::with_capacity(depth),
             depth,
         }
     }
@@ -100,24 +111,34 @@ impl ReturnAddressStack {
     /// Pushes a return address (on call fetch).
     pub fn push(&mut self, addr: u64) {
         if self.stack.len() == self.depth {
-            self.stack.remove(0);
+            self.stack.pop_front();
         }
-        self.stack.push(addr);
+        self.stack.push_back(addr);
     }
 
     /// Pops the predicted return address (on return fetch).
     pub fn pop(&mut self) -> Option<u64> {
-        self.stack.pop()
+        self.stack.pop_back()
     }
 
-    /// Snapshot for squash-recovery.
-    pub fn snapshot(&self) -> Vec<u64> {
-        self.stack.clone()
+    /// Captures a recovery token (on every call/return fetch). O(1) and
+    /// allocation-free, unlike snapshotting the stack.
+    pub fn checkpoint(&self) -> RasCheckpoint {
+        RasCheckpoint {
+            len: self.stack.len(),
+            top: self.stack.back().copied(),
+        }
     }
 
-    /// Restores a snapshot after a squash.
-    pub fn restore(&mut self, snapshot: Vec<u64>) {
-        self.stack = snapshot;
+    /// Restores a checkpoint after a squash: the TOS pointer and top
+    /// value come back exactly; deeper entries keep whatever the wrong
+    /// path left there (zero-filled if the wrong path popped them away).
+    pub fn restore(&mut self, checkpoint: RasCheckpoint) {
+        self.stack.truncate(checkpoint.len);
+        self.stack.resize(checkpoint.len, 0);
+        if let (Some(top), Some(slot)) = (checkpoint.top, self.stack.back_mut()) {
+            *slot = top;
+        }
     }
 }
 
@@ -161,14 +182,33 @@ mod tests {
     }
 
     #[test]
-    fn ras_snapshot_restore() {
+    fn ras_checkpoint_restore() {
         let mut ras = ReturnAddressStack::new(16);
         ras.push(0x100);
-        let snap = ras.snapshot();
+        let checkpoint = ras.checkpoint();
         ras.push(0x200);
         ras.pop();
         ras.pop();
-        ras.restore(snap);
+        ras.restore(checkpoint);
         assert_eq!(ras.pop(), Some(0x100));
+    }
+
+    #[test]
+    fn ras_checkpoint_is_copy_and_top_only() {
+        let mut ras = ReturnAddressStack::new(4);
+        ras.push(0x100);
+        ras.push(0x200);
+        let checkpoint = ras.checkpoint();
+        // Copy: no allocation travels with the token.
+        let same = checkpoint;
+        // Wrong path: pop both, push different addresses.
+        ras.pop();
+        ras.pop();
+        ras.push(0xBAD);
+        ras.restore(same);
+        // The top comes back exactly; the entry below it was clobbered
+        // by the wrong path (TOS-only recovery).
+        assert_eq!(ras.pop(), Some(0x200));
+        assert_eq!(ras.pop(), Some(0xBAD));
     }
 }
