@@ -13,11 +13,23 @@
 //! Flags:
 //!
 //! * `--smoke` / `HFI_SMOKE=1` — first three kernels only (CI).
-//! * `--check <baseline.json>` — after measuring, fail (exit 1) if
-//!   aggregate sim-MIPS regressed more than 20% against the baseline
-//!   file's `"sim_mips"` value. Absolute MIPS are host-dependent, so a
-//!   baseline is only meaningful against runs on the same machine class.
+//! * `--check <baseline.json>` (alias `--baseline <baseline.json>`) —
+//!   after measuring, gate against the baseline file's `"sim_mips"`
+//!   value and print the old → new delta.
 //! * `--out <path>` — output path (default `BENCH_throughput.json`).
+//!
+//! # Gate semantics
+//!
+//! The gate compares this run's aggregate sim-MIPS against the baseline
+//! and **fails (exit 1)** if it regressed more than
+//! [`REGRESSION_BUDGET`] (20%). The baseline is read *before* the output
+//! file is written, so `--check BENCH_throughput.json --out
+//! BENCH_throughput.json` gates against the previously committed numbers
+//! — never against the file this run is about to write. A missing or
+//! unreadable baseline is a usage error (exit 2), not a pass: a gate
+//! that silently skips its comparison would green-light any regression.
+//! Absolute MIPS are host-dependent, so a baseline is only meaningful
+//! against runs on the same machine class.
 
 use std::time::Instant;
 
@@ -52,7 +64,7 @@ fn main() {
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--check" => check = args.next(),
+            "--check" | "--baseline" => check = args.next(),
             "--out" => {
                 if let Some(p) = args.next() {
                     out_path = p;
@@ -61,6 +73,30 @@ fn main() {
             _ => {}
         }
     }
+
+    // Read the baseline up front: before the output file is written, so
+    // `--check` against the default output path gates on the previous
+    // run and not the file this run is about to write — and before the
+    // measurement, so a mispointed path fails fast. A missing or
+    // malformed baseline is a usage error (exit 2): silently skipping
+    // the comparison would turn the gate into a no-op exactly when it
+    // is mispointed.
+    let baseline_mips = check.as_ref().map(|baseline_path| {
+        let baseline = match std::fs::read_to_string(baseline_path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!(
+                    "[throughput] ERROR: cannot read baseline {baseline_path}: {e}\n\
+                     [throughput] run once without --check to record a baseline first"
+                );
+                std::process::exit(2);
+            }
+        };
+        extract_json_number(&baseline, "sim_mips").unwrap_or_else(|| {
+            eprintln!("[throughput] ERROR: no \"sim_mips\" field in baseline {baseline_path}");
+            std::process::exit(2);
+        })
+    });
 
     let kernels = harness.subset(speclike::suite(1), 3);
     let mut cells = Vec::new();
@@ -109,16 +145,6 @@ fn main() {
         total_ns as f64 / 1e6
     );
 
-    // Read the baseline before writing the output so `--check` against
-    // the default output path gates on the previous run, not the file
-    // this run is about to write.
-    let baseline_mips = check.as_ref().map(|baseline_path| {
-        let baseline = std::fs::read_to_string(baseline_path)
-            .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
-        extract_json_number(&baseline, "sim_mips")
-            .unwrap_or_else(|| panic!("no \"sim_mips\" in {baseline_path}"))
-    });
-
     let mut json = String::from("{");
     json.push_str(&format!(
         "\"figure\":\"throughput\",\"mode\":\"{}\",\"sim_mips\":{sim_mips:.3},\
@@ -142,6 +168,8 @@ fn main() {
 
     if let Some(baseline_mips) = baseline_mips {
         let floor = baseline_mips * (1.0 - REGRESSION_BUDGET);
+        let delta_pct = (sim_mips / baseline_mips - 1.0) * 100.0;
+        println!("  delta: {baseline_mips:.2} -> {sim_mips:.2} sim-MIPS ({delta_pct:+.1}%)");
         println!(
             "  gate: measured {sim_mips:.2} sim-MIPS vs baseline {baseline_mips:.2} \
              (floor {floor:.2})"

@@ -5,7 +5,11 @@
 //! (kernel × isolation × executor), hands it to [`Harness::run_grid`],
 //! and gets results back **in grid order** regardless of how many worker
 //! threads ran them — so `--jobs 4` output is bit-identical to a
-//! sequential run. After the grid, binaries append [`RunRecord`]s (or
+//! sequential run. Cells compile through the process-wide
+//! [`compile_cached`](crate::compile_cached) memo, so a kernel ×
+//! isolation pair is compiled once no matter how many executors or
+//! worker threads run it, and every vehicle shares one `Arc<Program>`
+//! (and therefore one pre-decoded plan). After the grid, binaries append [`RunRecord`]s (or
 //! model-level [`Harness::note`] lines) and [`Harness::finish`] writes
 //! them to `target/bench-records/<figure>.jsonl`.
 //!

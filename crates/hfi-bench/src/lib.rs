@@ -18,11 +18,57 @@
 
 pub mod harness;
 
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
 use hfi_sim::{Emulated, Executor, Functional, Machine, RunRecord, Stop};
 use hfi_wasm::compiler::{compile, CompileOptions, CompiledKernel, Isolation};
 use hfi_wasm::kernels::{sightglass, speclike, Kernel};
 
 pub use harness::Harness;
+
+/// Cache key for [`compile_cached`]: a cheap structural fingerprint of
+/// the kernel (name alone is not unique — suites are parameterized by
+/// scale) plus the full `Debug` rendering of the compile options.
+type CompileKey = (String, u64, usize, usize, String);
+
+/// Process-wide compile memo backing [`compile_cached`].
+static COMPILE_CACHE: OnceLock<Mutex<HashMap<CompileKey, CompiledKernel>>> = OnceLock::new();
+
+/// Compiles `kernel` under `opts`, memoized per kernel × options for the
+/// lifetime of the process.
+///
+/// Every vehicle wrapper below funnels through this, so a grid that runs
+/// the same (kernel, isolation) cell on the cycle, emulated, and
+/// functional executors compiles it once and hands all three the *same*
+/// `Arc<Program>` allocation — which in turn means the identity-keyed
+/// pre-decode (`plan_of`) and A.2-transform (`emulate_arc`) caches in
+/// `hfi-sim` hit instead of re-lowering per executor.
+///
+/// A cache hit clones only counters and an `Arc` pointer; the program's
+/// instruction vector is shared.
+pub fn compile_cached(kernel: &Kernel, opts: &CompileOptions) -> CompiledKernel {
+    let key: CompileKey = (
+        kernel.name.clone(),
+        kernel.expected,
+        kernel.func.insts.len(),
+        kernel.heap_init_len(),
+        format!("{opts:?}"),
+    );
+    let cache = COMPILE_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(hit) = cache.lock().expect("compile cache unpoisoned").get(&key) {
+        return hit.clone();
+    }
+    // Compile outside the lock so parallel grid workers never serialize
+    // on a miss; a racing duplicate insert just loses to `or_insert`.
+    let compiled = compile(&kernel.func, opts);
+    cache
+        .lock()
+        .expect("compile cache unpoisoned")
+        .entry(key)
+        .or_insert(compiled)
+        .clone()
+}
 
 /// Prints a fixed-width text table.
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
@@ -119,7 +165,7 @@ pub fn run_on_machine(kernel: &Kernel, isolation: Isolation) -> KernelRun {
 ///
 /// Panics if the kernel misbehaves.
 pub fn run_on_machine_with(kernel: &Kernel, opts: &CompileOptions) -> KernelRun {
-    let compiled = compile(&kernel.func, opts);
+    let compiled = compile_cached(kernel, opts);
     let mut machine = Machine::new(compiled.program.clone());
     let record = run_cell(&mut machine, kernel, opts.heap_base);
     KernelRun {
@@ -138,7 +184,7 @@ pub fn run_on_machine_with(kernel: &Kernel, opts: &CompileOptions) -> KernelRun 
 /// Panics if the kernel misbehaves.
 pub fn run_emulated(kernel: &Kernel, isolation: Isolation) -> KernelRun {
     let opts = CompileOptions::new(isolation);
-    let compiled = compile(&kernel.func, &opts);
+    let compiled = compile_cached(kernel, &opts);
     let mut emulated = Emulated::from_arc(&compiled.program, opts.heap_base);
     let record = run_cell(&mut emulated, kernel, opts.heap_base);
     KernelRun {
@@ -157,7 +203,7 @@ pub fn run_emulated(kernel: &Kernel, isolation: Isolation) -> KernelRun {
 /// Panics if the kernel misbehaves.
 pub fn run_functional_record(kernel: &Kernel, isolation: Isolation) -> RunRecord {
     let opts = CompileOptions::new(isolation);
-    let compiled = compile(&kernel.func, &opts);
+    let compiled = compile_cached(kernel, &opts);
     let mut functional = Functional::new(compiled.program);
     run_cell(&mut functional, kernel, opts.heap_base)
 }
@@ -266,6 +312,25 @@ mod tests {
         assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-9);
         assert!((median(&[3.0, 1.0, 2.0]) - 2.0).abs() < 1e-9);
         assert!((median(&[4.0, 1.0, 2.0, 3.0]) - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compile_cache_shares_one_program_per_cell() {
+        let kernel = hfi_wasm::kernels::sightglass::fib2(1);
+        let opts = CompileOptions::new(Isolation::Hfi);
+        let a = compile_cached(&kernel, &opts);
+        let b = compile_cached(&kernel, &opts);
+        assert!(
+            std::sync::Arc::ptr_eq(&a.program, &b.program),
+            "same kernel × options must share one Arc<Program>"
+        );
+        // A different option set (or kernel scale) is a different cell.
+        let other_opts = CompileOptions::new(Isolation::BoundsChecks);
+        let c = compile_cached(&kernel, &other_opts);
+        assert!(!std::sync::Arc::ptr_eq(&a.program, &c.program));
+        let scaled = hfi_wasm::kernels::sightglass::fib2(2);
+        let d = compile_cached(&scaled, &opts);
+        assert!(!std::sync::Arc::ptr_eq(&a.program, &d.program));
     }
 
     #[test]

@@ -288,11 +288,30 @@ impl ProgramBuilder {
         }
         Program::new(self.insts, self.base)
     }
+
+    /// [`finish`](Self::finish), wrapped in an `Arc` for sharing.
+    ///
+    /// The identity-keyed caches (`plan_of`, `emulate_arc`) key on the
+    /// `Arc` allocation, so a program that will feed several executors
+    /// should be finished into an `Arc` once, not cloned per executor.
+    pub fn finish_arc(self) -> std::sync::Arc<Program> {
+        std::sync::Arc::new(self.finish())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn finish_arc_shares_one_plan() {
+        let mut asm = ProgramBuilder::new(0);
+        asm.halt();
+        let prog = asm.finish_arc();
+        let a = crate::plan::plan_of(&prog);
+        let b = crate::plan::plan_of(&prog);
+        assert!(std::sync::Arc::ptr_eq(&a, &b), "one lowering per program");
+    }
 
     #[test]
     fn forward_and_backward_labels_resolve() {

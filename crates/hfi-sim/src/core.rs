@@ -29,8 +29,9 @@ use hfi_core::{
 };
 
 use crate::cache::CacheHierarchy;
-use crate::isa::{AluOp, Inst, MemOperand, Program, Reg};
+use crate::isa::{AluOp, Inst, Program, Reg};
 use crate::mem::SparseMemory;
+use crate::plan::{plan_of, DecodedProgram, MicroOp, OpClass, SerializeClass, NO_REG, NO_TARGET};
 use crate::predictor::{BranchTargetBuffer, PatternHistoryTable};
 
 /// Structural parameters of the modelled core (paper Table 2).
@@ -193,63 +194,166 @@ impl OsModel for DefaultOs {
     }
 }
 
+/// Operand-source tags for the compact [`Src`] slot.
+const SRC_NONE: u8 = 0;
+const SRC_READY: u8 = 1;
+const SRC_WAIT: u8 = 2;
+
+/// One renamed operand slot, 16 bytes flat. `payload` is the value when
+/// `tag == SRC_READY` or the producer's sequence number when
+/// `tag == SRC_WAIT`; if that producer has already committed, the
+/// architectural register `reg` holds its value (the producer was the
+/// youngest writer at decode, so no later writer can have committed
+/// before this consumer).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Operand {
-    Ready(u64),
-    /// Wait on an in-flight producer; if it has already committed, the
-    /// architectural register holds its value (the producer was the
-    /// youngest writer at decode, so no later writer can have committed
-    /// before this consumer).
-    Wait {
-        seq: u64,
-        reg: Reg,
-    },
+struct Src {
+    payload: u64,
+    reg: u8,
+    tag: u8,
+}
+
+impl Src {
+    const NONE: Src = Src {
+        payload: 0,
+        reg: 0,
+        tag: SRC_NONE,
+    };
+
+    #[inline(always)]
+    fn ready(value: u64) -> Src {
+        Src {
+            payload: value,
+            reg: 0,
+            tag: SRC_READY,
+        }
+    }
+
+    #[inline(always)]
+    fn wait(seq: u64, reg: u8) -> Src {
+        Src {
+            payload: seq,
+            reg,
+            tag: SRC_WAIT,
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
 enum EntryState {
     Waiting,
-    Executing { done_at: u64 },
+    /// In flight; the wakeup time lives in `Machine::in_flight`, not here.
+    Executing,
     Done,
 }
 
+/// Sentinel for `RobEntry::hfi_gen_before`: entry does not mutate HFI
+/// state.
+const NO_GEN: u32 = u32::MAX;
+
+/// `issue_queue` wake sentinel: no memoized blocking producer — the
+/// entry must be fully re-evaluated at its next scan visit.
+const NO_WAKE: u64 = u64::MAX;
+
+/// A reorder-buffer entry: *dynamic* state only. Every static fact
+/// (operand shape, opcode class, latency class, branch target…) lives in
+/// the shared [`DecodedProgram`] and is reached through `inst_idx` — the
+/// entry carries what this *dynamic instance* learned: renamed operands,
+/// the resolved address, the speculative value, the prediction made for
+/// it, and the HFI generation it decoded under.
+///
+/// The entry's sequence number is implicit: seqs are consecutive in the
+/// ring, so `seq = Machine::head_seq + ring_index`.
 #[derive(Debug, Clone)]
 struct RobEntry {
-    seq: u64,
-    inst_idx: usize,
-    pc: u64,
-    state: EntryState,
-    dst: Option<Reg>,
     value: u64,
-    srcs: [Option<Operand>; 3],
-    /// For loads/stores: resolved effective address & size.
-    mem_addr: Option<(u64, u8)>,
-    is_store: bool,
-    is_load: bool,
-    store_value: Option<u64>,
-    /// Branch prediction made at decode (predicted next inst index).
-    predicted_next: Option<usize>,
+    srcs: [Src; 3],
+    /// For loads/stores: resolved effective address (`mem_size > 0`).
+    /// For a stalled `hmov` load it doubles as the memoized checked EA
+    /// (`EF_EA_KNOWN`): the check reads only the entry's own generation
+    /// snapshot, so its result cannot change between retries.
+    mem_addr: u64,
+    /// For stores: the value to write at commit (`EF_HAS_STORE_VALUE`).
+    /// For loads: the seq of the older store this load's dependence memo
+    /// waits on (`EF_DEP_ADDR` / `EF_DEP_COMMIT`) — loads never forward
+    /// data out of this field, so the reuse cannot be observed.
+    store_value: u64,
     /// Fault detected at decode or execute, delivered at commit.
     fault: Option<HfiFault>,
+    inst_idx: u32,
+    /// Branch prediction made at decode (predicted next inst index);
+    /// `NO_TARGET` when the entry is not a predicted branch.
+    predicted_next: u32,
     /// HFI-state generation current when this entry decoded: memory
     /// operations are checked against the state *their* program-order
     /// position sees, so a younger `hfi_exit` cannot lift checks from an
     /// older in-flight load (and a wrong-path exit still exposes the
     /// younger wrong-path loads that follow it — the §3.4 hazard).
-    hfi_gen: usize,
-    /// For HFI-state-mutating entries: the generation before the change.
-    /// The squash undo is `hfi_history[gen_before]` — the generation
-    /// journal doubles as the speculation-undo record, so no per-entry
-    /// context snapshot is taken.
-    hfi_gen_before: Option<usize>,
-    /// The load already performed its (speculative) cache access.
-    cache_accessed: bool,
+    hfi_gen: u32,
+    /// For HFI-state-mutating entries: the generation before the change
+    /// (`NO_GEN` otherwise). The squash undo is `hfi_history[gen_before]`
+    /// — the generation journal doubles as the speculation-undo record,
+    /// so no per-entry context snapshot is taken.
+    hfi_gen_before: u32,
+    /// Destination register, [`NO_REG`] when none.
+    dst: u8,
+    /// Memory access size in bytes; 0 while the address is unresolved.
+    mem_size: u8,
+    state: EntryState,
+    flags: u8,
+}
+
+/// `RobEntry::flags` bits.
+const EF_LOAD: u8 = 1 << 0;
+const EF_STORE: u8 = 1 << 1;
+/// The load already performed its (speculative) cache access.
+const EF_CACHE_ACCESSED: u8 = 1 << 2;
+const EF_HAS_STORE_VALUE: u8 = 1 << 3;
+/// `mem_addr` holds this hmov load's already-checked effective address,
+/// so retries skip `hmov_check_access` (pure per generation snapshot).
+const EF_EA_KNOWN: u8 = 1 << 4;
+/// Load stalled on a store (`store_value`) whose address is unknown:
+/// the dependence scan is skipped until that store's `mem_size` is set.
+/// Sound because older stores only *resolve* over time (a squash that
+/// removes the store removes this younger load too), so the scan's
+/// verdict cannot change before the memoized store's does.
+const EF_DEP_ADDR: u8 = 1 << 5;
+/// Load stalled on a partially overlapping store (`store_value`): every
+/// store between it and the load already had a known, non-overlapping
+/// address, so the scan's verdict is fixed until that store commits.
+const EF_DEP_COMMIT: u8 = 1 << 6;
+
+impl RobEntry {
+    fn blank(inst_idx: usize) -> Self {
+        RobEntry {
+            value: 0,
+            srcs: [Src::NONE; 3],
+            mem_addr: 0,
+            store_value: 0,
+            fault: None,
+            inst_idx: inst_idx as u32,
+            predicted_next: NO_TARGET,
+            hfi_gen: 0,
+            hfi_gen_before: NO_GEN,
+            dst: NO_REG,
+            mem_size: 0,
+            state: EntryState::Waiting,
+            flags: 0,
+        }
+    }
+
+    #[inline(always)]
+    fn has(&self, flag: u8) -> bool {
+        self.flags & flag != 0
+    }
 }
 
 /// The complete simulated machine: program, memory, caches, predictors,
 /// HFI state, and the out-of-order pipeline.
 pub struct Machine {
     program: Arc<Program>,
+    /// The shared static plan: pre-decoded micro-ops and block table.
+    plan: Arc<DecodedProgram>,
     /// Data memory.
     pub mem: SparseMemory,
     /// Cache hierarchy and dTLB.
@@ -274,9 +378,23 @@ pub struct Machine {
     hfi_gen: usize,
     /// The reorder buffer as a ring: pushed at the back at decode, popped
     /// at the front at commit, truncated from the back on squash. Entry
-    /// sequence numbers are consecutive, so `seq -> index` is plain
-    /// arithmetic off the head (`seq_index`).
+    /// sequence numbers are consecutive and implicit:
+    /// `seq = head_seq + ring_index`.
     rob: VecDeque<RobEntry>,
+    /// Sequence number of the ROB head (equal to `next_seq` when empty).
+    head_seq: u64,
+    /// `(seq, wake)` of `Waiting` entries in age order — the issue stage
+    /// scans only these, compacting in place, instead of walking the
+    /// whole ROB every cycle. `wake` is the seq of the operand producer
+    /// the entry was last seen blocked on ([`NO_WAKE`] when it must be
+    /// fully re-evaluated): while that producer is in flight and not
+    /// `Done` the retry is a single state check, which is exact — the
+    /// full evaluation would reach `wait_value` on the same producer and
+    /// requeue without any architectural effect.
+    issue_queue: Vec<(u64, u64)>,
+    /// `(seq, done_at)` of `Executing` entries — the finish stage wakes
+    /// only these.
+    in_flight: Vec<(u64, u64)>,
     /// Rename table: sequence number of the youngest in-flight producer
     /// of each architectural register (O(1) operand lookup; rebuilt on
     /// the rare squash).
@@ -333,8 +451,11 @@ impl Machine {
 
     /// Creates a machine with explicit structural parameters.
     pub fn with_config(program: impl Into<Arc<Program>>, config: CoreConfig) -> Self {
+        let program: Arc<Program> = program.into();
+        let plan = plan_of(&program);
         Self {
-            program: program.into(),
+            program,
+            plan,
             mem: SparseMemory::new(),
             caches: CacheHierarchy::new(),
             hfi: HfiContext::new(),
@@ -348,6 +469,9 @@ impl Machine {
             hfi_history: vec![HfiContext::new()],
             hfi_gen: 0,
             rob: VecDeque::new(),
+            head_seq: 0,
+            issue_queue: Vec::new(),
+            in_flight: Vec::new(),
             reg_writer: [None; 16],
             store_seqs: VecDeque::new(),
             next_seq: 0,
@@ -398,48 +522,39 @@ impl Machine {
         &self.program
     }
 
-    /// ROB index of the in-flight entry with sequence number `seq`, or
-    /// `None` if it already committed. Sequence numbers are consecutive
-    /// in the ring, so this is index arithmetic off the head.
-    #[inline]
-    fn seq_index(&self, seq: u64) -> Option<usize> {
-        let head = self.rob.front()?.seq;
-        if seq < head {
-            return None;
-        }
-        let idx = (seq - head) as usize;
-        debug_assert!(idx < self.rob.len() && self.rob[idx].seq == seq);
-        Some(idx)
+    /// The pre-decoded plan the pipeline runs from.
+    pub fn plan(&self) -> &Arc<DecodedProgram> {
+        &self.plan
     }
 
-    fn rob_entry(&self, seq: u64) -> Option<&RobEntry> {
-        self.seq_index(seq).map(|i| &self.rob[i])
-    }
-
-    fn read_operand(&self, reg: Reg) -> Operand {
+    fn read_operand(&self, reg: u8) -> Src {
         // Youngest in-flight producer wins — the rename table tracks it.
-        match self.reg_writer[reg.0 as usize] {
+        match self.reg_writer[reg as usize] {
             Some(seq) => {
-                let entry = self.rob_entry(seq).expect("rename table in sync");
+                debug_assert!(seq >= self.head_seq, "rename table in sync");
+                let entry = &self.rob[(seq - self.head_seq) as usize];
                 match entry.state {
-                    EntryState::Done => Operand::Ready(entry.value),
-                    _ => Operand::Wait { seq, reg },
+                    EntryState::Done => Src::ready(entry.value),
+                    _ => Src::wait(seq, reg),
                 }
             }
-            None => Operand::Ready(self.regs[reg.0 as usize]),
+            None => Src::ready(self.regs[reg as usize]),
         }
     }
 
+    /// The value of a `SRC_WAIT` operand: the producer's speculative
+    /// value once done, the architectural register if it already
+    /// committed, `None` while still in flight.
     #[inline]
-    fn operand_value(&self, op: Operand) -> Option<u64> {
-        match op {
-            Operand::Ready(v) => Some(v),
-            Operand::Wait { seq, reg } => match self.rob_entry(seq) {
-                Some(e) if matches!(e.state, EntryState::Done) => Some(e.value),
-                Some(_) => None,
-                // Producer already committed: its value is architectural.
-                None => Some(self.regs[reg.0 as usize]),
-            },
+    fn wait_value(&self, seq: u64, reg: u8) -> Option<u64> {
+        if seq < self.head_seq {
+            // Producer already committed: its value is architectural.
+            return Some(self.regs[reg as usize]);
+        }
+        let entry = &self.rob[(seq - self.head_seq) as usize];
+        match entry.state {
+            EntryState::Done => Some(entry.value),
+            _ => None,
         }
     }
 
@@ -447,9 +562,9 @@ impl Machine {
     /// path only — pushes and commits maintain it incrementally).
     fn rebuild_reg_writer(&mut self) {
         self.reg_writer = [None; 16];
-        for entry in &self.rob {
-            if let Some(dst) = entry.dst {
-                self.reg_writer[dst.0 as usize] = Some(entry.seq);
+        for (i, entry) in self.rob.iter().enumerate() {
+            if entry.dst != NO_REG {
+                self.reg_writer[entry.dst as usize] = Some(self.head_seq + i as u64);
             }
         }
     }
@@ -466,20 +581,20 @@ impl Machine {
             self.stats.rob_stall_cycles += 1;
             return;
         }
-        // Borrow the instruction stream through a shared handle so decode
-        // never clones an `Inst` (the `Arc` bump is once per fetch group).
-        let program = Arc::clone(&self.program);
+        // Fetch reads the shared pre-decoded plan: every static fact is a
+        // flat-array load, no `Inst` match and no clone (the `Arc` bump is
+        // once per fetch group).
+        let plan = Arc::clone(&self.plan);
         for _ in 0..self.config.decode_width {
             if self.rob.len() >= self.config.rob_size {
                 break;
             }
-            if self.fetch_index >= program.len() {
+            if self.fetch_index >= plan.len() {
                 break;
             }
             let inst_idx = self.fetch_index;
-            let pc = program.pc_of(inst_idx);
-            let inst = program.inst(inst_idx);
-            let len = inst.encoded_len();
+            let pc = plan.pc(inst_idx);
+            let uop = plan.op(inst_idx);
 
             // I-cache access for this fetch group; a miss stalls the
             // front end.
@@ -494,46 +609,31 @@ impl Machine {
             if self.hfi.enabled() {
                 self.stats.hfi_checks += 1;
             }
-            if let Err(fault) = self.hfi.check_fetch(pc, len) {
-                self.push_entry(RobEntry {
-                    seq: 0,
-                    inst_idx,
-                    pc,
-                    state: EntryState::Executing {
-                        done_at: self.cycle + 1,
-                    },
-                    dst: None,
-                    value: 0,
-                    srcs: [None, None, None],
-                    mem_addr: None,
-                    is_store: false,
-                    is_load: false,
-                    store_value: None,
-                    predicted_next: None,
-                    fault: Some(fault),
-                    hfi_gen: 0,
-                    hfi_gen_before: None,
-                    cache_accessed: false,
-                });
+            if let Err(fault) = self.hfi.check_fetch(pc, uop.len as u64) {
+                let mut entry = RobEntry::blank(inst_idx);
+                entry.state = EntryState::Executing;
+                entry.fault = Some(fault);
+                let seq = self.push_entry(entry);
+                self.in_flight.push((seq, self.cycle + 1));
                 // Fetch cannot meaningfully continue past an OOB PC; stall
                 // until the fault commits and redirects.
-                self.fetch_index = program.len();
+                self.fetch_index = plan.len();
                 return;
             }
 
             // Serializing instructions drain the ROB before decoding.
-            if self.decode_serializes(inst) {
+            if self.decode_serializes(uop) {
                 if !self.rob.is_empty() {
                     return; // retry next cycle until drained
                 }
                 self.stats.serializations += 1;
-                self.fetch_stall_until = self.cycle + self.serialize_cost(inst);
+                self.fetch_stall_until = self.cycle + self.serialize_cost(uop);
             }
 
-            if !self.decode_one(inst_idx, pc, inst) {
+            if !self.decode_one(inst_idx, pc, uop) {
                 return;
             }
-            if matches!(inst, Inst::Syscall) || self.fetch_index != inst_idx + 1 {
+            if uop.class == OpClass::Syscall || self.fetch_index != inst_idx + 1 {
                 // Control flow redirected fetch (or entered the kernel);
                 // end the fetch group.
                 return;
@@ -541,120 +641,74 @@ impl Machine {
         }
     }
 
-    fn decode_serializes(&self, inst: &Inst) -> bool {
-        match inst {
-            Inst::Cpuid | Inst::Fence | Inst::Syscall => true,
-            Inst::HfiEnter { config } | Inst::HfiEnterChild { config, .. } => config.serialize,
-            Inst::HfiReenter => false,
+    /// Whether decoding this micro-op drains the pipeline. The class is
+    /// static (precomputed in the plan); only the sandbox-dependent
+    /// classes consult live HFI state.
+    fn decode_serializes(&self, uop: &MicroOp) -> bool {
+        match uop.serialize {
+            SerializeClass::No => false,
+            SerializeClass::Always => true,
+            // Region updates serialize only inside a (hybrid) sandbox
+            // (§4.3).
+            SerializeClass::IfEnabled => self.hfi.enabled(),
             // Exit of a serialized sandbox serializes; switch-on-exit does
             // not (§4.5).
-            Inst::HfiExit => {
+            SerializeClass::ExitDynamic => {
                 self.hfi.enabled()
                     && self.hfi.config().serialize
                     && !self.hfi.config().switch_on_exit
             }
-            // Region updates serialize only inside a (hybrid) sandbox
-            // (§4.3).
-            Inst::HfiSetRegion { .. } | Inst::HfiClearRegion { .. } | Inst::HfiClearAllRegions => {
-                self.hfi.enabled()
-            }
-            _ => false,
         }
     }
 
-    fn serialize_cost(&self, inst: &Inst) -> u64 {
-        match inst {
-            Inst::Fence => 2,
-            Inst::Syscall => 4, // drain only; kernel cost charged at handling
+    fn serialize_cost(&self, uop: &MicroOp) -> u64 {
+        match uop.class {
+            OpClass::Fence => 2,
+            OpClass::Syscall => 4, // drain only; kernel cost charged at handling
             _ => self.costs.serialize_cycles,
         }
     }
 
-    /// Decodes one instruction into the ROB. Returns false if the front
-    /// end must stop (e.g. waiting on syscall handling).
-    fn decode_one(&mut self, inst_idx: usize, pc: u64, inst: &Inst) -> bool {
-        let mut entry = RobEntry {
-            seq: 0,
-            inst_idx,
-            pc,
-            state: EntryState::Waiting,
-            dst: None,
-            value: 0,
-            srcs: [None, None, None],
-            mem_addr: None,
-            is_store: false,
-            is_load: false,
-            store_value: None,
-            predicted_next: None,
-            fault: None,
-            hfi_gen: 0,
-            hfi_gen_before: None,
-            cache_accessed: false,
-        };
+    /// Decodes one pre-decoded micro-op into the ROB. Everything static
+    /// was resolved at plan-build time; this stage contributes only the
+    /// *dynamic* work — renamed operand reads, branch prediction, call
+    /// stack, and speculative HFI-state mutation. Returns false if the
+    /// front end must stop (e.g. waiting on syscall handling).
+    fn decode_one(&mut self, inst_idx: usize, pc: u64, uop: &MicroOp) -> bool {
+        if uop.class == OpClass::Syscall {
+            // ROB is drained (decode_serializes). Handle immediately
+            // with architectural state.
+            return self.handle_syscall(inst_idx);
+        }
+
+        let mut entry = RobEntry::blank(inst_idx);
+        entry.dst = uop.dst;
+        entry.flags = uop.flags & (MicroOp::IS_LOAD | MicroOp::IS_STORE);
+        debug_assert_eq!(MicroOp::IS_LOAD, EF_LOAD);
+        debug_assert_eq!(MicroOp::IS_STORE, EF_STORE);
+        // Rename: the plan names the registers each slot reads; unset
+        // slots stay SRC_NONE.
+        for (k, reg) in uop.srcs.iter().enumerate() {
+            if *reg != NO_REG {
+                entry.srcs[k] = self.read_operand(*reg);
+            }
+        }
         let mut next = inst_idx + 1;
 
-        match inst {
-            Inst::AluRR { dst, a, b, .. } => {
-                entry.dst = Some(*dst);
-                entry.srcs[0] = Some(self.read_operand(*a));
-                entry.srcs[1] = Some(self.read_operand(*b));
-            }
-            Inst::AluRI { dst, a, .. } => {
-                entry.dst = Some(*dst);
-                entry.srcs[0] = Some(self.read_operand(*a));
-            }
-            Inst::MovI { dst, .. } | Inst::Rdtsc { dst } => {
-                entry.dst = Some(*dst);
-            }
-            Inst::Mov { dst, src } => {
-                entry.dst = Some(*dst);
-                entry.srcs[0] = Some(self.read_operand(*src));
-            }
-            Inst::Load { dst, mem, .. } => {
-                entry.dst = Some(*dst);
-                entry.is_load = true;
-                self.capture_mem_operand(&mut entry, mem);
-            }
-            Inst::Store { src, mem, .. } => {
-                entry.is_store = true;
-                entry.srcs[2] = Some(self.read_operand(*src));
-                self.capture_mem_operand(&mut entry, mem);
-            }
-            Inst::HmovLoad { dst, mem, .. } => {
-                entry.dst = Some(*dst);
-                entry.is_load = true;
-                if let Some(index) = mem.index {
-                    entry.srcs[1] = Some(self.read_operand(index));
-                }
-            }
-            Inst::HmovStore { src, mem, .. } => {
-                entry.is_store = true;
-                entry.srcs[2] = Some(self.read_operand(*src));
-                if let Some(index) = mem.index {
-                    entry.srcs[1] = Some(self.read_operand(index));
-                }
-            }
-            Inst::Flush { mem } => {
-                self.capture_mem_operand(&mut entry, mem);
-            }
-            Inst::Branch { a, b, target, .. } => {
-                entry.srcs[0] = Some(self.read_operand(*a));
-                entry.srcs[1] = Some(self.read_operand(*b));
+        match uop.class {
+            OpClass::Branch | OpClass::BranchI => {
                 let taken = self.pht.predict(pc);
-                next = if taken { *target } else { inst_idx + 1 };
-                entry.predicted_next = Some(next);
+                next = if taken {
+                    uop.target as usize
+                } else {
+                    inst_idx + 1
+                };
+                entry.predicted_next = next as u32;
             }
-            Inst::BranchI { a, target, .. } => {
-                entry.srcs[0] = Some(self.read_operand(*a));
-                let taken = self.pht.predict(pc);
-                next = if taken { *target } else { inst_idx + 1 };
-                entry.predicted_next = Some(next);
+            OpClass::Jump => {
+                next = uop.target as usize;
             }
-            Inst::Jump { target } => {
-                next = *target;
-            }
-            Inst::JumpInd { reg } => {
-                entry.srcs[0] = Some(self.read_operand(*reg));
+            OpClass::JumpInd => {
                 // Predict through the BTB; a miss predicts fall-through
                 // (and will redirect at execute).
                 next = self
@@ -662,15 +716,15 @@ impl Machine {
                     .predict(pc)
                     .and_then(|t| self.program.index_of_pc(t))
                     .unwrap_or(inst_idx + 1);
-                entry.predicted_next = Some(next);
+                entry.predicted_next = next as u32;
             }
-            Inst::Call { target } => {
+            OpClass::Call => {
                 self.call_journal
                     .push_back((self.next_seq, CallDelta::Pushed));
                 self.call_stack.push(inst_idx + 1);
-                next = *target;
+                next = uop.target as usize;
             }
-            Inst::Ret => {
+            OpClass::Ret => {
                 // The decode-time call stack is exact along the fetched
                 // path, so returns never mispredict in this model.
                 match self.call_stack.pop() {
@@ -682,20 +736,21 @@ impl Machine {
                     None => next = self.program.len(),
                 }
             }
-            Inst::Syscall => {
-                // ROB is drained (decode_serializes). Handle immediately
-                // with architectural state.
-                return self.handle_syscall(inst_idx, pc);
-            }
-            Inst::HfiEnter { config } => {
-                entry.hfi_gen_before = Some(self.hfi_gen);
+            OpClass::HfiEnter => {
+                entry.hfi_gen_before = self.hfi_gen as u32;
+                let Inst::HfiEnter { config } = self.program.inst(inst_idx) else {
+                    unreachable!("plan class matches the backing instruction")
+                };
                 match self.hfi.enter(*config) {
                     Ok(_) => {}
                     Err(fault) => entry.fault = Some(fault),
                 }
             }
-            Inst::HfiEnterChild { config, regions } => {
-                entry.hfi_gen_before = Some(self.hfi_gen);
+            OpClass::HfiEnterChild => {
+                entry.hfi_gen_before = self.hfi_gen as u32;
+                let Inst::HfiEnterChild { config, regions } = self.program.inst(inst_idx) else {
+                    unreachable!("plan class matches the backing instruction")
+                };
                 match self.hfi.enter_child(*config, **regions) {
                     Ok(_) => {}
                     Err(fault) => entry.fault = Some(fault),
@@ -705,8 +760,8 @@ impl Machine {
                 self.fetch_stall_until =
                     self.cycle.max(self.fetch_stall_until) + self.costs.set_region_cycles;
             }
-            Inst::HfiExit => {
-                entry.hfi_gen_before = Some(self.hfi_gen);
+            OpClass::HfiExit => {
+                entry.hfi_gen_before = self.hfi_gen as u32;
                 match self.hfi.exit() {
                     Ok((disposition, _)) => match disposition {
                         ExitDisposition::FallThrough | ExitDisposition::SwitchedToParent => {}
@@ -720,39 +775,44 @@ impl Machine {
                     Err(fault) => entry.fault = Some(fault),
                 }
             }
-            Inst::HfiReenter => {
-                entry.hfi_gen_before = Some(self.hfi_gen);
+            OpClass::HfiReenter => {
+                entry.hfi_gen_before = self.hfi_gen as u32;
                 if let Err(fault) = self.hfi.reenter() {
                     entry.fault = Some(fault);
                 }
             }
-            Inst::HfiSetRegion { slot, region } => {
-                entry.hfi_gen_before = Some(self.hfi_gen);
+            OpClass::HfiSetRegion => {
+                entry.hfi_gen_before = self.hfi_gen as u32;
+                let Inst::HfiSetRegion { slot, region } = self.program.inst(inst_idx) else {
+                    unreachable!("plan class matches the backing instruction")
+                };
                 if let Err(fault) = self.hfi.set_region(*slot as usize, *region) {
                     entry.fault = Some(fault);
                 }
                 self.fetch_stall_until =
                     self.cycle.max(self.fetch_stall_until) + self.costs.set_region_cycles;
             }
-            Inst::HfiClearRegion { slot } => {
-                entry.hfi_gen_before = Some(self.hfi_gen);
-                if let Err(fault) = self.hfi.clear_region(*slot as usize) {
+            OpClass::HfiClearRegion => {
+                entry.hfi_gen_before = self.hfi_gen as u32;
+                if let Err(fault) = self.hfi.clear_region(uop.region as usize) {
                     entry.fault = Some(fault);
                 }
             }
-            Inst::HfiClearAllRegions => {
-                entry.hfi_gen_before = Some(self.hfi_gen);
+            OpClass::HfiClearAllRegions => {
+                entry.hfi_gen_before = self.hfi_gen as u32;
                 if let Err(fault) = self.hfi.clear_all_regions() {
                     entry.fault = Some(fault);
                 }
             }
-            Inst::Cpuid | Inst::Fence | Inst::Nop | Inst::Halt => {}
+            // Straight-line classes: rename above was all they needed.
+            _ => {}
         }
 
-        if entry.hfi_gen_before.is_some() {
+        if entry.hfi_gen_before != NO_GEN {
             self.bump_hfi_gen();
         }
-        self.push_entry(entry);
+        let seq = self.push_entry(entry);
+        self.issue_queue.push((seq, NO_WAKE));
         self.fetch_index = next;
         true
     }
@@ -764,34 +824,34 @@ impl Machine {
         self.hfi_history.push(self.hfi.clone());
     }
 
-    fn capture_mem_operand(&self, entry: &mut RobEntry, mem: &MemOperand) {
-        if let Some(base) = mem.base {
-            entry.srcs[0] = Some(self.read_operand(base));
-        }
-        if let Some(index) = mem.index {
-            entry.srcs[1] = Some(self.read_operand(index));
-        }
-    }
-
-    fn push_entry(&mut self, mut entry: RobEntry) {
-        entry.seq = self.next_seq;
-        entry.hfi_gen = self
-            .hfi_gen
-            .min(entry.hfi_gen_before.unwrap_or(self.hfi_gen));
+    /// Appends `entry` to the ROB, claiming the next sequence number and
+    /// registering it with the rename table and store list. Returns the
+    /// assigned seq.
+    fn push_entry(&mut self, mut entry: RobEntry) -> u64 {
+        let seq = self.next_seq;
+        entry.hfi_gen = if entry.hfi_gen_before == NO_GEN {
+            self.hfi_gen as u32
+        } else {
+            (self.hfi_gen as u32).min(entry.hfi_gen_before)
+        };
         self.next_seq += 1;
-        if let Some(dst) = entry.dst {
-            self.reg_writer[dst.0 as usize] = Some(entry.seq);
+        if self.rob.is_empty() {
+            self.head_seq = seq;
         }
-        if entry.is_store {
-            self.store_seqs.push_back(entry.seq);
+        if entry.dst != NO_REG {
+            self.reg_writer[entry.dst as usize] = Some(seq);
+        }
+        if entry.has(EF_STORE) {
+            self.store_seqs.push_back(seq);
         }
         self.rob.push_back(entry);
+        seq
     }
 
     /// Handles a syscall with the ROB drained: consults HFI's microcode
     /// interposition check (§4.4), then either jumps to the exit handler
     /// or calls the OS model.
-    fn handle_syscall(&mut self, inst_idx: usize, _pc: u64) -> bool {
+    fn handle_syscall(&mut self, inst_idx: usize) -> bool {
         let number = self.regs[0];
         // The native-mode decode check costs one extra cycle (§4.4).
         self.fetch_stall_until =
@@ -842,105 +902,161 @@ impl Machine {
         self.mem_ops_this_cycle = 0;
         self.alu_ops_this_cycle = 0;
 
-        // Finish in-flight work.
-        for i in 0..self.rob.len() {
-            if let EntryState::Executing { done_at } = self.rob[i].state {
-                if done_at <= self.cycle {
-                    self.rob[i].state = EntryState::Done;
+        // Finish in-flight work: only the Executing entries are visited,
+        // not the whole ROB. (Wakeup order is irrelevant — marking Done
+        // has no other side effect.)
+        if !self.in_flight.is_empty() {
+            let cycle = self.cycle;
+            let head_seq = self.head_seq;
+            let rob = &mut self.rob;
+            self.in_flight.retain(|&(seq, done_at)| {
+                if done_at <= cycle {
+                    rob[(seq - head_seq) as usize].state = EntryState::Done;
+                    false
+                } else {
+                    true
                 }
-            }
+            });
         }
 
-        // Issue ready entries (oldest first), respecting port limits.
-        // Instructions are borrowed from the shared program — the issue
-        // scan allocates nothing and clones nothing.
-        let program = Arc::clone(&self.program);
+        // Issue ready entries (oldest first), respecting port limits. The
+        // scan walks only the Waiting entries — `issue_queue` holds their
+        // seqs in age order and is compacted in place — and every static
+        // fact comes from the pre-decoded plan: no `Inst` match, no
+        // allocation, no clone.
+        let plan = Arc::clone(&self.plan);
         let mut redirect: Option<(usize, usize)> = None; // (rob index, correct next)
-        for i in 0..self.rob.len() {
-            if !matches!(self.rob[i].state, EntryState::Waiting) {
+        let mut queue = std::mem::take(&mut self.issue_queue);
+        let mut keep = 0usize; // entries [0..keep) stay queued
+        let mut qi = 0usize;
+        while qi < queue.len() {
+            // When both port classes are exhausted nothing further can
+            // issue this cycle (the remaining scan would be pure skips).
+            if self.mem_ops_this_cycle >= self.config.mem_ports
+                && self.alu_ops_this_cycle >= self.config.alu_ports
+            {
+                break;
+            }
+            let (seq, wake) = queue[qi];
+            qi += 1;
+            // Wake shortcut: still blocked on the memoized producer. The
+            // full evaluation below would reach `wait_value` on this very
+            // producer and requeue without side effects, so a one-check
+            // skip is exact. (Port gating and operand memoization on the
+            // skipped path mutate nothing observable.)
+            if wake != NO_WAKE
+                && wake >= self.head_seq
+                && self.rob[(wake - self.head_seq) as usize].state != EntryState::Done
+            {
+                queue[keep] = (seq, wake);
+                keep += 1;
                 continue;
             }
-            let inst = program.inst(self.rob[i].inst_idx);
-            if inst.is_mem() {
+            let i = (seq - self.head_seq) as usize;
+            let inst_idx = self.rob[i].inst_idx as usize;
+            let uop = plan.op(inst_idx);
+            // Port gate. `GATE_MEM` is exactly `Inst::is_mem()`: `clflush`
+            // addresses memory but competes for an ALU slot (and still
+            // counts as a memory op below), faithfully to the seed.
+            if uop.has(MicroOp::GATE_MEM) {
                 if self.mem_ops_this_cycle >= self.config.mem_ports {
+                    queue[keep] = (seq, NO_WAKE);
+                    keep += 1;
                     continue;
                 }
             } else if self.alu_ops_this_cycle >= self.config.alu_ports {
+                queue[keep] = (seq, NO_WAKE);
+                keep += 1;
                 continue;
             }
-            // Operand readiness.
+            // Operand readiness; resolved waits are memoized in place so
+            // later cycles skip the producer lookup. (Safe: the producer
+            // is older than this consumer, so between its completion and
+            // this issue no same-register commit can intervene.)
             let mut vals = [0u64; 3];
-            let mut ready = true;
-            for (k, src) in self.rob[i].srcs.iter().enumerate() {
-                if let Some(op) = src {
-                    match self.operand_value(*op) {
-                        Some(v) => vals[k] = v,
+            let mut blocker = NO_WAKE;
+            for (k, val) in vals.iter_mut().enumerate() {
+                let src = self.rob[i].srcs[k];
+                match src.tag {
+                    SRC_NONE => {}
+                    SRC_READY => *val = src.payload,
+                    _ => match self.wait_value(src.payload, src.reg) {
+                        Some(value) => {
+                            *val = value;
+                            self.rob[i].srcs[k] = Src::ready(value);
+                        }
                         None => {
-                            ready = false;
+                            blocker = src.payload;
                             break;
                         }
-                    }
+                    },
                 }
             }
-            if !ready {
+            if blocker != NO_WAKE {
+                queue[keep] = (seq, blocker);
+                keep += 1;
                 continue;
             }
             let v = |k: usize| vals[k];
 
-            match inst {
-                Inst::AluRR { op, .. } => {
+            match uop.class {
+                OpClass::AluRR => {
                     self.alu_ops_this_cycle += 1;
-                    let value = alu_eval(*op, v(0), v(1));
-                    self.finish(i, value, op.latency());
+                    let value = alu_eval(uop.alu, v(0), v(1));
+                    self.finish(i, value, uop.alu.latency());
                 }
-                Inst::AluRI { op, imm, .. } => {
+                OpClass::AluRI => {
                     self.alu_ops_this_cycle += 1;
-                    let value = alu_eval(*op, v(0), *imm as u64);
-                    self.finish(i, value, op.latency());
+                    let value = alu_eval(uop.alu, v(0), uop.imm as u64);
+                    self.finish(i, value, uop.alu.latency());
                 }
-                Inst::MovI { imm, .. } => {
+                OpClass::MovI => {
                     self.alu_ops_this_cycle += 1;
-                    self.finish(i, *imm as u64, 1);
+                    self.finish(i, uop.imm as u64, 1);
                 }
-                Inst::Mov { .. } => {
+                OpClass::Mov => {
                     self.alu_ops_this_cycle += 1;
                     let value = v(0);
                     self.finish(i, value, 1);
                 }
-                Inst::Rdtsc { .. } => {
+                OpClass::Rdtsc => {
                     self.alu_ops_this_cycle += 1;
                     let now = self.cycle;
                     self.finish(i, now, 1);
                 }
-                Inst::Nop | Inst::Halt | Inst::Cpuid | Inst::Fence => {
+                OpClass::Nop | OpClass::Halt | OpClass::Cpuid | OpClass::Fence => {
                     self.alu_ops_this_cycle += 1;
                     self.finish(i, 0, 1);
                 }
-                Inst::Jump { .. } | Inst::Call { .. } | Inst::Ret => {
+                OpClass::Jump | OpClass::Call | OpClass::Ret => {
                     self.alu_ops_this_cycle += 1;
                     self.finish(i, 0, 1);
                 }
-                Inst::HfiEnter { .. }
-                | Inst::HfiEnterChild { .. }
-                | Inst::HfiExit
-                | Inst::HfiReenter
-                | Inst::HfiSetRegion { .. }
-                | Inst::HfiClearRegion { .. }
-                | Inst::HfiClearAllRegions => {
+                OpClass::HfiEnter
+                | OpClass::HfiEnterChild
+                | OpClass::HfiExit
+                | OpClass::HfiReenter
+                | OpClass::HfiSetRegion
+                | OpClass::HfiClearRegion
+                | OpClass::HfiClearAllRegions => {
                     self.alu_ops_this_cycle += 1;
                     self.finish(i, 0, self.costs.enter_exit_base_cycles);
                 }
-                Inst::Branch { cond, target, .. } => {
+                OpClass::Branch | OpClass::BranchI => {
                     self.alu_ops_this_cycle += 1;
-                    let taken = cond.eval(v(0), v(1));
-                    let actual = if taken {
-                        *target
+                    let rhs = if uop.class == OpClass::Branch {
+                        v(1)
                     } else {
-                        self.rob[i].inst_idx + 1
+                        uop.imm as u64
                     };
-                    let pc = self.rob[i].pc;
-                    self.pht.update(pc, taken);
-                    if self.rob[i].predicted_next != Some(actual) {
+                    let taken = uop.cond.eval(v(0), rhs);
+                    let actual = if taken {
+                        uop.target as usize
+                    } else {
+                        inst_idx + 1
+                    };
+                    self.pht.update(plan.pc(inst_idx), taken);
+                    if self.rob[i].predicted_next != actual as u32 {
                         redirect = Some((i, actual));
                     }
                     self.finish(i, 0, 1);
@@ -948,34 +1064,13 @@ impl Machine {
                         break;
                     }
                 }
-                Inst::BranchI {
-                    cond, imm, target, ..
-                } => {
-                    self.alu_ops_this_cycle += 1;
-                    let taken = cond.eval(v(0), *imm as u64);
-                    let actual = if taken {
-                        *target
-                    } else {
-                        self.rob[i].inst_idx + 1
-                    };
-                    let pc = self.rob[i].pc;
-                    self.pht.update(pc, taken);
-                    if self.rob[i].predicted_next != Some(actual) {
-                        redirect = Some((i, actual));
-                    }
-                    self.finish(i, 0, 1);
-                    if redirect.is_some() {
-                        break;
-                    }
-                }
-                Inst::JumpInd { .. } => {
+                OpClass::JumpInd => {
                     self.alu_ops_this_cycle += 1;
                     let target_pc = v(0);
-                    let pc = self.rob[i].pc;
-                    self.btb.update(pc, target_pc);
+                    self.btb.update(plan.pc(inst_idx), target_pc);
                     match self.program.index_of_pc(target_pc) {
                         Some(actual) => {
-                            if self.rob[i].predicted_next != Some(actual) {
+                            if self.rob[i].predicted_next != actual as u32 {
                                 redirect = Some((i, actual));
                             }
                         }
@@ -984,7 +1079,7 @@ impl Machine {
                             // fetch faults — as an HFI code-bounds
                             // violation when a sandbox is active, or a
                             // plain hardware fault otherwise.
-                            let hfi = &self.hfi_history[self.rob[i].hfi_gen];
+                            let hfi = &self.hfi_history[self.rob[i].hfi_gen as usize];
                             self.rob[i].fault = Some(match hfi.check_fetch(target_pc, 1) {
                                 Err(fault) => fault,
                                 Ok(()) => HfiFault::Hardware { addr: target_pc },
@@ -996,69 +1091,82 @@ impl Machine {
                         break;
                     }
                 }
-                Inst::Flush { mem } => {
+                OpClass::Flush => {
                     self.mem_ops_this_cycle += 1;
-                    let addr = effective_address(mem, v(0), v(1));
+                    let addr = effective_address(v(0), v(1), uop.scale, uop.imm);
                     self.caches.flush_data(addr);
                     self.finish(i, 0, 3);
                 }
-                Inst::Load { mem, size, .. } => {
-                    let addr = effective_address(mem, v(0), v(1));
-                    self.exec_load(i, addr, *size, None);
+                OpClass::Load => {
+                    let addr = effective_address(v(0), v(1), uop.scale, uop.imm);
+                    self.exec_load(i, addr, uop.size, false);
                 }
-                Inst::Store { mem, size, .. } => {
+                OpClass::Store => {
                     self.mem_ops_this_cycle += 1;
-                    let addr = effective_address(mem, v(0), v(1));
+                    let addr = effective_address(v(0), v(1), uop.scale, uop.imm);
                     // Implicit-region check, parallel with the dtb: zero
                     // latency; a failure blocks the (commit-time) access.
-                    if self.hfi_history[self.rob[i].hfi_gen].enabled() {
+                    if self.hfi_history[self.rob[i].hfi_gen as usize].enabled() {
                         self.stats.hfi_checks += 1;
                     }
-                    let hfi = &self.hfi_history[self.rob[i].hfi_gen];
-                    if let Err(fault) = hfi.check_data(addr, *size as u64, Access::Write) {
+                    let hfi = &self.hfi_history[self.rob[i].hfi_gen as usize];
+                    if let Err(fault) = hfi.check_data(addr, uop.size as u64, Access::Write) {
                         self.rob[i].fault = Some(fault);
                     }
-                    self.rob[i].mem_addr = Some((addr, *size));
-                    self.rob[i].store_value = Some(v(2));
+                    self.rob[i].mem_addr = addr;
+                    self.rob[i].mem_size = uop.size;
+                    self.rob[i].store_value = v(2);
+                    self.rob[i].flags |= EF_HAS_STORE_VALUE;
                     self.finish(i, 0, 1);
                 }
-                Inst::HmovLoad {
-                    region, mem, size, ..
-                } => {
+                OpClass::HmovLoad => {
+                    // One check per dispatch attempt, exactly as the
+                    // hardware would issue it — a store-dependence stall
+                    // retries the check next cycle, so the counter ticks
+                    // again even though the memoized outcome is reused.
                     self.stats.hfi_checks += 1;
-                    match self.hfi_history[self.rob[i].hfi_gen].hmov_check_access(
-                        *region,
-                        v(1) as i64,
-                        mem.scale as u64,
-                        mem.disp,
-                        *size as u64,
-                        Access::Read,
-                    ) {
-                        Ok(ea) => self.exec_load(i, ea, *size, Some(*region)),
-                        Err(fault) => {
-                            // Failed hmov: no cache access at all.
-                            self.mem_ops_this_cycle += 1;
-                            self.rob[i].fault = Some(fault);
-                            self.finish(i, 0, 1);
+                    if self.rob[i].has(EF_EA_KNOWN) {
+                        let ea = self.rob[i].mem_addr;
+                        self.exec_load(i, ea, uop.size, true);
+                    } else {
+                        match self.hfi_history[self.rob[i].hfi_gen as usize].hmov_check_access(
+                            uop.region,
+                            v(1) as i64,
+                            uop.scale as u64,
+                            uop.imm,
+                            uop.size as u64,
+                            Access::Read,
+                        ) {
+                            Ok(ea) => {
+                                self.rob[i].mem_addr = ea;
+                                self.rob[i].flags |= EF_EA_KNOWN;
+                                self.exec_load(i, ea, uop.size, true);
+                            }
+                            Err(fault) => {
+                                // Failed hmov: no cache access at all.
+                                self.mem_ops_this_cycle += 1;
+                                self.rob[i].fault = Some(fault);
+                                self.finish(i, 0, 1);
+                            }
                         }
                     }
                 }
-                Inst::HmovStore {
-                    region, mem, size, ..
-                } => {
+                OpClass::HmovStore => {
                     self.mem_ops_this_cycle += 1;
                     self.stats.hfi_checks += 1;
-                    match self.hfi_history[self.rob[i].hfi_gen].hmov_check_access(
-                        *region,
+                    match self.hfi_history[self.rob[i].hfi_gen as usize].hmov_check_access(
+                        uop.region,
                         v(1) as i64,
-                        mem.scale as u64,
-                        mem.disp,
-                        *size as u64,
+                        uop.scale as u64,
+                        uop.imm,
+                        uop.size as u64,
                         Access::Write,
                     ) {
                         Ok(ea) => {
-                            self.rob[i].mem_addr = Some((ea, *size));
-                            self.rob[i].store_value = Some(v(2));
+                            self.rob[i].mem_addr = ea;
+                            self.rob[i].mem_size = uop.size;
+                            self.rob[i].store_value = v(2);
+                            self.rob[i].flags |= EF_HAS_STORE_VALUE;
                             self.finish(i, 0, 1);
                         }
                         Err(fault) => {
@@ -1067,9 +1175,23 @@ impl Machine {
                         }
                     }
                 }
-                Inst::Syscall => unreachable!("syscalls handled at decode"),
+                OpClass::Syscall => unreachable!("syscalls handled at decode"),
+            }
+            // A load can return from `exec_load` without issuing (store
+            // dependence: unknown address or partial overlap): it stays
+            // Waiting and must remain queued for the next cycle. No wake
+            // memo here — the retry must re-enter the dispatch arm (hmov
+            // loads count a check per attempt); the entry-level
+            // `EF_DEP_*` memo makes that retry cheap instead.
+            if self.rob[i].state == EntryState::Waiting {
+                queue[keep] = (seq, NO_WAKE);
+                keep += 1;
             }
         }
+        // Entries not yet visited (early break) stay queued, in order.
+        queue.copy_within(qi.., keep);
+        queue.truncate(keep + (queue.len() - qi));
+        self.issue_queue = queue;
 
         if let Some((rob_idx, correct_next)) = redirect {
             self.stats.mispredicts += 1;
@@ -1085,44 +1207,70 @@ impl Machine {
 
     /// Executes a load: HFI check first (zero latency, parallel with the
     /// dtb); only a *passing* check reaches the cache — speculative or not.
-    fn exec_load(&mut self, i: usize, addr: u64, size: u8, hmov_region: Option<u8>) {
+    fn exec_load(&mut self, i: usize, addr: u64, size: u8, is_hmov: bool) {
+        // Memoized verdict from an earlier stalled scan: while the
+        // recorded store is still blocking, the full scan below would
+        // reach the same store and stall again (older stores only
+        // resolve; none are inserted), so skip it. The memo re-arms on
+        // every fresh stall, and dies with the entry on squash.
+        if self.rob[i].flags & (EF_DEP_ADDR | EF_DEP_COMMIT) != 0 {
+            let dep = self.rob[i].store_value;
+            let still_blocked = if dep < self.head_seq {
+                false // blocking store committed: rescan
+            } else if self.rob[i].has(EF_DEP_ADDR) {
+                // Blocked on an unknown store address; rescan once the
+                // store dispatches (its `mem_size` becomes nonzero).
+                self.rob[(dep - self.head_seq) as usize].mem_size == 0
+            } else {
+                // Partial overlap: fixed until the store commits.
+                true
+            };
+            if still_blocked {
+                return;
+            }
+            self.rob[i].flags &= !(EF_DEP_ADDR | EF_DEP_COMMIT);
+        }
         // Older-store dependence, scanned youngest-first so the most
         // recent matching store wins: wait for unknown addresses; forward
         // on exact overlap; wait for commit on partial overlap. Only the
         // in-flight stores are walked, not the whole ROB.
-        let load_seq = self.rob[i].seq;
-        let head_seq = self.rob.front().expect("load entry in rob").seq;
+        let load_seq = self.head_seq + i as u64;
         for &store_seq in self.store_seqs.iter().rev() {
             if store_seq >= load_seq {
                 continue;
             }
-            let j = (store_seq - head_seq) as usize;
-            match self.rob[j].mem_addr {
-                None => return, // address unknown: stall
-                Some((saddr, ssize)) => {
-                    let overlap = saddr < addr + size as u64 && addr < saddr + ssize as u64;
-                    if overlap {
-                        if saddr == addr && ssize == size {
-                            // Store-to-load forwarding.
-                            if let Some(value) = self.rob[j].store_value {
-                                self.mem_ops_this_cycle += 1;
-                                let masked = mask_to_size(value, size);
-                                self.rob[i].cache_accessed = false;
-                                self.finish(i, masked, self.caches.latencies.l1);
-                                return;
-                            }
-                        }
-                        return; // partial overlap: wait for the store to drain
-                    }
+            let j = (store_seq - self.head_seq) as usize;
+            let ssize = self.rob[j].mem_size;
+            if ssize == 0 {
+                // Address unknown: stall, and remember which store to
+                // watch so retries skip the scan.
+                self.rob[i].store_value = store_seq;
+                self.rob[i].flags |= EF_DEP_ADDR;
+                return;
+            }
+            let saddr = self.rob[j].mem_addr;
+            let overlap = saddr < addr + size as u64 && addr < saddr + ssize as u64;
+            if overlap {
+                if saddr == addr && ssize == size && self.rob[j].has(EF_HAS_STORE_VALUE) {
+                    // Store-to-load forwarding.
+                    self.mem_ops_this_cycle += 1;
+                    let masked = mask_to_size(self.rob[j].store_value, size);
+                    self.rob[i].flags &= !EF_CACHE_ACCESSED;
+                    self.finish(i, masked, self.caches.latencies.l1);
+                    return;
                 }
+                // Partial overlap: wait for the store to drain.
+                self.rob[i].store_value = store_seq;
+                self.rob[i].flags |= EF_DEP_COMMIT;
+                return;
             }
         }
         self.mem_ops_this_cycle += 1;
-        if hmov_region.is_none() {
-            if self.hfi_history[self.rob[i].hfi_gen].enabled() {
+        if !is_hmov {
+            if self.hfi_history[self.rob[i].hfi_gen as usize].enabled() {
                 self.stats.hfi_checks += 1;
             }
-            let hfi = &self.hfi_history[self.rob[i].hfi_gen];
+            let hfi = &self.hfi_history[self.rob[i].hfi_gen as usize];
             if let Err(fault) = hfi.check_data(addr, size as u64, Access::Read) {
                 // The bounds check fails before the physical address
                 // resolves: the cache is not touched (paper §4.1). The
@@ -1135,26 +1283,28 @@ impl Machine {
         // Cache access happens here, at execute — speculatively. This is
         // the Spectre transmission channel.
         let latency = self.caches.data_access(addr, self.cycle);
-        self.rob[i].cache_accessed = true;
+        self.rob[i].flags |= EF_CACHE_ACCESSED;
         let value = mask_to_size(self.mem.read(addr, size), size);
-        self.rob[i].mem_addr = Some((addr, size));
+        self.rob[i].mem_addr = addr;
+        self.rob[i].mem_size = size;
         self.finish(i, value, latency);
     }
 
     fn finish(&mut self, i: usize, value: u64, latency: u64) {
         self.rob[i].value = value;
-        self.rob[i].state = EntryState::Executing {
-            done_at: self.cycle + latency.max(1),
-        };
+        self.rob[i].state = EntryState::Executing;
+        self.in_flight
+            .push((self.head_seq + i as u64, self.cycle + latency.max(1)));
     }
 
     fn squash_after(&mut self, rob_idx: usize) {
-        let squash_seq = self.rob[rob_idx].seq;
+        let squash_seq = self.head_seq + rob_idx as u64;
         // Restore HFI state (and its generation) from the oldest squashed
         // HFI op: its pre-op generation entry in the history is exactly
         // the context state just before the first wrong-path mutation.
         for entry in self.rob.range(rob_idx + 1..) {
-            if let Some(gen) = entry.hfi_gen_before {
+            if entry.hfi_gen_before != NO_GEN {
+                let gen = entry.hfi_gen_before as usize;
                 self.hfi = self.hfi_history[gen].clone();
                 self.hfi_gen = gen;
                 self.hfi_history.truncate(gen + 1);
@@ -1180,17 +1330,20 @@ impl Machine {
         self.stats.squashed_loads_executed += self
             .rob
             .range(rob_idx + 1..)
-            .filter(|e| e.is_load && e.cache_accessed)
+            .filter(|e| e.has(EF_LOAD) && e.has(EF_CACHE_ACCESSED))
             .count() as u64;
         self.rob.truncate(rob_idx + 1);
         // Reuse the squashed sequence numbers: every reference above
-        // `squash_seq` (journal, store list, rename table, operand waits)
-        // is pruned with the tail, and `seq -> ring index` arithmetic
-        // needs the live window to stay consecutive.
+        // `squash_seq` (journal, store list, rename table, scheduling
+        // lists, operand waits) is pruned with the tail, and the
+        // `seq -> ring index` arithmetic needs the live window to stay
+        // consecutive.
         self.next_seq = squash_seq + 1;
         while self.store_seqs.back().is_some_and(|&s| s > squash_seq) {
             self.store_seqs.pop_back();
         }
+        self.issue_queue.retain(|&(s, _)| s <= squash_seq);
+        self.in_flight.retain(|&(s, _)| s <= squash_seq);
         self.rebuild_reg_writer();
     }
 
@@ -1199,6 +1352,7 @@ impl Machine {
     // ------------------------------------------------------------------
 
     fn commit(&mut self) {
+        let plan = Arc::clone(&self.plan);
         for _ in 0..self.config.commit_width {
             let Some(entry) = self.rob.front() else {
                 return;
@@ -1207,23 +1361,23 @@ impl Machine {
                 return;
             }
             let entry = self.rob.pop_front().expect("front just checked");
+            let seq = self.head_seq;
+            self.head_seq += 1;
             // A committed entry retires its rename-table claim (unless a
             // younger in-flight producer has already superseded it) and
             // drains its journal entries: deltas at or below a committed
             // seq can never be squashed.
-            if let Some(dst) = entry.dst {
-                if self.reg_writer[dst.0 as usize] == Some(entry.seq) {
-                    self.reg_writer[dst.0 as usize] = None;
-                }
+            if entry.dst != NO_REG && self.reg_writer[entry.dst as usize] == Some(seq) {
+                self.reg_writer[entry.dst as usize] = None;
             }
-            if entry.is_store {
-                debug_assert_eq!(self.store_seqs.front(), Some(&entry.seq));
+            if entry.has(EF_STORE) {
+                debug_assert_eq!(self.store_seqs.front(), Some(&seq));
                 self.store_seqs.pop_front();
             }
             while self
                 .call_journal
                 .front()
-                .is_some_and(|&(seq, _)| seq <= entry.seq)
+                .is_some_and(|&(journal_seq, _)| journal_seq <= seq)
             {
                 self.call_journal.pop_front();
             }
@@ -1232,25 +1386,22 @@ impl Machine {
                 return;
             }
             self.stats.committed += 1;
-            if matches!(
-                self.program.inst(entry.inst_idx),
-                Inst::Branch { .. } | Inst::BranchI { .. } | Inst::JumpInd { .. }
-            ) {
+            let uop = plan.op(entry.inst_idx as usize);
+            if uop.has(MicroOp::BRANCH_STAT) {
                 self.stats.branches += 1;
             }
-            if let Some(dst) = entry.dst {
-                self.regs[dst.0 as usize] = entry.value;
+            if entry.dst != NO_REG {
+                self.regs[entry.dst as usize] = entry.value;
             }
-            if entry.is_store {
-                if let (Some((addr, size)), Some(value)) = (entry.mem_addr, entry.store_value) {
-                    self.mem.write(addr, value, size);
-                    // Stores update the cache at commit (never
-                    // speculatively).
-                    let now = self.cycle;
-                    self.caches.data_access(addr, now);
-                }
+            if entry.has(EF_STORE) && entry.mem_size > 0 && entry.has(EF_HAS_STORE_VALUE) {
+                self.mem
+                    .write(entry.mem_addr, entry.store_value, entry.mem_size);
+                // Stores update the cache at commit (never
+                // speculatively).
+                let now = self.cycle;
+                self.caches.data_access(entry.mem_addr, now);
             }
-            if matches!(self.program.inst(entry.inst_idx), Inst::Halt) {
+            if uop.class == OpClass::Halt {
                 self.halted = Some(Stop::Halted);
                 return;
             }
@@ -1264,6 +1415,9 @@ impl Machine {
         self.stats.faults += 1;
         self.stats.squashed += self.rob.len() as u64;
         self.rob.clear();
+        self.head_seq = self.next_seq;
+        self.issue_queue.clear();
+        self.in_flight.clear();
         self.reg_writer = [None; 16];
         self.store_seqs.clear();
         self.call_journal.clear();
@@ -1340,11 +1494,13 @@ fn mask_to_size(value: u64, size: u8) -> u64 {
     }
 }
 
-fn effective_address(mem: &MemOperand, base: u64, index: u64) -> u64 {
-    let base = if mem.base.is_some() { base } else { 0 };
-    let index = if mem.index.is_some() { index } else { 0 };
-    base.wrapping_add(index.wrapping_mul(mem.scale as u64))
-        .wrapping_add(mem.disp as u64)
+/// The plan's effective-address template: `base + index * scale + disp`.
+/// Unset operand slots contribute zero (their `vals` entry is never
+/// written), which reproduces `MemOperand`'s optional-base/index
+/// semantics for every addressing mode.
+fn effective_address(base: u64, index: u64, scale: u8, disp: i64) -> u64 {
+    base.wrapping_add(index.wrapping_mul(scale as u64))
+        .wrapping_add(disp as u64)
 }
 
 fn alu_eval(op: AluOp, a: u64, b: u64) -> u64 {
@@ -1377,7 +1533,7 @@ fn alu_eval(op: AluOp, a: u64, b: u64) -> u64 {
 mod tests {
     use super::*;
     use crate::asm::ProgramBuilder;
-    use crate::isa::Cond;
+    use crate::isa::{Cond, MemOperand};
     use hfi_core::region::{ExplicitDataRegion, ImplicitCodeRegion, ImplicitDataRegion};
     use hfi_core::{Region, SandboxConfig};
 

@@ -19,7 +19,7 @@
 use std::sync::Arc;
 
 use crate::core::{CoreStats, Machine, Stop};
-use crate::emulation::{emulate, EMULATION_BASE};
+use crate::emulation::{emulate, emulate_arc, EMULATION_BASE};
 use crate::functional::{Functional, FunctionalStats};
 use crate::isa::Program;
 
@@ -359,8 +359,17 @@ impl Emulated {
     }
 
     /// Creates the emulated counterpart of an existing shared program.
+    ///
+    /// The A.2 transform (and, transitively, the pre-decoded plan of its
+    /// result) is memoized by `Arc` identity — see
+    /// [`emulate_arc`](crate::emulation::emulate_arc) — so repeated grid
+    /// cells over one shared program pay for one transform and one
+    /// lowering.
     pub fn from_arc(program: &Arc<Program>, heap_base: u64) -> Self {
-        Self::new(program.as_ref(), heap_base)
+        Self {
+            machine: Machine::new(emulate_arc(program)),
+            heap_base,
+        }
     }
 }
 

@@ -16,8 +16,9 @@ use hfi_core::{
 };
 
 use crate::core::{DefaultOs, OsModel, Stop, SyscallOutcome};
-use crate::isa::{AluOp, Inst, MemOperand, Program, Reg};
+use crate::isa::{AluOp, Inst, Program, Reg};
 use crate::mem::SparseMemory;
+use crate::plan::{plan_of, MicroOp, OpClass, NO_REG};
 
 /// Per-class cycle costs for the functional timing model, calibrated so
 /// that functional cycle counts track the cycle simulator on the
@@ -167,11 +168,24 @@ impl Functional {
         self.stats
     }
 
-    fn ea(&self, mem: &MemOperand) -> u64 {
-        let base = mem.base.map(|r| self.regs[r.0 as usize]).unwrap_or(0);
-        let index = mem.index.map(|r| self.regs[r.0 as usize]).unwrap_or(0);
-        base.wrapping_add(index.wrapping_mul(mem.scale as u64))
-            .wrapping_add(mem.disp as u64)
+    /// Value of a pre-resolved operand slot; unset slots ([`NO_REG`])
+    /// read as zero, reproducing `MemOperand`'s optional base/index.
+    #[inline(always)]
+    fn slot(&self, r: u8) -> u64 {
+        if r == NO_REG {
+            0
+        } else {
+            self.regs[r as usize]
+        }
+    }
+
+    /// Effective address from the plan's EA template:
+    /// `base + index * scale + disp` over the micro-op's operand slots.
+    #[inline(always)]
+    fn ea_of(&self, uop: &MicroOp) -> u64 {
+        self.slot(uop.srcs[0])
+            .wrapping_add(self.slot(uop.srcs[1]).wrapping_mul(uop.scale as u64))
+            .wrapping_add(uop.imm as u64)
     }
 
     fn fault(&mut self, fault: HfiFault, pc_out: &mut usize) -> Option<Stop> {
@@ -194,25 +208,33 @@ impl Functional {
     }
 
     /// Runs up to `max_insts` instructions.
+    ///
+    /// The loop is direct-threaded over the shared pre-decoded plan
+    /// ([`plan_of`]): each step indexes a flat [`MicroOp`] and dispatches
+    /// on its dense class byte — no `Inst` match and no operand `Option`
+    /// walking — while the architectural semantics, the cost model, and
+    /// every counter are identical to interpreting the `Inst` stream.
+    /// Only the payload classes (`hfi_enter`, `hfi_enter_child`,
+    /// `hfi_set_region`) reach back into the program for their full
+    /// operands, off the hot path.
     pub fn run(&mut self, max_insts: u64) -> FunctionalResult {
         let mut pc = 0usize;
         let mut stop = Stop::CycleLimit;
         let mut budget = max_insts;
-        // Borrow the instruction stream through a shared handle so the
-        // interpreter loop never clones an `Inst`.
+        let plan = plan_of(&self.program);
         let program = Arc::clone(&self.program);
         'outer: while budget > 0 {
             budget -= 1;
-            if pc >= self.program.len() {
+            if pc >= plan.len() {
                 stop = Stop::Halted;
                 break;
             }
-            let byte_pc = self.program.pc_of(pc);
-            let inst = program.inst(pc);
+            let byte_pc = plan.pc(pc);
+            let uop = plan.op(pc);
             if self.hfi.enabled() {
                 self.stats.hfi_checks += 1;
             }
-            if let Err(fault) = self.hfi.check_fetch(byte_pc, inst.encoded_len()) {
+            if let Err(fault) = self.hfi.check_fetch(byte_pc, uop.len as u64) {
                 match self.fault(fault, &mut pc) {
                     Some(s) => {
                         stop = s;
@@ -223,36 +245,37 @@ impl Functional {
             }
             self.stats.retired += 1;
             let mut next = pc + 1;
-            match inst {
-                Inst::AluRR { op, dst, a, b } => {
-                    self.cycles += self.weight_of(*op);
-                    self.regs[dst.0 as usize] =
-                        alu(*op, self.regs[a.0 as usize], self.regs[b.0 as usize]);
+            match uop.class {
+                OpClass::AluRR => {
+                    self.cycles += self.weight_of(uop.alu);
+                    self.regs[uop.dst as usize] =
+                        alu(uop.alu, self.slot(uop.srcs[0]), self.slot(uop.srcs[1]));
                 }
-                Inst::AluRI { op, dst, a, imm } => {
-                    self.cycles += self.weight_of(*op);
-                    self.regs[dst.0 as usize] = alu(*op, self.regs[a.0 as usize], *imm as u64);
+                OpClass::AluRI => {
+                    self.cycles += self.weight_of(uop.alu);
+                    self.regs[uop.dst as usize] =
+                        alu(uop.alu, self.slot(uop.srcs[0]), uop.imm as u64);
                 }
-                Inst::MovI { dst, imm } => {
+                OpClass::MovI => {
                     self.cycles += self.weights.alu;
-                    self.regs[dst.0 as usize] = *imm as u64;
+                    self.regs[uop.dst as usize] = uop.imm as u64;
                 }
-                Inst::Mov { dst, src } => {
+                OpClass::Mov => {
                     self.cycles += self.weights.alu;
-                    self.regs[dst.0 as usize] = self.regs[src.0 as usize];
+                    self.regs[uop.dst as usize] = self.slot(uop.srcs[0]);
                 }
-                Inst::Rdtsc { dst } => {
+                OpClass::Rdtsc => {
                     self.cycles += self.weights.alu;
-                    self.regs[dst.0 as usize] = self.cycles as u64;
+                    self.regs[uop.dst as usize] = self.cycles as u64;
                 }
-                Inst::Load { dst, mem, size } => {
+                OpClass::Load => {
                     self.cycles += self.weights.mem;
                     self.stats.mem_ops += 1;
                     if self.hfi.enabled() {
                         self.stats.hfi_checks += 1;
                     }
-                    let addr = self.ea(mem);
-                    if let Err(f) = self.hfi.check_data(addr, *size as u64, Access::Read) {
+                    let addr = self.ea_of(uop);
+                    if let Err(f) = self.hfi.check_data(addr, uop.size as u64, Access::Read) {
                         match self.fault(f, &mut pc) {
                             Some(s) => {
                                 stop = s;
@@ -261,16 +284,16 @@ impl Functional {
                             None => continue,
                         }
                     }
-                    self.regs[dst.0 as usize] = self.mem.read(addr, *size);
+                    self.regs[uop.dst as usize] = self.mem.read(addr, uop.size);
                 }
-                Inst::Store { src, mem, size } => {
+                OpClass::Store => {
                     self.cycles += self.weights.mem;
                     self.stats.mem_ops += 1;
                     if self.hfi.enabled() {
                         self.stats.hfi_checks += 1;
                     }
-                    let addr = self.ea(mem);
-                    if let Err(f) = self.hfi.check_data(addr, *size as u64, Access::Write) {
+                    let addr = self.ea_of(uop);
+                    if let Err(f) = self.hfi.check_data(addr, uop.size as u64, Access::Write) {
                         match self.fault(f, &mut pc) {
                             Some(s) => {
                                 stop = s;
@@ -279,27 +302,21 @@ impl Functional {
                             None => continue,
                         }
                     }
-                    self.mem.write(addr, self.regs[src.0 as usize], *size);
+                    self.mem.write(addr, self.slot(uop.srcs[2]), uop.size);
                 }
-                Inst::HmovLoad {
-                    region,
-                    dst,
-                    mem,
-                    size,
-                } => {
+                OpClass::HmovLoad => {
                     self.cycles += self.weights.mem;
                     self.stats.mem_ops += 1;
                     self.stats.hfi_checks += 1;
-                    let index = mem.index.map(|r| self.regs[r.0 as usize]).unwrap_or(0);
                     match self.hfi.hmov_check_access(
-                        *region,
-                        index as i64,
-                        mem.scale as u64,
-                        mem.disp,
-                        *size as u64,
+                        uop.region,
+                        self.slot(uop.srcs[1]) as i64,
+                        uop.scale as u64,
+                        uop.imm,
+                        uop.size as u64,
                         Access::Read,
                     ) {
-                        Ok(ea) => self.regs[dst.0 as usize] = self.mem.read(ea, *size),
+                        Ok(ea) => self.regs[uop.dst as usize] = self.mem.read(ea, uop.size),
                         Err(f) => match self.fault(f, &mut pc) {
                             Some(s) => {
                                 stop = s;
@@ -309,25 +326,19 @@ impl Functional {
                         },
                     }
                 }
-                Inst::HmovStore {
-                    region,
-                    src,
-                    mem,
-                    size,
-                } => {
+                OpClass::HmovStore => {
                     self.cycles += self.weights.mem;
                     self.stats.mem_ops += 1;
                     self.stats.hfi_checks += 1;
-                    let index = mem.index.map(|r| self.regs[r.0 as usize]).unwrap_or(0);
                     match self.hfi.hmov_check_access(
-                        *region,
-                        index as i64,
-                        mem.scale as u64,
-                        mem.disp,
-                        *size as u64,
+                        uop.region,
+                        self.slot(uop.srcs[1]) as i64,
+                        uop.scale as u64,
+                        uop.imm,
+                        uop.size as u64,
                         Access::Write,
                     ) {
-                        Ok(ea) => self.mem.write(ea, self.regs[src.0 as usize], *size),
+                        Ok(ea) => self.mem.write(ea, self.slot(uop.srcs[2]), uop.size),
                         Err(f) => match self.fault(f, &mut pc) {
                             Some(s) => {
                                 stop = s;
@@ -337,33 +348,31 @@ impl Functional {
                         },
                     }
                 }
-                Inst::Branch { cond, a, b, target } => {
+                OpClass::Branch => {
                     self.cycles += self.weights.branch;
                     self.stats.branches += 1;
-                    if cond.eval(self.regs[a.0 as usize], self.regs[b.0 as usize]) {
-                        next = *target;
+                    if uop
+                        .cond
+                        .eval(self.slot(uop.srcs[0]), self.slot(uop.srcs[1]))
+                    {
+                        next = uop.target as usize;
                     }
                 }
-                Inst::BranchI {
-                    cond,
-                    a,
-                    imm,
-                    target,
-                } => {
+                OpClass::BranchI => {
                     self.cycles += self.weights.branch;
                     self.stats.branches += 1;
-                    if cond.eval(self.regs[a.0 as usize], *imm as u64) {
-                        next = *target;
+                    if uop.cond.eval(self.slot(uop.srcs[0]), uop.imm as u64) {
+                        next = uop.target as usize;
                     }
                 }
-                Inst::Jump { target } => {
+                OpClass::Jump => {
                     self.cycles += self.weights.control;
-                    next = *target;
+                    next = uop.target as usize;
                 }
-                Inst::JumpInd { reg } => {
+                OpClass::JumpInd => {
                     self.cycles += self.weights.control;
                     self.stats.branches += 1;
-                    let target_pc = self.regs[reg.0 as usize];
+                    let target_pc = self.slot(uop.srcs[0]);
                     next = match self.program.index_of_pc(target_pc) {
                         Some(idx) => idx,
                         None => {
@@ -381,12 +390,12 @@ impl Functional {
                         }
                     };
                 }
-                Inst::Call { target } => {
+                OpClass::Call => {
                     self.cycles += self.weights.control;
                     self.call_stack.push(pc + 1);
-                    next = *target;
+                    next = uop.target as usize;
                 }
-                Inst::Ret => {
+                OpClass::Ret => {
                     self.cycles += self.weights.control;
                     next = match self.call_stack.pop() {
                         Some(idx) => idx,
@@ -396,7 +405,7 @@ impl Functional {
                         }
                     };
                 }
-                Inst::Syscall => {
+                OpClass::Syscall => {
                     let number = self.regs[0];
                     self.cycles += self.costs.syscall_check_cycles as f64;
                     match self.hfi.syscall(number, SyscallKind::Syscall) {
@@ -436,17 +445,20 @@ impl Functional {
                         }
                     }
                 }
-                Inst::Cpuid => {
+                OpClass::Cpuid => {
                     self.stats.serializations += 1;
                     self.cycles += self.costs.serialize_cycles as f64;
                 }
-                Inst::Fence => {
+                OpClass::Fence => {
                     self.cycles += 2.0;
                 }
-                Inst::Flush { .. } => {
+                OpClass::Flush => {
                     self.cycles += 3.0;
                 }
-                Inst::HfiEnter { config } => {
+                OpClass::HfiEnter => {
+                    let Inst::HfiEnter { config } = program.inst(pc) else {
+                        unreachable!("plan class HfiEnter lowered from HfiEnter");
+                    };
                     self.cycles += self.costs.enter_exit_base_cycles as f64;
                     match self.hfi.enter(*config) {
                         Ok(effect) => {
@@ -464,7 +476,10 @@ impl Functional {
                         },
                     }
                 }
-                Inst::HfiEnterChild { config, regions } => {
+                OpClass::HfiEnterChild => {
+                    let Inst::HfiEnterChild { config, regions } = program.inst(pc) else {
+                        unreachable!("plan class HfiEnterChild lowered from HfiEnterChild");
+                    };
                     self.cycles +=
                         (self.costs.enter_exit_base_cycles + self.costs.set_region_cycles) as f64;
                     match self.hfi.enter_child(*config, **regions) {
@@ -483,7 +498,7 @@ impl Functional {
                         },
                     }
                 }
-                Inst::HfiExit => {
+                OpClass::HfiExit => {
                     self.cycles += self.costs.enter_exit_base_cycles as f64;
                     match self.hfi.exit() {
                         Ok((disposition, effect)) => {
@@ -510,7 +525,7 @@ impl Functional {
                         },
                     }
                 }
-                Inst::HfiReenter => {
+                OpClass::HfiReenter => {
                     self.cycles += self.costs.enter_exit_base_cycles as f64;
                     if let Err(f) = self.hfi.reenter() {
                         match self.fault(f, &mut pc) {
@@ -522,7 +537,10 @@ impl Functional {
                         }
                     }
                 }
-                Inst::HfiSetRegion { slot, region } => {
+                OpClass::HfiSetRegion => {
+                    let Inst::HfiSetRegion { slot, region } = program.inst(pc) else {
+                        unreachable!("plan class HfiSetRegion lowered from HfiSetRegion");
+                    };
                     self.cycles += self.costs.set_region_cycles as f64;
                     match self.hfi.set_region(*slot as usize, *region) {
                         Ok(effect) => {
@@ -540,9 +558,9 @@ impl Functional {
                         },
                     }
                 }
-                Inst::HfiClearRegion { slot } => {
+                OpClass::HfiClearRegion => {
                     self.cycles += 1.0;
-                    if let Err(f) = self.hfi.clear_region(*slot as usize) {
+                    if let Err(f) = self.hfi.clear_region(uop.region as usize) {
                         match self.fault(f, &mut pc) {
                             Some(s) => {
                                 stop = s;
@@ -552,7 +570,7 @@ impl Functional {
                         }
                     }
                 }
-                Inst::HfiClearAllRegions => {
+                OpClass::HfiClearAllRegions => {
                     self.cycles += 1.0;
                     if let Err(f) = self.hfi.clear_all_regions() {
                         match self.fault(f, &mut pc) {
@@ -564,10 +582,10 @@ impl Functional {
                         }
                     }
                 }
-                Inst::Nop => {
+                OpClass::Nop => {
                     self.cycles += self.weights.alu;
                 }
-                Inst::Halt => {
+                OpClass::Halt => {
                     stop = Stop::Halted;
                     break;
                 }

@@ -491,6 +491,13 @@ impl Program {
         self.insts.iter()
     }
 
+    /// The full instruction slice — bulk consumers (the plan lowering,
+    /// the emulation transform, differential tests) index it directly
+    /// instead of going through per-element [`Program::inst`] calls.
+    pub fn insts(&self) -> &[Inst] {
+        &self.insts
+    }
+
     /// Replaces the instruction list, preserving base (relayouts PCs).
     /// Used by the emulation transform.
     pub fn with_insts(&self, insts: Vec<Inst>) -> Program {

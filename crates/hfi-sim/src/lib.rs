@@ -30,13 +30,15 @@ pub mod exec;
 pub mod functional;
 pub mod isa;
 pub mod mem;
+pub mod plan;
 pub mod predictor;
 
 pub use crate::core::{CoreConfig, CoreStats, Machine, OsModel, RunResult, Stop, SyscallOutcome};
 pub use asm::{Label, ProgramBuilder};
 pub use cache::{Cache, CacheHierarchy, CacheLatencies};
-pub use emulation::{emulate, uses_hfi, EMULATION_BASE};
+pub use emulation::{emulate, emulate_arc, uses_hfi, EMULATION_BASE};
 pub use exec::{Emulated, Executor, ExecutorKind, RunRecord};
 pub use functional::{Functional, FunctionalCosts, FunctionalResult, FunctionalStats};
 pub use isa::{AluOp, Cond, HmovOperand, Inst, MemOperand, Program, Reg};
 pub use mem::SparseMemory;
+pub use plan::{plan_of, BasicBlock, DecodedProgram, MicroOp, OpClass, SerializeClass};

@@ -10,6 +10,11 @@
 //! hit/miss count, HFI checks/faults, and syscall routing — against the
 //! values recorded from the pre-optimization simulator.
 //!
+//! Both cycle-level vehicles are pinned: the true-HFI `Machine` runs and
+//! the Appendix A.2 **emulated** runs (the `emulate` program transform on
+//! the same cycle core), so neither the hot-loop work nor the predecode
+//! front end can silently drift the A.2 emulation story.
+//!
 //! To re-record after an *intentional* timing-model change:
 //!
 //! ```text
@@ -19,7 +24,7 @@
 
 use std::fmt::Write as _;
 
-use hfi_bench::run_on_machine;
+use hfi_bench::{run_emulated, run_on_machine};
 use hfi_native::syscalls::{run_benchmark, Interposition};
 use hfi_sim::RunRecord;
 use hfi_wasm::compiler::Isolation;
@@ -78,6 +83,17 @@ fn collect_counters() -> String {
         for isolation in schemes {
             let run = run_on_machine(kernel, isolation);
             let label = format!("fig3/{}/{:?}", kernel.name, isolation);
+            writeln!(out, "{}", record_line(&label, &run.record)).unwrap();
+        }
+    }
+
+    // The same grid through the Appendix A.2 emulation transform on the
+    // cycle core: pins the transform itself (hmov -> constant-base mov,
+    // enter/exit -> cpuid) as well as the machine that runs it.
+    for kernel in &kernels {
+        for isolation in schemes {
+            let run = run_emulated(kernel, isolation);
+            let label = format!("fig3-emulated/{}/{:?}", kernel.name, isolation);
             writeln!(out, "{}", record_line(&label, &run.record)).unwrap();
         }
     }

@@ -1,0 +1,420 @@
+//! Differential testing for the pre-decode layer: a [`DecodedProgram`]
+//! must agree, static fact by static fact, with a fresh per-[`Inst`]
+//! derivation — and a plan-driven run must remain architecturally
+//! identical between the functional interpreter and the cycle machine.
+//!
+//! The plan (`hfi_sim::plan`) is a pure lowering: every field of a
+//! [`MicroOp`] is derivable from one instruction's encoding alone. These
+//! tests re-derive each fact independently (encoded length, memory and
+//! control classification, serialization class, operand slots, branch
+//! targets) on random programs and compare, then check the basic-block
+//! table's structural invariants, then run random halting programs on
+//! both executors. Cases come from the vendored deterministic PRNG, so
+//! every failure reproduces exactly.
+
+use std::sync::Arc;
+
+use hfi_repro::hfi_core::region::ExplicitDataRegion;
+use hfi_repro::hfi_core::{Region, SandboxConfig};
+use hfi_repro::hfi_sim::plan::{NO_REG, NO_TARGET};
+use hfi_repro::hfi_sim::{
+    plan_of, AluOp, Cond, Functional, HmovOperand, Inst, Machine, MemOperand, MicroOp, Program,
+    Reg, SerializeClass, Stop,
+};
+use hfi_repro::hfi_util::Rng;
+
+const ALUS: [AluOp; 6] = [
+    AluOp::Add,
+    AluOp::Sub,
+    AluOp::Mul,
+    AluOp::Xor,
+    AluOp::And,
+    AluOp::Or,
+];
+const CONDS: [Cond; 6] = [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Ge, Cond::LtU, Cond::GeU];
+
+fn reg(rng: &mut Rng) -> Reg {
+    Reg(rng.below(16) as u8)
+}
+
+fn mem_operand(rng: &mut Rng) -> MemOperand {
+    MemOperand {
+        base: rng.bool().then(|| reg(rng)),
+        index: rng.bool().then(|| reg(rng)),
+        scale: *rng.pick(&[1u8, 2, 4, 8]),
+        disp: rng.range_i64(-4096, 4096),
+    }
+}
+
+fn hmov_operand(rng: &mut Rng) -> HmovOperand {
+    if rng.bool() {
+        HmovOperand::disp(rng.range_i64(0, 4096))
+    } else {
+        HmovOperand::indexed(reg(rng), *rng.pick(&[1u8, 2, 4, 8]), rng.range_i64(0, 4096))
+    }
+}
+
+/// One random instruction of any shape; control targets land in `0..n`.
+fn random_inst(rng: &mut Rng, n: usize) -> Inst {
+    let target = rng.below(n as u64) as usize;
+    let size = *rng.pick(&[1u8, 2, 4, 8]);
+    match rng.below(22) {
+        0 => Inst::AluRR {
+            op: *rng.pick(&ALUS),
+            dst: reg(rng),
+            a: reg(rng),
+            b: reg(rng),
+        },
+        1 => Inst::AluRI {
+            op: *rng.pick(&ALUS),
+            dst: reg(rng),
+            a: reg(rng),
+            // Spans both the short and long immediate encodings.
+            imm: if rng.bool() {
+                rng.range_i64(-4096, 4096)
+            } else {
+                rng.range_i64(i64::MIN / 2, i64::MAX / 2)
+            },
+        },
+        2 => Inst::MovI {
+            dst: reg(rng),
+            imm: rng.range_i64(-1 << 40, 1 << 40),
+        },
+        3 => Inst::Mov {
+            dst: reg(rng),
+            src: reg(rng),
+        },
+        4 => Inst::Rdtsc { dst: reg(rng) },
+        5 => Inst::Load {
+            dst: reg(rng),
+            mem: mem_operand(rng),
+            size,
+        },
+        6 => Inst::Store {
+            src: reg(rng),
+            mem: mem_operand(rng),
+            size,
+        },
+        7 => Inst::HmovLoad {
+            region: rng.below(8) as u8,
+            dst: reg(rng),
+            mem: hmov_operand(rng),
+            size,
+        },
+        8 => Inst::HmovStore {
+            region: rng.below(8) as u8,
+            src: reg(rng),
+            mem: hmov_operand(rng),
+            size,
+        },
+        9 => Inst::Flush {
+            mem: mem_operand(rng),
+        },
+        10 => Inst::Branch {
+            cond: *rng.pick(&CONDS),
+            a: reg(rng),
+            b: reg(rng),
+            target,
+        },
+        11 => Inst::BranchI {
+            cond: *rng.pick(&CONDS),
+            a: reg(rng),
+            imm: rng.range_i64(-256, 256),
+            target,
+        },
+        12 => Inst::Jump { target },
+        13 => Inst::JumpInd { reg: reg(rng) },
+        14 => Inst::Call { target },
+        15 => Inst::Ret,
+        16 => Inst::Syscall,
+        17 => Inst::Cpuid,
+        18 => Inst::Fence,
+        19 => {
+            let config = if rng.bool() {
+                SandboxConfig::hybrid().serialized()
+            } else {
+                SandboxConfig::hybrid()
+            };
+            Inst::HfiEnter { config }
+        }
+        20 => match rng.below(4) {
+            0 => Inst::HfiExit,
+            1 => Inst::HfiReenter,
+            2 => Inst::HfiClearRegion {
+                slot: rng.below(8) as u8,
+            },
+            _ => Inst::HfiClearAllRegions,
+        },
+        _ => {
+            if rng.bool() {
+                let heap = ExplicitDataRegion::large(0x10_0000, 0x1_0000, true, true)
+                    .expect("aligned region");
+                Inst::HfiSetRegion {
+                    slot: rng.below(8) as u8,
+                    region: Region::Explicit(heap),
+                }
+            } else {
+                Inst::Nop
+            }
+        }
+    }
+}
+
+fn random_program(rng: &mut Rng) -> Arc<Program> {
+    let n = rng.range_u64(8, 96) as usize;
+    let insts: Vec<Inst> = (0..n).map(|_| random_inst(rng, n)).collect();
+    Arc::new(Program::new(insts, rng.below(16) * 0x1000))
+}
+
+/// Independent re-derivation of the static serialization class (the
+/// decode rules of paper §3.4/§4.3/§4.5), deliberately *not* shared with
+/// the plan's `lower()`.
+fn expected_serialize(inst: &Inst) -> SerializeClass {
+    match inst {
+        Inst::Cpuid | Inst::Fence | Inst::Syscall => SerializeClass::Always,
+        Inst::HfiEnter { config } | Inst::HfiEnterChild { config, .. } => {
+            if config.serialize {
+                SerializeClass::Always
+            } else {
+                SerializeClass::No
+            }
+        }
+        Inst::HfiExit => SerializeClass::ExitDynamic,
+        Inst::HfiSetRegion { .. } | Inst::HfiClearRegion { .. } | Inst::HfiClearAllRegions => {
+            SerializeClass::IfEnabled
+        }
+        _ => SerializeClass::No,
+    }
+}
+
+#[test]
+fn predecode_static_facts_match_fresh_derivation() {
+    let mut rng = Rng::new(0x9DEC0DE);
+    for case in 0..64 {
+        let program = random_program(&mut rng);
+        let plan = plan_of(&program);
+        assert_eq!(plan.len(), program.len(), "case {case}");
+        for i in 0..program.len() {
+            let inst = program.inst(i);
+            let uop = plan.op(i);
+            let at = format!("case {case}, inst {i} ({inst:?})");
+            assert_eq!(uop.len as u64, inst.encoded_len(), "{at}: encoded length");
+            assert_eq!(plan.pc(i), program.pc_of(i), "{at}: byte PC");
+            assert_eq!(uop.has(MicroOp::GATE_MEM), inst.is_mem(), "{at}: mem class");
+            assert_eq!(
+                uop.has(MicroOp::CONTROL),
+                inst.is_control(),
+                "{at}: control class"
+            );
+            assert_eq!(uop.serialize, expected_serialize(inst), "{at}: serialize");
+            assert_eq!(
+                uop.has(MicroOp::IS_LOAD),
+                matches!(inst, Inst::Load { .. } | Inst::HmovLoad { .. }),
+                "{at}: load flag"
+            );
+            assert_eq!(
+                uop.has(MicroOp::IS_STORE),
+                matches!(inst, Inst::Store { .. } | Inst::HmovStore { .. }),
+                "{at}: store flag"
+            );
+            match inst {
+                Inst::Branch { target, .. }
+                | Inst::BranchI { target, .. }
+                | Inst::Jump { target }
+                | Inst::Call { target } => {
+                    assert_eq!(uop.target, *target as u32, "{at}: static target");
+                }
+                _ => assert_eq!(uop.target, NO_TARGET, "{at}: no static target"),
+            }
+            match inst {
+                // hmov has no architectural base register: slot 0 must be
+                // free (the region base replaces it).
+                Inst::HmovLoad { region, mem, .. } | Inst::HmovStore { region, mem, .. } => {
+                    assert_eq!(uop.srcs[0], NO_REG, "{at}: hmov uses no base slot");
+                    assert_eq!(uop.region, *region, "{at}: region index");
+                    assert_eq!(uop.imm, mem.disp, "{at}: displacement");
+                }
+                Inst::Load { mem, .. } | Inst::Store { mem, .. } => {
+                    assert_eq!(
+                        uop.srcs[0],
+                        mem.base.map_or(NO_REG, |r| r.0),
+                        "{at}: base slot"
+                    );
+                    assert_eq!(
+                        uop.srcs[1],
+                        mem.index.map_or(NO_REG, |r| r.0),
+                        "{at}: index slot"
+                    );
+                    assert_eq!(uop.imm, mem.disp, "{at}: displacement");
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+#[test]
+fn block_table_invariants_hold_on_random_programs() {
+    let mut rng = Rng::new(0xB10C);
+    for case in 0..64 {
+        let program = random_program(&mut rng);
+        let plan = plan_of(&program);
+        let blocks = plan.blocks();
+        let n = plan.len() as u32;
+
+        // Blocks tile the program exactly.
+        assert_eq!(blocks.first().map(|b| b.start), Some(0), "case {case}");
+        assert_eq!(blocks.last().map(|b| b.end), Some(n), "case {case}");
+        for pair in blocks.windows(2) {
+            assert_eq!(pair[0].end, pair[1].start, "case {case}: tiling");
+        }
+
+        for (bi, block) in blocks.iter().enumerate() {
+            assert!(block.start < block.end, "case {case}: empty block {bi}");
+            // Control flow only at the terminator slot.
+            for i in block.start..block.end - 1 {
+                assert!(
+                    !plan.op(i as usize).has(MicroOp::CONTROL),
+                    "case {case}: control mid-block at {i}"
+                );
+            }
+            // Every instruction maps back to its containing block.
+            for i in block.start..block.end {
+                assert_eq!(plan.block_of(i as usize), bi, "case {case}: block_of({i})");
+            }
+            // Edges match the terminator's shape.
+            let term = plan.op(block.end as usize - 1);
+            let fall_next = if block.end < n { block.end } else { NO_TARGET };
+            match (term.has(MicroOp::CONTROL), term.class) {
+                (true, hfi_repro::hfi_sim::OpClass::Jump) => {
+                    assert_eq!(block.fall_through, NO_TARGET, "case {case}");
+                    assert_eq!(block.taken, term.target, "case {case}");
+                }
+                (
+                    true,
+                    hfi_repro::hfi_sim::OpClass::Branch
+                    | hfi_repro::hfi_sim::OpClass::BranchI
+                    | hfi_repro::hfi_sim::OpClass::Call,
+                ) => {
+                    assert_eq!(block.fall_through, fall_next, "case {case}");
+                    assert_eq!(block.taken, term.target, "case {case}");
+                }
+                (true, _) => {
+                    // Indirect flow and returns: no static successors.
+                    assert_eq!(block.fall_through, NO_TARGET, "case {case}");
+                    assert_eq!(block.taken, NO_TARGET, "case {case}");
+                }
+                (false, _) => {
+                    assert_eq!(block.fall_through, fall_next, "case {case}");
+                    assert_eq!(block.taken, NO_TARGET, "case {case}");
+                }
+            }
+            // Every in-range taken edge lands on a block leader.
+            if block.taken != NO_TARGET && block.taken < n {
+                assert_eq!(
+                    blocks[plan.block_of(block.taken as usize)].start,
+                    block.taken,
+                    "case {case}: taken edge must be a leader"
+                );
+            }
+        }
+    }
+}
+
+/// A random *runnable* program: registers seeded with constants, ALU
+/// traffic, loads/stores through a fixed in-bounds window, and
+/// forward-only branches so termination is structural.
+fn random_runnable(rng: &mut Rng) -> Arc<Program> {
+    const BASE_REG: Reg = Reg(8);
+    const HEAP: i64 = 0x2_0000;
+    let body = rng.range_u64(16, 64) as usize;
+    let mut insts: Vec<Inst> = Vec::new();
+    for r in 0..8u8 {
+        insts.push(Inst::MovI {
+            dst: Reg(r),
+            imm: rng.range_i64(-1 << 32, 1 << 32),
+        });
+    }
+    insts.push(Inst::MovI {
+        dst: BASE_REG,
+        imm: HEAP,
+    });
+    let first = insts.len();
+    let halt = first + body;
+    for i in first..halt {
+        // Forward-only targets: anywhere strictly past this instruction,
+        // up to and including the final halt.
+        let target = rng.range_u64(i as u64 + 1, halt as u64 + 1) as usize;
+        let mem = MemOperand {
+            base: Some(BASE_REG),
+            index: None,
+            scale: 1,
+            disp: rng.below(512) as i64 * 8,
+        };
+        let inst = match rng.below(10) {
+            0 | 1 => Inst::AluRR {
+                op: *rng.pick(&ALUS),
+                dst: Reg(rng.below(8) as u8),
+                a: Reg(rng.below(8) as u8),
+                b: Reg(rng.below(8) as u8),
+            },
+            2 | 3 => Inst::AluRI {
+                op: *rng.pick(&ALUS),
+                dst: Reg(rng.below(8) as u8),
+                a: Reg(rng.below(8) as u8),
+                imm: rng.range_i64(-256, 256),
+            },
+            4 => Inst::Mov {
+                dst: Reg(rng.below(8) as u8),
+                src: Reg(rng.below(8) as u8),
+            },
+            5 => Inst::Load {
+                dst: Reg(rng.below(8) as u8),
+                mem,
+                size: 8,
+            },
+            6 => Inst::Store {
+                src: Reg(rng.below(8) as u8),
+                mem,
+                size: 8,
+            },
+            7 => Inst::Branch {
+                cond: *rng.pick(&CONDS),
+                a: Reg(rng.below(8) as u8),
+                b: Reg(rng.below(8) as u8),
+                target,
+            },
+            8 => Inst::BranchI {
+                cond: *rng.pick(&CONDS),
+                a: Reg(rng.below(8) as u8),
+                imm: rng.range_i64(-4, 4),
+                target,
+            },
+            _ => Inst::Jump { target },
+        };
+        insts.push(inst);
+    }
+    insts.push(Inst::Halt);
+    Arc::new(Program::new(insts, 0x1000))
+}
+
+#[test]
+fn functional_and_cycle_agree_on_plan_driven_runs() {
+    let mut rng = Rng::new(0xD1FF);
+    for case in 0..48 {
+        let program = random_runnable(&mut rng);
+
+        let mut machine = Machine::new(Arc::clone(&program));
+        let cycle = machine.run(50_000_000);
+        assert_eq!(cycle.stop, Stop::Halted, "case {case}: cycle run");
+
+        let mut functional = Functional::new(Arc::clone(&program));
+        let func = functional.run(50_000_000);
+        assert_eq!(func.stop, Stop::Halted, "case {case}: functional run");
+
+        assert_eq!(
+            cycle.regs, func.regs,
+            "case {case}: architectural registers diverged"
+        );
+    }
+}
