@@ -22,7 +22,9 @@
 //!
 //! The gate compares this run's aggregate sim-MIPS against the baseline
 //! and **fails (exit 1)** if it regressed more than
-//! [`REGRESSION_BUDGET`] (20%). The baseline is read *before* the output
+//! [`REGRESSION_BUDGET`] (the printed gate line quotes the budget from
+//! that constant — the one source of truth for the threshold). The
+//! baseline is read *before* the output
 //! file is written, so `--check BENCH_throughput.json --out
 //! BENCH_throughput.json` gates against the previously committed numbers
 //! — never against the file this run is about to write. A missing or

@@ -1,0 +1,116 @@
+//! `verify_all` — run the static sandbox-safety verifier over every
+//! program family the experiments execute.
+//!
+//! Default mode prints one row per target (kernel × family) with its
+//! verdict, proof size, and memory-op count, and exits nonzero if any
+//! target fails verification.
+//!
+//! `--mutants` additionally runs the proof-guided fault-injection suite:
+//! every verified target is corrupted one site at a time across the four
+//! mutation classes, and every mutant must be rejected. The per-class
+//! kill matrix is printed as a Markdown table (CI pastes it into the
+//! step summary) followed by a machine-greppable `mutation-kill:` line;
+//! any surviving mutant exits nonzero.
+//!
+//! `--smoke` truncates the kernel suites, matching the other binaries.
+
+use std::collections::BTreeMap;
+
+use hfi_bench::print_table;
+use hfi_bench::verifyset::{all_targets, mutant_killed, mutants_for, verify_target};
+use hfi_verify::MutationClass;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let want_mutants = args.iter().any(|a| a == "--mutants");
+    let smoke = args.iter().any(|a| a == "--smoke")
+        || std::env::var("HFI_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
+
+    let targets = all_targets(smoke);
+    let mut rows = Vec::new();
+    let mut failures = 0usize;
+    let mut proofs = Vec::new();
+    for target in &targets {
+        match verify_target(target) {
+            Ok(proof) => {
+                rows.push(vec![
+                    target.name.clone(),
+                    "ok".to_string(),
+                    proof.guards.len().to_string(),
+                    proof.mem_ops.to_string(),
+                    proof.blocks.to_string(),
+                ]);
+                proofs.push(Some(proof));
+            }
+            Err(violations) => {
+                failures += 1;
+                rows.push(vec![
+                    target.name.clone(),
+                    format!("FAIL ({})", violations.len()),
+                    "-".to_string(),
+                    "-".to_string(),
+                    "-".to_string(),
+                ]);
+                for v in violations.iter().take(5) {
+                    eprintln!("  {}: {v}", target.name);
+                }
+                proofs.push(None);
+            }
+        }
+    }
+    print_table(
+        "Static sandbox-safety verification",
+        &["target", "verdict", "guards", "mem ops", "blocks"],
+        &rows,
+    );
+    println!(
+        "\nverified: {}/{} targets",
+        targets.len() - failures,
+        targets.len()
+    );
+
+    let mut survivors = 0usize;
+    if want_mutants {
+        // killed/total per class, accumulated across every target.
+        let mut matrix: BTreeMap<&'static str, (usize, usize)> = BTreeMap::new();
+        for (target, proof) in targets.iter().zip(&proofs) {
+            let Some(proof) = proof else { continue };
+            for mutant in mutants_for(target, proof) {
+                let cell = matrix.entry(class_name(mutant.class)).or_insert((0, 0));
+                cell.1 += 1;
+                if mutant_killed(target, &mutant) {
+                    cell.0 += 1;
+                } else {
+                    survivors += 1;
+                    eprintln!(
+                        "SURVIVOR: {} [{}] {}",
+                        target.name, mutant.class, mutant.description
+                    );
+                }
+            }
+        }
+        let (mut killed, mut total) = (0, 0);
+        println!("\n### Mutation-kill matrix\n");
+        println!("| class | mutants | killed | survived |");
+        println!("|---|---|---|---|");
+        for (class, (k, t)) in &matrix {
+            println!("| {class} | {t} | {k} | {} |", t - k);
+            killed += k;
+            total += t;
+        }
+        println!("\nmutation-kill: {killed}/{total}");
+    }
+
+    if failures > 0 || survivors > 0 {
+        std::process::exit(1);
+    }
+}
+
+fn class_name(class: MutationClass) -> &'static str {
+    match class {
+        MutationClass::DropGuard => "drop-guard",
+        MutationClass::WidenMask => "widen-mask",
+        MutationClass::UncheckMov => "uncheck-mov",
+        MutationClass::RetargetBranch => "retarget-branch",
+    }
+}

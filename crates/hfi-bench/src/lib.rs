@@ -14,9 +14,11 @@
 //!   the binaries and the cross-executor integration tests.
 //! * Plain-text table output and summary statistics.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod verifyset;
 
 use std::collections::HashMap;
 use std::sync::{Mutex, OnceLock};
@@ -167,7 +169,8 @@ pub fn run_on_machine(kernel: &Kernel, isolation: Isolation) -> KernelRun {
 pub fn run_on_machine_with(kernel: &Kernel, opts: &CompileOptions) -> KernelRun {
     let compiled = compile_cached(kernel, opts);
     let mut machine = Machine::new(compiled.program.clone());
-    let record = run_cell(&mut machine, kernel, opts.heap_base);
+    let mut record = run_cell(&mut machine, kernel, opts.heap_base);
+    record.verified = compiled.verified == Some(true);
     KernelRun {
         cycles: record.cycles as u64,
         instructions: record.committed,
@@ -186,7 +189,10 @@ pub fn run_emulated(kernel: &Kernel, isolation: Isolation) -> KernelRun {
     let opts = CompileOptions::new(isolation);
     let compiled = compile_cached(kernel, &opts);
     let mut emulated = Emulated::from_arc(&compiled.program, opts.heap_base);
-    let record = run_cell(&mut emulated, kernel, opts.heap_base);
+    let mut record = run_cell(&mut emulated, kernel, opts.heap_base);
+    // The emulated stream carries its own proof: translation validation
+    // against the (verified) original, not trust in the transform.
+    record.verified = hfi_wasm::verify_emulated_kernel(&compiled).is_some_and(|r| r.is_ok());
     KernelRun {
         cycles: record.cycles as u64,
         instructions: record.committed,
@@ -204,8 +210,10 @@ pub fn run_emulated(kernel: &Kernel, isolation: Isolation) -> KernelRun {
 pub fn run_functional_record(kernel: &Kernel, isolation: Isolation) -> RunRecord {
     let opts = CompileOptions::new(isolation);
     let compiled = compile_cached(kernel, &opts);
-    let mut functional = Functional::new(compiled.program);
-    run_cell(&mut functional, kernel, opts.heap_base)
+    let mut functional = Functional::new(compiled.program.clone());
+    let mut record = run_cell(&mut functional, kernel, opts.heap_base);
+    record.verified = compiled.verified == Some(true);
+    record
 }
 
 /// Runs `kernel` on the fast functional executor; returns modelled cycles.

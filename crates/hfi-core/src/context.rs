@@ -157,7 +157,12 @@ impl std::fmt::Display for SlotKindError {
 
 impl std::error::Error for SlotKindError {}
 
-fn slot_accepts(slot: usize, region: &Region) -> Result<(), SlotKindError> {
+/// Architectural slot-kind rule (Appendix A.1): code regions go in slots
+/// `0..NUM_CODE_REGIONS`, implicit data regions in the middle band, and
+/// explicit regions in slots `FIRST_EXPLICIT_SLOT..NUM_REGIONS`. Exposed
+/// so static tools (the `hfi-verify` checker) can apply exactly the rule
+/// the hardware model enforces.
+pub fn slot_accepts(slot: usize, region: &Region) -> Result<(), SlotKindError> {
     if slot >= NUM_REGIONS {
         return Err(SlotKindError::BadSlot);
     }

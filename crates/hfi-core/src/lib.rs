@@ -47,6 +47,7 @@
 //! [`check_fetch`]: HfiContext::check_fetch
 //! [`hmov` effective-address check]: HfiContext::hmov_check
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod context;
@@ -55,9 +56,9 @@ pub mod fault;
 pub mod region;
 
 pub use context::{
-    ExitDisposition, HfiContext, HfiSaveArea, SandboxConfig, SandboxKind, SerializationEffect,
-    SyscallDisposition, FIRST_EXPLICIT_SLOT, NUM_CODE_REGIONS, NUM_EXPLICIT_REGIONS,
-    NUM_IMPLICIT_DATA_REGIONS, NUM_REGIONS,
+    slot_accepts, ExitDisposition, HfiContext, HfiSaveArea, SandboxConfig, SandboxKind,
+    SerializationEffect, SlotKindError, SyscallDisposition, FIRST_EXPLICIT_SLOT, NUM_CODE_REGIONS,
+    NUM_EXPLICIT_REGIONS, NUM_IMPLICIT_DATA_REGIONS, NUM_REGIONS,
 };
 pub use costs::CostModel;
 pub use fault::{Access, ExitReason, HfiFault, HmovViolation, SyscallKind};

@@ -441,6 +441,51 @@ pub enum Region {
     Explicit(ExplicitDataRegion),
 }
 
+impl Region {
+    /// The lowest address the region covers, uniformly across kinds
+    /// (prefix base for implicit regions, base for explicit ones).
+    pub fn base(&self) -> u64 {
+        match self {
+            Region::Code(r) => r.base_prefix(),
+            Region::Data(r) => r.base_prefix(),
+            Region::Explicit(r) => r.base(),
+        }
+    }
+
+    /// The region length in bytes (`lsb_mask + 1` for implicit regions,
+    /// the bound for explicit ones).
+    pub fn len(&self) -> u64 {
+        match self {
+            Region::Code(r) => r.len(),
+            Region::Data(r) => r.len(),
+            Region::Explicit(r) => r.bound(),
+        }
+    }
+
+    /// Regions are never empty; present for API completeness.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether the region grants `access`. Code regions grant fetch iff
+    /// executable; data regions never grant fetch.
+    pub fn permits(&self, access: Access) -> bool {
+        match self {
+            Region::Code(r) => access == Access::Fetch && r.exec(),
+            Region::Data(r) => r.permits(access),
+            Region::Explicit(r) => r.permits(access),
+        }
+    }
+
+    /// The explicit-region payload, when this is an explicit region.
+    pub fn as_explicit(&self) -> Option<&ExplicitDataRegion> {
+        match self {
+            Region::Explicit(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
 impl From<ImplicitCodeRegion> for Region {
     fn from(region: ImplicitCodeRegion) -> Self {
         Region::Code(region)
@@ -572,6 +617,25 @@ mod tests {
         assert!(region.hardware_check(0x10_0000, 1));
         assert!(region.hardware_check(0x11_FFFF, 1));
         assert!(!region.hardware_check(0x12_0000, 1));
+    }
+
+    #[test]
+    fn unified_region_accessors() {
+        let code = Region::from(ImplicitCodeRegion::new(0x40_0000, 0xFFFF, true).unwrap());
+        let data = Region::from(ImplicitDataRegion::new(0x10_0000, 0xFFF, true, false).unwrap());
+        let heap =
+            Region::from(ExplicitDataRegion::large(0x1000_0000, 1 << 20, true, true).unwrap());
+        assert_eq!(code.base(), 0x40_0000);
+        assert_eq!(code.len(), 0x1_0000);
+        assert_eq!(data.base(), 0x10_0000);
+        assert_eq!(data.len(), 0x1000);
+        assert_eq!(heap.base(), 0x1000_0000);
+        assert_eq!(heap.len(), 1 << 20);
+        assert!(code.permits(Access::Fetch) && !code.permits(Access::Read));
+        assert!(data.permits(Access::Read) && !data.permits(Access::Write));
+        assert!(heap.permits(Access::Write) && !heap.permits(Access::Fetch));
+        assert!(heap.as_explicit().is_some());
+        assert!(code.as_explicit().is_none() && data.as_explicit().is_none());
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! * **How many sandboxes fit?** ([`lifecycle`]) — address-space
 //!   exhaustion with 8 GiB guard reservations vs. HFI's heap-only
 //!   footprint (§6.3.2: 256,000 1 GiB sandboxes).
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod chaining;

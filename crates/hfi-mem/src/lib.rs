@@ -22,6 +22,7 @@
 //! # Ok::<(), hfi_mem::MemError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod costs;

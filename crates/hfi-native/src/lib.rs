@@ -11,10 +11,14 @@
 //! * [`nginx`] — switching protection domains: the NGINX + sandboxed
 //!   OpenSSL server model comparing HFI's serialized enter/exit against
 //!   MPK's `wrpkru` pair across file sizes (§6.4.2, Fig. 5).
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod nginx;
 pub mod syscalls;
 
 pub use nginx::{Protection, ServerModel, ThroughputPoint, FIG5_FILE_SIZES};
-pub use syscalls::{run_benchmark, seccomp_overhead_vs_hfi, Interposition, InterpositionRun};
+pub use syscalls::{
+    benchmark_program, interposition_spec, run_benchmark, seccomp_overhead_vs_hfi, Interposition,
+    InterpositionRun,
+};

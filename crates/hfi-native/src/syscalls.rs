@@ -17,6 +17,7 @@ use hfi_core::region::ImplicitCodeRegion;
 use hfi_core::{Region, SandboxConfig};
 use hfi_sim::core::DefaultOs;
 use hfi_sim::{Cond, Machine, ProgramBuilder, Reg, RunResult, Stop};
+use hfi_verify::SandboxSpec;
 
 /// How syscalls from sandboxed code are interposed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,10 +45,31 @@ pub struct InterpositionRun {
 
 const CODE_BASE: u64 = 0x40_0000;
 
+/// The safety contract the benchmark program must satisfy, checkable with
+/// [`hfi_verify::verify_program`]. The HFI variant must install the code
+/// region, enter the sandbox before its syscall loop, and interpose every
+/// sandboxed syscall through the exit handler (which clobbers `r0`, the
+/// saved resume pc in `r6`, and the HFI-provided `r14`). The other
+/// mechanisms interpose in the kernel, so their programs carry no static
+/// obligations beyond well-formed control flow.
+pub fn interposition_spec(mechanism: Interposition) -> SandboxSpec {
+    match mechanism {
+        Interposition::None | Interposition::Seccomp => SandboxSpec::new("native-plain"),
+        Interposition::Hfi => {
+            let code = ImplicitCodeRegion::new(CODE_BASE, 0xFFFF, true).expect("aligned code");
+            SandboxSpec::new("native-interposed")
+                .slot(0, Region::Code(code))
+                .require_enter()
+                .interposed()
+                .clobbers(&[0, 6, 14])
+        }
+    }
+}
+
 /// Builds the open/read/close loop. Under [`Interposition::Hfi`] the loop
 /// body runs inside a native sandbox whose exit handler services the
 /// syscall and re-enters.
-fn build(iterations: u64, mechanism: Interposition) -> hfi_sim::Program {
+pub fn benchmark_program(iterations: u64, mechanism: Interposition) -> hfi_sim::Program {
     let mut asm = ProgramBuilder::new(CODE_BASE);
     let iter = Reg(5);
     let sysno = Reg(0);
@@ -114,7 +136,7 @@ fn build(iterations: u64, mechanism: Interposition) -> hfi_sim::Program {
 /// Runs the open/read/close benchmark (`iterations` iterations of 3
 /// syscalls) under `mechanism`.
 pub fn run_benchmark(iterations: u64, mechanism: Interposition) -> InterpositionRun {
-    let program = build(iterations, mechanism);
+    let program = benchmark_program(iterations, mechanism);
     let mut machine = Machine::new(program);
     if mechanism == Interposition::Seccomp {
         let costs = machine.costs;
@@ -148,6 +170,25 @@ pub fn seccomp_overhead_vs_hfi(iterations: u64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn benchmark_programs_pass_static_verification() {
+        use std::sync::Arc;
+        for mechanism in [
+            Interposition::None,
+            Interposition::Seccomp,
+            Interposition::Hfi,
+        ] {
+            let program = Arc::new(benchmark_program(20, mechanism));
+            let spec = interposition_spec(mechanism);
+            let result = hfi_verify::verify_program(&program, &spec);
+            assert!(
+                result.is_ok(),
+                "{mechanism:?} benchmark failed verification: {:?}",
+                result.err()
+            );
+        }
+    }
 
     #[test]
     fn hfi_interposes_every_sandbox_syscall() {

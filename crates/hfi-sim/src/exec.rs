@@ -110,6 +110,12 @@ pub struct RunRecord {
     pub sim_mips: f64,
     /// Host nanoseconds spent per simulated cycle (0.0 when untimed).
     pub host_ns_per_cycle: f64,
+    /// True when the program this run executed passed the `hfi-verify`
+    /// static sandbox-safety check (set by harnesses; executors
+    /// themselves report `false`). Like the host-timing fields this is
+    /// provenance, not an architectural counter, so it is excluded from
+    /// `PartialEq`.
+    pub verified: bool,
 }
 
 impl PartialEq for RunRecord {
@@ -162,7 +168,7 @@ impl RunRecord {
              \"l2_hits\":{},\"l2_misses\":{},\"dtlb_hits\":{},\"dtlb_misses\":{},\
              \"hfi_checks\":{},\"hfi_faults\":{},\
              \"syscalls_redirected\":{},\"syscalls_to_os\":{},\
-             \"sim_mips\":{:.3},\"host_ns_per_cycle\":{:.3}",
+             \"sim_mips\":{:.3},\"host_ns_per_cycle\":{:.3},\"verified\":{}",
             self.executor.as_str(),
             self.cycles,
             self.committed,
@@ -186,6 +192,7 @@ impl RunRecord {
             self.syscalls_to_os,
             self.sim_mips,
             self.host_ns_per_cycle,
+            self.verified,
         )
     }
 
@@ -257,6 +264,7 @@ fn machine_record(machine: &Machine, kind: ExecutorKind) -> RunRecord {
         syscalls_to_os: stats.syscalls_to_os,
         sim_mips: 0.0,
         host_ns_per_cycle: 0.0,
+        verified: false,
     }
 }
 
@@ -321,6 +329,7 @@ impl Executor for Functional {
             syscalls_to_os: stats.syscalls_to_os,
             sim_mips: 0.0,
             host_ns_per_cycle: 0.0,
+            verified: false,
         }
     }
 

@@ -20,6 +20,7 @@
 //!
 //! Programs are written against a micro-op-level ISA ([`isa`]) through a
 //! label-based assembler ([`asm::ProgramBuilder`]).
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod asm;
@@ -36,9 +37,12 @@ pub mod predictor;
 pub use crate::core::{CoreConfig, CoreStats, Machine, OsModel, RunResult, Stop, SyscallOutcome};
 pub use asm::{Label, ProgramBuilder};
 pub use cache::{Cache, CacheHierarchy, CacheLatencies};
-pub use emulation::{emulate, emulate_arc, uses_hfi, EMULATION_BASE};
+pub use emulation::{
+    emulate, emulate_arc, emulate_guarded, uses_hfi, GuardedEmulation, GuardedEmulationError,
+    GuardedOptions, EMULATION_BASE,
+};
 pub use exec::{Emulated, Executor, ExecutorKind, RunRecord};
 pub use functional::{Functional, FunctionalCosts, FunctionalResult, FunctionalStats};
 pub use isa::{AluOp, Cond, HmovOperand, Inst, MemOperand, Program, Reg};
 pub use mem::SparseMemory;
-pub use plan::{plan_of, BasicBlock, DecodedProgram, MicroOp, OpClass, SerializeClass};
+pub use plan::{plan_of, BasicBlock, DecodedProgram, EaTemplate, MicroOp, OpClass, SerializeClass};

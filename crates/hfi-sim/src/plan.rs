@@ -161,6 +161,33 @@ pub struct MicroOp {
     pub flags: u8,
 }
 
+/// The effective-address recipe of one memory micro-op, unpacked from the
+/// flat operand slots into named fields: `EA = base + index*scale + disp`,
+/// with absent registers contributing zero.
+///
+/// For `hmov` ops `base` is always `None` — the base is architecturally
+/// replaced by the region base (paper §3.2) and the recipe describes the
+/// *region-relative offset* instead. Static tools (the `hfi-verify`
+/// checker) consume this instead of re-deriving the slot convention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EaTemplate {
+    /// Base register, `None` for absolute or region-relative addressing.
+    pub base: Option<u8>,
+    /// Scaled index register, if any.
+    pub index: Option<u8>,
+    /// Index scale factor (1 when no index).
+    pub scale: u8,
+    /// Constant displacement.
+    pub disp: i64,
+    /// Access size in bytes.
+    pub size: u8,
+    /// True for stores, false for loads.
+    pub is_store: bool,
+    /// True for `hmov` ops: the address is relative to an explicit
+    /// region's base, not to address zero.
+    pub region_relative: bool,
+}
+
 impl MicroOp {
     /// Reads data memory.
     pub const IS_LOAD: u8 = 1 << 0;
@@ -186,6 +213,26 @@ impl MicroOp {
     #[inline(always)]
     pub fn has(&self, flag: u8) -> bool {
         self.flags & flag != 0
+    }
+
+    /// The effective-address template of a load/store micro-op, or `None`
+    /// for non-memory ops (including `clflush`, which addresses memory but
+    /// is neither a data load nor a store).
+    pub fn ea_template(&self) -> Option<EaTemplate> {
+        if !self.has(Self::IS_LOAD | Self::IS_STORE) {
+            return None;
+        }
+        let region_relative = matches!(self.class, OpClass::HmovLoad | OpClass::HmovStore);
+        let slot = |r: u8| (r != NO_REG).then_some(r);
+        Some(EaTemplate {
+            base: slot(self.srcs[0]),
+            index: slot(self.srcs[1]),
+            scale: self.scale,
+            disp: self.imm,
+            size: self.size,
+            is_store: self.has(Self::IS_STORE),
+            region_relative,
+        })
     }
 }
 
@@ -659,6 +706,48 @@ mod tests {
         assert_eq!(op.imm, -16);
         assert_eq!(op.size, 4);
         assert!(op.has(MicroOp::IS_STORE) && !op.has(MicroOp::IS_LOAD));
+    }
+
+    #[test]
+    fn ea_templates_name_the_operand_slots() {
+        use crate::isa::HmovOperand;
+        let plan = DecodedProgram::build(Arc::new(Program::new(
+            vec![
+                Inst::Store {
+                    src: Reg(7),
+                    mem: MemOperand::full(Reg(1), Reg(2), 8, -16),
+                    size: 4,
+                },
+                Inst::HmovLoad {
+                    region: 1,
+                    dst: Reg(3),
+                    mem: HmovOperand::indexed(Reg(4), 2, 0x20),
+                    size: 8,
+                },
+                Inst::Nop,
+            ],
+            0,
+        )));
+        let store = plan.op(0).ea_template().expect("store has a template");
+        assert_eq!(
+            store,
+            EaTemplate {
+                base: Some(1),
+                index: Some(2),
+                scale: 8,
+                disp: -16,
+                size: 4,
+                is_store: true,
+                region_relative: false,
+            }
+        );
+        let hmov = plan.op(1).ea_template().expect("hmov has a template");
+        assert_eq!(hmov.base, None, "hmov base is the region base");
+        assert_eq!(hmov.index, Some(4));
+        assert_eq!(hmov.scale, 2);
+        assert_eq!(hmov.disp, 0x20);
+        assert!(hmov.region_relative && !hmov.is_store);
+        assert_eq!(plan.op(2).ea_template(), None);
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //! let defended = run_pht_attack(Protection::Hfi);
 //! assert!(!defended.leaked());
 //! ```
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod btb;

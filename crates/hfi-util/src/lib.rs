@@ -7,6 +7,7 @@
 //! used for kernel input generation, the FaaS queue simulation, and the
 //! randomized property tests that used to depend on `rand`/`proptest`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod rng;

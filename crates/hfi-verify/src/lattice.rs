@@ -1,0 +1,237 @@
+//! The abstract value lattice the verifier runs registers through.
+//!
+//! Each register holds an [`AbsVal`] summarizing everything the verifier
+//! knows about its runtime value on *every* path reaching the current
+//! program point. The lattice is value-range shaped — what matters for
+//! sandbox safety is an upper bound on the effective-address
+//! contribution — plus *provenance*: each bounded state remembers the
+//! op index of the guard that established it, so a successful proof can
+//! name its load-bearing instructions (the mutation harness corrupts
+//! exactly those).
+//!
+//! Ordering (⊑, "more precise than"):
+//!
+//! ```text
+//!        Untrusted            (anything; absorbing)
+//!      /     |      \
+//!  Checked Masked ResumePc    (bounded / hardware-provided)
+//!      \     |
+//!       Const                 (exactly one value)
+//!         |
+//!        Bot                  (no path reaches here with a value)
+//! ```
+
+/// Sentinel "no defining op" provenance (e.g. a bound compared as an
+/// immediate rather than materialized by a `movi`).
+pub const NO_DEF: u32 = u32::MAX;
+
+/// Abstract value of one register at one program point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbsVal {
+    /// Unreachable: no path has defined this value (refinements that
+    /// contradict a known constant also produce `Bot` — the edge is
+    /// statically infeasible).
+    Bot,
+    /// Exactly `value`, established by op `def` ([`NO_DEF`] when merged
+    /// or unknown).
+    Const {
+        /// The known value.
+        value: u64,
+        /// Defining op index (a `movi`, or a folded ALU op).
+        def: u32,
+    },
+    /// `value & mask == value` for a contiguous mask (`2^k - 1`): the
+    /// result of a mask-and guard at op `by`.
+    Masked {
+        /// The contiguous mask; the value is `<= mask`.
+        mask: u64,
+        /// Op index of the `and` that masked it.
+        by: u32,
+    },
+    /// `value < lt`, established by a bounds-compare-and-branch guard.
+    Checked {
+        /// Exclusive upper bound.
+        lt: u64,
+        /// Op index of the branch that refined it.
+        by: u32,
+        /// Op index of the instruction that materialized the bound the
+        /// branch compared against ([`NO_DEF`] for immediate bounds).
+        bound_def: u32,
+    },
+    /// The hardware-written resume byte-PC (`r14` at an exit-handler
+    /// entry, per the syscall-interposition contract): trusted for
+    /// indirect jumps back into the sandbox, untrusted as an address.
+    ResumePc,
+    /// No usable bound.
+    Untrusted,
+}
+
+impl AbsVal {
+    /// The inclusive upper bound this state proves, if any.
+    pub fn upper_bound(&self) -> Option<u64> {
+        match *self {
+            AbsVal::Bot => Some(0),
+            AbsVal::Const { value, .. } => Some(value),
+            AbsVal::Masked { mask, .. } => Some(mask),
+            AbsVal::Checked { lt, .. } => Some(lt.saturating_sub(1)),
+            AbsVal::ResumePc | AbsVal::Untrusted => None,
+        }
+    }
+
+    /// True if this state carries *some* static bound (or is `Bot`).
+    pub fn is_bounded(&self) -> bool {
+        self.upper_bound().is_some()
+    }
+
+    /// The least upper bound of two states: the join used when control
+    /// flow merges. Deterministic (ties keep the smaller provenance
+    /// index) so the fixpoint converges to a unique answer.
+    pub fn join(a: AbsVal, b: AbsVal) -> AbsVal {
+        use AbsVal::*;
+        match (a, b) {
+            (Bot, x) | (x, Bot) => x,
+            (Untrusted, _) | (_, Untrusted) => Untrusted,
+            (ResumePc, ResumePc) => ResumePc,
+            (ResumePc, _) | (_, ResumePc) => Untrusted,
+            (Const { value: va, def: da }, Const { value: vb, def: db }) if va == vb => Const {
+                value: va,
+                def: da.min(db),
+            },
+            (Masked { mask: ma, by: ba }, Masked { mask: mb, by: bb }) if ma == mb => Masked {
+                mask: ma,
+                by: ba.min(bb),
+            },
+            (
+                Checked {
+                    lt: la,
+                    by: ba,
+                    bound_def: da,
+                },
+                Checked {
+                    lt: lb,
+                    by: bb,
+                    bound_def: db,
+                },
+            ) if la == lb => Checked {
+                lt: la,
+                by: ba.min(bb),
+                bound_def: da.min(db),
+            },
+            // Mixed bounded states: keep the weaker (larger) bound as a
+            // Checked interval, crediting the guard of the weaker side
+            // (that is the binding constraint after the merge).
+            (x, y) => {
+                let (ux, uy) = (x.upper_bound(), y.upper_bound());
+                match (ux, uy) {
+                    (Some(ux), Some(uy)) => {
+                        let (bound, from) = if ux >= uy { (ux, x) } else { (uy, y) };
+                        match bound.checked_add(1) {
+                            Some(lt) => Checked {
+                                lt,
+                                by: from.guard_index().unwrap_or(NO_DEF),
+                                bound_def: NO_DEF,
+                            },
+                            None => Untrusted,
+                        }
+                    }
+                    _ => Untrusted,
+                }
+            }
+        }
+    }
+
+    /// The op index of the guard that established a bounded state, when
+    /// one did.
+    pub fn guard_index(&self) -> Option<u32> {
+        match *self {
+            AbsVal::Const { def, .. } if def != NO_DEF => Some(def),
+            AbsVal::Masked { by, .. } => Some(by),
+            AbsVal::Checked { by, .. } if by != NO_DEF => Some(by),
+            _ => None,
+        }
+    }
+
+    /// Refines this state with the knowledge `value < lt`, as learned on
+    /// a branch edge. Keeps the existing state when it is already at
+    /// least as precise; contradictory constants collapse to [`Bot`]
+    /// (the edge is infeasible).
+    pub fn refine_lt(self, lt: u64, by: u32, bound_def: u32) -> AbsVal {
+        if lt == 0 {
+            // value < 0 is unsatisfiable for unsigned values.
+            return AbsVal::Bot;
+        }
+        match self.upper_bound() {
+            Some(ub) if ub < lt => match self {
+                // Known constant contradicting the refinement: the edge
+                // cannot be taken.
+                AbsVal::Const { value, .. } if value >= lt => AbsVal::Bot,
+                _ => self,
+            },
+            _ => match self {
+                AbsVal::Const { value, .. } if value >= lt => AbsVal::Bot,
+                _ => AbsVal::Checked { lt, by, bound_def },
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use AbsVal::*;
+
+    #[test]
+    fn join_is_commutative_and_absorbing() {
+        let c = Const { value: 4, def: 1 };
+        let m = Masked { mask: 7, by: 2 };
+        assert_eq!(AbsVal::join(Bot, c), c);
+        assert_eq!(AbsVal::join(c, Bot), c);
+        assert_eq!(AbsVal::join(Untrusted, m), Untrusted);
+        assert_eq!(AbsVal::join(ResumePc, ResumePc), ResumePc);
+        assert_eq!(AbsVal::join(ResumePc, c), Untrusted);
+    }
+
+    #[test]
+    fn join_of_mixed_bounds_keeps_the_weaker_bound() {
+        let c = Const { value: 4, def: 1 };
+        let m = Masked { mask: 7, by: 2 };
+        let joined = AbsVal::join(c, m);
+        assert_eq!(joined.upper_bound(), Some(7));
+        let chk = Checked {
+            lt: 100,
+            by: 9,
+            bound_def: 3,
+        };
+        assert_eq!(AbsVal::join(m, chk).upper_bound(), Some(99));
+    }
+
+    #[test]
+    fn equal_bounds_keep_min_provenance() {
+        let a = Masked { mask: 15, by: 7 };
+        let b = Masked { mask: 15, by: 3 };
+        assert_eq!(AbsVal::join(a, b), Masked { mask: 15, by: 3 });
+    }
+
+    #[test]
+    fn refinement_tightens_or_collapses() {
+        let u = Untrusted.refine_lt(64, 5, NO_DEF);
+        assert_eq!(u.upper_bound(), Some(63));
+        // Already-tighter states survive.
+        let c = Const { value: 3, def: 1 }.refine_lt(64, 5, NO_DEF);
+        assert_eq!(c, Const { value: 3, def: 1 });
+        // Contradicted constants mark the edge infeasible.
+        let dead = Const { value: 99, def: 1 }.refine_lt(64, 5, NO_DEF);
+        assert_eq!(dead, Bot);
+        assert_eq!(Untrusted.refine_lt(0, 5, NO_DEF), Bot);
+    }
+
+    #[test]
+    fn overflowing_join_gives_up() {
+        let top = Const {
+            value: u64::MAX,
+            def: 0,
+        };
+        let m = Masked { mask: 7, by: 2 };
+        assert_eq!(AbsVal::join(top, m), Untrusted);
+    }
+}

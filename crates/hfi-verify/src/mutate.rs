@@ -1,0 +1,393 @@
+//! Proof-guided fault injection: does the verifier actually bite?
+//!
+//! A verifier that accepts everything is worse than none. This module
+//! manufactures *mutants* — single-site corruptions of a program that
+//! each remove or weaken exactly one safety mechanism — and the test
+//! harness demands that [`crate::verify_program`] rejects every one of
+//! them while still accepting the unmutated original.
+//!
+//! Generation is *proof-guided*: sites come from the [`Proof`] returned
+//! by a successful verification, i.e. the instructions the safety
+//! argument actually rests on. Corrupting a load-bearing instruction is
+//! guaranteed to invalidate the proof, so a surviving mutant is always a
+//! verifier bug, never an uninteresting mutant — the kill-rate criterion
+//! can be a hard 100%.
+//!
+//! Four corruption classes (mirroring how real compiler bugs break
+//! sandboxes):
+//!
+//! * [`MutationClass::DropGuard`] — delete one guard instruction
+//!   (mask-and, bounds branch, bound constant, `hfi_enter`/`hfi_exit`,
+//!   `hfi_set_region`), as if the compiler forgot to emit it.
+//! * [`MutationClass::WidenMask`] — keep the guard but weaken it: double
+//!   a mask, a compared bound, or an installed region's extent.
+//! * [`MutationClass::UncheckMov`] — swap a hardware-checked `hmov` for
+//!   a plain `mov`-class access with the same operands.
+//! * [`MutationClass::RetargetBranch`] — redirect one static control
+//!   transfer past the end of the block table.
+
+use std::sync::Arc;
+
+use hfi_core::{ExplicitDataRegion, ImplicitCodeRegion, ImplicitDataRegion, Region};
+use hfi_sim::{AluOp, Inst, MemOperand, Program, EMULATION_BASE};
+
+use crate::verify::{GuardKind, Proof};
+
+/// The four ways a mutant corrupts its program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MutationClass {
+    /// A guard instruction is deleted (replaced by `nop`).
+    DropGuard,
+    /// A guard stays but enforces a weaker bound.
+    WidenMask,
+    /// A checked `hmov` becomes an equivalent unchecked access.
+    UncheckMov,
+    /// A static control transfer leaves the block table.
+    RetargetBranch,
+}
+
+impl MutationClass {
+    /// All classes, for per-class coverage assertions.
+    pub const ALL: [MutationClass; 4] = [
+        MutationClass::DropGuard,
+        MutationClass::WidenMask,
+        MutationClass::UncheckMov,
+        MutationClass::RetargetBranch,
+    ];
+}
+
+impl std::fmt::Display for MutationClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            MutationClass::DropGuard => "drop-guard",
+            MutationClass::WidenMask => "widen-mask",
+            MutationClass::UncheckMov => "uncheck-mov",
+            MutationClass::RetargetBranch => "retarget-branch",
+        })
+    }
+}
+
+/// One corrupted program, with enough metadata for a kill-matrix report.
+#[derive(Debug, Clone)]
+pub struct Mutant {
+    /// Corruption class.
+    pub class: MutationClass,
+    /// Instruction index that was corrupted.
+    pub site: usize,
+    /// Human-readable description of the corruption.
+    pub description: String,
+    /// The corrupted program.
+    pub program: Arc<Program>,
+}
+
+/// Cap on sites per (class, program): keeps the suite fast while leaving
+/// every class represented on every family. Sites beyond the cap are
+/// evenly skipped, not truncated from the front, so mutants spread over
+/// the whole program.
+const SITES_PER_CLASS: usize = 8;
+
+fn spread<T: Clone>(sites: &[T]) -> Vec<T> {
+    if sites.len() <= SITES_PER_CLASS {
+        return sites.to_vec();
+    }
+    (0..SITES_PER_CLASS)
+        .map(|k| sites[k * sites.len() / SITES_PER_CLASS].clone())
+        .collect()
+}
+
+fn rebuild(program: &Program, site: usize, replacement: Inst) -> Arc<Program> {
+    let mut insts = program.insts().to_vec();
+    insts[site] = replacement;
+    Arc::new(program.with_insts(insts))
+}
+
+/// Doubles a region's extent, preserving everything else. `None` when
+/// the widened region is unrepresentable (alignment/size constraints).
+fn widen_region(region: &Region) -> Option<Region> {
+    match region {
+        Region::Code(c) => ImplicitCodeRegion::new(c.base_prefix(), c.lsb_mask() * 2 + 1, c.exec())
+            .ok()
+            .map(Region::Code),
+        Region::Data(d) => {
+            ImplicitDataRegion::new(d.base_prefix(), d.lsb_mask() * 2 + 1, d.read(), d.write())
+                .ok()
+                .map(Region::Data)
+        }
+        Region::Explicit(e) => e
+            .bound()
+            .checked_mul(2)
+            .and_then(|bound| {
+                ExplicitDataRegion::new(e.base(), bound, e.read(), e.write(), e.size_class()).ok()
+            })
+            .map(Region::Explicit),
+    }
+}
+
+/// Mutants of a directly-verified program, generated from its proof's
+/// guard sites plus its static control transfers.
+pub fn direct_mutants(program: &Arc<Program>, proof: &Proof) -> Vec<Mutant> {
+    let mut mutants = Vec::new();
+
+    // DropGuard: every load-bearing instruction except the checked
+    // accesses themselves (removing an *access* removes the obligation
+    // along with the guard — that mutant would be legitimately safe)
+    // and redundantly-paired guards (a partner instruction keeps the
+    // value bounded, so a single-site drop is equivalent, not unsafe).
+    let droppable: Vec<usize> = proof
+        .guards
+        .iter()
+        .filter(|g| g.kind != GuardKind::CheckedHmov && !proof.paired.contains(&g.op))
+        .map(|g| g.op)
+        .collect();
+    for site in spread(&droppable) {
+        mutants.push(Mutant {
+            class: MutationClass::DropGuard,
+            site,
+            description: format!("nop out guard at op {site}"),
+            program: rebuild(program, site, Inst::Nop),
+        });
+    }
+
+    // WidenMask: weaken the bound a guard enforces, site by site.
+    // Paired guards are skipped for the same reason as above: widening
+    // one of two independent bounds leaves the other enforcing.
+    let mut widen_sites: Vec<(usize, Inst)> = Vec::new();
+    for g in &proof.guards {
+        if proof.paired.contains(&g.op) {
+            continue;
+        }
+        let widened = match (g.kind, program.inst(g.op)) {
+            (
+                GuardKind::MaskAnd,
+                Inst::AluRI {
+                    op: AluOp::And,
+                    dst,
+                    a,
+                    imm,
+                },
+            ) if *imm > 0 => imm
+                .checked_mul(2)
+                .and_then(|m| m.checked_add(1))
+                .map(|imm| Inst::AluRI {
+                    op: AluOp::And,
+                    dst: *dst,
+                    a: *a,
+                    imm,
+                }),
+            (GuardKind::BoundConst, Inst::MovI { dst, imm }) if *imm > 0 => {
+                imm.checked_mul(2).map(|imm| Inst::MovI { dst: *dst, imm })
+            }
+            (
+                GuardKind::BoundsBranch,
+                Inst::BranchI {
+                    cond,
+                    a,
+                    imm,
+                    target,
+                },
+            ) if *imm > 0 => imm.checked_mul(2).map(|imm| Inst::BranchI {
+                cond: *cond,
+                a: *a,
+                imm,
+                target: *target,
+            }),
+            (GuardKind::SlotInstall, Inst::HfiSetRegion { slot, region }) => widen_region(region)
+                .map(|region| Inst::HfiSetRegion {
+                    slot: *slot,
+                    region,
+                }),
+            _ => None,
+        };
+        if let Some(inst) = widened {
+            widen_sites.push((g.op, inst));
+        }
+    }
+    for (site, inst) in spread(&widen_sites) {
+        mutants.push(Mutant {
+            class: MutationClass::WidenMask,
+            site,
+            description: format!("double the bound enforced at op {site}"),
+            program: rebuild(program, site, inst),
+        });
+    }
+
+    // UncheckMov: hardware-checked hmov -> plain absolute access with
+    // identical operands (the region base silently dropped).
+    let mut uncheck_sites: Vec<(usize, Inst)> = Vec::new();
+    for g in &proof.guards {
+        if g.kind != GuardKind::CheckedHmov {
+            continue;
+        }
+        let unchecked = match program.inst(g.op) {
+            Inst::HmovLoad { dst, mem, size, .. } => Some(Inst::Load {
+                dst: *dst,
+                mem: MemOperand {
+                    base: None,
+                    index: mem.index,
+                    scale: mem.scale,
+                    disp: mem.disp,
+                },
+                size: *size,
+            }),
+            Inst::HmovStore { src, mem, size, .. } => Some(Inst::Store {
+                src: *src,
+                mem: MemOperand {
+                    base: None,
+                    index: mem.index,
+                    scale: mem.scale,
+                    disp: mem.disp,
+                },
+                size: *size,
+            }),
+            _ => None,
+        };
+        if let Some(inst) = unchecked {
+            uncheck_sites.push((g.op, inst));
+        }
+    }
+    for (site, inst) in spread(&uncheck_sites) {
+        mutants.push(Mutant {
+            class: MutationClass::UncheckMov,
+            site,
+            description: format!("replace checked hmov at op {site} with unchecked access"),
+            program: rebuild(program, site, inst),
+        });
+    }
+
+    mutants.extend(retarget_mutants(program));
+    mutants
+}
+
+/// RetargetBranch mutants: shared between direct and emulation families
+/// (a static target past the block table is ill-formed either way).
+fn retarget_mutants(program: &Program) -> Vec<Mutant> {
+    let past_end = program.len();
+    let sites: Vec<(usize, Inst)> = program
+        .insts()
+        .iter()
+        .enumerate()
+        .filter_map(|(i, inst)| {
+            let retargeted = match inst {
+                Inst::Branch { cond, a, b, .. } => Some(Inst::Branch {
+                    cond: *cond,
+                    a: *a,
+                    b: *b,
+                    target: past_end,
+                }),
+                Inst::BranchI { cond, a, imm, .. } => Some(Inst::BranchI {
+                    cond: *cond,
+                    a: *a,
+                    imm: *imm,
+                    target: past_end,
+                }),
+                Inst::Jump { .. } => Some(Inst::Jump { target: past_end }),
+                Inst::Call { .. } => Some(Inst::Call { target: past_end }),
+                _ => None,
+            };
+            retargeted.map(|inst| (i, inst))
+        })
+        .collect();
+    spread(&sites)
+        .into_iter()
+        .map(|(site, inst)| Mutant {
+            class: MutationClass::RetargetBranch,
+            site,
+            description: format!("retarget control at op {site} past the block table"),
+            program: rebuild(program, site, inst),
+        })
+        .collect()
+}
+
+/// Mutants of an *emulated* stream, to be checked with
+/// [`crate::verify_emulation`] against the unmutated original: each one
+/// perturbs the transform in a way the instruction-for-instruction
+/// correspondence must notice.
+pub fn emulation_mutants(emulated: &Program) -> Vec<Mutant> {
+    let mut mutants = Vec::new();
+
+    // DropGuard: delete an emulated serialization point (cpuid standing
+    // in for enter/exit).
+    let cpuids: Vec<usize> = emulated
+        .insts()
+        .iter()
+        .enumerate()
+        .filter_map(|(i, inst)| matches!(inst, Inst::Cpuid).then_some(i))
+        .collect();
+    for site in spread(&cpuids) {
+        mutants.push(Mutant {
+            class: MutationClass::DropGuard,
+            site,
+            description: format!("drop emulated serialization at op {site}"),
+            program: rebuild(emulated, site, Inst::Nop),
+        });
+    }
+
+    // The emulated hmovs: absolute accesses at EMULATION_BASE.
+    let emulated_hmovs: Vec<(usize, MemOperand, hfi_sim::Reg, u8, bool)> = emulated
+        .insts()
+        .iter()
+        .enumerate()
+        .filter_map(|(i, inst)| match inst {
+            Inst::Load { dst, mem, size }
+                if mem.base.is_none() && mem.disp >= EMULATION_BASE as i64 =>
+            {
+                Some((i, *mem, *dst, *size, true))
+            }
+            Inst::Store { src, mem, size }
+                if mem.base.is_none() && mem.disp >= EMULATION_BASE as i64 =>
+            {
+                Some((i, *mem, *src, *size, false))
+            }
+            _ => None,
+        })
+        .collect();
+
+    // WidenMask: nudge the mirrored displacement outward (the transform
+    // must keep disp == original + EMULATION_BASE exactly).
+    for &(site, mem, reg, size, is_load) in &spread(&emulated_hmovs) {
+        let mem = MemOperand {
+            disp: mem.disp + (1 << 20),
+            ..mem
+        };
+        mutants.push(Mutant {
+            class: MutationClass::WidenMask,
+            site,
+            description: format!("shift emulated hmov at op {site} outside the mirror"),
+            program: rebuild(emulated, site, rebuild_access(reg, mem, size, is_load)),
+        });
+    }
+
+    // UncheckMov: strip the mirror base entirely — the access reads the
+    // region-relative offset as an absolute address.
+    for &(site, mem, reg, size, is_load) in &spread(&emulated_hmovs) {
+        let mem = MemOperand {
+            disp: mem.disp - EMULATION_BASE as i64,
+            ..mem
+        };
+        mutants.push(Mutant {
+            class: MutationClass::UncheckMov,
+            site,
+            description: format!("strip the mirror base from emulated hmov at op {site}"),
+            program: rebuild(emulated, site, rebuild_access(reg, mem, size, is_load)),
+        });
+    }
+
+    mutants.extend(retarget_mutants(emulated));
+    mutants
+}
+
+fn rebuild_access(reg: hfi_sim::Reg, mem: MemOperand, size: u8, is_load: bool) -> Inst {
+    if is_load {
+        Inst::Load {
+            dst: reg,
+            mem,
+            size,
+        }
+    } else {
+        Inst::Store {
+            src: reg,
+            mem,
+            size,
+        }
+    }
+}

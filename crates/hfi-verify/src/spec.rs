@@ -1,0 +1,182 @@
+//! What a verified program is *allowed* to do: the sandbox specification.
+//!
+//! A [`SandboxSpec`] is the verifier's ground truth, stated independently
+//! of the compiler that emitted the program: which data windows plain
+//! loads/stores may touch, which region registers must be installed with
+//! which [`Region`] metadata before `hfi_enter`, whether the program must
+//! leave the sandbox before halting, and which registers a syscall may
+//! clobber. Producers of sandboxed code (the `hfi-wasm` compiler, the
+//! `hfi-native` workloads) publish their spec next to their output so the
+//! checker never has to trust the emitter.
+
+use hfi_core::{slot_accepts, Region};
+
+/// One contiguous address window plain (non-`hmov`) loads and stores are
+/// allowed to touch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataWindow {
+    /// Human-readable name ("heap", "spill", "mirror") for reports.
+    pub name: &'static str,
+    /// First byte of the window.
+    pub base: u64,
+    /// Window length in bytes.
+    pub len: u64,
+}
+
+impl DataWindow {
+    /// True if the `size`-byte access spanning `[lo, hi]` (inclusive
+    /// effective-address interval of its first byte) provably stays
+    /// inside the window.
+    pub fn covers(&self, lo: i128, hi: i128, size: u8) -> bool {
+        let base = self.base as i128;
+        let end = base + self.len as i128;
+        lo >= base && hi + size as i128 <= end
+    }
+}
+
+/// The safety contract one family of emitted programs must satisfy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SandboxSpec {
+    /// Name of the program family ("wasm-hfi", "wasm-bounds", …).
+    pub name: &'static str,
+    /// Windows plain loads/stores must provably stay inside.
+    pub windows: Vec<DataWindow>,
+    /// Region registers the program must install — with exactly this
+    /// metadata — before every `hfi_enter`.
+    pub slots: Vec<(u8, Region)>,
+    /// Whether every `halt` must be reached at sandbox depth zero (i.e.
+    /// `hfi_enter`/`hfi_exit` must pair on all halting paths).
+    pub require_exit_before_halt: bool,
+    /// Whether an `hfi_enter` must be reachable at all. Without this, a
+    /// program that simply never enters its sandbox would pass every
+    /// per-path check while providing no isolation whatsoever.
+    pub require_enter: bool,
+    /// Whether every reachable `syscall` outside an exit handler must
+    /// execute at sandbox depth >= 1, so the hardware redirects it to the
+    /// handler (the syscall-interposition families).
+    pub interpose_syscalls: bool,
+    /// Registers a `syscall` may overwrite (the OS-model return register
+    /// plus any registers an exit handler clobbers).
+    pub syscall_clobbers: Vec<u8>,
+}
+
+impl SandboxSpec {
+    /// A spec with no windows, no slots, default syscall clobbers
+    /// (`r0`, the OS return register, and `r14`, the resume-PC register
+    /// of redirected syscalls), and no exit-before-halt obligation.
+    pub fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            windows: Vec::new(),
+            slots: Vec::new(),
+            require_exit_before_halt: false,
+            require_enter: false,
+            interpose_syscalls: false,
+            syscall_clobbers: vec![0, 14],
+        }
+    }
+
+    /// Adds a data window.
+    pub fn window(mut self, name: &'static str, base: u64, len: u64) -> Self {
+        self.windows.push(DataWindow { name, base, len });
+        self
+    }
+
+    /// Requires `slot` to be installed with exactly `region` before every
+    /// `hfi_enter`.
+    pub fn slot(mut self, slot: u8, region: Region) -> Self {
+        self.slots.push((slot, region));
+        self
+    }
+
+    /// Requires `hfi_exit` before every `halt`.
+    pub fn require_exit(mut self) -> Self {
+        self.require_exit_before_halt = true;
+        self
+    }
+
+    /// Requires a reachable `hfi_enter`.
+    pub fn require_enter(mut self) -> Self {
+        self.require_enter = true;
+        self
+    }
+
+    /// Requires every non-handler `syscall` to run inside the sandbox
+    /// (where the hardware redirects it to the exit handler).
+    pub fn interposed(mut self) -> Self {
+        self.interpose_syscalls = true;
+        self
+    }
+
+    /// Replaces the syscall clobber set.
+    pub fn clobbers(mut self, regs: &[u8]) -> Self {
+        self.syscall_clobbers = regs.to_vec();
+        self
+    }
+
+    /// The region metadata this spec requires in `slot`, if declared.
+    pub fn region_for_slot(&self, slot: u8) -> Option<&Region> {
+        self.slots.iter().find(|(s, _)| *s == slot).map(|(_, r)| r)
+    }
+
+    /// Structural self-check: every declared slot must accept its region
+    /// kind under the architectural slot-kind rule, and every window and
+    /// clobber must be well-formed. Returns a description of the first
+    /// problem.
+    pub fn validate(&self) -> Result<(), String> {
+        for (slot, region) in &self.slots {
+            slot_accepts(*slot as usize, region).map_err(|e| format!("slot {slot}: {e}"))?;
+        }
+        for w in &self.windows {
+            if w.len == 0 {
+                return Err(format!("window {}: empty", w.name));
+            }
+            if w.base.checked_add(w.len).is_none() {
+                return Err(format!("window {}: wraps the address space", w.name));
+            }
+        }
+        for r in &self.syscall_clobbers {
+            if *r >= 16 {
+                return Err(format!("syscall clobber r{r} out of range"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hfi_core::{ExplicitDataRegion, ImplicitCodeRegion};
+
+    #[test]
+    fn window_coverage_is_end_exclusive() {
+        let w = DataWindow {
+            name: "heap",
+            base: 0x1000,
+            len: 0x100,
+        };
+        assert!(w.covers(0x1000, 0x1000, 1));
+        assert!(w.covers(0x1000, 0x10F8, 8));
+        assert!(!w.covers(0x1000, 0x10F9, 8));
+        assert!(!w.covers(0xFFF, 0xFFF, 1));
+    }
+
+    #[test]
+    fn validate_applies_the_slot_kind_rule() {
+        let heap =
+            Region::Explicit(ExplicitDataRegion::large(0x1000_0000, 1 << 20, true, true).unwrap());
+        let code = Region::Code(ImplicitCodeRegion::new(0x40_0000, 0xFFFF, true).unwrap());
+        assert!(SandboxSpec::new("ok")
+            .slot(6, heap)
+            .slot(0, code)
+            .validate()
+            .is_ok());
+        assert!(SandboxSpec::new("bad").slot(2, heap).validate().is_err());
+        assert!(SandboxSpec::new("bad")
+            .window("w", u64::MAX, 2)
+            .validate()
+            .is_err());
+        assert!(SandboxSpec::new("bad").clobbers(&[16]).validate().is_err());
+    }
+}

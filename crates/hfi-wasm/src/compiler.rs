@@ -139,6 +139,11 @@ pub struct CompiledKernel {
     pub stats: CompileStats,
     /// The options used.
     pub options: CompileOptions,
+    /// Verdict of the static sandbox-safety verifier against this
+    /// strategy's published [`crate::verify::sandbox_spec`]: `Some(true)`
+    /// = proven safe, `Some(false)` = rejected (a compiler bug),
+    /// `None` = the strategy has no statically checkable contract.
+    pub verified: Option<bool>,
 }
 
 // Fixed-role architectural registers.
@@ -621,11 +626,23 @@ pub fn compile(func: &IrFunction, opts: &CompileOptions) -> CompiledKernel {
         mem_ops: func.mem_op_count(),
         inst_count: program.len(),
     };
-    CompiledKernel {
+    let mut kernel = CompiledKernel {
         program: program.into(),
         stats,
         options: *opts,
-    }
+        verified: None,
+    };
+    // Verify-after-compile: check the output against the strategy's
+    // published contract. A rejection here is a compiler bug; surface it
+    // immediately in debug builds instead of letting an unsafe program
+    // reach an experiment.
+    kernel.verified = crate::verify::verify_kernel(&kernel).map(|r| r.is_ok());
+    debug_assert!(
+        kernel.verified != Some(false),
+        "compiler emitted a program its own spec rejects: {:?}",
+        crate::verify::verify_kernel(&kernel).unwrap().unwrap_err()
+    );
+    kernel
 }
 
 /// The value left in [`RESULT_REG`] by an explicit bounds-check trap.

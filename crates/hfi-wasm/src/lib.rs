@@ -18,6 +18,7 @@
 //! * [`kernels`] — the workload library (Sightglass-like, SPEC-like,
 //!   render, FaaS), each with a native Rust reference implementation for
 //!   differential testing.
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod compiler;
@@ -25,9 +26,13 @@ pub mod ir;
 pub mod kernels;
 pub mod runtime;
 pub mod transitions;
+pub mod verify;
 
 pub use compiler::{compile, CompileOptions, CompileStats, CompiledKernel, Isolation, RESULT_REG};
 pub use ir::{IrBuilder, IrFunction};
 pub use kernels::{sightglass_suite, spec_suite, Kernel};
 pub use runtime::{RuntimeError, SandboxId, SandboxRuntime, GUARD_RESERVATION, WASM_PAGE};
 pub use transitions::Transition;
+pub use verify::{
+    guarded_emulation, guarded_spec, sandbox_spec, verify_emulated_kernel, verify_kernel,
+};

@@ -13,6 +13,8 @@
 //! * [`hfi_core`] — the HFI architecture (regions, instructions, faults);
 //! * [`hfi_sim`] — the cycle-level speculative simulator + emulation;
 //! * [`hfi_mem`] — the cost-accounted virtual-memory model;
+//! * [`hfi_verify`] — static sandbox-safety verifier (abstract
+//!   interpretation over decoded plans) + mutation-based fault injection;
 //! * [`hfi_wasm`] — IR, compiler backends, runtime, workload kernels;
 //! * [`hfi_native`] — native-binary sandboxing experiments;
 //! * [`hfi_spectre`] — Spectre-PHT/BTB attacks and their HFI mitigation;
@@ -32,6 +34,7 @@
 //! # Ok::<(), hfi_repro::hfi_core::RegionError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use hfi_bench;
@@ -42,4 +45,5 @@ pub use hfi_native;
 pub use hfi_sim;
 pub use hfi_spectre;
 pub use hfi_util;
+pub use hfi_verify;
 pub use hfi_wasm;

@@ -1,0 +1,79 @@
+//! Mutation-based fault injection: proof that the static verifier bites.
+//!
+//! Two halves of one claim, over the same target set `verify_all` uses:
+//! the verifier accepts every unmutated program the experiments execute,
+//! and rejects every single-site corruption of them. The kill criterion
+//! is a hard 100% — generation is proof-guided (sites come from the
+//! guard list each verdict rests on) and redundantly-paired guards are
+//! excluded, so a surviving mutant is always a verifier bug, never an
+//! equivalent mutant.
+
+use hfi_bench::verifyset::{all_targets, mutant_killed, mutants_for, verify_target};
+use hfi_verify::MutationClass;
+
+/// The suite floor: across all targets there must be at least this many
+/// mutants, so the 100% kill rate is a claim about a real population.
+const MIN_MUTANTS: usize = 40;
+
+#[test]
+fn every_unmutated_target_verifies() {
+    for target in all_targets(smoke()) {
+        let result = verify_target(&target);
+        assert!(
+            result.is_ok(),
+            "{} failed verification: {:#?}",
+            target.name,
+            result.err()
+        );
+    }
+}
+
+#[test]
+fn every_mutant_is_killed() {
+    let mut total = 0usize;
+    let mut per_class = [0usize; 4];
+    let mut survivors = Vec::new();
+
+    for target in all_targets(smoke()) {
+        let proof = match verify_target(&target) {
+            Ok(proof) => proof,
+            // The acceptance test above owns that failure mode.
+            Err(_) => continue,
+        };
+        for mutant in mutants_for(&target, &proof) {
+            total += 1;
+            let class_idx = MutationClass::ALL
+                .iter()
+                .position(|c| *c == mutant.class)
+                .expect("class in ALL");
+            per_class[class_idx] += 1;
+            if !mutant_killed(&target, &mutant) {
+                survivors.push(format!(
+                    "{} [{}] {}",
+                    target.name, mutant.class, mutant.description
+                ));
+            }
+        }
+    }
+
+    assert!(
+        total >= MIN_MUTANTS,
+        "only {total} mutants generated (need >= {MIN_MUTANTS})"
+    );
+    for (class, count) in MutationClass::ALL.iter().zip(per_class) {
+        assert!(count > 0, "no mutants of class {class}");
+    }
+    assert!(
+        survivors.is_empty(),
+        "{} of {} mutants survived verification:\n{}",
+        survivors.len(),
+        total,
+        survivors.join("\n")
+    );
+}
+
+/// CI runs the smoke subset; the full set is the `verify_all --mutants`
+/// binary's job. Both enforce the same 100% criterion.
+fn smoke() -> bool {
+    std::env::var("HFI_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0")
+}
