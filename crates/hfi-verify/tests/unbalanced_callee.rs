@@ -1,0 +1,49 @@
+use std::sync::Arc;
+use hfi_core::region::ImplicitCodeRegion;
+use hfi_core::{Region, SandboxConfig};
+use hfi_sim::{Cond, ProgramBuilder, Reg};
+use hfi_verify::{verify_program, SandboxSpec};
+
+#[test]
+fn unbalanced_callee_breaks_interposition() {
+    // main: install code region, enter sandbox (handler), call f, syscall, halt
+    // f: hfi_exit; ret   <- unbalances the sandbox depth before returning
+    let build = |handler_pc: u64| {
+        let mut b = ProgramBuilder::new(0x40_0000);
+        let code = ImplicitCodeRegion::new(0x40_0000, 0xFFFF, true).unwrap();
+        let handler = b.label();
+        let main = b.label();
+        let f = b.label();
+        b.hfi_set_region(0, Region::Code(code));
+        b.jump(main);
+        b.place(handler);
+        b.mov(Reg(6), Reg(14));
+        b.syscall();
+        b.hfi_reenter();
+        b.jump_ind(Reg(6));
+        b.place(main);
+        b.hfi_enter(SandboxConfig::native(handler_pc));
+        b.call(f);
+        b.movi(Reg(0), 12);
+        b.syscall(); // runtime: depth 0 -> goes straight to OS, uninterposed
+        b.halt();
+        b.place(f);
+        b.hfi_exit();
+        b.ret();
+        let h = b.resolved(handler).unwrap();
+        (h, b.finish())
+    };
+    let (h_idx, first) = build(0x40_0000);
+    let handler_pc = first.pc_of(h_idx);
+    let (_, prog) = build(handler_pc);
+    let prog = Arc::new(prog);
+    let code = ImplicitCodeRegion::new(0x40_0000, 0xFFFF, true).unwrap();
+    let spec = SandboxSpec::new("t")
+        .slot(0, Region::Code(code))
+        .require_enter()
+        .interposed()
+        .clobbers(&[0, 6, 14]);
+    let r = verify_program(&prog, &spec);
+    eprintln!("verifier verdict: {:?}", r.as_ref().map(|p| p.guards.len()).map_err(|v| v.iter().map(|x| x.to_string()).collect::<Vec<_>>()));
+    assert!(r.is_err(), "verifier ACCEPTED a program whose callee unbalances the sandbox; the post-call syscall runs uninterposed at runtime");
+}
