@@ -1,0 +1,410 @@
+//! `chaos_campaign` — sweep seeded runtime fault injection over the HFI
+//! kernel suite and enforce the fail-closed contract.
+//!
+//! For every HFI-sandboxed kernel the experiments run, the campaign
+//! first takes an uninjected **baseline** on the cycle machine with a
+//! site counter and the shadow monitor attached (the baseline must
+//! halt, return the reference result, and be violation-free — that
+//! check is what makes the monitor's silence on injected runs
+//! meaningful). It then runs one injected cell per (kernel × fault
+//! class × rep): a seeded [`ChaosEngine`] perturbs exactly one site,
+//! the [`ShadowMonitor`] replays every retired access against the
+//! kernel's published [`SandboxSpec`], and the run is classified
+//! fail-closed, benign, or **ESCAPE** (an out-of-spec access retired
+//! silently — the one outcome the mechanism promises can never happen,
+//! paper §3.3.2/§4.1).
+//!
+//! The per-class verdict matrix is printed as a Markdown table (CI
+//! pastes it into the step summary) followed by a machine-greppable
+//! `chaos-verdicts:` line; any escape exits nonzero.
+//!
+//! `--weaken` deliberately breaks the mechanism (every guard micro-op
+//! dropped via [`WeakenedEngine`]) and inverts the acceptance: the
+//! sweep must now produce at least one escape, proving the oracle can
+//! actually see one. A zero-escape claim from an oracle that cannot
+//! fail is worthless; CI runs both modes.
+//!
+//! Cells run under the supervised harness (panic isolation, watchdog,
+//! retries) and stream to `chaos.jsonl`; `--resume` skips journaled
+//! cells and re-counts their recorded verdicts, so a killed sweep
+//! continues without losing (or double-counting) its escape tally.
+//! `--smoke` truncates the kernel suite, matching the other binaries.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use hfi_bench::harness::{CellOutcome, Harness};
+use hfi_bench::{compile_cached, print_table, MACHINE_LIMIT};
+use hfi_chaos::{
+    classify, ChaosEngine, ChaosPlan, FaultClass, Rig, ShadowMonitor, SiteCounter, SiteCounts,
+    Verdict, WeakenedEngine,
+};
+use hfi_sim::{Executor, Machine, Program, RunRecord, Stop};
+use hfi_util::{split_mix64, Rng};
+use hfi_verify::SandboxSpec;
+use hfi_wasm::compiler::{CompileOptions, Isolation};
+use hfi_wasm::kernels::{sightglass, speclike};
+use hfi_wasm::sandbox_spec;
+
+/// One HFI kernel the campaign perturbs.
+struct Target {
+    name: String,
+    program: Arc<Program>,
+    spec: SandboxSpec,
+    heap_base: u64,
+    heap_init: Vec<(u32, Vec<u8>)>,
+    expected: u64,
+}
+
+/// Baseline facts an injected cell is judged against.
+#[derive(Clone)]
+struct Baseline {
+    counts: SiteCounts,
+    record: RunRecord,
+    /// Cycle budget for injected runs: generous multiple of the
+    /// baseline (an operand flip can lengthen loops) but bounded, so a
+    /// corruption-induced livelock cannot hang a cell.
+    limit: u64,
+}
+
+/// Everything one supervised cell needs, self-contained (the grid
+/// closure is `'static`).
+struct Cell {
+    target_idx: usize,
+    name: String,
+    program: Arc<Program>,
+    spec: SandboxSpec,
+    heap_base: u64,
+    heap_init: Vec<(u32, Vec<u8>)>,
+    class: FaultClass,
+    rep: u64,
+    seed: u64,
+    sites: u64,
+    baseline: Baseline,
+    weaken: bool,
+}
+
+/// One classified injected run.
+struct CellResult {
+    target_idx: usize,
+    name: String,
+    class: FaultClass,
+    rep: u64,
+    seed: u64,
+    trigger: u64,
+    fired: bool,
+    stop: Stop,
+    verdict: Verdict,
+    record: RunRecord,
+    violation: Option<String>,
+}
+
+fn load_heap(machine: &mut Machine, heap_base: u64, heap_init: &[(u32, Vec<u8>)]) {
+    for (off, bytes) in heap_init {
+        machine.prepare(heap_base + *off as u64, bytes);
+    }
+}
+
+fn targets(smoke: bool) -> Vec<Target> {
+    let mut kernels = sightglass::suite(1);
+    kernels.extend(speclike::suite(1));
+    if smoke {
+        kernels.truncate(3);
+    }
+    let opts = CompileOptions::new(Isolation::Hfi);
+    kernels
+        .iter()
+        .map(|kernel| {
+            let compiled = compile_cached(kernel, &opts);
+            Target {
+                name: kernel.name.clone(),
+                program: compiled.program.clone(),
+                spec: sandbox_spec(&opts).expect("sandboxed HFI kernels publish a spec"),
+                heap_base: opts.heap_base,
+                heap_init: kernel.heap_init.clone(),
+                expected: kernel.expected,
+            }
+        })
+        .collect()
+}
+
+/// Uninjected run with counter + monitor attached. Panics (loudly) if
+/// the baseline itself misbehaves — an injected sweep over a broken
+/// baseline proves nothing.
+fn run_baseline(target: &Target) -> Baseline {
+    let counter = SiteCounter::new();
+    let monitor = ShadowMonitor::from_spec(&target.spec);
+    let mut machine = Machine::new(target.program.clone());
+    load_heap(&mut machine, target.heap_base, &target.heap_init);
+    machine.set_chaos(Box::new(Rig::new(counter.clone(), monitor.clone())));
+    let stop = Executor::run(&mut machine, MACHINE_LIMIT);
+    assert_eq!(stop, Stop::Halted, "{}: baseline did not halt", target.name);
+    assert_eq!(
+        machine.regs()[0],
+        target.expected,
+        "{}: baseline returned the wrong result",
+        target.name
+    );
+    let report = monitor.report();
+    assert!(
+        report.clean() && report.trap.is_none(),
+        "{}: baseline violates its own spec — monitor/spec mismatch: {report:?}",
+        target.name
+    );
+    // Pure-compute kernels (fib2, nestedloop) have no sandboxed memory
+    // traffic; the oracle still checks every sandboxed fetch there.
+    assert!(
+        report.checked_accesses + report.checked_fetches > 0,
+        "{}: monitor saw no sandboxed effects at all; the oracle would be vacuous",
+        target.name
+    );
+    let record = machine.stats();
+    let limit = ((record.cycles as u64).saturating_mul(8) + 1_000_000).min(MACHINE_LIMIT);
+    Baseline {
+        counts: counter.counts(),
+        record,
+        limit,
+    }
+}
+
+fn run_cell(cell: &Cell) -> CellResult {
+    let mut rng = Rng::new(cell.seed);
+    let trigger = rng.below(cell.sites.max(1));
+    let plan = ChaosPlan {
+        seed: rng.next_u64(),
+        class: cell.class,
+        trigger,
+    };
+    let engine = ChaosEngine::new(plan);
+    let monitor = ShadowMonitor::from_spec(&cell.spec);
+    let mut machine = Machine::new(cell.program.clone());
+    load_heap(&mut machine, cell.heap_base, &cell.heap_init);
+    let hook: Box<dyn hfi_sim::ChaosHook> = if cell.weaken {
+        Box::new(Rig::new(
+            WeakenedEngine::new(engine.clone()),
+            monitor.clone(),
+        ))
+    } else {
+        Box::new(Rig::new(engine.clone(), monitor.clone()))
+    };
+    machine.set_chaos(hook);
+    let stop = Executor::run(&mut machine, cell.baseline.limit);
+    let record = machine.stats();
+    let report = monitor.report();
+    let identical = stop == Stop::Halted && record == cell.baseline.record;
+    let verdict = classify(&report, identical);
+    CellResult {
+        target_idx: cell.target_idx,
+        name: cell.name.clone(),
+        class: cell.class,
+        rep: cell.rep,
+        seed: cell.seed,
+        trigger,
+        fired: engine.fired().is_some(),
+        stop,
+        verdict,
+        record,
+        violation: report.violations.first().map(|v| {
+            format!(
+                "pc={:#x} {} {} byte(s) at {:#x}",
+                v.pc, v.access, v.size, v.addr
+            )
+        }),
+    }
+}
+
+fn context_for(name: &str, class: FaultClass, rep: u64) -> Vec<(&'static str, String)> {
+    vec![
+        ("kernel", name.to_string()),
+        ("class", class.label().to_string()),
+        ("rep", rep.to_string()),
+    ]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let weaken = args.iter().any(|a| a == "--weaken");
+    let figure = if weaken { "chaos-weakened" } else { "chaos" };
+    let mut harness = Harness::from_env(figure);
+
+    let targets = targets(harness.smoke());
+    let reps = harness.iters(3, 1);
+    let campaign_seed = 0x48_46_49_u64; // "HFI"
+
+    // Baselines in parallel (compilation is already cached+shared).
+    let baselines: Vec<Baseline> = harness.run_grid(&targets, run_baseline);
+
+    // Escapes already journaled by a previous, interrupted run.
+    let mut resumed_cells = 0usize;
+    let mut resumed_escapes = 0usize;
+    let mut cells = Vec::new();
+    let mut no_site: BTreeMap<&'static str, usize> = BTreeMap::new();
+    for (target_idx, (target, baseline)) in targets.iter().zip(&baselines).enumerate() {
+        for (class_idx, &class) in FaultClass::ALL.iter().enumerate() {
+            let sites = baseline.counts.for_class(class);
+            for rep in 0..reps {
+                if sites == 0 {
+                    *no_site.entry(class.label()).or_default() += 1;
+                    continue;
+                }
+                let context = context_for(&target.name, class, rep);
+                if harness.have(&context) {
+                    resumed_cells += 1;
+                    // `have` only proves the line exists; re-scan it for
+                    // the verdict so resumed escapes still fail the run.
+                    let prefix = format!("\"kernel\":\"{}\"", target.name);
+                    resumed_escapes += harness
+                        .lines()
+                        .iter()
+                        .filter(|l| {
+                            l.contains(&prefix)
+                                && l.contains(&format!("\"class\":\"{}\"", class.label()))
+                                && l.contains(&format!("\"rep\":\"{rep}\""))
+                                && l.contains("\"verdict\":\"ESCAPE\"")
+                        })
+                        .count();
+                    continue;
+                }
+                let mut seed =
+                    campaign_seed ^ ((target_idx as u64) << 40) ^ ((class_idx as u64) << 32) ^ rep;
+                seed = split_mix64(&mut seed);
+                cells.push(Cell {
+                    target_idx,
+                    name: target.name.clone(),
+                    program: target.program.clone(),
+                    spec: target.spec.clone(),
+                    heap_base: target.heap_base,
+                    heap_init: target.heap_init.clone(),
+                    class,
+                    rep,
+                    seed,
+                    sites,
+                    baseline: baseline.clone(),
+                    weaken,
+                });
+            }
+        }
+    }
+
+    let outcomes = harness.run_grid_supervised(cells, run_cell);
+
+    // verdict-label -> count per class, plus supervision failures.
+    let mut matrix: BTreeMap<&'static str, BTreeMap<&'static str, usize>> = BTreeMap::new();
+    let mut escapes = 0usize;
+    let mut cell_failures = 0usize;
+    let mut retried = 0usize;
+    for outcome in &outcomes {
+        match outcome {
+            CellOutcome::Ok(result) | CellOutcome::Retried { result, .. } => {
+                if matches!(outcome, CellOutcome::Retried { .. }) {
+                    retried += 1;
+                }
+                *matrix
+                    .entry(result.class.label())
+                    .or_default()
+                    .entry(result.verdict.label())
+                    .or_default() += 1;
+                if result.verdict.is_escape() {
+                    escapes += 1;
+                    eprintln!(
+                        "ESCAPE: {} class={} rep={} seed={:#x} trigger={} ({})",
+                        result.name,
+                        result.class,
+                        result.rep,
+                        result.seed,
+                        result.trigger,
+                        result.violation.as_deref().unwrap_or("no detail")
+                    );
+                }
+                let mut context = context_for(&result.name, result.class, result.rep);
+                context.push(("seed", format!("{:#x}", result.seed)));
+                context.push(("trigger", result.trigger.to_string()));
+                context.push(("fired", result.fired.to_string()));
+                context.push(("stop", format!("{:?}", result.stop)));
+                context.push(("verdict", result.verdict.label().to_string()));
+                context.push(("weaken", weaken.to_string()));
+                context.push(("baseline_idx", result.target_idx.to_string()));
+                let record = result.record;
+                harness.record(&context, &record);
+            }
+            CellOutcome::Panicked { msg } => {
+                cell_failures += 1;
+                eprintln!("cell panicked: {msg}");
+            }
+            CellOutcome::TimedOut => {
+                cell_failures += 1;
+                eprintln!("cell timed out");
+            }
+        }
+    }
+
+    let verdict_labels = [
+        "fail-closed",
+        "benign-identical",
+        "benign-divergent",
+        "ESCAPE",
+    ];
+    let rows: Vec<Vec<String>> = FaultClass::ALL
+        .iter()
+        .map(|class| {
+            let by_verdict = matrix.get(class.label());
+            let mut row = vec![class.label().to_string()];
+            for label in verdict_labels {
+                let n = by_verdict.and_then(|m| m.get(label)).copied().unwrap_or(0);
+                row.push(n.to_string());
+            }
+            row.push(no_site.get(class.label()).copied().unwrap_or(0).to_string());
+            row
+        })
+        .collect();
+    print_table(
+        if weaken {
+            "Chaos verdict matrix (WEAKENED build: guards disabled)"
+        } else {
+            "Chaos verdict matrix"
+        },
+        &[
+            "class",
+            "fail-closed",
+            "benign-identical",
+            "benign-divergent",
+            "ESCAPE",
+            "no-site",
+        ],
+        &rows,
+    );
+
+    let total_escapes = escapes + resumed_escapes;
+    println!(
+        "\nchaos-verdicts: kernels={} cells={} resumed={} retried={} failures={} escapes={}",
+        targets.len(),
+        outcomes.len(),
+        resumed_cells,
+        retried,
+        cell_failures,
+        total_escapes,
+    );
+    if let Ok(path) = harness.finish() {
+        eprintln!("[chaos] journal: {}", path.display());
+    }
+
+    if cell_failures > 0 {
+        eprintln!("FAIL: {cell_failures} cell(s) did not complete");
+        std::process::exit(1);
+    }
+    if weaken {
+        if total_escapes == 0 {
+            eprintln!(
+                "FAIL: weakened build produced no escape — the oracle cannot detect a broken \
+                 mechanism, so its zero-escape claim on the real build is meaningless"
+            );
+            std::process::exit(1);
+        }
+        println!("weakened build escaped as expected: the oracle bites");
+    } else if total_escapes > 0 {
+        eprintln!(
+            "FAIL: {total_escapes} silent out-of-spec retirement(s) — HFI is not fail-closed"
+        );
+        std::process::exit(1);
+    }
+}

@@ -1,5 +1,5 @@
 //! The shared experiment harness: job grids, worker fan-out, and
-//! JSON-lines run telemetry.
+//! crash-safe JSON-lines run telemetry.
 //!
 //! Every figure/table binary builds a grid of independent cells
 //! (kernel × isolation × executor), hands it to [`Harness::run_grid`],
@@ -9,22 +9,73 @@
 //! [`compile_cached`](crate::compile_cached) memo, so a kernel ×
 //! isolation pair is compiled once no matter how many executors or
 //! worker threads run it, and every vehicle shares one `Arc<Program>`
-//! (and therefore one pre-decoded plan). After the grid, binaries append [`RunRecord`]s (or
-//! model-level [`Harness::note`] lines) and [`Harness::finish`] writes
-//! them to `target/bench-records/<figure>.jsonl`.
+//! (and therefore one pre-decoded plan). After the grid, binaries append
+//! [`RunRecord`]s (or model-level [`Harness::note`] lines) and
+//! [`Harness::finish`] publishes them to
+//! `target/bench-records/<figure>.jsonl`.
+//!
+//! # Fault tolerance
+//!
+//! Two grid runners cover two failure postures:
+//!
+//! * [`Harness::run_grid`] — a panicking cell no longer aborts the
+//!   sweep mid-flight: every remaining cell still runs, and the first
+//!   panic is re-raised only after the whole grid completes (the
+//!   harnesses' correctness assertions live inside cells, so the panic
+//!   must still fail the experiment loudly).
+//! * [`Harness::run_grid_supervised`] — each cell runs under
+//!   `catch_unwind` supervision and returns a structured
+//!   [`CellOutcome`]: `Ok`, `Retried` (succeeded after transient
+//!   panics, with bounded exponential backoff), `Panicked` (every
+//!   attempt panicked; carries the payload message), or `TimedOut`
+//!   (the per-cell deadline watchdog expired — the stuck worker thread
+//!   is abandoned and a replacement spawned so the rest of the grid
+//!   still completes). Long sweeps — the chaos campaign — use this and
+//!   report failures instead of dying.
+//!
+//! Cell *fuel* is cooperative: simulator cells are already bounded by
+//! the executor cycle/instruction budgets (`MACHINE_LIMIT`,
+//! `FUNCTIONAL_LIMIT`), so the wall-clock deadline is the backstop for
+//! host-level hangs, not the primary bound.
+//!
+//! # Crash safety and resume
+//!
+//! Harnesses built by [`Harness::from_env`] stream every
+//! [`record`](Harness::record)/[`note`](Harness::note) line to
+//! `<figure>.jsonl.partial` (flushed per line), and
+//! [`finish`](Harness::finish) atomically renames the partial journal
+//! over the final `<figure>.jsonl` — a killed run keeps every completed
+//! line, and readers of the final path never observe a torn file. With
+//! `--resume`, the harness preloads the journal left by a previous run
+//! (the partial file if the run was killed, else the last finished
+//! file); [`Harness::have`] then tells the binary which cells are
+//! already journaled so it re-runs only the missing ones, and the
+//! merged output is bit-identical to an uninterrupted run.
 //!
 //! Configuration comes from the command line and the environment:
 //!
 //! * `--jobs N` / `HFI_JOBS=N` — worker threads (`0` = all cores;
-//!   default 1, the sequential fallback).
-//! * `--smoke` / `HFI_SMOKE=1` — scaled-down iteration counts and kernel
-//!   subsets, for CI.
+//!   default 1, the sequential fallback). A malformed value is a usage
+//!   error (exit 2), not a silent fall-through to the default.
+//! * `--smoke` / `HFI_SMOKE=1` — scaled-down iteration counts and
+//!   kernel subsets, for CI.
+//! * `--resume` / `HFI_RESUME=1` — preload the existing journal and
+//!   skip cells already present ([`Harness::have`]).
+//! * `--cell-deadline MS` — per-cell watchdog deadline in milliseconds
+//!   for supervised grids (default: none).
+//! * `--cell-retries N` — attempts to re-run a panicking supervised
+//!   cell before reporting [`CellOutcome::Panicked`] (default 0).
 
+use std::any::Any;
+use std::collections::HashMap;
 use std::fs;
-use std::io::Write as _;
+use std::io::{BufWriter, Write as _};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::mpsc::{self, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use hfi_sim::RunRecord;
 
@@ -57,6 +108,262 @@ fn context_json(figure: &str, context: &[(&str, String)]) -> String {
     line
 }
 
+/// Renders a `catch_unwind` payload as a message.
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// What happened to one supervised grid cell.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellOutcome<R> {
+    /// The cell completed on its first attempt.
+    Ok(R),
+    /// The cell panicked `n` time(s) and then completed — a transient
+    /// host failure absorbed by the bounded-retry policy.
+    Retried {
+        /// How many failed attempts preceded the success.
+        n: u32,
+        /// The eventual result.
+        result: R,
+    },
+    /// Every attempt panicked; `msg` is the last panic payload.
+    Panicked {
+        /// The panic payload, rendered as text.
+        msg: String,
+    },
+    /// The per-cell deadline expired before the cell finished. The
+    /// worker thread is abandoned (safe Rust cannot kill it) and a
+    /// replacement keeps the rest of the grid moving.
+    TimedOut,
+}
+
+impl<R> CellOutcome<R> {
+    /// The cell's result, if it produced one.
+    pub fn result(&self) -> Option<&R> {
+        match self {
+            CellOutcome::Ok(r) | CellOutcome::Retried { result: r, .. } => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Consumes the outcome, yielding the result if there is one.
+    pub fn into_result(self) -> Option<R> {
+        match self {
+            CellOutcome::Ok(r) | CellOutcome::Retried { result: r, .. } => Some(r),
+            _ => None,
+        }
+    }
+
+    /// True for `Panicked` and `TimedOut`.
+    pub fn is_failure(&self) -> bool {
+        matches!(self, CellOutcome::Panicked { .. } | CellOutcome::TimedOut)
+    }
+
+    /// A short stable label ("ok", "retried", "panicked", "timed-out").
+    pub fn label(&self) -> &'static str {
+        match self {
+            CellOutcome::Ok(_) => "ok",
+            CellOutcome::Retried { .. } => "retried",
+            CellOutcome::Panicked { .. } => "panicked",
+            CellOutcome::TimedOut => "timed-out",
+        }
+    }
+}
+
+/// Supervision policy for [`run_supervised`] grids.
+#[derive(Debug, Clone)]
+pub struct GridOptions {
+    /// Wall-clock watchdog per cell; `None` disables the watchdog.
+    pub deadline: Option<Duration>,
+    /// Extra attempts after a panicking first attempt.
+    pub retries: u32,
+    /// Base backoff slept before retry `k` is `backoff * 2^(k-1)`.
+    pub backoff: Duration,
+}
+
+impl Default for GridOptions {
+    fn default() -> Self {
+        GridOptions {
+            deadline: None,
+            retries: 0,
+            backoff: Duration::from_millis(25),
+        }
+    }
+}
+
+struct GridShared<J, F> {
+    cells: Vec<J>,
+    f: F,
+    next: AtomicUsize,
+    retries: u32,
+    backoff: Duration,
+}
+
+enum Event<R> {
+    Started {
+        cell: usize,
+        at: Instant,
+    },
+    Done {
+        cell: usize,
+        outcome: CellOutcome<R>,
+    },
+}
+
+fn worker_loop<J, R, F>(shared: Arc<GridShared<J, F>>, tx: Sender<Event<R>>)
+where
+    J: Send + Sync + 'static,
+    R: Send + 'static,
+    F: Fn(&J) -> R + Send + Sync + 'static,
+{
+    let n = shared.cells.len();
+    loop {
+        let i = shared.next.fetch_add(1, Ordering::Relaxed);
+        if i >= n {
+            return;
+        }
+        let _ = tx.send(Event::Started {
+            cell: i,
+            at: Instant::now(),
+        });
+        let mut attempt = 0u32;
+        let outcome = loop {
+            match catch_unwind(AssertUnwindSafe(|| (shared.f)(&shared.cells[i]))) {
+                Ok(result) if attempt == 0 => break CellOutcome::Ok(result),
+                Ok(result) => break CellOutcome::Retried { n: attempt, result },
+                Err(payload) => {
+                    let msg = panic_message(payload.as_ref());
+                    if attempt >= shared.retries {
+                        break CellOutcome::Panicked { msg };
+                    }
+                    attempt += 1;
+                    std::thread::sleep(shared.backoff.saturating_mul(1 << (attempt - 1).min(10)));
+                }
+            }
+        };
+        let _ = tx.send(Event::Done { cell: i, outcome });
+    }
+}
+
+/// Runs one closure per cell under full supervision and returns one
+/// [`CellOutcome`] per cell, **in cell order**.
+///
+/// Workers are detached threads pulling cells from a shared cursor;
+/// each attempt runs under `catch_unwind`, panics are retried up to
+/// `opts.retries` times with exponential backoff, and a cell that
+/// outlives `opts.deadline` is reported [`CellOutcome::TimedOut`]
+/// while a replacement worker keeps draining the remaining cells (the
+/// stuck thread is abandoned — safe Rust cannot preempt it — so it
+/// no longer blocks the sweep).
+pub fn run_supervised<J, R, F>(
+    jobs: usize,
+    cells: Vec<J>,
+    opts: GridOptions,
+    f: F,
+) -> Vec<CellOutcome<R>>
+where
+    J: Send + Sync + 'static,
+    R: Send + 'static,
+    F: Fn(&J) -> R + Send + Sync + 'static,
+{
+    let n = cells.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let shared = Arc::new(GridShared {
+        cells,
+        f,
+        next: AtomicUsize::new(0),
+        retries: opts.retries,
+        backoff: opts.backoff,
+    });
+    let (tx, rx) = mpsc::channel::<Event<R>>();
+    let spawn_worker = |shared: &Arc<GridShared<J, F>>, tx: &Sender<Event<R>>| {
+        let shared = Arc::clone(shared);
+        let tx = tx.clone();
+        std::thread::spawn(move || worker_loop(shared, tx));
+    };
+    for _ in 0..jobs.clamp(1, n) {
+        spawn_worker(&shared, &tx);
+    }
+
+    let mut slots: Vec<Option<CellOutcome<R>>> = (0..n).map(|_| None).collect();
+    let mut running: HashMap<usize, Instant> = HashMap::new();
+    let mut done = 0usize;
+    while done < n {
+        let event = match opts.deadline {
+            None => rx.recv().ok(),
+            Some(deadline) => {
+                // Wake at the earliest outstanding deadline to check
+                // the watchdog even if no event arrives.
+                let wake = running
+                    .values()
+                    .map(|at| (*at + deadline).saturating_duration_since(Instant::now()))
+                    .min()
+                    .unwrap_or(deadline);
+                match rx.recv_timeout(wake) {
+                    Ok(event) => Some(event),
+                    Err(RecvTimeoutError::Timeout) => {
+                        let now = Instant::now();
+                        let expired: Vec<usize> = running
+                            .iter()
+                            .filter(|(_, at)| now.duration_since(**at) >= deadline)
+                            .map(|(cell, _)| *cell)
+                            .collect();
+                        for cell in expired {
+                            running.remove(&cell);
+                            if slots[cell].is_none() {
+                                slots[cell] = Some(CellOutcome::TimedOut);
+                                done += 1;
+                                // The worker is stuck inside this cell;
+                                // replace it so the grid keeps moving.
+                                spawn_worker(&shared, &tx);
+                            }
+                        }
+                        continue;
+                    }
+                    Err(RecvTimeoutError::Disconnected) => None,
+                }
+            }
+        };
+        match event {
+            Some(Event::Started { cell, at }) => {
+                running.insert(cell, at);
+            }
+            Some(Event::Done { cell, outcome }) => {
+                running.remove(&cell);
+                // A late completion of a cell already timed out is
+                // dropped: the outcome was published as TimedOut.
+                if slots[cell].is_none() {
+                    slots[cell] = Some(outcome);
+                    done += 1;
+                }
+            }
+            None => {
+                // All senders gone with cells unaccounted for — a
+                // worker died outside catch_unwind. Report rather than
+                // hang.
+                for slot in slots.iter_mut().filter(|s| s.is_none()) {
+                    *slot = Some(CellOutcome::Panicked {
+                        msg: "worker disappeared".to_string(),
+                    });
+                }
+                break;
+            }
+        }
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every cell accounted for"))
+        .collect()
+}
+
 /// The experiment harness for one figure/table binary.
 #[derive(Debug)]
 pub struct Harness {
@@ -64,36 +371,114 @@ pub struct Harness {
     jobs: usize,
     smoke: bool,
     lines: Vec<String>,
+    /// `lines[..resumed]` were preloaded from a previous run's journal.
+    resumed: usize,
+    streaming: bool,
+    writer: Option<BufWriter<fs::File>>,
+    out_dir: Option<PathBuf>,
+    cell_deadline: Option<Duration>,
+    cell_retries: u32,
+}
+
+/// Parsed harness-relevant command-line flags.
+#[derive(Debug, Default, PartialEq, Eq)]
+struct CliConfig {
+    jobs: Option<usize>,
+    smoke: bool,
+    resume: bool,
+    deadline_ms: Option<u64>,
+    retries: Option<u32>,
+}
+
+fn parse_value<T: std::str::FromStr>(flag: &str, value: Option<String>) -> Result<T, String> {
+    let value = value.ok_or_else(|| format!("{flag} requires a value"))?;
+    value
+        .parse()
+        .map_err(|_| format!("invalid {flag} value {value:?}: expected a non-negative integer"))
+}
+
+/// Parses the harness flags out of an argument stream, ignoring flags
+/// it does not own (binaries add their own). A malformed value for a
+/// flag the harness *does* own is an error — silently falling through
+/// to a default turns a typo into a misconfigured sweep.
+fn parse_cli(args: impl Iterator<Item = String>) -> Result<CliConfig, String> {
+    let mut cfg = CliConfig::default();
+    let mut args = args;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => cfg.smoke = true,
+            "--resume" => cfg.resume = true,
+            "--jobs" => cfg.jobs = Some(parse_value("--jobs", args.next())?),
+            "--cell-deadline" => {
+                cfg.deadline_ms = Some(parse_value("--cell-deadline", args.next())?)
+            }
+            "--cell-retries" => cfg.retries = Some(parse_value("--cell-retries", args.next())?),
+            a if a.starts_with("--jobs=") => {
+                cfg.jobs = Some(parse_value(
+                    "--jobs",
+                    Some(a["--jobs=".len()..].to_string()),
+                )?);
+            }
+            a if a.starts_with("--cell-deadline=") => {
+                cfg.deadline_ms = Some(parse_value(
+                    "--cell-deadline",
+                    Some(a["--cell-deadline=".len()..].to_string()),
+                )?);
+            }
+            a if a.starts_with("--cell-retries=") => {
+                cfg.retries = Some(parse_value(
+                    "--cell-retries",
+                    Some(a["--cell-retries=".len()..].to_string()),
+                )?);
+            }
+            _ => {}
+        }
+    }
+    Ok(cfg)
 }
 
 impl Harness {
-    /// A harness configured from `--jobs`/`--smoke` command-line flags
-    /// and the `HFI_JOBS`/`HFI_SMOKE` environment (flags win).
+    /// A harness configured from the command-line flags and environment
+    /// documented in the module doc (flags win over environment).
+    ///
+    /// Exits with status 2 and a clear message on a malformed value —
+    /// a typo in `--jobs` must not silently run the sweep sequentially.
     pub fn from_env(figure: &str) -> Self {
-        let mut jobs: Option<usize> = None;
-        let mut smoke = false;
-        let mut args = std::env::args().skip(1);
-        while let Some(arg) = args.next() {
-            match arg.as_str() {
-                "--smoke" => smoke = true,
-                "--jobs" => jobs = args.next().and_then(|v| v.parse().ok()),
-                _ if arg.starts_with("--jobs=") => {
-                    jobs = arg["--jobs=".len()..].parse().ok();
-                }
-                _ => {}
+        match Self::try_from_env(figure) {
+            Ok(harness) => harness,
+            Err(msg) => {
+                eprintln!("[harness] ERROR: {msg}");
+                std::process::exit(2);
             }
         }
-        if jobs.is_none() {
-            jobs = std::env::var("HFI_JOBS").ok().and_then(|v| v.parse().ok());
+    }
+
+    fn try_from_env(figure: &str) -> Result<Self, String> {
+        let mut cfg = parse_cli(std::env::args().skip(1))?;
+        if cfg.jobs.is_none() {
+            if let Ok(v) = std::env::var("HFI_JOBS") {
+                cfg.jobs = Some(v.parse().map_err(|_| {
+                    format!("invalid HFI_JOBS value {v:?}: expected a non-negative integer")
+                })?);
+            }
         }
-        if !smoke {
-            smoke = std::env::var("HFI_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
+        let env_truthy = |name: &str| std::env::var(name).is_ok_and(|v| !v.is_empty() && v != "0");
+        let smoke = cfg.smoke || env_truthy("HFI_SMOKE");
+        let resume = cfg.resume || env_truthy("HFI_RESUME");
+
+        let mut harness = Self::new(figure, cfg.jobs.unwrap_or(1), smoke).with_streaming();
+        harness.cell_deadline = cfg.deadline_ms.map(Duration::from_millis);
+        harness.cell_retries = cfg.retries.unwrap_or(0);
+        if resume {
+            harness = harness.with_resume();
         }
-        Self::new(figure, jobs.unwrap_or(1), smoke)
+        Ok(harness)
     }
 
     /// A harness with explicit settings (tests use this; binaries use
     /// [`Harness::from_env`]). `jobs == 0` means one worker per core.
+    /// Telemetry is buffered until [`finish`](Harness::finish) — enable
+    /// per-line journal streaming with [`with_streaming`](Harness::with_streaming).
     pub fn new(figure: &str, jobs: usize, smoke: bool) -> Self {
         let jobs = if jobs == 0 {
             std::thread::available_parallelism()
@@ -107,7 +492,75 @@ impl Harness {
             jobs,
             smoke,
             lines: Vec::new(),
+            resumed: 0,
+            streaming: false,
+            writer: None,
+            out_dir: None,
+            cell_deadline: None,
+            cell_retries: 0,
         }
+    }
+
+    /// Streams every recorded line to `<figure>.jsonl.partial` (flushed
+    /// per line) so a killed run keeps its completed cells.
+    pub fn with_streaming(mut self) -> Self {
+        self.streaming = true;
+        self
+    }
+
+    /// Redirects journal output away from `target/bench-records`
+    /// (tests use this to stay hermetic).
+    pub fn with_output_dir(mut self, dir: PathBuf) -> Self {
+        self.out_dir = Some(dir);
+        self
+    }
+
+    /// Sets the supervised-grid watchdog deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.cell_deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the supervised-grid retry budget.
+    pub fn with_retries(mut self, retries: u32) -> Self {
+        self.cell_retries = retries;
+        self
+    }
+
+    /// Preloads the journal left by a previous run — the `.partial`
+    /// file if that run was killed mid-flight, else the last finished
+    /// `<figure>.jsonl`. Preloaded lines are kept in order and
+    /// republished by [`finish`](Harness::finish);
+    /// [`have`](Harness::have) reports which cells they cover.
+    pub fn with_resume(mut self) -> Self {
+        let partial = self.partial_path();
+        let finished = self.journal_path();
+        let source = if partial.exists() {
+            Some(partial)
+        } else if finished.exists() {
+            Some(finished)
+        } else {
+            None
+        };
+        if let Some(path) = source {
+            match fs::read_to_string(&path) {
+                Ok(text) => {
+                    self.lines
+                        .extend(text.lines().filter(|l| !l.is_empty()).map(String::from));
+                    self.resumed = self.lines.len();
+                    eprintln!(
+                        "[harness] resumed {} record(s) from {}",
+                        self.resumed,
+                        path.display()
+                    );
+                }
+                Err(e) => eprintln!(
+                    "[harness] cannot resume from {}: {e}; starting fresh",
+                    path.display()
+                ),
+            }
+        }
+        self
     }
 
     /// Worker-thread count for [`Harness::run_grid`].
@@ -118,6 +571,16 @@ impl Harness {
     /// Whether this is a scaled-down CI run.
     pub fn smoke(&self) -> bool {
         self.smoke
+    }
+
+    /// The supervision policy configured by `--cell-deadline` /
+    /// `--cell-retries` (or the builders).
+    pub fn grid_options(&self) -> GridOptions {
+        GridOptions {
+            deadline: self.cell_deadline,
+            retries: self.cell_retries,
+            ..GridOptions::default()
+        }
     }
 
     /// Picks the iteration count for the current mode.
@@ -148,7 +611,10 @@ impl Harness {
     /// # Panics
     ///
     /// Propagates a panic from any cell (the harnesses' correctness
-    /// assertions live inside the cells).
+    /// assertions live inside the cells) — but only **after every other
+    /// cell has completed**, so one bad cell cannot waste the rest of
+    /// an expensive sweep. Use [`Harness::run_grid_supervised`] to get
+    /// failures back as structured [`CellOutcome`]s instead.
     pub fn run_grid<J, R, F>(&self, cells: &[J], f: F) -> Vec<R>
     where
         J: Sync,
@@ -156,39 +622,81 @@ impl Harness {
         F: Fn(&J) -> R + Sync,
     {
         let n = cells.len();
-        if self.jobs <= 1 || n <= 1 {
-            return cells.iter().map(f).collect();
-        }
-        let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-        std::thread::scope(|scope| {
-            let mut workers = Vec::new();
-            for _ in 0..self.jobs.min(n) {
-                workers.push(scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
+        type Slot<R> = Mutex<Option<Result<R, Box<dyn Any + Send>>>>;
+        let run_one = |cell: &J| catch_unwind(AssertUnwindSafe(|| f(cell)));
+        let outcomes: Vec<Result<R, Box<dyn Any + Send>>> = if self.jobs <= 1 || n <= 1 {
+            cells.iter().map(run_one).collect()
+        } else {
+            let next = AtomicUsize::new(0);
+            let slots: Vec<Slot<R>> = (0..n).map(|_| Mutex::new(None)).collect();
+            std::thread::scope(|scope| {
+                for _ in 0..self.jobs.min(n) {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let outcome = run_one(&cells[i]);
+                        *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(outcome);
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|slot| {
+                    slot.into_inner()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .expect("worker filled slot")
+                })
+                .collect()
+        };
+        let mut results = Vec::with_capacity(n);
+        let mut first_panic = None;
+        for (i, outcome) in outcomes.into_iter().enumerate() {
+            match outcome {
+                Ok(result) => results.push(result),
+                Err(payload) => {
+                    eprintln!(
+                        "[harness] cell {i}/{n} panicked: {} (completing the sweep before \
+                         re-raising)",
+                        panic_message(payload.as_ref())
+                    );
+                    if first_panic.is_none() {
+                        first_panic = Some(payload);
                     }
-                    let result = f(&cells[i]);
-                    *slots[i].lock().expect("unpoisoned slot") = Some(result);
-                }));
-            }
-            // Join explicitly so a panicking cell fails the experiment
-            // loudly instead of leaving empty slots.
-            for worker in workers {
-                if let Err(panic) = worker.join() {
-                    std::panic::resume_unwind(panic);
                 }
             }
-        });
-        slots
-            .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("unpoisoned slot")
-                    .expect("worker filled slot")
-            })
-            .collect()
+        }
+        if let Some(payload) = first_panic {
+            std::panic::resume_unwind(payload);
+        }
+        results
+    }
+
+    /// Runs a grid under full supervision: panics are isolated per
+    /// cell (with the configured retry budget) and a deadline watchdog
+    /// abandons hung cells, so the sweep always completes and reports
+    /// one structured [`CellOutcome`] per cell, in cell order.
+    pub fn run_grid_supervised<J, R, F>(&self, cells: Vec<J>, f: F) -> Vec<CellOutcome<R>>
+    where
+        J: Send + Sync + 'static,
+        R: Send + 'static,
+        F: Fn(&J) -> R + Send + Sync + 'static,
+    {
+        run_supervised(self.jobs, cells, self.grid_options(), f)
+    }
+
+    /// True if a resumed journal already contains a line for this
+    /// context (binaries skip re-running such cells under `--resume`).
+    pub fn have(&self, context: &[(&str, String)]) -> bool {
+        if self.resumed == 0 {
+            return false;
+        }
+        let prefix = format!("{{{}", context_json(&self.figure, context));
+        self.lines[..self.resumed].iter().any(|line| {
+            line.strip_prefix(prefix.as_str())
+                .is_some_and(|rest| rest.starts_with(',') || rest.starts_with('}'))
+        })
     }
 
     /// Appends one telemetry line: the figure name, the caller's context
@@ -199,37 +707,92 @@ impl Harness {
             context_json(&self.figure, context),
             record.json_fields()
         );
-        self.lines.push(line);
+        self.push_line(line);
     }
 
     /// Appends a context-only telemetry line, for model-level experiments
     /// that have no pipeline counters (queueing models, cost tables).
     pub fn note(&mut self, context: &[(&str, String)]) {
-        self.lines
-            .push(format!("{{{}}}", context_json(&self.figure, context)));
+        self.push_line(format!("{{{}}}", context_json(&self.figure, context)));
     }
 
-    /// Telemetry lines accumulated so far (tests inspect these).
+    /// Telemetry lines accumulated so far (tests inspect these),
+    /// including any preloaded by `--resume`.
     pub fn lines(&self) -> &[String] {
         &self.lines
     }
 
-    /// Writes the accumulated lines to
-    /// `target/bench-records/<figure>.jsonl` and returns the path.
+    fn journal_dir(&self) -> PathBuf {
+        self.out_dir.clone().unwrap_or_else(|| {
+            let target = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_string());
+            PathBuf::from(target).join("bench-records")
+        })
+    }
+
+    fn journal_path(&self) -> PathBuf {
+        self.journal_dir().join(format!("{}.jsonl", self.figure))
+    }
+
+    fn partial_path(&self) -> PathBuf {
+        self.journal_dir()
+            .join(format!("{}.jsonl.partial", self.figure))
+    }
+
+    fn push_line(&mut self, line: String) {
+        if self.streaming {
+            if let Err(e) = self.stream_line(&line) {
+                // Fall back to buffered-only: finish() still publishes.
+                eprintln!("[harness] journal streaming failed ({e}); buffering instead");
+                self.streaming = false;
+                self.writer = None;
+            }
+        }
+        self.lines.push(line);
+    }
+
+    /// Writes `line` through to the partial journal, opening it (and
+    /// replaying any already-buffered lines, e.g. a resumed prefix) on
+    /// first use. Each line is flushed so a kill loses at most the line
+    /// in flight.
+    fn stream_line(&mut self, line: &str) -> std::io::Result<()> {
+        if self.writer.is_none() {
+            fs::create_dir_all(self.journal_dir())?;
+            let mut writer = BufWriter::new(fs::File::create(self.partial_path())?);
+            for prior in &self.lines {
+                writeln!(writer, "{prior}")?;
+            }
+            self.writer = Some(writer);
+        }
+        let writer = self.writer.as_mut().expect("writer just opened");
+        writeln!(writer, "{line}")?;
+        writer.flush()
+    }
+
+    /// Publishes the journal: writes any unstreamed lines to
+    /// `<figure>.jsonl.partial`, then atomically renames it over
+    /// `target/bench-records/<figure>.jsonl` and returns that path.
+    /// Readers of the final path never observe a torn file.
     ///
     /// # Errors
     ///
     /// Returns the underlying I/O error if the directory or file cannot
     /// be written.
-    pub fn finish(&self) -> std::io::Result<PathBuf> {
-        let target = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_string());
-        let dir = PathBuf::from(target).join("bench-records");
+    pub fn finish(&mut self) -> std::io::Result<PathBuf> {
+        let dir = self.journal_dir();
         fs::create_dir_all(&dir)?;
-        let path = dir.join(format!("{}.jsonl", self.figure));
-        let mut file = fs::File::create(&path)?;
-        for line in &self.lines {
-            writeln!(file, "{line}")?;
+        let partial = self.partial_path();
+        match self.writer.take() {
+            Some(mut writer) => writer.flush()?,
+            None => {
+                let mut file = BufWriter::new(fs::File::create(&partial)?);
+                for line in &self.lines {
+                    writeln!(file, "{line}")?;
+                }
+                file.flush()?;
+            }
         }
+        let path = self.journal_path();
+        fs::rename(&partial, &path)?;
         eprintln!(
             "[harness] {} record(s) -> {}",
             self.lines.len(),
@@ -242,6 +805,7 @@ impl Harness {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::AtomicU32;
 
     #[test]
     fn grid_order_is_deterministic_across_job_counts() {
@@ -303,5 +867,197 @@ mod tests {
     fn zero_jobs_means_all_cores() {
         let harness = Harness::new("test", 0, false);
         assert!(harness.jobs() >= 1);
+    }
+
+    #[test]
+    fn malformed_jobs_values_are_rejected() {
+        let args = |a: &[&str]| a.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        // `--jobs garbage` and `--jobs=garbage` must both be hard
+        // errors, not a silent fall-through to the sequential default.
+        assert!(parse_cli(args(&["--jobs", "garbage"]).into_iter()).is_err());
+        assert!(parse_cli(args(&["--jobs=garbage"]).into_iter()).is_err());
+        assert!(parse_cli(args(&["--jobs"]).into_iter()).is_err());
+        assert!(parse_cli(args(&["--cell-deadline=soon"]).into_iter()).is_err());
+        assert!(parse_cli(args(&["--cell-retries", "-1"]).into_iter()).is_err());
+
+        let ok = parse_cli(args(&["--jobs", "4", "--smoke", "--resume"]).into_iter()).unwrap();
+        assert_eq!(ok.jobs, Some(4));
+        assert!(ok.smoke && ok.resume);
+        let ok = parse_cli(args(&["--jobs=0", "--cell-deadline", "250"]).into_iter()).unwrap();
+        assert_eq!(ok.jobs, Some(0));
+        assert_eq!(ok.deadline_ms, Some(250));
+        // Foreign flags pass through untouched.
+        assert!(parse_cli(args(&["--mutants", "--check", "x.json"]).into_iter()).is_ok());
+    }
+
+    #[test]
+    fn run_grid_completes_remaining_cells_before_re_raising() {
+        let cells: Vec<u32> = (0..16).collect();
+        let ran = AtomicU32::new(0);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            Harness::new("test", 4, false).run_grid(&cells, |cell| {
+                ran.fetch_add(1, Ordering::Relaxed);
+                if *cell == 3 {
+                    panic!("cell 3 exploded");
+                }
+                *cell
+            })
+        }));
+        let payload = caught.expect_err("the cell panic must still propagate");
+        assert_eq!(panic_message(payload.as_ref()), "cell 3 exploded");
+        assert_eq!(
+            ran.load(Ordering::Relaxed),
+            16,
+            "every cell must run despite the panic"
+        );
+    }
+
+    #[test]
+    fn supervised_grid_reports_panics_structurally() {
+        let cells: Vec<u32> = (0..8).collect();
+        let outcomes = Harness::new("test", 4, false).run_grid_supervised(cells, |cell| {
+            if *cell == 5 {
+                panic!("boom {cell}");
+            }
+            cell * 10
+        });
+        assert_eq!(outcomes.len(), 8);
+        for (i, outcome) in outcomes.iter().enumerate() {
+            if i == 5 {
+                assert_eq!(
+                    outcome,
+                    &CellOutcome::Panicked {
+                        msg: "boom 5".to_string()
+                    }
+                );
+                assert!(outcome.is_failure());
+            } else {
+                assert_eq!(outcome.result(), Some(&(i as u32 * 10)), "cell {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn supervised_grid_retries_transient_failures() {
+        // Cell 2 panics on its first attempt only.
+        let attempts: Vec<AtomicU32> = (0..4).map(|_| AtomicU32::new(0)).collect();
+        let attempts = Arc::new(attempts);
+        let seen = Arc::clone(&attempts);
+        let opts = GridOptions {
+            retries: 2,
+            backoff: Duration::from_millis(1),
+            ..GridOptions::default()
+        };
+        let outcomes = run_supervised(2, (0..4u32).collect(), opts, move |cell: &u32| {
+            let attempt = seen[*cell as usize].fetch_add(1, Ordering::Relaxed);
+            if *cell == 2 && attempt == 0 {
+                panic!("transient");
+            }
+            *cell
+        });
+        assert_eq!(outcomes[2], CellOutcome::Retried { n: 1, result: 2 });
+        assert_eq!(outcomes[2].label(), "retried");
+        for i in [0usize, 1, 3] {
+            assert_eq!(outcomes[i], CellOutcome::Ok(i as u32));
+        }
+    }
+
+    #[test]
+    fn supervised_grid_times_out_hung_cells_and_finishes_the_rest() {
+        let opts = GridOptions {
+            deadline: Some(Duration::from_millis(100)),
+            ..GridOptions::default()
+        };
+        // Cell 1 "hangs" (sleeps far past the deadline); the sweep must
+        // still complete every other cell and report the hang.
+        let outcomes = run_supervised(2, (0..6u32).collect(), opts, |cell: &u32| {
+            if *cell == 1 {
+                std::thread::sleep(Duration::from_secs(30));
+            }
+            *cell
+        });
+        assert_eq!(outcomes[1], CellOutcome::TimedOut);
+        assert_eq!(outcomes[1].label(), "timed-out");
+        for i in [0usize, 2, 3, 4, 5] {
+            assert_eq!(outcomes[i], CellOutcome::Ok(i as u32), "cell {i}");
+        }
+    }
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        static SEQ: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "hfi-harness-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::create_dir_all(&dir).expect("scratch dir");
+        dir
+    }
+
+    #[test]
+    fn resume_merges_bit_identical_with_an_uninterrupted_run() {
+        let dir = scratch_dir("resume");
+        let ctx = |i: usize| vec![("cell", format!("c{i}"))];
+
+        // Run A streams cells 0..3 and is "killed" (dropped, no finish):
+        // the partial journal keeps the prefix.
+        let mut killed = Harness::new("resume", 1, false)
+            .with_output_dir(dir.clone())
+            .with_streaming();
+        for i in 0..3 {
+            killed.note(&ctx(i));
+        }
+        drop(killed);
+        assert!(dir.join("resume.jsonl.partial").exists());
+
+        // Run B resumes: it must see the journaled cells, re-run only
+        // the missing ones, and publish a merged journal.
+        let mut resumed = Harness::new("resume", 1, false)
+            .with_output_dir(dir.clone())
+            .with_streaming()
+            .with_resume();
+        let mut reran = Vec::new();
+        for i in 0..6 {
+            let context = ctx(i);
+            if resumed.have(&context) {
+                continue;
+            }
+            reran.push(i);
+            resumed.note(&context);
+        }
+        assert_eq!(reran, vec![3, 4, 5], "only missing cells re-run");
+        let merged_path = resumed.finish().expect("finish resumed run");
+        assert!(
+            !dir.join("resume.jsonl.partial").exists(),
+            "rename is atomic"
+        );
+
+        // An uninterrupted run of the same grid, for comparison.
+        let clean_dir = scratch_dir("resume-clean");
+        let mut clean = Harness::new("resume", 1, false).with_output_dir(clean_dir.clone());
+        for i in 0..6 {
+            clean.note(&ctx(i));
+        }
+        let clean_path = clean.finish().expect("finish clean run");
+
+        let merged = fs::read_to_string(merged_path).unwrap();
+        let clean = fs::read_to_string(clean_path).unwrap();
+        assert_eq!(merged, clean, "merged journal must be bit-identical");
+        fs::remove_dir_all(dir).ok();
+        fs::remove_dir_all(clean_dir).ok();
+    }
+
+    #[test]
+    fn finish_publishes_atomically_for_buffered_harnesses() {
+        let dir = scratch_dir("buffered");
+        let mut harness = Harness::new("buffered", 1, false).with_output_dir(dir.clone());
+        harness.note(&[("k", "v".to_string())]);
+        let path = harness.finish().expect("finish");
+        assert_eq!(
+            fs::read_to_string(path).unwrap(),
+            "{\"figure\":\"buffered\",\"k\":\"v\"}\n"
+        );
+        assert!(!dir.join("buffered.jsonl.partial").exists());
+        fs::remove_dir_all(dir).ok();
     }
 }

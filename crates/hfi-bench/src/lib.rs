@@ -27,7 +27,7 @@ use hfi_sim::{Emulated, Executor, Functional, Machine, RunRecord, Stop};
 use hfi_wasm::compiler::{compile, CompileOptions, CompiledKernel, Isolation};
 use hfi_wasm::kernels::{sightglass, speclike, Kernel};
 
-pub use harness::Harness;
+pub use harness::{run_supervised, CellOutcome, GridOptions, Harness};
 
 /// Cache key for [`compile_cached`]: a cheap structural fingerprint of
 /// the kernel (name alone is not unique — suites are parameterized by
@@ -58,7 +58,10 @@ pub fn compile_cached(kernel: &Kernel, opts: &CompileOptions) -> CompiledKernel 
         format!("{opts:?}"),
     );
     let cache = COMPILE_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
-    if let Some(hit) = cache.lock().expect("compile cache unpoisoned").get(&key) {
+    // The cache is insert-only, so a lock poisoned by a panicking grid
+    // worker still guards a consistent map: recover the guard instead of
+    // cascading that one panic into every subsequent cell.
+    if let Some(hit) = cache.lock().unwrap_or_else(|e| e.into_inner()).get(&key) {
         return hit.clone();
     }
     // Compile outside the lock so parallel grid workers never serialize
@@ -66,7 +69,7 @@ pub fn compile_cached(kernel: &Kernel, opts: &CompileOptions) -> CompiledKernel 
     let compiled = compile(&kernel.func, opts);
     cache
         .lock()
-        .expect("compile cache unpoisoned")
+        .unwrap_or_else(|e| e.into_inner())
         .entry(key)
         .or_insert(compiled)
         .clone()
@@ -302,7 +305,9 @@ pub fn geomean(values: &[f64]) -> f64 {
 /// Median of a slice.
 pub fn median(values: &[f64]) -> f64 {
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    // total_cmp orders NaN after +inf, so a poisoned sample skews the
+    // stat instead of panicking a whole figure binary mid-sweep.
+    sorted.sort_by(f64::total_cmp);
     let n = sorted.len();
     if n % 2 == 1 {
         sorted[n / 2]
@@ -320,6 +325,14 @@ mod tests {
         assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-9);
         assert!((median(&[3.0, 1.0, 2.0]) - 2.0).abs() < 1e-9);
         assert!((median(&[4.0, 1.0, 2.0, 3.0]) - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn median_tolerates_nan_samples() {
+        // total_cmp sorts NaN after +inf: the stat degrades gracefully
+        // instead of panicking the binary.
+        assert!((median(&[1.0, f64::NAN, 2.0]) - 2.0).abs() < 1e-9);
+        assert!(median(&[f64::NAN, 1.0]).is_nan());
     }
 
     #[test]

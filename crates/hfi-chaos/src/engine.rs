@@ -1,0 +1,321 @@
+//! The injection engines: seeded single-shot, site counting, and the
+//! deliberately weakened variant the campaign uses to prove the oracle
+//! bites.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use hfi_core::{Access, HfiContext, FIRST_EXPLICIT_SLOT, NUM_REGIONS};
+use hfi_sim::ChaosHook;
+use hfi_util::Rng;
+
+use crate::plan::{ChaosPlan, FaultClass, Injection};
+
+/// How many eligible sites of each fault class one run visits.
+///
+/// A baseline run with a [`SiteCounter`] measures these so the campaign
+/// can pick a uniformly random trigger index per class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SiteCounts {
+    /// Effective-address computations ([`FaultClass::EaFlip`]).
+    pub ea: u64,
+    /// Result writebacks ([`FaultClass::OperandFlip`]).
+    pub result: u64,
+    /// Guard micro-ops ([`FaultClass::GuardSkip`]).
+    pub guard: u64,
+    /// Predicted branches ([`FaultClass::WrongPath`]).
+    pub branch: u64,
+    /// Instruction boundaries ([`FaultClass::RegionCorrupt`]).
+    pub context: u64,
+    /// Instruction boundaries ([`FaultClass::PredictorClobber`]).
+    pub predictor: u64,
+}
+
+impl SiteCounts {
+    /// The number of eligible sites for `class`.
+    pub fn for_class(&self, class: FaultClass) -> u64 {
+        match class {
+            FaultClass::EaFlip => self.ea,
+            FaultClass::OperandFlip => self.result,
+            FaultClass::GuardSkip => self.guard,
+            FaultClass::RegionCorrupt => self.context,
+            FaultClass::WrongPath => self.branch,
+            FaultClass::PredictorClobber => self.predictor,
+        }
+    }
+}
+
+/// A pass-through hook that counts eligible injection sites per class.
+///
+/// Cloning shares the counter, so a clone can go into the executor
+/// (boxed) while the original stays with the caller for readout.
+#[derive(Debug, Clone, Default)]
+pub struct SiteCounter {
+    counts: Rc<RefCell<SiteCounts>>,
+}
+
+impl SiteCounter {
+    /// A fresh counter with all sites at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counts accumulated so far.
+    pub fn counts(&self) -> SiteCounts {
+        *self.counts.borrow()
+    }
+}
+
+impl ChaosHook for SiteCounter {
+    fn perturb_ea(&mut self, _pc: u64, ea: u64) -> u64 {
+        self.counts.borrow_mut().ea += 1;
+        ea
+    }
+
+    fn perturb_result(&mut self, _pc: u64, value: u64) -> u64 {
+        self.counts.borrow_mut().result += 1;
+        value
+    }
+
+    fn skip_guard(&mut self, _pc: u64) -> bool {
+        self.counts.borrow_mut().guard += 1;
+        false
+    }
+
+    fn flip_prediction(&mut self, _pc: u64) -> bool {
+        self.counts.borrow_mut().branch += 1;
+        false
+    }
+
+    fn corrupt_context(&mut self, _hfi: &mut HfiContext) -> bool {
+        self.counts.borrow_mut().context += 1;
+        false
+    }
+
+    fn clobber_predictors(&mut self) -> bool {
+        self.counts.borrow_mut().predictor += 1;
+        false
+    }
+}
+
+#[derive(Debug)]
+struct EngineState {
+    plan: ChaosPlan,
+    rng: Rng,
+    seen: u64,
+    fired: Option<Injection>,
+}
+
+impl EngineState {
+    /// Claims the next eligible site of `class`; returns `Some(site)`
+    /// when this is the one the plan fires at (and nothing has fired
+    /// yet — each plan injects exactly once).
+    fn arm(&mut self, class: FaultClass) -> Option<u64> {
+        if self.plan.class != class {
+            return None;
+        }
+        let site = self.seen;
+        self.seen += 1;
+        (self.fired.is_none() && site >= self.plan.trigger).then_some(site)
+    }
+}
+
+/// The seeded single-shot injection engine.
+///
+/// Implements every [`ChaosHook`] site as a pass-through except for the
+/// plan's fault class, which fires exactly once at the plan's trigger
+/// site with RNG-chosen detail bits. Cloning shares state (engine into
+/// the executor, original kept for [`ChaosEngine::fired`] readout).
+#[derive(Debug, Clone)]
+pub struct ChaosEngine {
+    inner: Rc<RefCell<EngineState>>,
+}
+
+impl ChaosEngine {
+    /// An engine executing `plan`.
+    pub fn new(plan: ChaosPlan) -> Self {
+        ChaosEngine {
+            inner: Rc::new(RefCell::new(EngineState {
+                rng: plan.rng(),
+                plan,
+                seen: 0,
+                fired: None,
+            })),
+        }
+    }
+
+    /// The injection performed, once the run is over (`None` means the
+    /// trigger site was never reached — e.g. the program faulted or
+    /// halted first).
+    pub fn fired(&self) -> Option<Injection> {
+        self.inner.borrow().fired
+    }
+
+    /// How many eligible sites of the plan's class the run visited.
+    pub fn sites_seen(&self) -> u64 {
+        self.inner.borrow().seen
+    }
+}
+
+impl ChaosHook for ChaosEngine {
+    fn perturb_ea(&mut self, pc: u64, ea: u64) -> u64 {
+        let state = &mut *self.inner.borrow_mut();
+        match state.arm(FaultClass::EaFlip) {
+            Some(site) => {
+                // Flip within the low 48 bits: the canonical virtual
+                // address space, where a flip can land both inside and
+                // outside the sandbox regions.
+                let mask = 1u64 << state.rng.below(48);
+                state.fired = Some(Injection { pc, site, mask });
+                ea ^ mask
+            }
+            None => ea,
+        }
+    }
+
+    fn perturb_result(&mut self, pc: u64, value: u64) -> u64 {
+        let state = &mut *self.inner.borrow_mut();
+        match state.arm(FaultClass::OperandFlip) {
+            Some(site) => {
+                let mask = 1u64 << state.rng.below(64);
+                state.fired = Some(Injection { pc, site, mask });
+                value ^ mask
+            }
+            None => value,
+        }
+    }
+
+    fn skip_guard(&mut self, pc: u64) -> bool {
+        let state = &mut *self.inner.borrow_mut();
+        match state.arm(FaultClass::GuardSkip) {
+            Some(site) => {
+                state.fired = Some(Injection { pc, site, mask: 0 });
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn flip_prediction(&mut self, pc: u64) -> bool {
+        let state = &mut *self.inner.borrow_mut();
+        match state.arm(FaultClass::WrongPath) {
+            Some(site) => {
+                state.fired = Some(Injection { pc, site, mask: 0 });
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn corrupt_context(&mut self, hfi: &mut HfiContext) -> bool {
+        let state = &mut *self.inner.borrow_mut();
+        match state.arm(FaultClass::RegionCorrupt) {
+            Some(site) => {
+                // Pick a random starting slot and take the first
+                // injectable one from there (wrapping); a boundary where
+                // nothing is injectable slides the trigger to the next
+                // boundary (`arm` keeps returning `Some` until a flip
+                // lands).
+                //
+                // The flip menu is the class's threat model — region
+                // *bounds and permissions*, never an explicit-region
+                // base: the §4.2 comparator checks the hmov offset
+                // against the bound and the base is added downstream of
+                // the guard, so an explicit base flip is post-check
+                // datapath corruption HFI by design cannot catch
+                // (implicit regions check absolute addresses, so their
+                // prefix bits are fair game).
+                let start = state.rng.below(NUM_REGIONS as u64) as usize;
+                let kind = state.rng.below(3);
+                let bit = state.rng.below(48);
+                let perm = *state
+                    .rng
+                    .pick(&[Access::Read, Access::Write, Access::Fetch]);
+                for k in 0..NUM_REGIONS {
+                    let slot = (start + k) % NUM_REGIONS;
+                    let (flipped, mask) = match kind {
+                        0 => (hfi.inject_region_perm_flip(slot, perm), 0),
+                        1 => (hfi.inject_region_bitflip(slot, 0, 1u64 << bit), 1u64 << bit),
+                        _ if slot < FIRST_EXPLICIT_SLOT => {
+                            (hfi.inject_region_bitflip(slot, 1u64 << bit, 0), 1u64 << bit)
+                        }
+                        _ => (hfi.inject_region_bitflip(slot, 0, 1u64 << bit), 1u64 << bit),
+                    };
+                    if flipped {
+                        state.fired = Some(Injection { pc: 0, site, mask });
+                        return true;
+                    }
+                }
+                false
+            }
+            None => false,
+        }
+    }
+
+    fn clobber_predictors(&mut self) -> bool {
+        let state = &mut *self.inner.borrow_mut();
+        match state.arm(FaultClass::PredictorClobber) {
+            Some(site) => {
+                state.fired = Some(Injection {
+                    pc: 0,
+                    site,
+                    mask: 0,
+                });
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+/// A deliberately broken build of the engine: every guard micro-op is
+/// dropped, unconditionally, on top of the wrapped plan's injection.
+///
+/// With guards gone, an [`FaultClass::EaFlip`] injection sails past the
+/// (now absent) bounds check and retires out of spec — the shadow
+/// monitor **must** flag it. The campaign's `--weaken` mode exists to
+/// demonstrate exactly that: a zero-escape result from the oracle means
+/// something only if the oracle provably reports escapes when the
+/// mechanism is broken.
+#[derive(Debug, Clone)]
+pub struct WeakenedEngine {
+    engine: ChaosEngine,
+}
+
+impl WeakenedEngine {
+    /// Wraps `engine`, disabling every guard.
+    pub fn new(engine: ChaosEngine) -> Self {
+        WeakenedEngine { engine }
+    }
+
+    /// The wrapped engine (for [`ChaosEngine::fired`] readout).
+    pub fn engine(&self) -> &ChaosEngine {
+        &self.engine
+    }
+}
+
+impl ChaosHook for WeakenedEngine {
+    fn perturb_ea(&mut self, pc: u64, ea: u64) -> u64 {
+        self.engine.perturb_ea(pc, ea)
+    }
+
+    fn perturb_result(&mut self, pc: u64, value: u64) -> u64 {
+        self.engine.perturb_result(pc, value)
+    }
+
+    fn skip_guard(&mut self, _pc: u64) -> bool {
+        true
+    }
+
+    fn flip_prediction(&mut self, pc: u64) -> bool {
+        self.engine.flip_prediction(pc)
+    }
+
+    fn corrupt_context(&mut self, hfi: &mut HfiContext) -> bool {
+        self.engine.corrupt_context(hfi)
+    }
+
+    fn clobber_predictors(&mut self) -> bool {
+        self.engine.clobber_predictors()
+    }
+}

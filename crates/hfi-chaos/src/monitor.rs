@@ -1,0 +1,178 @@
+//! The shadow reference monitor: an independent fail-closed oracle.
+//!
+//! The monitor rebuilds the sandbox's allowed address set from its
+//! *published contract* (the [`SandboxSpec`] the static verifier checks
+//! programs against) and replays every architectural event the executor
+//! emits against it. It never consults the live [`HfiContext`] region
+//! registers — those are exactly what the chaos engine corrupts — so a
+//! perturbed run is judged by what the sandbox *promised*, not by what
+//! its (possibly flipped) hardware state currently claims.
+//!
+//! The one bit of machine state the monitor does trust is the
+//! `sandboxed` flag on each event: the HFI enable bit is control state
+//! no fault class touches (see [`hfi_sim::chaos`]). Accesses retired
+//! outside the sandbox (runtime setup, exit handlers) are unrestricted,
+//! as in the paper's threat model.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use hfi_core::{Access, HfiFault, Region, NUM_CODE_REGIONS};
+use hfi_sim::{ArchEvent, ChaosHook};
+use hfi_verify::SandboxSpec;
+
+/// One out-of-spec architectural effect the monitor observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpecViolation {
+    /// Byte PC of the retiring instruction.
+    pub pc: u64,
+    /// First byte of the out-of-spec range.
+    pub addr: u64,
+    /// Width in bytes (the instruction length for fetch violations).
+    pub size: u8,
+    /// What kind of access escaped.
+    pub access: Access,
+}
+
+/// Everything the monitor saw during one run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MonitorReport {
+    /// Out-of-spec accesses that retired (capped at
+    /// [`ShadowMonitor::MAX_VIOLATIONS`]; any entry means ESCAPE).
+    pub violations: Vec<SpecViolation>,
+    /// The first fault delivered, if any: `(pc, fault)`.
+    pub trap: Option<(u64, HfiFault)>,
+    /// Sandboxed memory accesses checked.
+    pub checked_accesses: u64,
+    /// Sandboxed instruction retirements checked against code ranges.
+    pub checked_fetches: u64,
+}
+
+impl MonitorReport {
+    /// True when no out-of-spec effect retired.
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+#[derive(Debug, Default)]
+struct MonitorState {
+    /// Allowed `[start, end)` ranges for sandboxed data accesses: the
+    /// spec's data windows unioned with its installed data/explicit
+    /// region ranges (`u128` ends so `base + len` cannot wrap).
+    data: Vec<(u128, u128)>,
+    /// Allowed `[start, end)` ranges for sandboxed fetches (declared
+    /// code slots). Empty means the spec declares no code contract and
+    /// fetches go unchecked.
+    code: Vec<(u128, u128)>,
+    report: MonitorReport,
+}
+
+fn covered(ranges: &[(u128, u128)], addr: u64, size: u8) -> bool {
+    let lo = addr as u128;
+    let hi = lo + size as u128;
+    ranges.iter().any(|&(start, end)| lo >= start && hi <= end)
+}
+
+/// The shadow reference monitor, attachable as a [`ChaosHook`] observer.
+///
+/// Cloning shares state: a clone rides inside the executor (usually via
+/// [`Rig`](crate::Rig)) while the original stays with the caller for
+/// [`ShadowMonitor::report`] readout.
+#[derive(Debug, Clone, Default)]
+pub struct ShadowMonitor {
+    inner: Rc<RefCell<MonitorState>>,
+}
+
+impl ShadowMonitor {
+    /// Violations retained per run (the verdict only needs "any", the
+    /// diagnostics only need the first few).
+    pub const MAX_VIOLATIONS: usize = 16;
+
+    /// Builds the allowed sets from a published sandbox contract.
+    pub fn from_spec(spec: &SandboxSpec) -> Self {
+        let mut state = MonitorState::default();
+        for window in &spec.windows {
+            state.data.push((
+                window.base as u128,
+                window.base as u128 + window.len as u128,
+            ));
+        }
+        for (slot, region) in &spec.slots {
+            let range = (
+                region.base() as u128,
+                region.base() as u128 + region.len() as u128,
+            );
+            if (*slot as usize) < NUM_CODE_REGIONS {
+                state.code.push(range);
+                // An executable region is also readable in this model's
+                // data path only if a data window says so; code slots
+                // grant fetch alone.
+            } else {
+                state.data.push(range);
+            }
+            debug_assert!(
+                matches!(region, Region::Code(_)) == ((*slot as usize) < NUM_CODE_REGIONS),
+                "spec slot kind/index mismatch"
+            );
+        }
+        ShadowMonitor {
+            inner: Rc::new(RefCell::new(state)),
+        }
+    }
+
+    /// The report accumulated so far.
+    pub fn report(&self) -> MonitorReport {
+        self.inner.borrow().report.clone()
+    }
+}
+
+impl ChaosHook for ShadowMonitor {
+    fn observe(&mut self, event: &ArchEvent) {
+        let state = &mut *self.inner.borrow_mut();
+        match *event {
+            ArchEvent::Retire { pc, len, sandboxed } => {
+                if sandboxed && !state.code.is_empty() {
+                    state.report.checked_fetches += 1;
+                    if !covered(&state.code, pc, len)
+                        && state.report.violations.len() < Self::MAX_VIOLATIONS
+                    {
+                        state.report.violations.push(SpecViolation {
+                            pc,
+                            addr: pc,
+                            size: len,
+                            access: Access::Fetch,
+                        });
+                    }
+                }
+            }
+            ArchEvent::Mem {
+                pc,
+                addr,
+                size,
+                access,
+                sandboxed,
+                ..
+            } => {
+                if sandboxed {
+                    state.report.checked_accesses += 1;
+                    if !covered(&state.data, addr, size)
+                        && state.report.violations.len() < Self::MAX_VIOLATIONS
+                    {
+                        state.report.violations.push(SpecViolation {
+                            pc,
+                            addr,
+                            size,
+                            access,
+                        });
+                    }
+                }
+            }
+            ArchEvent::Fault { pc, fault } => {
+                if state.report.trap.is_none() {
+                    state.report.trap = Some((pc, fault));
+                }
+            }
+        }
+    }
+}

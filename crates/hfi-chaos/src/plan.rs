@@ -1,0 +1,106 @@
+//! Fault classes and the deterministic injection plan.
+
+use hfi_util::Rng;
+
+/// The runtime fault classes the chaos engine can inject (one per run).
+///
+/// Each class perturbs a different piece of live machine state through
+/// the [`ChaosHook`](hfi_sim::ChaosHook) seam; the fail-closed contract
+/// (paper §3.3.2, §4.1) is that none of them can make an out-of-spec
+/// access retire silently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultClass {
+    /// Flip one bit in a computed effective address (AGU output),
+    /// *upstream* of the bounds check the address must still face.
+    EaFlip,
+    /// Flip one bit in a result value on the writeback bus, corrupting
+    /// every dependent operand (including future address operands).
+    OperandFlip,
+    /// Drop the guard micro-op of one memory access: its bounds and
+    /// permission check never executes.
+    GuardSkip,
+    /// Corrupt an occupied HFI region register between two
+    /// instructions: flip a bound/length bit, a permission bit, or an
+    /// implicit region's prefix bit, bypassing every construction-time
+    /// validity check (what a physical register-file flip would do).
+    /// Explicit-region *base* bits are exempt by design: the base is
+    /// added downstream of the §4.2 bounds comparator, so flipping it
+    /// is post-guard datapath corruption HFI does not claim to catch.
+    RegionCorrupt,
+    /// Invert one branch prediction, forcing a mis-speculated path to
+    /// issue and run until the branch resolves (§3.4's wrong-path
+    /// hazard; cycle machine only).
+    WrongPath,
+    /// Clobber the branch predictors (PHT and BTB) at one instruction
+    /// boundary. Purely microarchitectural (cycle machine only).
+    PredictorClobber,
+}
+
+impl FaultClass {
+    /// Every class, in campaign-matrix order.
+    pub const ALL: [FaultClass; 6] = [
+        FaultClass::EaFlip,
+        FaultClass::OperandFlip,
+        FaultClass::GuardSkip,
+        FaultClass::RegionCorrupt,
+        FaultClass::WrongPath,
+        FaultClass::PredictorClobber,
+    ];
+
+    /// Stable kebab-case label (telemetry keys, matrix headers).
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultClass::EaFlip => "ea-flip",
+            FaultClass::OperandFlip => "operand-flip",
+            FaultClass::GuardSkip => "guard-skip",
+            FaultClass::RegionCorrupt => "region-corrupt",
+            FaultClass::WrongPath => "wrong-path",
+            FaultClass::PredictorClobber => "predictor-clobber",
+        }
+    }
+}
+
+impl std::fmt::Display for FaultClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One deterministic injection: fire fault `class` at the `trigger`-th
+/// eligible site (0-based, in program order), with all random choices
+/// (bit positions, slot indices) drawn from a [`Rng`] seeded with
+/// `seed`. The same plan on the same program always perturbs the same
+/// site the same way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosPlan {
+    /// Seed for the xoshiro256++ stream behind every random choice.
+    pub seed: u64,
+    /// Which fault class to inject.
+    pub class: FaultClass,
+    /// 0-based index of the eligible site to fire at.
+    pub trigger: u64,
+}
+
+impl ChaosPlan {
+    /// The RNG stream this plan's random choices come from.
+    pub(crate) fn rng(&self) -> Rng {
+        Rng::new(self.seed)
+    }
+}
+
+/// A record of the one perturbation a [`ChaosEngine`](crate::ChaosEngine)
+/// actually performed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Injection {
+    /// Byte PC of the perturbed site (0 for the between-instruction
+    /// classes [`FaultClass::RegionCorrupt`] and
+    /// [`FaultClass::PredictorClobber`], which fire at an instruction
+    /// boundary rather than at a program counter).
+    pub pc: u64,
+    /// The eligible-site index that fired (equals the plan's trigger
+    /// except for [`FaultClass::RegionCorrupt`], which slides forward
+    /// past sites where no region register is occupied).
+    pub site: u64,
+    /// The XOR mask applied (0 for the non-flip classes).
+    pub mask: u64,
+}

@@ -638,6 +638,77 @@ impl HfiContext {
         }
     }
 
+    /// Fault-injection support (the `hfi-chaos` crate): XOR-corrupts the
+    /// metadata stored in region register `slot` — `base_xor` into the
+    /// base bits, `len_xor` into the length bits — **bypassing the
+    /// slot-kind rule and every construction-time validity check**,
+    /// exactly what a bit flip in the physical register file between two
+    /// instructions would do. No privilege check applies: this models
+    /// hardware corruption, not an instruction. Returns `false` (and
+    /// changes nothing) if the slot is out of range or empty.
+    ///
+    /// The enforcement checks ([`check_data`](Self::check_data),
+    /// [`check_fetch`](Self::check_fetch),
+    /// [`hmov_check_access`](Self::hmov_check_access)) must fail closed
+    /// on the corrupted state; the chaos campaign's shadow monitor
+    /// verifies that they do.
+    pub fn inject_region_bitflip(&mut self, slot: usize, base_xor: u64, len_xor: u64) -> bool {
+        if slot >= NUM_REGIONS {
+            return false;
+        }
+        match &mut self.regions[slot] {
+            Some(region) => {
+                *region = region.with_injected_bitflip(base_xor, len_xor);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Fault-injection support: toggles the permission bit for `access`
+    /// in region register `slot` (no privilege check — this models
+    /// hardware corruption, not an instruction). Returns `false` (and
+    /// changes nothing) if the slot is out of range, empty, or its
+    /// region kind has no such permission bit.
+    pub fn inject_region_perm_flip(&mut self, slot: usize, access: Access) -> bool {
+        if slot >= NUM_REGIONS {
+            return false;
+        }
+        match &mut self.regions[slot] {
+            Some(region) => match region.with_toggled_permission(access) {
+                Some(toggled) => {
+                    *region = toggled;
+                    true
+                }
+                None => false,
+            },
+            None => false,
+        }
+    }
+
+    /// Fault-injection support: the raw `hmov` effective address with
+    /// every §4.2 check bypassed — what the address-generation unit would
+    /// produce if the guard micro-op were dropped from the pipeline. All
+    /// arithmetic wraps, mirroring an unchecked AGU. Returns `None` only
+    /// when the explicit region is not configured (there is no base to
+    /// add, so not even a broken pipeline could form an address).
+    pub fn hmov_unchecked_ea(&self, region: u8, index: i64, scale: u64, disp: i64) -> Option<u64> {
+        let slot = FIRST_EXPLICIT_SLOT + region as usize;
+        if region as usize >= NUM_EXPLICIT_REGIONS {
+            return None;
+        }
+        let explicit: &ExplicitDataRegion = match &self.regions[slot] {
+            Some(Region::Explicit(explicit)) => explicit,
+            _ => return None,
+        };
+        Some(
+            explicit
+                .base()
+                .wrapping_add((index as u64).wrapping_mul(scale))
+                .wrapping_add(disp as u64),
+        )
+    }
+
     /// `xsave` with the save-hfi-regs flag: snapshots HFI state for an OS
     /// process context switch (paper §3.3.3).
     pub fn save_area(&self) -> HfiSaveArea {

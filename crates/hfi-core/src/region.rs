@@ -484,6 +484,66 @@ impl Region {
             _ => None,
         }
     }
+
+    /// Fault-injection support (the `hfi-chaos` crate): a copy of this
+    /// region with `base_xor` XORed into the stored base bits and
+    /// `len_xor` XORed into the stored length bits (`lsb_mask` for
+    /// implicit regions, `bound` for explicit ones), **bypassing every
+    /// construction-time validity check** — exactly what a bit flip in
+    /// the physical region register file would produce. The result may
+    /// violate the C-VALIDATE invariants (misaligned prefix, mask that
+    /// is not `2^k - 1`, unaligned or oversized bound); the enforcement
+    /// checks must still fail closed on it, which is what the chaos
+    /// campaign exercises.
+    pub fn with_injected_bitflip(&self, base_xor: u64, len_xor: u64) -> Region {
+        match *self {
+            Region::Code(r) => Region::Code(ImplicitCodeRegion {
+                base_prefix: r.base_prefix ^ base_xor,
+                lsb_mask: r.lsb_mask ^ len_xor,
+                exec: r.exec,
+            }),
+            Region::Data(r) => Region::Data(ImplicitDataRegion {
+                base_prefix: r.base_prefix ^ base_xor,
+                lsb_mask: r.lsb_mask ^ len_xor,
+                read: r.read,
+                write: r.write,
+            }),
+            Region::Explicit(r) => Region::Explicit(ExplicitDataRegion {
+                base: r.base ^ base_xor,
+                bound: r.bound ^ len_xor,
+                read: r.read,
+                write: r.write,
+                size_class: r.size_class,
+            }),
+        }
+    }
+
+    /// Fault-injection support: a copy of this region with the
+    /// permission bit for `access` toggled, or `None` when the region
+    /// has no such bit (code regions carry only `exec`, data regions
+    /// only `read`/`write`).
+    pub fn with_toggled_permission(&self, access: Access) -> Option<Region> {
+        match (*self, access) {
+            (Region::Code(r), Access::Fetch) => {
+                Some(Region::Code(ImplicitCodeRegion { exec: !r.exec, ..r }))
+            }
+            (Region::Data(r), Access::Read) => {
+                Some(Region::Data(ImplicitDataRegion { read: !r.read, ..r }))
+            }
+            (Region::Data(r), Access::Write) => Some(Region::Data(ImplicitDataRegion {
+                write: !r.write,
+                ..r
+            })),
+            (Region::Explicit(r), Access::Read) => {
+                Some(Region::Explicit(ExplicitDataRegion { read: !r.read, ..r }))
+            }
+            (Region::Explicit(r), Access::Write) => Some(Region::Explicit(ExplicitDataRegion {
+                write: !r.write,
+                ..r
+            })),
+            _ => None,
+        }
+    }
 }
 
 impl From<ImplicitCodeRegion> for Region {

@@ -1,0 +1,127 @@
+//! Runtime fault-injection hooks for the executors.
+//!
+//! The chaos engine (the `hfi-chaos` crate) perturbs live machine state
+//! mid-execution to test HFI's fail-closed property (§3.3.2, §4.1): a
+//! corrupted effective address, a flipped operand, a dropped guard
+//! micro-op, or a bit flip in the region register file must either be
+//! architecturally masked or end in a precise [`HfiFault`] trap — never
+//! in an out-of-spec access retiring silently.
+//!
+//! This module defines only the *seam*: a [`ChaosHook`] trait the cycle
+//! ([`Machine`](crate::core::Machine)) and functional
+//! ([`Functional`](crate::functional::Functional)) executors consult at
+//! each perturbable site, plus the [`ArchEvent`] stream of *retired*
+//! (architectural) effects a shadow reference monitor can check against
+//! a sandbox specification independently of the — possibly corrupted —
+//! [`HfiContext`] region state. The engine and monitor themselves live
+//! downstream in `hfi-chaos`, which depends on this crate.
+//!
+//! Executors hold an `Option<Box<dyn ChaosHook>>` that defaults to
+//! `None`; every hook site is a single predictable `is_some()` branch,
+//! so disabled chaos costs nothing measurable (the `bench_throughput`
+//! gate enforces this).
+
+use hfi_core::{Access, HfiContext, HfiFault};
+
+/// An architectural (retired, non-speculative) event emitted by an
+/// executor to [`ChaosHook::observe`].
+///
+/// Wrong-path micro-ops never generate events: the cycle machine emits
+/// at commit, the functional machine has no speculation. `sandboxed` is
+/// the HFI enable bit at retirement — control state no fault class
+/// corrupts, so a monitor may trust it even while region *metadata* is
+/// being corrupted underneath.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArchEvent {
+    /// An instruction retired: the fetch of `len` bytes at `pc` became
+    /// architectural.
+    Retire {
+        /// Byte PC of the retired instruction.
+        pc: u64,
+        /// Encoded length in bytes.
+        len: u8,
+        /// Whether HFI was enabled when it retired.
+        sandboxed: bool,
+    },
+    /// A memory access retired (load data returned to the register file,
+    /// or store data left the store queue for memory).
+    Mem {
+        /// Byte PC of the accessing instruction.
+        pc: u64,
+        /// First byte of the access.
+        addr: u64,
+        /// Access width in bytes.
+        size: u8,
+        /// Read or write.
+        access: Access,
+        /// `Some(region)` when the access went through `hmov{region}`.
+        hmov: Option<u8>,
+        /// Whether HFI was enabled when it retired.
+        sandboxed: bool,
+    },
+    /// A fault was delivered: the pipeline squashed, the sandbox exited,
+    /// and the exit-reason MSR recorded `fault`. Everything the faulting
+    /// instruction would have done was suppressed.
+    Fault {
+        /// Byte PC of the faulting instruction.
+        pc: u64,
+        /// The delivered fault.
+        fault: HfiFault,
+    },
+}
+
+/// A runtime fault-injection hook, consulted by the executors at every
+/// perturbable site.
+///
+/// Every method has a pass-through default, so an implementation
+/// overrides only the sites its fault class perturbs. The `perturb_*`
+/// methods run *before* the corresponding HFI check — a corrupted
+/// address must still face the guard, which is the point. Sites are
+/// visited deterministically for a fixed program and seed; the cycle
+/// machine also consults hooks on speculative (later squashed) paths,
+/// which is faithful — real bit flips do not wait for retirement.
+pub trait ChaosHook {
+    /// Perturbs a computed effective address (AGU output) at `pc`.
+    fn perturb_ea(&mut self, _pc: u64, ea: u64) -> u64 {
+        ea
+    }
+
+    /// Perturbs a result value about to be written back at `pc`.
+    fn perturb_result(&mut self, _pc: u64, value: u64) -> u64 {
+        value
+    }
+
+    /// Returns `true` to drop the guard micro-op of the memory access at
+    /// `pc`: its bounds/permission check is skipped and the access
+    /// proceeds unchecked.
+    fn skip_guard(&mut self, _pc: u64) -> bool {
+        false
+    }
+
+    /// Returns `true` to invert the direction predicted for the branch
+    /// at `pc`, forcing a mis-speculated path to issue and run until the
+    /// branch resolves (cycle machine only).
+    fn flip_prediction(&mut self, _pc: u64) -> bool {
+        false
+    }
+
+    /// Between two instructions, optionally corrupts the live HFI
+    /// register state (e.g. via
+    /// [`HfiContext::inject_region_bitflip`]). Returns `true` if state
+    /// was changed so the cycle machine can propagate the corruption to
+    /// its speculative-generation history.
+    fn corrupt_context(&mut self, _hfi: &mut HfiContext) -> bool {
+        false
+    }
+
+    /// Returns `true` to clobber the branch predictors (PHT and BTB) at
+    /// an instruction boundary (cycle machine only). Purely
+    /// microarchitectural: architectural results must not change.
+    fn clobber_predictors(&mut self) -> bool {
+        false
+    }
+
+    /// Observes a retired architectural event (for shadow monitors and
+    /// site counters).
+    fn observe(&mut self, _event: &ArchEvent) {}
+}

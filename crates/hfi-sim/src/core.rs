@@ -29,6 +29,7 @@ use hfi_core::{
 };
 
 use crate::cache::CacheHierarchy;
+use crate::chaos::{ArchEvent, ChaosHook};
 use crate::isa::{AluOp, Inst, Program, Reg};
 use crate::mem::SparseMemory;
 use crate::plan::{plan_of, DecodedProgram, MicroOp, OpClass, SerializeClass, NO_REG, NO_TARGET};
@@ -366,6 +367,9 @@ pub struct Machine {
     pht: PatternHistoryTable,
     btb: BranchTargetBuffer,
     os: Box<dyn OsModel>,
+    /// Runtime fault-injection hook (see [`crate::chaos`]); `None` in
+    /// normal operation, where every hook site is one predictable branch.
+    chaos: Option<Box<dyn ChaosHook>>,
     /// Byte PC of the runtime's signal handler for HFI faults, if any.
     pub signal_handler: Option<u64>,
 
@@ -464,6 +468,7 @@ impl Machine {
             pht: PatternHistoryTable::new(4096),
             btb: BranchTargetBuffer::new(512),
             os: Box::new(DefaultOs::default()),
+            chaos: None,
             signal_handler: None,
             regs: [0; 16],
             hfi_history: vec![HfiContext::new()],
@@ -490,6 +495,17 @@ impl Machine {
     /// Replaces the OS model.
     pub fn set_os(&mut self, os: Box<dyn OsModel>) {
         self.os = os;
+    }
+
+    /// Installs a runtime fault-injection hook (see [`crate::chaos`]).
+    pub fn set_chaos(&mut self, hook: Box<dyn ChaosHook>) {
+        self.chaos = Some(hook);
+    }
+
+    /// Removes and returns the installed chaos hook, if any, so callers
+    /// can inspect the engine/monitor state after a run.
+    pub fn take_chaos(&mut self) -> Option<Box<dyn ChaosHook>> {
+        self.chaos.take()
     }
 
     /// Sets an architectural register (before running).
@@ -697,7 +713,12 @@ impl Machine {
 
         match uop.class {
             OpClass::Branch | OpClass::BranchI => {
-                let taken = self.pht.predict(pc);
+                let mut taken = self.pht.predict(pc);
+                if let Some(hook) = self.chaos.as_deref_mut() {
+                    // Forced misprediction: the wrong path issues and
+                    // runs until the branch resolves at execute.
+                    taken ^= hook.flip_prediction(pc);
+                }
                 next = if taken {
                     uop.target as usize
                 } else {
@@ -1098,20 +1119,32 @@ impl Machine {
                     self.finish(i, 0, 3);
                 }
                 OpClass::Load => {
-                    let addr = effective_address(v(0), v(1), uop.scale, uop.imm);
+                    let mut addr = effective_address(v(0), v(1), uop.scale, uop.imm);
+                    if let Some(hook) = self.chaos.as_deref_mut() {
+                        addr = hook.perturb_ea(plan.pc(inst_idx), addr);
+                    }
                     self.exec_load(i, addr, uop.size, false);
                 }
                 OpClass::Store => {
                     self.mem_ops_this_cycle += 1;
-                    let addr = effective_address(v(0), v(1), uop.scale, uop.imm);
+                    let mut addr = effective_address(v(0), v(1), uop.scale, uop.imm);
+                    let mut skip = false;
+                    if let Some(hook) = self.chaos.as_deref_mut() {
+                        // The flipped address still faces the guard; skip
+                        // models dropping the guard micro-op itself.
+                        addr = hook.perturb_ea(plan.pc(inst_idx), addr);
+                        skip = hook.skip_guard(plan.pc(inst_idx));
+                    }
                     // Implicit-region check, parallel with the dtb: zero
                     // latency; a failure blocks the (commit-time) access.
                     if self.hfi_history[self.rob[i].hfi_gen as usize].enabled() {
                         self.stats.hfi_checks += 1;
                     }
                     let hfi = &self.hfi_history[self.rob[i].hfi_gen as usize];
-                    if let Err(fault) = hfi.check_data(addr, uop.size as u64, Access::Write) {
-                        self.rob[i].fault = Some(fault);
+                    if !skip {
+                        if let Err(fault) = hfi.check_data(addr, uop.size as u64, Access::Write) {
+                            self.rob[i].fault = Some(fault);
+                        }
                     }
                     self.rob[i].mem_addr = addr;
                     self.rob[i].mem_size = uop.size;
@@ -1129,9 +1162,16 @@ impl Machine {
                         let ea = self.rob[i].mem_addr;
                         self.exec_load(i, ea, uop.size, true);
                     } else {
+                        let mut index = v(1) as i64;
+                        let mut skip = false;
+                        if let Some(hook) = self.chaos.as_deref_mut() {
+                            // The flip lands upstream of the §4.2 guard.
+                            index = hook.perturb_ea(plan.pc(inst_idx), index as u64) as i64;
+                            skip = hook.skip_guard(plan.pc(inst_idx));
+                        }
                         match self.hfi_history[self.rob[i].hfi_gen as usize].hmov_check_access(
                             uop.region,
-                            v(1) as i64,
+                            index,
                             uop.scale as u64,
                             uop.imm,
                             uop.size as u64,
@@ -1143,10 +1183,33 @@ impl Machine {
                                 self.exec_load(i, ea, uop.size, true);
                             }
                             Err(fault) => {
-                                // Failed hmov: no cache access at all.
-                                self.mem_ops_this_cycle += 1;
-                                self.rob[i].fault = Some(fault);
-                                self.finish(i, 0, 1);
+                                // A dropped guard micro-op: the raw AGU
+                                // address proceeds unchecked (fault
+                                // injection only).
+                                let unchecked = if skip {
+                                    self.hfi_history[self.rob[i].hfi_gen as usize]
+                                        .hmov_unchecked_ea(
+                                            uop.region,
+                                            index,
+                                            uop.scale as u64,
+                                            uop.imm,
+                                        )
+                                } else {
+                                    None
+                                };
+                                match unchecked {
+                                    Some(ea) => {
+                                        self.rob[i].mem_addr = ea;
+                                        self.rob[i].flags |= EF_EA_KNOWN;
+                                        self.exec_load(i, ea, uop.size, true);
+                                    }
+                                    None => {
+                                        // Failed hmov: no cache access at all.
+                                        self.mem_ops_this_cycle += 1;
+                                        self.rob[i].fault = Some(fault);
+                                        self.finish(i, 0, 1);
+                                    }
+                                }
                             }
                         }
                     }
@@ -1154,14 +1217,30 @@ impl Machine {
                 OpClass::HmovStore => {
                     self.mem_ops_this_cycle += 1;
                     self.stats.hfi_checks += 1;
-                    match self.hfi_history[self.rob[i].hfi_gen as usize].hmov_check_access(
-                        uop.region,
-                        v(1) as i64,
-                        uop.scale as u64,
-                        uop.imm,
-                        uop.size as u64,
-                        Access::Write,
-                    ) {
+                    let mut index = v(1) as i64;
+                    let mut skip = false;
+                    if let Some(hook) = self.chaos.as_deref_mut() {
+                        index = hook.perturb_ea(plan.pc(inst_idx), index as u64) as i64;
+                        skip = hook.skip_guard(plan.pc(inst_idx));
+                    }
+                    let resolved = match self.hfi_history[self.rob[i].hfi_gen as usize]
+                        .hmov_check_access(
+                            uop.region,
+                            index,
+                            uop.scale as u64,
+                            uop.imm,
+                            uop.size as u64,
+                            Access::Write,
+                        ) {
+                        Ok(ea) => Ok(ea),
+                        Err(fault) => match self.hfi_history[self.rob[i].hfi_gen as usize]
+                            .hmov_unchecked_ea(uop.region, index, uop.scale as u64, uop.imm)
+                        {
+                            Some(ea) if skip => Ok(ea),
+                            _ => Err(fault),
+                        },
+                    };
+                    match resolved {
                         Ok(ea) => {
                             self.rob[i].mem_addr = ea;
                             self.rob[i].mem_size = uop.size;
@@ -1270,14 +1349,20 @@ impl Machine {
             if self.hfi_history[self.rob[i].hfi_gen as usize].enabled() {
                 self.stats.hfi_checks += 1;
             }
+            let mut skip = false;
+            if let Some(hook) = self.chaos.as_deref_mut() {
+                skip = hook.skip_guard(self.plan.pc(self.rob[i].inst_idx as usize));
+            }
             let hfi = &self.hfi_history[self.rob[i].hfi_gen as usize];
-            if let Err(fault) = hfi.check_data(addr, size as u64, Access::Read) {
-                // The bounds check fails before the physical address
-                // resolves: the cache is not touched (paper §4.1). The
-                // load completes as a faulting NOP.
-                self.rob[i].fault = Some(fault);
-                self.finish(i, 0, 1);
-                return;
+            if !skip {
+                if let Err(fault) = hfi.check_data(addr, size as u64, Access::Read) {
+                    // The bounds check fails before the physical address
+                    // resolves: the cache is not touched (paper §4.1). The
+                    // load completes as a faulting NOP.
+                    self.rob[i].fault = Some(fault);
+                    self.finish(i, 0, 1);
+                    return;
+                }
             }
         }
         // Cache access happens here, at execute — speculatively. This is
@@ -1291,6 +1376,12 @@ impl Machine {
     }
 
     fn finish(&mut self, i: usize, value: u64, latency: u64) {
+        let mut value = value;
+        if let Some(hook) = self.chaos.as_deref_mut() {
+            // Result-bus corruption: the flipped value is what writeback
+            // and every dependent operand will observe.
+            value = hook.perturb_result(self.plan.pc(self.rob[i].inst_idx as usize), value);
+        }
         self.rob[i].value = value;
         self.rob[i].state = EntryState::Executing;
         self.in_flight
@@ -1382,6 +1473,12 @@ impl Machine {
                 self.call_journal.pop_front();
             }
             if let Some(fault) = entry.fault {
+                if let Some(hook) = self.chaos.as_deref_mut() {
+                    hook.observe(&ArchEvent::Fault {
+                        pc: plan.pc(entry.inst_idx as usize),
+                        fault,
+                    });
+                }
                 self.deliver_fault_now(fault);
                 return;
             }
@@ -1400,6 +1497,59 @@ impl Machine {
                 // speculatively).
                 let now = self.cycle;
                 self.caches.data_access(entry.mem_addr, now);
+            }
+            if self.chaos.is_some() {
+                // The entry's architectural HFI state is the generation it
+                // decoded under (everything older has already committed),
+                // not the speculative decode-tip `self.hfi`.
+                let sandboxed = self.hfi_history[entry.hfi_gen as usize].enabled();
+                let pc = plan.pc(entry.inst_idx as usize);
+                if let Some(hook) = self.chaos.as_deref_mut() {
+                    hook.observe(&ArchEvent::Retire {
+                        pc,
+                        len: uop.len,
+                        sandboxed,
+                    });
+                    if entry.has(EF_LOAD) && entry.mem_size > 0 {
+                        hook.observe(&ArchEvent::Mem {
+                            pc,
+                            addr: entry.mem_addr,
+                            size: entry.mem_size,
+                            access: Access::Read,
+                            hmov: (uop.class == OpClass::HmovLoad).then_some(uop.region),
+                            sandboxed,
+                        });
+                    }
+                    if entry.has(EF_STORE) && entry.mem_size > 0 && entry.has(EF_HAS_STORE_VALUE) {
+                        hook.observe(&ArchEvent::Mem {
+                            pc,
+                            addr: entry.mem_addr,
+                            size: entry.mem_size,
+                            access: Access::Write,
+                            hmov: (uop.class == OpClass::HmovStore).then_some(uop.region),
+                            sandboxed,
+                        });
+                    }
+                }
+                // Between-instruction perturbations: a region-register bit
+                // flip must propagate into the speculative-generation
+                // history (in-flight entries keep their pre-flip state,
+                // matching hardware where already-issued checks used the
+                // old comparator inputs); a predictor clobber is purely
+                // microarchitectural.
+                let mut corrupted = false;
+                let mut clobber = false;
+                if let Some(hook) = self.chaos.as_deref_mut() {
+                    corrupted = hook.corrupt_context(&mut self.hfi);
+                    clobber = hook.clobber_predictors();
+                }
+                if corrupted {
+                    self.bump_hfi_gen();
+                }
+                if clobber {
+                    self.pht = PatternHistoryTable::new(4096);
+                    self.btb = BranchTargetBuffer::new(512);
+                }
             }
             if uop.class == OpClass::Halt {
                 self.halted = Some(Stop::Halted);

@@ -15,6 +15,7 @@ use hfi_core::{
     Access, CostModel, ExitDisposition, HfiContext, HfiFault, SyscallDisposition, SyscallKind,
 };
 
+use crate::chaos::{ArchEvent, ChaosHook};
 use crate::core::{DefaultOs, OsModel, Stop, SyscallOutcome};
 use crate::isa::{AluOp, Inst, Program, Reg};
 use crate::mem::SparseMemory;
@@ -102,6 +103,7 @@ pub struct Functional {
     /// Signal handler byte PC for fault delivery.
     pub signal_handler: Option<u64>,
     os: Box<dyn OsModel>,
+    chaos: Option<Box<dyn ChaosHook>>,
     regs: [u64; 16],
     call_stack: Vec<usize>,
     cycles: f64,
@@ -131,6 +133,7 @@ impl Functional {
             weights: FunctionalCosts::default(),
             signal_handler: None,
             os: Box::new(DefaultOs::default()),
+            chaos: None,
             regs: [0; 16],
             call_stack: Vec::new(),
             cycles: 0.0,
@@ -141,6 +144,18 @@ impl Functional {
     /// Replaces the OS model.
     pub fn set_os(&mut self, os: Box<dyn OsModel>) {
         self.os = os;
+    }
+
+    /// Installs a runtime fault-injection hook (see [`crate::chaos`]).
+    /// With no hook installed every site is a single predictable branch.
+    pub fn set_chaos(&mut self, hook: Box<dyn ChaosHook>) {
+        self.chaos = Some(hook);
+    }
+
+    /// Removes and returns the installed chaos hook, if any, so callers
+    /// can inspect the engine/monitor state after a run.
+    pub fn take_chaos(&mut self) -> Option<Box<dyn ChaosHook>> {
+        self.chaos.take()
     }
 
     /// Sets a register before running.
@@ -188,7 +203,25 @@ impl Functional {
             .wrapping_add(uop.imm as u64)
     }
 
+    /// Forwards a retired architectural event to the chaos hook, if one
+    /// is installed. Callers gate on `self.chaos.is_some()` so the event
+    /// is only constructed when someone is listening.
+    #[inline]
+    fn chaos_observe(&mut self, event: ArchEvent) {
+        if let Some(hook) = self.chaos.as_deref_mut() {
+            hook.observe(&event);
+        }
+    }
+
     fn fault(&mut self, fault: HfiFault, pc_out: &mut usize) -> Option<Stop> {
+        if self.chaos.is_some() {
+            let pc = if *pc_out < self.program.len() {
+                self.program.pc_of(*pc_out)
+            } else {
+                0
+            };
+            self.chaos_observe(ArchEvent::Fault { pc, fault });
+        }
         self.stats.faults += 1;
         self.cycles += self.costs.serialize_cycles as f64; // trap overhead floor
         let disposition = self.hfi.deliver_fault(fault);
@@ -244,6 +277,14 @@ impl Functional {
                 }
             }
             self.stats.retired += 1;
+            if self.chaos.is_some() {
+                let sandboxed = self.hfi.enabled();
+                self.chaos_observe(ArchEvent::Retire {
+                    pc: byte_pc,
+                    len: uop.len,
+                    sandboxed,
+                });
+            }
             let mut next = pc + 1;
             match uop.class {
                 OpClass::AluRR => {
@@ -274,17 +315,35 @@ impl Functional {
                     if self.hfi.enabled() {
                         self.stats.hfi_checks += 1;
                     }
-                    let addr = self.ea_of(uop);
-                    if let Err(f) = self.hfi.check_data(addr, uop.size as u64, Access::Read) {
-                        match self.fault(f, &mut pc) {
-                            Some(s) => {
-                                stop = s;
-                                break 'outer;
+                    let mut addr = self.ea_of(uop);
+                    let mut skip = false;
+                    if let Some(hook) = self.chaos.as_deref_mut() {
+                        addr = hook.perturb_ea(byte_pc, addr);
+                        skip = hook.skip_guard(byte_pc);
+                    }
+                    if !skip {
+                        if let Err(f) = self.hfi.check_data(addr, uop.size as u64, Access::Read) {
+                            match self.fault(f, &mut pc) {
+                                Some(s) => {
+                                    stop = s;
+                                    break 'outer;
+                                }
+                                None => continue,
                             }
-                            None => continue,
                         }
                     }
                     self.regs[uop.dst as usize] = self.mem.read(addr, uop.size);
+                    if self.chaos.is_some() {
+                        let sandboxed = self.hfi.enabled();
+                        self.chaos_observe(ArchEvent::Mem {
+                            pc: byte_pc,
+                            addr,
+                            size: uop.size,
+                            access: Access::Read,
+                            hmov: None,
+                            sandboxed,
+                        });
+                    }
                 }
                 OpClass::Store => {
                     self.cycles += self.weights.mem;
@@ -292,31 +351,84 @@ impl Functional {
                     if self.hfi.enabled() {
                         self.stats.hfi_checks += 1;
                     }
-                    let addr = self.ea_of(uop);
-                    if let Err(f) = self.hfi.check_data(addr, uop.size as u64, Access::Write) {
-                        match self.fault(f, &mut pc) {
-                            Some(s) => {
-                                stop = s;
-                                break 'outer;
+                    let mut addr = self.ea_of(uop);
+                    let mut skip = false;
+                    if let Some(hook) = self.chaos.as_deref_mut() {
+                        addr = hook.perturb_ea(byte_pc, addr);
+                        skip = hook.skip_guard(byte_pc);
+                    }
+                    if !skip {
+                        if let Err(f) = self.hfi.check_data(addr, uop.size as u64, Access::Write) {
+                            match self.fault(f, &mut pc) {
+                                Some(s) => {
+                                    stop = s;
+                                    break 'outer;
+                                }
+                                None => continue,
                             }
-                            None => continue,
                         }
                     }
                     self.mem.write(addr, self.slot(uop.srcs[2]), uop.size);
+                    if self.chaos.is_some() {
+                        let sandboxed = self.hfi.enabled();
+                        self.chaos_observe(ArchEvent::Mem {
+                            pc: byte_pc,
+                            addr,
+                            size: uop.size,
+                            access: Access::Write,
+                            hmov: None,
+                            sandboxed,
+                        });
+                    }
                 }
                 OpClass::HmovLoad => {
                     self.cycles += self.weights.mem;
                     self.stats.mem_ops += 1;
                     self.stats.hfi_checks += 1;
-                    match self.hfi.hmov_check_access(
+                    let mut index = self.slot(uop.srcs[1]) as i64;
+                    let mut skip = false;
+                    if let Some(hook) = self.chaos.as_deref_mut() {
+                        // The flip lands in the address datapath upstream
+                        // of the §4.2 guard, which must still face it.
+                        index = hook.perturb_ea(byte_pc, index as u64) as i64;
+                        skip = hook.skip_guard(byte_pc);
+                    }
+                    let resolved = match self.hfi.hmov_check_access(
                         uop.region,
-                        self.slot(uop.srcs[1]) as i64,
+                        index,
                         uop.scale as u64,
                         uop.imm,
                         uop.size as u64,
                         Access::Read,
                     ) {
-                        Ok(ea) => self.regs[uop.dst as usize] = self.mem.read(ea, uop.size),
+                        Ok(ea) => Ok(ea),
+                        // A dropped guard micro-op: the raw AGU address
+                        // proceeds unchecked (fault injection only).
+                        Err(f) => match self.hfi.hmov_unchecked_ea(
+                            uop.region,
+                            index,
+                            uop.scale as u64,
+                            uop.imm,
+                        ) {
+                            Some(ea) if skip => Ok(ea),
+                            _ => Err(f),
+                        },
+                    };
+                    match resolved {
+                        Ok(ea) => {
+                            self.regs[uop.dst as usize] = self.mem.read(ea, uop.size);
+                            if self.chaos.is_some() {
+                                let sandboxed = self.hfi.enabled();
+                                self.chaos_observe(ArchEvent::Mem {
+                                    pc: byte_pc,
+                                    addr: ea,
+                                    size: uop.size,
+                                    access: Access::Read,
+                                    hmov: Some(uop.region),
+                                    sandboxed,
+                                });
+                            }
+                        }
                         Err(f) => match self.fault(f, &mut pc) {
                             Some(s) => {
                                 stop = s;
@@ -330,15 +442,46 @@ impl Functional {
                     self.cycles += self.weights.mem;
                     self.stats.mem_ops += 1;
                     self.stats.hfi_checks += 1;
-                    match self.hfi.hmov_check_access(
+                    let mut index = self.slot(uop.srcs[1]) as i64;
+                    let mut skip = false;
+                    if let Some(hook) = self.chaos.as_deref_mut() {
+                        index = hook.perturb_ea(byte_pc, index as u64) as i64;
+                        skip = hook.skip_guard(byte_pc);
+                    }
+                    let resolved = match self.hfi.hmov_check_access(
                         uop.region,
-                        self.slot(uop.srcs[1]) as i64,
+                        index,
                         uop.scale as u64,
                         uop.imm,
                         uop.size as u64,
                         Access::Write,
                     ) {
-                        Ok(ea) => self.mem.write(ea, self.slot(uop.srcs[2]), uop.size),
+                        Ok(ea) => Ok(ea),
+                        Err(f) => match self.hfi.hmov_unchecked_ea(
+                            uop.region,
+                            index,
+                            uop.scale as u64,
+                            uop.imm,
+                        ) {
+                            Some(ea) if skip => Ok(ea),
+                            _ => Err(f),
+                        },
+                    };
+                    match resolved {
+                        Ok(ea) => {
+                            self.mem.write(ea, self.slot(uop.srcs[2]), uop.size);
+                            if self.chaos.is_some() {
+                                let sandboxed = self.hfi.enabled();
+                                self.chaos_observe(ArchEvent::Mem {
+                                    pc: byte_pc,
+                                    addr: ea,
+                                    size: uop.size,
+                                    access: Access::Write,
+                                    hmov: Some(uop.region),
+                                    sandboxed,
+                                });
+                            }
+                        }
                         Err(f) => match self.fault(f, &mut pc) {
                             Some(s) => {
                                 stop = s;
@@ -588,6 +731,19 @@ impl Functional {
                 OpClass::Halt => {
                     stop = Stop::Halted;
                     break;
+                }
+            }
+            if self.chaos.is_some() {
+                if uop.dst != NO_REG {
+                    let value = self.regs[uop.dst as usize];
+                    if let Some(hook) = self.chaos.as_deref_mut() {
+                        self.regs[uop.dst as usize] = hook.perturb_result(byte_pc, value);
+                    }
+                }
+                // "Between instructions": the retired op's architectural
+                // effects are visible, the next fetch has not happened.
+                if let Some(hook) = self.chaos.as_deref_mut() {
+                    hook.corrupt_context(&mut self.hfi);
                 }
             }
             pc = next;

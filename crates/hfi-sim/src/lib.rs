@@ -25,6 +25,7 @@
 
 pub mod asm;
 pub mod cache;
+pub mod chaos;
 pub mod core;
 pub mod emulation;
 pub mod exec;
@@ -37,6 +38,7 @@ pub mod predictor;
 pub use crate::core::{CoreConfig, CoreStats, Machine, OsModel, RunResult, Stop, SyscallOutcome};
 pub use asm::{Label, ProgramBuilder};
 pub use cache::{Cache, CacheHierarchy, CacheLatencies};
+pub use chaos::{ArchEvent, ChaosHook};
 pub use emulation::{
     emulate, emulate_arc, emulate_guarded, uses_hfi, GuardedEmulation, GuardedEmulationError,
     GuardedOptions, EMULATION_BASE,

@@ -1,0 +1,217 @@
+//! Fault-taxonomy reachability: every [`HfiFault`] variant — and every
+//! [`HmovViolation`] inside [`HfiFault::Hmov`] — must be reachable by a
+//! real program on the cycle executor, and the functional executor must
+//! agree on both the stop reason and the exit-reason MSR contents.
+//!
+//! This is the dynamic complement of the static verifier's coverage:
+//! the chaos campaign classifies injected runs by which fault trapped,
+//! so an unreachable variant would mean a slice of the fail-closed
+//! taxonomy that no experiment can ever observe.
+
+use std::sync::Arc;
+
+use hfi_core::region::{ExplicitDataRegion, ImplicitCodeRegion, ImplicitDataRegion};
+use hfi_core::{Access, ExitReason, HfiFault, HmovViolation, Region, SandboxConfig};
+use hfi_sim::isa::MemOperand;
+use hfi_sim::{Functional, HmovOperand, Machine, ProgramBuilder, Reg, Stop};
+
+const CODE_BASE: u64 = 0x40_0000;
+const DATA_BASE: u64 = 0x10_0000;
+const HEAP_BASE: u64 = 0x100_0000;
+const HEAP_BOUND: u64 = 1 << 16;
+
+/// Standard hybrid-sandbox prologue: code + implicit data regions, and
+/// optionally the explicit heap region in slot 6.
+fn enter_hybrid(asm: &mut ProgramBuilder, heap: Option<ExplicitDataRegion>) {
+    let code = ImplicitCodeRegion::new(CODE_BASE, 0xFFFF, true).unwrap();
+    let data = ImplicitDataRegion::new(DATA_BASE, 0xFFFF, true, true).unwrap();
+    asm.hfi_set_region(0, Region::Code(code));
+    asm.hfi_set_region(2, Region::Data(data));
+    if let Some(heap) = heap {
+        asm.hfi_set_region(6, Region::Explicit(heap));
+    }
+    asm.hfi_enter(SandboxConfig::hybrid());
+}
+
+fn rw_heap() -> ExplicitDataRegion {
+    ExplicitDataRegion::large(HEAP_BASE, HEAP_BOUND, true, true).unwrap()
+}
+
+/// Runs the program on both executors and checks: the cycle machine
+/// stops with `expected`, and the functional interpreter reports the
+/// *identical* stop and exit-reason MSR.
+fn assert_fault(asm: ProgramBuilder, expected: HfiFault) {
+    let program = Arc::new(asm.finish());
+
+    let mut machine = Machine::new(program.clone());
+    let cycle = machine.run(1_000_000);
+    assert_eq!(
+        cycle.stop,
+        Stop::Fault(expected),
+        "cycle executor: wrong stop"
+    );
+    assert_eq!(
+        cycle.exit_reason,
+        Some(ExitReason::Fault(expected)),
+        "cycle executor: wrong exit-reason MSR"
+    );
+
+    let mut functional = Functional::new(program);
+    let result = functional.run(1_000_000);
+    assert_eq!(result.stop, cycle.stop, "executors disagree on stop");
+    assert_eq!(
+        functional.hfi.exit_reason(),
+        cycle.exit_reason,
+        "executors disagree on the exit-reason MSR"
+    );
+}
+
+#[test]
+fn data_bounds_read_is_reachable() {
+    let mut asm = ProgramBuilder::new(CODE_BASE);
+    enter_hybrid(&mut asm, None);
+    asm.movi(Reg(0), 0x20_0000);
+    asm.load(Reg(1), MemOperand::base_disp(Reg(0), 0), 8);
+    asm.halt();
+    assert_fault(
+        asm,
+        HfiFault::DataBounds {
+            addr: 0x20_0000,
+            access: Access::Read,
+        },
+    );
+}
+
+#[test]
+fn data_bounds_write_is_reachable() {
+    let mut asm = ProgramBuilder::new(CODE_BASE);
+    enter_hybrid(&mut asm, None);
+    asm.movi(Reg(0), 0x20_0000);
+    asm.store(Reg(0), MemOperand::base_disp(Reg(0), 8), 8);
+    asm.halt();
+    assert_fault(
+        asm,
+        HfiFault::DataBounds {
+            addr: 0x20_0008,
+            access: Access::Write,
+        },
+    );
+}
+
+#[test]
+fn code_bounds_is_reachable() {
+    // An indirect jump out of the code region: the fetch of the target
+    // fails the decode-time code check (a faulting NOP, §4.1).
+    let mut asm = ProgramBuilder::new(CODE_BASE);
+    enter_hybrid(&mut asm, None);
+    asm.movi(Reg(0), 0x99_0000);
+    asm.jump_ind(Reg(0));
+    asm.halt();
+    assert_fault(asm, HfiFault::CodeBounds { pc: 0x99_0000 });
+}
+
+#[test]
+fn hmov_region_not_configured_is_reachable() {
+    let mut asm = ProgramBuilder::new(CODE_BASE);
+    enter_hybrid(&mut asm, None); // no explicit region installed
+    asm.hmov_load(0, Reg(1), HmovOperand::disp(0), 8);
+    asm.halt();
+    assert_fault(
+        asm,
+        HfiFault::Hmov {
+            region: 0,
+            violation: HmovViolation::RegionNotConfigured,
+        },
+    );
+}
+
+#[test]
+fn hmov_negative_operand_is_reachable() {
+    let mut asm = ProgramBuilder::new(CODE_BASE);
+    enter_hybrid(&mut asm, Some(rw_heap()));
+    asm.movi(Reg(0), -1);
+    asm.hmov_load(0, Reg(1), HmovOperand::indexed(Reg(0), 1, 0), 8);
+    asm.halt();
+    assert_fault(
+        asm,
+        HfiFault::Hmov {
+            region: 0,
+            violation: HmovViolation::NegativeOperand,
+        },
+    );
+}
+
+#[test]
+fn hmov_overflow_is_reachable() {
+    // index * scale overflows u64 with a non-negative index.
+    let mut asm = ProgramBuilder::new(CODE_BASE);
+    enter_hybrid(&mut asm, Some(rw_heap()));
+    asm.movi(Reg(0), 0x4000_0000_0000_0000);
+    asm.hmov_load(0, Reg(1), HmovOperand::indexed(Reg(0), 8, 0), 8);
+    asm.halt();
+    assert_fault(
+        asm,
+        HfiFault::Hmov {
+            region: 0,
+            violation: HmovViolation::Overflow,
+        },
+    );
+}
+
+#[test]
+fn hmov_out_of_bounds_is_reachable() {
+    let mut asm = ProgramBuilder::new(CODE_BASE);
+    enter_hybrid(&mut asm, Some(rw_heap()));
+    asm.hmov_load(0, Reg(1), HmovOperand::disp(HEAP_BOUND as i64), 8);
+    asm.halt();
+    assert_fault(
+        asm,
+        HfiFault::Hmov {
+            region: 0,
+            violation: HmovViolation::OutOfBounds,
+        },
+    );
+}
+
+#[test]
+fn hmov_permission_denied_is_reachable() {
+    let read_only = ExplicitDataRegion::large(HEAP_BASE, HEAP_BOUND, true, false).unwrap();
+    let mut asm = ProgramBuilder::new(CODE_BASE);
+    enter_hybrid(&mut asm, Some(read_only));
+    asm.movi(Reg(0), 7);
+    asm.hmov_store(0, Reg(0), HmovOperand::disp(0x40), 8);
+    asm.halt();
+    assert_fault(
+        asm,
+        HfiFault::Hmov {
+            region: 0,
+            violation: HmovViolation::PermissionDenied,
+        },
+    );
+}
+
+#[test]
+fn privileged_instruction_is_reachable() {
+    // A native sandbox attempting a region-register update. The exit
+    // handler address is unmapped, so the fault surfaces as the stop.
+    let mut asm = ProgramBuilder::new(CODE_BASE);
+    let code = ImplicitCodeRegion::new(CODE_BASE, 0xFFFF, true).unwrap();
+    let data = ImplicitDataRegion::new(DATA_BASE, 0xFFFF, true, true).unwrap();
+    asm.hfi_set_region(0, Region::Code(code));
+    asm.hfi_set_region(2, Region::Data(data));
+    asm.hfi_enter(SandboxConfig::native(0xE00_0000));
+    asm.hfi_set_region(2, Region::Data(data));
+    asm.halt();
+    assert_fault(asm, HfiFault::PrivilegedInstruction);
+}
+
+#[test]
+fn hardware_fault_is_reachable() {
+    // Outside any sandbox, an indirect jump to unmapped code is a plain
+    // hardware fault, not an HFI code-bounds violation.
+    let mut asm = ProgramBuilder::new(CODE_BASE);
+    asm.movi(Reg(0), 0x99_0000);
+    asm.jump_ind(Reg(0));
+    asm.halt();
+    assert_fault(asm, HfiFault::Hardware { addr: 0x99_0000 });
+}

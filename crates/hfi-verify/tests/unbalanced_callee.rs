@@ -1,8 +1,8 @@
-use std::sync::Arc;
 use hfi_core::region::ImplicitCodeRegion;
 use hfi_core::{Region, SandboxConfig};
-use hfi_sim::{Cond, ProgramBuilder, Reg};
+use hfi_sim::{ProgramBuilder, Reg};
 use hfi_verify::{verify_program, SandboxSpec};
+use std::sync::Arc;
 
 #[test]
 fn unbalanced_callee_breaks_interposition() {
@@ -44,6 +44,11 @@ fn unbalanced_callee_breaks_interposition() {
         .interposed()
         .clobbers(&[0, 6, 14]);
     let r = verify_program(&prog, &spec);
-    eprintln!("verifier verdict: {:?}", r.as_ref().map(|p| p.guards.len()).map_err(|v| v.iter().map(|x| x.to_string()).collect::<Vec<_>>()));
+    eprintln!(
+        "verifier verdict: {:?}",
+        r.as_ref()
+            .map(|p| p.guards.len())
+            .map_err(|v| v.iter().map(|x| x.to_string()).collect::<Vec<_>>())
+    );
     assert!(r.is_err(), "verifier ACCEPTED a program whose callee unbalances the sandbox; the post-call syscall runs uninterposed at runtime");
 }
