@@ -1,8 +1,10 @@
-//! Host-side throughput of the cycle-level simulator on the Fig. 3
-//! workload — the scaling lever for every figure in the reproduction.
+//! Host-side throughput of the simulator tiers on the Fig. 3 workload —
+//! the scaling lever for every figure in the reproduction.
 //!
 //! Runs the SPEC-like suite under the three Fig. 3 isolation schemes on
-//! the cycle `Machine`, sequentially (per-core simulated-instruction
+//! each executor tier — the cycle `Machine`, the reference functional
+//! interpreter, and the fused (block-threaded superinstruction)
+//! functional tier — sequentially (per-core simulated-instruction
 //! throughput is the metric; the parallel harness already saturates
 //! cores), and emits `BENCH_throughput.json` at the repo root:
 //!
@@ -14,39 +16,59 @@
 //!
 //! * `--smoke` / `HFI_SMOKE=1` — first three kernels only (CI).
 //! * `--check <baseline.json>` (alias `--baseline <baseline.json>`) —
-//!   after measuring, gate against the baseline file's `"sim_mips"`
-//!   value and print the old → new delta.
+//!   after measuring, gate each tier against the baseline file's
+//!   `"sim_mips_<tier>"` value and print the old → new delta per tier.
 //! * `--out <path>` — output path (default `BENCH_throughput.json`).
 //!
 //! # Gate semantics
 //!
-//! The gate compares this run's aggregate sim-MIPS against the baseline
-//! and **fails (exit 1)** if it regressed more than
-//! [`REGRESSION_BUDGET`] (the printed gate line quotes the budget from
-//! that constant — the one source of truth for the threshold). The
-//! baseline is read *before* the output
-//! file is written, so `--check BENCH_throughput.json --out
-//! BENCH_throughput.json` gates against the previously committed numbers
-//! — never against the file this run is about to write. A missing or
-//! unreadable baseline is a usage error (exit 2), not a pass: a gate
+//! The gate compares each tier's aggregate sim-MIPS against the
+//! baseline's matching `sim_mips_cycle` / `sim_mips_functional` /
+//! `sim_mips_fused` field **independently** and fails (exit 1) if any
+//! tier regressed more than [`REGRESSION_BUDGET`] (the printed gate
+//! lines quote the budget from that constant — the one source of truth
+//! for the threshold). Gating per tier matters: a fused-tier rewrite
+//! that accidentally slowed the cycle machine (or vice versa) must not
+//! be able to hide inside a blended aggregate. The baseline is read
+//! *before* the output file is written, so `--check
+//! BENCH_throughput.json --out BENCH_throughput.json` gates against the
+//! previously committed numbers — never against the file this run is
+//! about to write. A missing or unreadable baseline, or a baseline
+//! missing a tier's key, is a usage error (exit 2), not a pass: a gate
 //! that silently skips its comparison would green-light any regression.
 //! Absolute MIPS are host-dependent, so a baseline is only meaningful
 //! against runs on the same machine class.
 
 use std::time::Instant;
 
-use hfi_bench::{print_table, run_on_machine, Harness, FIG3_SCHEMES};
+use hfi_bench::{
+    compile_cached, print_table, run_functional_record, run_fused_record, run_on_machine, Harness,
+    FIG3_SCHEMES,
+};
+use hfi_wasm::compiler::CompileOptions;
 use hfi_wasm::kernels::speclike;
 
 /// Allowed fractional sim-MIPS regression before `--check` fails.
 const REGRESSION_BUDGET: f64 = 0.20;
 
+/// The executor tiers the benchmark sweeps, in presentation order.
+const TIERS: [&str; 3] = ["cycle", "functional", "fused"];
+
 struct CellResult {
+    tier: &'static str,
     kernel: String,
     isolation: String,
     committed: u64,
     cycles: u64,
     host_ns: u64,
+}
+
+struct TierResult {
+    tier: &'static str,
+    committed: u64,
+    cycles: u64,
+    host_ns: u64,
+    sim_mips: f64,
 }
 
 fn extract_json_number(json: &str, key: &str) -> Option<f64> {
@@ -83,7 +105,7 @@ fn main() {
     // malformed baseline is a usage error (exit 2): silently skipping
     // the comparison would turn the gate into a no-op exactly when it
     // is mispointed.
-    let baseline_mips = check.as_ref().map(|baseline_path| {
+    let baseline_mips: Option<Vec<(&str, f64)>> = check.as_ref().map(|baseline_path| {
         let baseline = match std::fs::read_to_string(baseline_path) {
             Ok(text) => text,
             Err(e) => {
@@ -94,40 +116,88 @@ fn main() {
                 std::process::exit(2);
             }
         };
-        extract_json_number(&baseline, "sim_mips").unwrap_or_else(|| {
-            eprintln!("[throughput] ERROR: no \"sim_mips\" field in baseline {baseline_path}");
-            std::process::exit(2);
-        })
+        TIERS
+            .iter()
+            .map(|tier| {
+                let key = format!("sim_mips_{tier}");
+                let mips = extract_json_number(&baseline, &key).unwrap_or_else(|| {
+                    eprintln!(
+                        "[throughput] ERROR: no \"{key}\" field in baseline {baseline_path}\n\
+                         [throughput] re-record the baseline with this binary first"
+                    );
+                    std::process::exit(2);
+                });
+                (*tier, mips)
+            })
+            .collect()
     });
 
     let kernels = harness.subset(speclike::suite(1), 3);
-    let mut cells = Vec::new();
+
+    // Warm the compile cache so the first timed tier does not pay
+    // wasm-compilation costs the later tiers get for free.
     for kernel in &kernels {
         for isolation in FIG3_SCHEMES {
-            let started = Instant::now();
-            let run = run_on_machine(kernel, isolation);
-            let host_ns = started.elapsed().as_nanos() as u64;
-            cells.push(CellResult {
-                kernel: kernel.name.clone(),
-                isolation: format!("{isolation:?}"),
-                committed: run.instructions,
-                cycles: run.cycles,
-                host_ns,
-            });
+            compile_cached(kernel, &CompileOptions::new(isolation));
         }
     }
 
-    let total_committed: u64 = cells.iter().map(|c| c.committed).sum();
-    let total_cycles: u64 = cells.iter().map(|c| c.cycles).sum();
-    let total_ns: u64 = cells.iter().map(|c| c.host_ns).sum::<u64>().max(1);
-    let sim_mips = total_committed as f64 / (total_ns as f64 / 1e9) / 1e6;
-    let host_ns_per_cycle = total_ns as f64 / total_cycles.max(1) as f64;
+    let mut cells = Vec::new();
+    for tier in TIERS {
+        for kernel in &kernels {
+            for isolation in FIG3_SCHEMES {
+                let started = Instant::now();
+                let (committed, cycles) = match tier {
+                    "cycle" => {
+                        let run = run_on_machine(kernel, isolation);
+                        (run.instructions, run.cycles)
+                    }
+                    "functional" => {
+                        let record = run_functional_record(kernel, isolation);
+                        (record.committed, record.cycles as u64)
+                    }
+                    "fused" => {
+                        let record = run_fused_record(kernel, isolation);
+                        (record.committed, record.cycles as u64)
+                    }
+                    _ => unreachable!(),
+                };
+                let host_ns = started.elapsed().as_nanos() as u64;
+                cells.push(CellResult {
+                    tier,
+                    kernel: kernel.name.clone(),
+                    isolation: format!("{isolation:?}"),
+                    committed,
+                    cycles,
+                    host_ns,
+                });
+            }
+        }
+    }
+
+    let tiers: Vec<TierResult> = TIERS
+        .iter()
+        .map(|tier| {
+            let tier_cells: Vec<&CellResult> = cells.iter().filter(|c| c.tier == *tier).collect();
+            let committed: u64 = tier_cells.iter().map(|c| c.committed).sum();
+            let cycles: u64 = tier_cells.iter().map(|c| c.cycles).sum();
+            let host_ns: u64 = tier_cells.iter().map(|c| c.host_ns).sum::<u64>().max(1);
+            TierResult {
+                tier,
+                committed,
+                cycles,
+                host_ns,
+                sim_mips: committed as f64 / (host_ns as f64 / 1e9) / 1e6,
+            }
+        })
+        .collect();
 
     let rows: Vec<Vec<String>> = cells
         .iter()
         .map(|c| {
             let mips = c.committed as f64 / (c.host_ns.max(1) as f64 / 1e9) / 1e6;
             vec![
+                c.tier.to_string(),
                 c.kernel.clone(),
                 c.isolation.clone(),
                 c.committed.to_string(),
@@ -137,31 +207,59 @@ fn main() {
         })
         .collect();
     print_table(
-        "Simulator throughput on the Fig. 3 workload",
-        &["kernel", "isolation", "committed", "host time", "sim-MIPS"],
+        "Simulator throughput on the Fig. 3 workload (per tier)",
+        &[
+            "tier",
+            "kernel",
+            "isolation",
+            "committed",
+            "host time",
+            "sim-MIPS",
+        ],
         &rows,
     );
+    println!();
+    for t in &tiers {
+        println!(
+            "  {:>10}: {} instructions in {:.1} ms -> {:.2} sim-MIPS",
+            t.tier,
+            t.committed,
+            t.host_ns as f64 / 1e6,
+            t.sim_mips
+        );
+    }
+    let cycle = &tiers[0];
+    let fused = &tiers[2];
     println!(
-        "\n  aggregate: {total_committed} instructions in {:.1} ms -> {sim_mips:.2} sim-MIPS \
-         ({host_ns_per_cycle:.1} host-ns/cycle)",
-        total_ns as f64 / 1e6
+        "  host-ns/cycle (cycle tier): {:.1}; fused speedup over functional: {:.2}x",
+        cycle.host_ns as f64 / cycle.cycles.max(1) as f64,
+        fused.sim_mips / tiers[1].sim_mips.max(f64::MIN_POSITIVE)
     );
 
     let mut json = String::from("{");
     json.push_str(&format!(
-        "\"figure\":\"throughput\",\"mode\":\"{}\",\"sim_mips\":{sim_mips:.3},\
-         \"host_ns_per_cycle\":{host_ns_per_cycle:.3},\"total_committed\":{total_committed},\
-         \"total_cycles\":{total_cycles},\"total_host_ns\":{total_ns},\"cells\":[",
+        "\"figure\":\"throughput\",\"mode\":\"{}\"",
         if harness.smoke() { "smoke" } else { "full" }
+    ));
+    for t in &tiers {
+        json.push_str(&format!(
+            ",\"sim_mips_{}\":{:.3},\"total_committed_{}\":{},\"total_cycles_{}\":{},\
+             \"total_host_ns_{}\":{}",
+            t.tier, t.sim_mips, t.tier, t.committed, t.tier, t.cycles, t.tier, t.host_ns
+        ));
+    }
+    json.push_str(&format!(
+        ",\"host_ns_per_cycle\":{:.3},\"cells\":[",
+        cycle.host_ns as f64 / cycle.cycles.max(1) as f64
     ));
     for (i, c) in cells.iter().enumerate() {
         if i > 0 {
             json.push(',');
         }
         json.push_str(&format!(
-            "{{\"kernel\":\"{}\",\"isolation\":\"{}\",\"committed\":{},\"cycles\":{},\
-             \"host_ns\":{}}}",
-            c.kernel, c.isolation, c.committed, c.cycles, c.host_ns
+            "{{\"tier\":\"{}\",\"kernel\":\"{}\",\"isolation\":\"{}\",\"committed\":{},\
+             \"cycles\":{},\"host_ns\":{}}}",
+            c.tier, c.kernel, c.isolation, c.committed, c.cycles, c.host_ns
         ));
     }
     json.push_str("]}");
@@ -169,21 +267,31 @@ fn main() {
     eprintln!("[throughput] wrote {out_path}");
 
     if let Some(baseline_mips) = baseline_mips {
-        let floor = baseline_mips * (1.0 - REGRESSION_BUDGET);
-        let delta_pct = (sim_mips / baseline_mips - 1.0) * 100.0;
-        println!("  delta: {baseline_mips:.2} -> {sim_mips:.2} sim-MIPS ({delta_pct:+.1}%)");
-        println!(
-            "  gate: measured {sim_mips:.2} sim-MIPS vs baseline {baseline_mips:.2} \
-             (floor {floor:.2})"
-        );
-        if sim_mips < floor {
-            eprintln!(
-                "[throughput] FAIL: sim-MIPS regressed more than {:.0}% \
-                 ({sim_mips:.2} < {floor:.2})",
-                REGRESSION_BUDGET * 100.0
+        let mut failed = false;
+        for (tier, baseline) in baseline_mips {
+            let measured = tiers
+                .iter()
+                .find(|t| t.tier == tier)
+                .expect("baseline tiers mirror TIERS")
+                .sim_mips;
+            let floor = baseline * (1.0 - REGRESSION_BUDGET);
+            let delta_pct = (measured / baseline - 1.0) * 100.0;
+            println!(
+                "  gate[{tier}]: {baseline:.2} -> {measured:.2} sim-MIPS ({delta_pct:+.1}%, \
+                 floor {floor:.2})"
             );
+            if measured < floor {
+                eprintln!(
+                    "[throughput] FAIL: {tier} tier regressed more than {:.0}% \
+                     ({measured:.2} < {floor:.2})",
+                    REGRESSION_BUDGET * 100.0
+                );
+                failed = true;
+            }
+        }
+        if failed {
             std::process::exit(1);
         }
-        println!("  gate: OK");
+        println!("  gate: OK (all tiers within budget)");
     }
 }

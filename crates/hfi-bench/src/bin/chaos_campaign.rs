@@ -24,6 +24,15 @@
 //! actually see one. A zero-escape claim from an oracle that cannot
 //! fail is worthless; CI runs both modes.
 //!
+//! `--fused` runs the sweep on the fused (block-threaded
+//! superinstruction) tier of the functional executor instead of the
+//! cycle machine: installing a hook forces the fused engine onto its
+//! fully-observed per-op path, and this mode proves at campaign scale
+//! that no injection site or oracle observation was lost to fusion.
+//! The two speculative fault classes (wrong-path, predictor-clobber)
+//! have no sites there and are accounted under `no-site`, exactly as
+//! on the plain functional tier.
+//!
 //! Cells run under the supervised harness (panic isolation, watchdog,
 //! retries) and stream to `chaos.jsonl`; `--resume` skips journaled
 //! cells and re-counts their recorded verdicts, so a killed sweep
@@ -34,12 +43,12 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use hfi_bench::harness::{CellOutcome, Harness};
-use hfi_bench::{compile_cached, print_table, MACHINE_LIMIT};
+use hfi_bench::{compile_cached, print_table, FUNCTIONAL_LIMIT, MACHINE_LIMIT};
 use hfi_chaos::{
     classify, ChaosEngine, ChaosPlan, FaultClass, Rig, ShadowMonitor, SiteCounter, SiteCounts,
     Verdict, WeakenedEngine,
 };
-use hfi_sim::{Executor, Machine, Program, RunRecord, Stop};
+use hfi_sim::{Executor, Functional, Machine, Program, RunRecord, Stop};
 use hfi_util::{split_mix64, Rng};
 use hfi_verify::SandboxSpec;
 use hfi_wasm::compiler::{CompileOptions, Isolation};
@@ -54,6 +63,8 @@ struct Target {
     heap_base: u64,
     heap_init: Vec<(u32, Vec<u8>)>,
     expected: u64,
+    /// Run on the fused functional tier instead of the cycle machine.
+    fused: bool,
 }
 
 /// Baseline facts an injected cell is judged against.
@@ -82,6 +93,7 @@ struct Cell {
     sites: u64,
     baseline: Baseline,
     weaken: bool,
+    fused: bool,
 }
 
 /// One classified injected run.
@@ -105,7 +117,7 @@ fn load_heap(machine: &mut Machine, heap_base: u64, heap_init: &[(u32, Vec<u8>)]
     }
 }
 
-fn targets(smoke: bool) -> Vec<Target> {
+fn targets(smoke: bool, fused: bool) -> Vec<Target> {
     let mut kernels = sightglass::suite(1);
     kernels.extend(speclike::suite(1));
     if smoke {
@@ -123,9 +135,42 @@ fn targets(smoke: bool) -> Vec<Target> {
                 heap_base: opts.heap_base,
                 heap_init: kernel.heap_init.clone(),
                 expected: kernel.expected,
+                fused,
             }
         })
         .collect()
+}
+
+/// Runs one hooked execution on the campaign's vehicle — the cycle
+/// machine, or the fused functional tier under `--fused` — and returns
+/// the stop reason, counter record, and final registers.
+fn run_hooked(
+    program: &Arc<Program>,
+    heap_base: u64,
+    heap_init: &[(u32, Vec<u8>)],
+    fused: bool,
+    hook: Box<dyn hfi_sim::ChaosHook>,
+    limit: u64,
+) -> (Stop, RunRecord, [u64; 16]) {
+    if fused {
+        let mut functional = Functional::new_fused(program.clone());
+        for (off, bytes) in heap_init {
+            Executor::prepare(&mut functional, heap_base + *off as u64, bytes);
+        }
+        functional.set_chaos(hook);
+        let stop = Executor::run(&mut functional, limit);
+        (
+            stop,
+            Executor::stats(&functional),
+            Executor::regs(&functional),
+        )
+    } else {
+        let mut machine = Machine::new(program.clone());
+        load_heap(&mut machine, heap_base, heap_init);
+        machine.set_chaos(hook);
+        let stop = Executor::run(&mut machine, limit);
+        (stop, Executor::stats(&machine), Executor::regs(&machine))
+    }
 }
 
 /// Uninjected run with counter + monitor attached. Panics (loudly) if
@@ -134,14 +179,22 @@ fn targets(smoke: bool) -> Vec<Target> {
 fn run_baseline(target: &Target) -> Baseline {
     let counter = SiteCounter::new();
     let monitor = ShadowMonitor::from_spec(&target.spec);
-    let mut machine = Machine::new(target.program.clone());
-    load_heap(&mut machine, target.heap_base, &target.heap_init);
-    machine.set_chaos(Box::new(Rig::new(counter.clone(), monitor.clone())));
-    let stop = Executor::run(&mut machine, MACHINE_LIMIT);
+    let budget = if target.fused {
+        FUNCTIONAL_LIMIT
+    } else {
+        MACHINE_LIMIT
+    };
+    let (stop, record, regs) = run_hooked(
+        &target.program,
+        target.heap_base,
+        &target.heap_init,
+        target.fused,
+        Box::new(Rig::new(counter.clone(), monitor.clone())),
+        budget,
+    );
     assert_eq!(stop, Stop::Halted, "{}: baseline did not halt", target.name);
     assert_eq!(
-        machine.regs()[0],
-        target.expected,
+        regs[0], target.expected,
         "{}: baseline returned the wrong result",
         target.name
     );
@@ -158,8 +211,14 @@ fn run_baseline(target: &Target) -> Baseline {
         "{}: monitor saw no sandboxed effects at all; the oracle would be vacuous",
         target.name
     );
-    let record = machine.stats();
-    let limit = ((record.cycles as u64).saturating_mul(8) + 1_000_000).min(MACHINE_LIMIT);
+    // Budget for injected runs: generous multiple of the baseline, in
+    // the vehicle's own unit — cycles for the machine, retired
+    // instructions for the functional tiers.
+    let limit = if target.fused {
+        (record.committed.saturating_mul(8) + 1_000_000).min(FUNCTIONAL_LIMIT)
+    } else {
+        ((record.cycles as u64).saturating_mul(8) + 1_000_000).min(MACHINE_LIMIT)
+    };
     Baseline {
         counts: counter.counts(),
         record,
@@ -177,8 +236,6 @@ fn run_cell(cell: &Cell) -> CellResult {
     };
     let engine = ChaosEngine::new(plan);
     let monitor = ShadowMonitor::from_spec(&cell.spec);
-    let mut machine = Machine::new(cell.program.clone());
-    load_heap(&mut machine, cell.heap_base, &cell.heap_init);
     let hook: Box<dyn hfi_sim::ChaosHook> = if cell.weaken {
         Box::new(Rig::new(
             WeakenedEngine::new(engine.clone()),
@@ -187,9 +244,14 @@ fn run_cell(cell: &Cell) -> CellResult {
     } else {
         Box::new(Rig::new(engine.clone(), monitor.clone()))
     };
-    machine.set_chaos(hook);
-    let stop = Executor::run(&mut machine, cell.baseline.limit);
-    let record = machine.stats();
+    let (stop, record, _) = run_hooked(
+        &cell.program,
+        cell.heap_base,
+        &cell.heap_init,
+        cell.fused,
+        hook,
+        cell.baseline.limit,
+    );
     let report = monitor.report();
     let identical = stop == Stop::Halted && record == cell.baseline.record;
     let verdict = classify(&report, identical);
@@ -224,10 +286,16 @@ fn context_for(name: &str, class: FaultClass, rep: u64) -> Vec<(&'static str, St
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let weaken = args.iter().any(|a| a == "--weaken");
-    let figure = if weaken { "chaos-weakened" } else { "chaos" };
+    let fused = args.iter().any(|a| a == "--fused");
+    let figure = match (fused, weaken) {
+        (false, false) => "chaos",
+        (false, true) => "chaos-weakened",
+        (true, false) => "chaos-fused",
+        (true, true) => "chaos-fused-weakened",
+    };
     let mut harness = Harness::from_env(figure);
 
-    let targets = targets(harness.smoke());
+    let targets = targets(harness.smoke(), fused);
     let reps = harness.iters(3, 1);
     let campaign_seed = 0x48_46_49_u64; // "HFI"
 
@@ -281,6 +349,7 @@ fn main() {
                     sites,
                     baseline: baseline.clone(),
                     weaken,
+                    fused,
                 });
             }
         }
@@ -358,10 +427,11 @@ fn main() {
         })
         .collect();
     print_table(
-        if weaken {
-            "Chaos verdict matrix (WEAKENED build: guards disabled)"
-        } else {
-            "Chaos verdict matrix"
+        match (fused, weaken) {
+            (false, false) => "Chaos verdict matrix",
+            (false, true) => "Chaos verdict matrix (WEAKENED build: guards disabled)",
+            (true, false) => "Chaos verdict matrix (fused functional tier)",
+            (true, true) => "Chaos verdict matrix (fused tier, WEAKENED build: guards disabled)",
         },
         &[
             "class",

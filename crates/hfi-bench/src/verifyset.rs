@@ -13,8 +13,8 @@ use std::sync::Arc;
 use hfi_native::{benchmark_program, interposition_spec, Interposition};
 use hfi_sim::{emulate_arc, uses_hfi, Program};
 use hfi_verify::{
-    direct_mutants, emulation_mutants, verify_emulation, verify_program, Mutant, Proof,
-    SandboxSpec, Violation,
+    direct_mutants, emulation_mutants, verify_emulation, verify_fusion, Mutant, Proof, SandboxSpec,
+    Violation,
 };
 use hfi_wasm::compiler::{CompileOptions, Isolation};
 use hfi_wasm::kernels::{sightglass, speclike};
@@ -25,7 +25,10 @@ use crate::compile_cached;
 /// How a target's program is checked against its spec.
 #[derive(Debug, Clone)]
 pub enum VerifyMode {
-    /// Direct dataflow verification of the program itself.
+    /// Direct dataflow verification of the program itself, plus
+    /// structural validation of its superinstruction fusion overlay
+    /// (any directly-verified program may run on the fused tier, so the
+    /// sweep checks the overlay it would dispatch through).
     Direct,
     /// Translation validation: verify `original`, then structurally
     /// validate the target's (emulated) program against it.
@@ -52,7 +55,7 @@ pub struct VerifyTarget {
 /// Verifies one target according to its mode.
 pub fn verify_target(target: &VerifyTarget) -> Result<Proof, Vec<Violation>> {
     match &target.mode {
-        VerifyMode::Direct => verify_program(&target.program, &target.spec),
+        VerifyMode::Direct => verify_fusion(&target.program, &target.spec),
         VerifyMode::Emulation { original } => {
             verify_emulation(original, &target.program, &target.spec)
         }
@@ -63,7 +66,7 @@ pub fn verify_target(target: &VerifyTarget) -> Result<Proof, Vec<Violation>> {
 /// (the mutant is *killed*).
 pub fn mutant_killed(target: &VerifyTarget, mutant: &Mutant) -> bool {
     match &target.mode {
-        VerifyMode::Direct => verify_program(&mutant.program, &target.spec).is_err(),
+        VerifyMode::Direct => verify_fusion(&mutant.program, &target.spec).is_err(),
         VerifyMode::Emulation { original } => {
             verify_emulation(original, &mutant.program, &target.spec).is_err()
         }

@@ -30,6 +30,9 @@ pub enum ExecutorKind {
     Cycle,
     /// The calibrated [`Functional`] interpreter.
     Functional,
+    /// The [`Functional`] interpreter block-threading the fused
+    /// superinstruction plan (bit-identical results, faster dispatch).
+    Fused,
     /// The Appendix A.2 emulation transform on the cycle [`Machine`].
     Emulated,
 }
@@ -40,6 +43,7 @@ impl ExecutorKind {
         match self {
             ExecutorKind::Cycle => "cycle",
             ExecutorKind::Functional => "functional",
+            ExecutorKind::Fused => "fused",
             ExecutorKind::Emulated => "emulated",
         }
     }
@@ -292,7 +296,11 @@ impl Executor for Machine {
 
 impl Executor for Functional {
     fn kind(&self) -> ExecutorKind {
-        ExecutorKind::Functional
+        if self.is_fused() {
+            ExecutorKind::Fused
+        } else {
+            ExecutorKind::Functional
+        }
     }
 
     fn prepare(&mut self, addr: u64, bytes: &[u8]) {
@@ -306,7 +314,7 @@ impl Executor for Functional {
     fn stats(&self) -> RunRecord {
         let stats: FunctionalStats = self.functional_stats();
         RunRecord {
-            executor: ExecutorKind::Functional,
+            executor: Executor::kind(self),
             cycles: self.cycles(),
             committed: stats.retired,
             squashed: 0,

@@ -19,7 +19,7 @@ use crate::chaos::{ArchEvent, ChaosHook};
 use crate::core::{DefaultOs, OsModel, Stop, SyscallOutcome};
 use crate::isa::{AluOp, Inst, Program, Reg};
 use crate::mem::SparseMemory;
-use crate::plan::{plan_of, MicroOp, OpClass, NO_REG};
+use crate::plan::{fused_plan_of, plan_of, DecodedProgram, MicroOp, OpClass, SuperOpKind, NO_REG};
 
 /// Per-class cycle costs for the functional timing model, calibrated so
 /// that functional cycle counts track the cycle simulator on the
@@ -89,6 +89,16 @@ pub struct FunctionalResult {
     pub regs: [u64; 16],
 }
 
+/// Where control goes after executing one micro-op or superinstruction:
+/// on to another instruction index, or out of the run entirely.
+enum StepExit {
+    /// Continue at this instruction index (usually `pc + 1`; a branch
+    /// target or fault-handler index otherwise).
+    Next(usize),
+    /// Execution is over (halt, exit, unhandled fault, bad handler).
+    Stop(Stop),
+}
+
 /// The functional executor.
 pub struct Functional {
     program: Arc<Program>,
@@ -108,6 +118,10 @@ pub struct Functional {
     call_stack: Vec<usize>,
     cycles: f64,
     stats: FunctionalStats,
+    /// Which tier [`Functional::run`] drives: `false` is the per-op
+    /// reference loop, `true` the block-threaded superinstruction engine
+    /// over [`fused_plan_of`]. Both produce bit-identical results.
+    fused: bool,
 }
 
 impl std::fmt::Debug for Functional {
@@ -138,7 +152,27 @@ impl Functional {
             call_stack: Vec::new(),
             cycles: 0.0,
             stats: FunctionalStats::default(),
+            fused: false,
         }
+    }
+
+    /// Creates a functional machine that runs the fused superinstruction
+    /// tier (block-threaded dispatch over [`fused_plan_of`]).
+    pub fn new_fused(program: impl Into<Arc<Program>>) -> Self {
+        let mut functional = Self::new(program);
+        functional.fused = true;
+        functional
+    }
+
+    /// Selects the executor tier: `true` drives the fused
+    /// superinstruction engine, `false` the per-op reference loop.
+    pub fn set_fused(&mut self, fused: bool) {
+        self.fused = fused;
+    }
+
+    /// True when [`Functional::run`] drives the fused tier.
+    pub fn is_fused(&self) -> bool {
+        self.fused
     }
 
     /// Replaces the OS model.
@@ -240,41 +274,80 @@ impl Functional {
         }
     }
 
-    /// Runs up to `max_insts` instructions.
+    /// Delivers a fault raised at instruction index `at` and converts the
+    /// outcome into a [`StepExit`]: redirect to the handler's index, or
+    /// stop with the fault.
+    fn fault_exit(&mut self, fault: HfiFault, at: usize) -> StepExit {
+        let mut pc = at;
+        match self.fault(fault, &mut pc) {
+            Some(stop) => StepExit::Stop(stop),
+            None => StepExit::Next(pc),
+        }
+    }
+
+    /// Runs up to `max_insts` instructions on the selected tier.
     ///
-    /// The loop is direct-threaded over the shared pre-decoded plan
-    /// ([`plan_of`]): each step indexes a flat [`MicroOp`] and dispatches
-    /// on its dense class byte — no `Inst` match and no operand `Option`
-    /// walking — while the architectural semantics, the cost model, and
-    /// every counter are identical to interpreting the `Inst` stream.
-    /// Only the payload classes (`hfi_enter`, `hfi_enter_child`,
-    /// `hfi_set_region`) reach back into the program for their full
-    /// operands, off the hot path.
+    /// The reference tier is direct-threaded over the shared pre-decoded
+    /// plan ([`plan_of`]): each step indexes a flat [`MicroOp`] and
+    /// dispatches on its dense class byte — no `Inst` match and no
+    /// operand `Option` walking — while the architectural semantics, the
+    /// cost model, and every counter are identical to interpreting the
+    /// `Inst` stream. Only the payload classes (`hfi_enter`,
+    /// `hfi_enter_child`, `hfi_set_region`) reach back into the program
+    /// for their full operands, off the hot path.
+    ///
+    /// The fused tier ([`Functional::set_fused`]) instead block-threads
+    /// over the superinstruction plan ([`fused_plan_of`]); results are
+    /// bit-identical (cycles, counters, registers, stop reason) — see
+    /// `tests/predecode_differential.rs`.
     pub fn run(&mut self, max_insts: u64) -> FunctionalResult {
+        if self.fused {
+            self.run_fused(max_insts)
+        } else {
+            self.run_unfused(max_insts)
+        }
+    }
+
+    /// The per-op reference loop (the golden functional semantics).
+    fn run_unfused(&mut self, max_insts: u64) -> FunctionalResult {
         let mut pc = 0usize;
         let mut stop = Stop::CycleLimit;
         let mut budget = max_insts;
         let plan = plan_of(&self.program);
         let program = Arc::clone(&self.program);
-        'outer: while budget > 0 {
+        while budget > 0 {
             budget -= 1;
             if pc >= plan.len() {
                 stop = Stop::Halted;
                 break;
             }
+            match self.step(pc, &plan, &program) {
+                StepExit::Next(next) => pc = next,
+                StepExit::Stop(s) => {
+                    stop = s;
+                    break;
+                }
+            }
+        }
+        self.result_with(stop)
+    }
+
+    /// Executes exactly one micro-op at instruction index `pc` with full
+    /// reference semantics — fetch check, counters, chaos observation and
+    /// injection, cost accumulation, fault delivery — and reports where
+    /// control goes next. Every driver funnels through this routine:
+    /// `run_unfused` per-op, and `run_fused` for observed runs, mid-block
+    /// entries, and `Step`/`HfiSeq` superops — so the architectural
+    /// semantics live in exactly one place.
+    fn step(&mut self, pc: usize, plan: &DecodedProgram, program: &Arc<Program>) -> StepExit {
+        {
             let byte_pc = plan.pc(pc);
             let uop = plan.op(pc);
             if self.hfi.enabled() {
                 self.stats.hfi_checks += 1;
             }
             if let Err(fault) = self.hfi.check_fetch(byte_pc, uop.len as u64) {
-                match self.fault(fault, &mut pc) {
-                    Some(s) => {
-                        stop = s;
-                        break 'outer;
-                    }
-                    None => continue,
-                }
+                return self.fault_exit(fault, pc);
             }
             self.stats.retired += 1;
             if self.chaos.is_some() {
@@ -323,13 +396,7 @@ impl Functional {
                     }
                     if !skip {
                         if let Err(f) = self.hfi.check_data(addr, uop.size as u64, Access::Read) {
-                            match self.fault(f, &mut pc) {
-                                Some(s) => {
-                                    stop = s;
-                                    break 'outer;
-                                }
-                                None => continue,
-                            }
+                            return self.fault_exit(f, pc);
                         }
                     }
                     self.regs[uop.dst as usize] = self.mem.read(addr, uop.size);
@@ -359,13 +426,7 @@ impl Functional {
                     }
                     if !skip {
                         if let Err(f) = self.hfi.check_data(addr, uop.size as u64, Access::Write) {
-                            match self.fault(f, &mut pc) {
-                                Some(s) => {
-                                    stop = s;
-                                    break 'outer;
-                                }
-                                None => continue,
-                            }
+                            return self.fault_exit(f, pc);
                         }
                     }
                     self.mem.write(addr, self.slot(uop.srcs[2]), uop.size);
@@ -429,13 +490,7 @@ impl Functional {
                                 });
                             }
                         }
-                        Err(f) => match self.fault(f, &mut pc) {
-                            Some(s) => {
-                                stop = s;
-                                break 'outer;
-                            }
-                            None => continue,
-                        },
+                        Err(f) => return self.fault_exit(f, pc),
                     }
                 }
                 OpClass::HmovStore => {
@@ -482,13 +537,7 @@ impl Functional {
                                 });
                             }
                         }
-                        Err(f) => match self.fault(f, &mut pc) {
-                            Some(s) => {
-                                stop = s;
-                                break 'outer;
-                            }
-                            None => continue,
-                        },
+                        Err(f) => return self.fault_exit(f, pc),
                     }
                 }
                 OpClass::Branch => {
@@ -523,13 +572,7 @@ impl Functional {
                                 Err(fault) => fault,
                                 Ok(()) => HfiFault::Hardware { addr: target_pc },
                             };
-                            match self.fault(fault, &mut pc) {
-                                Some(s) => {
-                                    stop = s;
-                                    break 'outer;
-                                }
-                                None => continue,
-                            }
+                            return self.fault_exit(fault, pc);
                         }
                     };
                 }
@@ -542,10 +585,7 @@ impl Functional {
                     self.cycles += self.weights.control;
                     next = match self.call_stack.pop() {
                         Some(idx) => idx,
-                        None => {
-                            stop = Stop::Halted;
-                            break;
-                        }
+                        None => return StepExit::Stop(Stop::Halted),
                     };
                 }
                 OpClass::Syscall => {
@@ -560,8 +600,9 @@ impl Functional {
                             next = match self.program.index_of_pc(handler) {
                                 Some(idx) => idx,
                                 None => {
-                                    stop = Stop::Fault(HfiFault::Hardware { addr: handler });
-                                    break;
+                                    return StepExit::Stop(Stop::Fault(HfiFault::Hardware {
+                                        addr: handler,
+                                    }));
                                 }
                             };
                         }
@@ -573,18 +614,11 @@ impl Functional {
                                 + outcome.extra_cycles as f64;
                             self.regs[0] = outcome.ret;
                             if outcome.exit {
-                                stop = Stop::Exited { code: self.regs[1] };
-                                break;
+                                return StepExit::Stop(Stop::Exited { code: self.regs[1] });
                             }
                         }
                         SyscallDisposition::Fault => {
-                            match self.fault(HfiFault::PrivilegedInstruction, &mut pc) {
-                                Some(s) => {
-                                    stop = s;
-                                    break 'outer;
-                                }
-                                None => continue,
-                            }
+                            return self.fault_exit(HfiFault::PrivilegedInstruction, pc);
                         }
                     }
                 }
@@ -610,13 +644,7 @@ impl Functional {
                                 self.cycles += self.costs.serialize_cycles as f64;
                             }
                         }
-                        Err(f) => match self.fault(f, &mut pc) {
-                            Some(s) => {
-                                stop = s;
-                                break 'outer;
-                            }
-                            None => continue,
-                        },
+                        Err(f) => return self.fault_exit(f, pc),
                     }
                 }
                 OpClass::HfiEnterChild => {
@@ -632,13 +660,7 @@ impl Functional {
                                 self.cycles += self.costs.serialize_cycles as f64;
                             }
                         }
-                        Err(f) => match self.fault(f, &mut pc) {
-                            Some(s) => {
-                                stop = s;
-                                break 'outer;
-                            }
-                            None => continue,
-                        },
+                        Err(f) => return self.fault_exit(f, pc),
                     }
                 }
                 OpClass::HfiExit => {
@@ -653,31 +675,20 @@ impl Functional {
                                 next = match self.program.index_of_pc(handler) {
                                     Some(idx) => idx,
                                     None => {
-                                        stop = Stop::Fault(HfiFault::Hardware { addr: handler });
-                                        break;
+                                        return StepExit::Stop(Stop::Fault(HfiFault::Hardware {
+                                            addr: handler,
+                                        }));
                                     }
                                 };
                             }
                         }
-                        Err(f) => match self.fault(f, &mut pc) {
-                            Some(s) => {
-                                stop = s;
-                                break 'outer;
-                            }
-                            None => continue,
-                        },
+                        Err(f) => return self.fault_exit(f, pc),
                     }
                 }
                 OpClass::HfiReenter => {
                     self.cycles += self.costs.enter_exit_base_cycles as f64;
                     if let Err(f) = self.hfi.reenter() {
-                        match self.fault(f, &mut pc) {
-                            Some(s) => {
-                                stop = s;
-                                break 'outer;
-                            }
-                            None => continue,
-                        }
+                        return self.fault_exit(f, pc);
                     }
                 }
                 OpClass::HfiSetRegion => {
@@ -692,46 +703,25 @@ impl Functional {
                                 self.cycles += self.costs.serialize_cycles as f64;
                             }
                         }
-                        Err(f) => match self.fault(f, &mut pc) {
-                            Some(s) => {
-                                stop = s;
-                                break 'outer;
-                            }
-                            None => continue,
-                        },
+                        Err(f) => return self.fault_exit(f, pc),
                     }
                 }
                 OpClass::HfiClearRegion => {
                     self.cycles += 1.0;
                     if let Err(f) = self.hfi.clear_region(uop.region as usize) {
-                        match self.fault(f, &mut pc) {
-                            Some(s) => {
-                                stop = s;
-                                break 'outer;
-                            }
-                            None => continue,
-                        }
+                        return self.fault_exit(f, pc);
                     }
                 }
                 OpClass::HfiClearAllRegions => {
                     self.cycles += 1.0;
                     if let Err(f) = self.hfi.clear_all_regions() {
-                        match self.fault(f, &mut pc) {
-                            Some(s) => {
-                                stop = s;
-                                break 'outer;
-                            }
-                            None => continue,
-                        }
+                        return self.fault_exit(f, pc);
                     }
                 }
                 OpClass::Nop => {
                     self.cycles += self.weights.alu;
                 }
-                OpClass::Halt => {
-                    stop = Stop::Halted;
-                    break;
-                }
+                OpClass::Halt => return StepExit::Stop(Stop::Halted),
             }
             if self.chaos.is_some() {
                 if uop.dst != NO_REG {
@@ -746,14 +736,349 @@ impl Functional {
                     hook.corrupt_context(&mut self.hfi);
                 }
             }
-            pc = next;
+            StepExit::Next(next)
         }
+    }
+
+    /// The block-threaded engine over the fused superinstruction plan.
+    ///
+    /// Dispatches one [`SuperOp`] at a time instead of one micro-op at a
+    /// time: straight-line runs of same-category ops execute in tight
+    /// specialized loops (`sop_alu_run`, `sop_guarded_run`, …) that skip
+    /// per-op class dispatch. Three situations fall back to the reference
+    /// [`Functional::step`] routine so semantics stay bit-identical:
+    ///
+    /// * a chaos hook is attached (`corrupt_context` may rewrite the HFI
+    ///   context between *any* two ops, so every op must be observed);
+    /// * control enters a block mid-way (fault-handler redirects and
+    ///   indirect jumps can land inside a superop);
+    /// * the superop kind is `HfiSeq` or `Step` (cold / payload classes).
+    fn run_fused(&mut self, max_insts: u64) -> FunctionalResult {
+        let fused = fused_plan_of(&self.program);
+        let plan = Arc::clone(fused.base());
+        let program = Arc::clone(&self.program);
+        let observed = self.chaos.is_some();
+        let mut pc = 0usize;
+        let mut stop = Stop::CycleLimit;
+        let mut budget = max_insts;
+        'outer: while budget > 0 {
+            if pc >= plan.len() {
+                stop = Stop::Halted;
+                break;
+            }
+            let b = plan.block_of(pc);
+            let bb = plan.blocks()[b];
+            if observed || pc != bb.start as usize {
+                // Reference path: per-op, fully observed.
+                budget -= 1;
+                match self.step(pc, &plan, &program) {
+                    StepExit::Next(next) => pc = next,
+                    StepExit::Stop(s) => {
+                        stop = s;
+                        break;
+                    }
+                }
+                continue;
+            }
+            // Fast path: thread the block's superops in order.
+            let fb = fused.block(b);
+            let mut s = fb.sop_start;
+            while s < fb.sop_end {
+                if budget == 0 {
+                    continue 'outer;
+                }
+                let sop = *fused.sop(s as usize);
+                let start = sop.start as usize;
+                let end = sop.end();
+                let exit = match sop.kind {
+                    SuperOpKind::AluRun => self.sop_alu_run(start, end, &mut budget, &plan),
+                    SuperOpKind::CmpBranch => self.sop_cmp_branch(start, &mut budget, &plan),
+                    SuperOpKind::GuardedAccess => {
+                        self.sop_guarded_run(start, end, &mut budget, &plan)
+                    }
+                    SuperOpKind::HmovChain => self.sop_hmov_run(start, end, &mut budget, &plan),
+                    SuperOpKind::HfiSeq | SuperOpKind::Step => {
+                        self.sop_step_run(start, end, &mut budget, &plan, &program)
+                    }
+                };
+                match exit {
+                    StepExit::Next(next) if next == end => {
+                        pc = next;
+                        s += 1;
+                    }
+                    StepExit::Next(next) => {
+                        // Divergence: taken branch, fault-handler redirect,
+                        // or budget exhaustion mid-superop. Re-enter the
+                        // outer dispatch from wherever control landed.
+                        pc = next;
+                        continue 'outer;
+                    }
+                    StepExit::Stop(s) => {
+                        stop = s;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        self.result_with(stop)
+    }
+
+    fn result_with(&self, stop: Stop) -> FunctionalResult {
         FunctionalResult {
             cycles: self.cycles,
             stop,
             stats: self.stats,
             regs: self.regs,
         }
+    }
+
+    /// Fetch-side HFI check for one instruction index, mirroring the head
+    /// of [`Functional::step`]. Only called when a check can actually
+    /// happen; when HFI is disabled `check_fetch` is a no-op with no
+    /// counter side effects, so the call is skipped entirely.
+    #[inline]
+    fn fetch_gate(&mut self, idx: usize, plan: &DecodedProgram) -> Result<(), StepExit> {
+        if self.hfi.enabled() {
+            self.stats.hfi_checks += 1;
+            if let Err(fault) = self.hfi.check_fetch(plan.pc(idx), plan.op(idx).len as u64) {
+                return Err(self.fault_exit(fault, idx));
+            }
+        }
+        Ok(())
+    }
+
+    /// Executes one `Simple`-category op (ALU / moves / rdtsc / nop)
+    /// without the full class dispatch. Must stay cost- and
+    /// counter-identical to the matching arms in [`Functional::step`].
+    #[inline]
+    fn exec_simple(&mut self, uop: &MicroOp) {
+        match uop.class {
+            OpClass::AluRR => {
+                self.cycles += self.weight_of(uop.alu);
+                let a = self.slot(uop.srcs[0]);
+                let b = self.slot(uop.srcs[1]);
+                self.regs[uop.dst as usize] = alu(uop.alu, a, b);
+            }
+            OpClass::AluRI => {
+                self.cycles += self.weight_of(uop.alu);
+                let a = self.slot(uop.srcs[0]);
+                self.regs[uop.dst as usize] = alu(uop.alu, a, uop.imm as u64);
+            }
+            OpClass::MovI => {
+                self.cycles += self.weights.alu;
+                self.regs[uop.dst as usize] = uop.imm as u64;
+            }
+            OpClass::Mov => {
+                self.cycles += self.weights.alu;
+                self.regs[uop.dst as usize] = self.slot(uop.srcs[0]);
+            }
+            OpClass::Rdtsc => {
+                self.cycles += self.weights.alu;
+                self.regs[uop.dst as usize] = self.cycles as u64;
+            }
+            _ => {
+                // `Nop` is the only other Simple class.
+                self.cycles += self.weights.alu;
+            }
+        }
+    }
+
+    /// `AluRun` superop: a straight run of Simple ops.
+    fn sop_alu_run(
+        &mut self,
+        start: usize,
+        end: usize,
+        budget: &mut u64,
+        plan: &DecodedProgram,
+    ) -> StepExit {
+        // Straight-line fast path: with HFI disabled there is no fetch
+        // gate (a disabled `check_fetch` is a no-op with no counter side
+        // effects) and Simple ops cannot fault or redirect, so the whole
+        // run retires unconditionally. Batching the budget decrement and
+        // retired bump is exact: the reference loop's per-op `budget -= 1`
+        // totals the same subtraction, and budget is unobservable except
+        // through where execution stops — which this path never changes
+        // (it only enters when the budget covers the full run). Per-op
+        // cycle accumulation order is preserved inside `exec_simple`.
+        let count = (end - start) as u64;
+        if *budget >= count && !self.hfi.enabled() {
+            *budget -= count;
+            self.stats.retired += count;
+            for uop in &plan.ops()[start..end] {
+                let uop = *uop;
+                self.exec_simple(&uop);
+            }
+            return StepExit::Next(end);
+        }
+        for idx in start..end {
+            if *budget == 0 {
+                return StepExit::Next(idx);
+            }
+            *budget -= 1;
+            if let Err(exit) = self.fetch_gate(idx, plan) {
+                return exit;
+            }
+            self.stats.retired += 1;
+            let uop = *plan.op(idx);
+            self.exec_simple(&uop);
+        }
+        StepExit::Next(end)
+    }
+
+    /// `CmpBranch` superop: one Simple op (the compare) immediately
+    /// followed by the block-terminating conditional branch.
+    fn sop_cmp_branch(
+        &mut self,
+        start: usize,
+        budget: &mut u64,
+        plan: &DecodedProgram,
+    ) -> StepExit {
+        *budget -= 1;
+        if let Err(exit) = self.fetch_gate(start, plan) {
+            return exit;
+        }
+        self.stats.retired += 1;
+        let cmp = *plan.op(start);
+        self.exec_simple(&cmp);
+        if *budget == 0 {
+            return StepExit::Next(start + 1);
+        }
+        *budget -= 1;
+        let br_idx = start + 1;
+        if let Err(exit) = self.fetch_gate(br_idx, plan) {
+            return exit;
+        }
+        self.stats.retired += 1;
+        let br = *plan.op(br_idx);
+        self.cycles += self.weights.branch;
+        self.stats.branches += 1;
+        let lhs = self.slot(br.srcs[0]);
+        let rhs = if br.class == OpClass::BranchI {
+            br.imm as u64
+        } else {
+            self.slot(br.srcs[1])
+        };
+        StepExit::Next(if br.cond.eval(lhs, rhs) {
+            br.target as usize
+        } else {
+            br_idx + 1
+        })
+    }
+
+    /// `GuardedAccess` superop: a run of implicitly-checked loads/stores.
+    fn sop_guarded_run(
+        &mut self,
+        start: usize,
+        end: usize,
+        budget: &mut u64,
+        plan: &DecodedProgram,
+    ) -> StepExit {
+        for idx in start..end {
+            if *budget == 0 {
+                return StepExit::Next(idx);
+            }
+            *budget -= 1;
+            if let Err(exit) = self.fetch_gate(idx, plan) {
+                return exit;
+            }
+            self.stats.retired += 1;
+            let uop = *plan.op(idx);
+            self.cycles += self.weights.mem;
+            self.stats.mem_ops += 1;
+            if self.hfi.enabled() {
+                self.stats.hfi_checks += 1;
+            }
+            let addr = self.ea_of(&uop);
+            if uop.has(MicroOp::IS_STORE) {
+                if let Err(f) = self.hfi.check_data(addr, uop.size as u64, Access::Write) {
+                    return self.fault_exit(f, idx);
+                }
+                self.mem.write(addr, self.slot(uop.srcs[2]), uop.size);
+            } else {
+                if let Err(f) = self.hfi.check_data(addr, uop.size as u64, Access::Read) {
+                    return self.fault_exit(f, idx);
+                }
+                self.regs[uop.dst as usize] = self.mem.read(addr, uop.size);
+            }
+        }
+        StepExit::Next(end)
+    }
+
+    /// `HmovChain` superop: a run of explicitly-checked hmov accesses.
+    ///
+    /// The `hmov_unchecked_ea` fallback in the reference path is only
+    /// reachable when a chaos hook forces `skip_guard` — and chaos runs
+    /// never reach the fast handlers — so it is omitted here.
+    fn sop_hmov_run(
+        &mut self,
+        start: usize,
+        end: usize,
+        budget: &mut u64,
+        plan: &DecodedProgram,
+    ) -> StepExit {
+        for idx in start..end {
+            if *budget == 0 {
+                return StepExit::Next(idx);
+            }
+            *budget -= 1;
+            if let Err(exit) = self.fetch_gate(idx, plan) {
+                return exit;
+            }
+            self.stats.retired += 1;
+            let uop = *plan.op(idx);
+            self.cycles += self.weights.mem;
+            self.stats.mem_ops += 1;
+            self.stats.hfi_checks += 1;
+            let index = self.slot(uop.srcs[1]) as i64;
+            let access = if uop.has(MicroOp::IS_STORE) {
+                Access::Write
+            } else {
+                Access::Read
+            };
+            match self.hfi.hmov_check_access(
+                uop.region,
+                index,
+                uop.scale as u64,
+                uop.imm,
+                uop.size as u64,
+                access,
+            ) {
+                Ok(ea) => {
+                    if access == Access::Write {
+                        self.mem.write(ea, self.slot(uop.srcs[2]), uop.size);
+                    } else {
+                        self.regs[uop.dst as usize] = self.mem.read(ea, uop.size);
+                    }
+                }
+                Err(f) => return self.fault_exit(f, idx),
+            }
+        }
+        StepExit::Next(end)
+    }
+
+    /// `HfiSeq` / `Step` superop: drive the reference [`Functional::step`]
+    /// routine op by op. A step that redirects control (branch, fault
+    /// handler) exits the run early and the caller re-dispatches.
+    fn sop_step_run(
+        &mut self,
+        start: usize,
+        end: usize,
+        budget: &mut u64,
+        plan: &DecodedProgram,
+        program: &Arc<Program>,
+    ) -> StepExit {
+        let mut pc = start;
+        while pc < end {
+            if *budget == 0 {
+                return StepExit::Next(pc);
+            }
+            *budget -= 1;
+            match self.step(pc, plan, program) {
+                StepExit::Next(next) if next == pc + 1 => pc = next,
+                other => return other,
+            }
+        }
+        StepExit::Next(end)
     }
 
     fn weight_of(&self, op: AluOp) -> f64 {

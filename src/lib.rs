@@ -15,6 +15,8 @@
 //! * [`hfi_mem`] — the cost-accounted virtual-memory model;
 //! * [`hfi_verify`] — static sandbox-safety verifier (abstract
 //!   interpretation over decoded plans) + mutation-based fault injection;
+//! * [`hfi_chaos`] — runtime fault injection (seeded single-site
+//!   perturbations) with a fail-closed shadow-monitor oracle;
 //! * [`hfi_wasm`] — IR, compiler backends, runtime, workload kernels;
 //! * [`hfi_native`] — native-binary sandboxing experiments;
 //! * [`hfi_spectre`] — Spectre-PHT/BTB attacks and their HFI mitigation;
@@ -38,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub use hfi_bench;
+pub use hfi_chaos;
 pub use hfi_core;
 pub use hfi_faas;
 pub use hfi_mem;

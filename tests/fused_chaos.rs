@@ -1,0 +1,249 @@
+//! Chaos reachability under superinstruction fusion.
+//!
+//! Fusing micro-op runs into superinstructions must not optimize away a
+//! single fault-injection site: the chaos seam's contract is that any
+//! installed [`ChaosHook`](hfi_sim::ChaosHook) forces the fused engine
+//! back onto the fully-observed per-op reference path, so every
+//! perturbable site (EA computations, result writebacks, guard
+//! micro-ops, instruction boundaries) is visited exactly as on the
+//! unfused tier. These tests prove that contract from the outside:
+//!
+//! * the sandboxed workload really does fuse (its plan contains
+//!   multi-op `GuardedAccess` and `HmovChain` superinstructions), so
+//!   the sites below genuinely live *inside* fused sequences;
+//! * site counts are identical across tiers for every site kind;
+//! * every functional-tier [`FaultClass`] still fires on the fused
+//!   tier and never produces an escape;
+//! * the deliberately-weakened build still produces a *visible* escape
+//!   on the fused tier — the oracle did not go blind under fusion.
+
+use std::sync::Arc;
+
+use hfi_chaos::{
+    classify, ChaosEngine, ChaosPlan, FaultClass, Rig, ShadowMonitor, SiteCounter, WeakenedEngine,
+};
+use hfi_core::region::{ExplicitDataRegion, ImplicitCodeRegion, ImplicitDataRegion};
+use hfi_core::{Region, SandboxConfig};
+use hfi_sim::isa::MemOperand;
+use hfi_sim::{
+    fused_plan_of, AluOp, Cond, Functional, HmovOperand, Program, ProgramBuilder, Reg, Stop,
+    SuperOpKind,
+};
+use hfi_verify::SandboxSpec;
+
+const CODE_BASE: u64 = 0x40_0000;
+const DATA_BASE: u64 = 0x10_0000;
+const HEAP_BASE: u64 = 0x100_0000;
+
+/// A sandboxed workload whose hot loop is built from fusable runs:
+/// back-to-back implicitly-checked stores/loads (a `GuardedAccess` run),
+/// back-to-back `hmov` accesses (an `HmovChain`), ALU traffic, and a
+/// compare+branch loop tail.
+fn fused_workload() -> Arc<Program> {
+    let mut asm = ProgramBuilder::new(CODE_BASE);
+    let code = ImplicitCodeRegion::new(CODE_BASE, 0xFFFF, true).unwrap();
+    let data = ImplicitDataRegion::new(DATA_BASE, 0xFFFF, true, true).unwrap();
+    let heap = ExplicitDataRegion::large(HEAP_BASE, 1 << 16, true, true).unwrap();
+    asm.hfi_set_region(0, Region::Code(code));
+    asm.hfi_set_region(2, Region::Data(data));
+    asm.hfi_set_region(6, Region::Explicit(heap));
+    asm.hfi_enter(SandboxConfig::hybrid());
+    asm.movi(Reg(0), 0);
+    asm.movi(Reg(1), 12);
+    asm.movi(Reg(2), DATA_BASE as i64);
+    let top = asm.label_here("top");
+    // Guarded-access run: four consecutive implicit accesses.
+    asm.store(Reg(1), MemOperand::base_disp(Reg(2), 0x40), 8);
+    asm.store(Reg(0), MemOperand::base_disp(Reg(2), 0x48), 8);
+    asm.load(Reg(3), MemOperand::base_disp(Reg(2), 0x40), 8);
+    asm.load(Reg(4), MemOperand::base_disp(Reg(2), 0x48), 8);
+    asm.alu(AluOp::Add, Reg(0), Reg(0), Reg(3));
+    // Hmov chain: three consecutive explicit accesses.
+    asm.hmov_store(0, Reg(0), HmovOperand::disp(0x80), 8);
+    asm.hmov_store(0, Reg(3), HmovOperand::disp(0x88), 8);
+    asm.hmov_load(0, Reg(5), HmovOperand::disp(0x80), 8);
+    asm.alu_ri(AluOp::Sub, Reg(1), Reg(1), 1);
+    asm.branch_i(Cond::Ne, Reg(1), 0, top);
+    asm.hfi_exit();
+    asm.halt();
+    Arc::new(asm.finish())
+}
+
+fn spec() -> SandboxSpec {
+    SandboxSpec::new("fused-chaos")
+        .window("data", DATA_BASE, 0x1_0000)
+        .window("heap", HEAP_BASE, 1 << 16)
+        .slot(
+            0,
+            Region::Code(ImplicitCodeRegion::new(CODE_BASE, 0xFFFF, true).unwrap()),
+        )
+}
+
+fn run_tier(fused: bool, hook: Box<dyn hfi_sim::ChaosHook>) -> Stop {
+    let mut functional = Functional::new(fused_workload());
+    functional.set_fused(fused);
+    functional.set_chaos(hook);
+    functional.run(1_000_000).stop
+}
+
+/// The functional-tier fault classes: the two wrong-path classes only
+/// have sites on the cycle machine's speculative front end.
+const FUNCTIONAL_CLASSES: [FaultClass; 4] = [
+    FaultClass::EaFlip,
+    FaultClass::OperandFlip,
+    FaultClass::GuardSkip,
+    FaultClass::RegionCorrupt,
+];
+
+#[test]
+fn workload_actually_fuses_its_injection_sites() {
+    let program = fused_workload();
+    let fused = fused_plan_of(&program);
+    let mut guarded_run = 0u32;
+    let mut hmov_chain = 0u32;
+    let mut alu_run = 0u32;
+    for sop in fused.sops() {
+        match sop.kind {
+            SuperOpKind::GuardedAccess if sop.count > 1 => guarded_run += 1,
+            SuperOpKind::HmovChain if sop.count > 1 => hmov_chain += 1,
+            SuperOpKind::AluRun if sop.count > 1 => alu_run += 1,
+            _ => {}
+        }
+    }
+    assert!(guarded_run > 0, "no multi-op GuardedAccess superop");
+    assert!(hmov_chain > 0, "no multi-op HmovChain superop");
+    assert!(alu_run > 0, "no multi-op AluRun superop");
+}
+
+#[test]
+fn every_injection_site_survives_fusion() {
+    let count_sites = |fused: bool| {
+        let counter = SiteCounter::new();
+        let monitor = ShadowMonitor::from_spec(&spec());
+        let stop = run_tier(fused, Box::new(Rig::new(counter.clone(), monitor.clone())));
+        assert_eq!(stop, Stop::Halted);
+        assert!(monitor.report().clean());
+        counter.counts()
+    };
+    let unfused = count_sites(false);
+    let fused = count_sites(true);
+    assert_eq!(
+        unfused, fused,
+        "fusion changed the set of reachable injection sites"
+    );
+    assert!(unfused.ea > 0, "no EA sites in the workload");
+    assert!(unfused.result > 0, "no writeback sites in the workload");
+    assert!(unfused.guard > 0, "no guard sites in the workload");
+    assert!(unfused.context > 0, "no boundary sites in the workload");
+}
+
+#[test]
+fn every_functional_fault_class_still_fires_and_never_escapes_when_fused() {
+    // Site counts per class, measured once on the fused tier.
+    let counter = SiteCounter::new();
+    run_tier(
+        true,
+        Box::new(Rig::new(counter.clone(), ShadowMonitor::from_spec(&spec()))),
+    );
+    let counts = counter.counts();
+    for class in FUNCTIONAL_CLASSES {
+        let sites = match class {
+            FaultClass::EaFlip => counts.ea,
+            FaultClass::OperandFlip => counts.result,
+            FaultClass::GuardSkip => counts.guard,
+            FaultClass::RegionCorrupt => counts.context,
+            _ => unreachable!(),
+        };
+        assert!(sites > 0, "{class}: no sites");
+        // Spread triggers across the whole run, capped for test runtime.
+        let step = (sites / 12).max(1);
+        let mut fired = 0u64;
+        for trigger in (0..sites).step_by(step as usize) {
+            let engine = ChaosEngine::new(ChaosPlan {
+                seed: 0xF05E ^ trigger,
+                class,
+                trigger,
+            });
+            let monitor = ShadowMonitor::from_spec(&spec());
+            run_tier(true, Box::new(Rig::new(engine.clone(), monitor.clone())));
+            if engine.fired().is_some() {
+                fired += 1;
+            }
+            let verdict = classify(&monitor.report(), false);
+            assert!(
+                !verdict.is_escape(),
+                "{class} trigger {trigger}: ESCAPE on the fused tier after {:?}",
+                engine.fired()
+            );
+        }
+        assert!(fired > 0, "{class}: no injection ever fired under fusion");
+    }
+}
+
+#[test]
+fn injected_verdicts_are_identical_across_tiers() {
+    let counter = SiteCounter::new();
+    run_tier(
+        false,
+        Box::new(Rig::new(counter.clone(), ShadowMonitor::from_spec(&spec()))),
+    );
+    let counts = counter.counts();
+    for class in FUNCTIONAL_CLASSES {
+        let sites = match class {
+            FaultClass::EaFlip => counts.ea,
+            FaultClass::OperandFlip => counts.result,
+            FaultClass::GuardSkip => counts.guard,
+            FaultClass::RegionCorrupt => counts.context,
+            _ => unreachable!(),
+        };
+        let step = (sites / 6).max(1);
+        for trigger in (0..sites).step_by(step as usize) {
+            let verdict_of = |fused: bool| {
+                let engine = ChaosEngine::new(ChaosPlan {
+                    seed: 0xD1FF ^ trigger,
+                    class,
+                    trigger,
+                });
+                let monitor = ShadowMonitor::from_spec(&spec());
+                run_tier(fused, Box::new(Rig::new(engine, monitor.clone())));
+                classify(&monitor.report(), false)
+            };
+            assert_eq!(
+                verdict_of(false),
+                verdict_of(true),
+                "{class} trigger {trigger}: tiers disagree on the verdict"
+            );
+        }
+    }
+}
+
+#[test]
+fn weakened_build_still_escapes_on_the_fused_tier() {
+    let counter = SiteCounter::new();
+    run_tier(
+        true,
+        Box::new(Rig::new(counter.clone(), ShadowMonitor::from_spec(&spec()))),
+    );
+    let sites = counter.counts().ea;
+    let mut escaped = false;
+    'search: for seed in 0..64u64 {
+        for trigger in 0..sites {
+            let engine = ChaosEngine::new(ChaosPlan {
+                seed,
+                class: FaultClass::EaFlip,
+                trigger,
+            });
+            let weakened = WeakenedEngine::new(engine);
+            let monitor = ShadowMonitor::from_spec(&spec());
+            run_tier(true, Box::new(Rig::new(weakened, monitor.clone())));
+            if classify(&monitor.report(), false).is_escape() {
+                escaped = true;
+                break 'search;
+            }
+        }
+    }
+    assert!(
+        escaped,
+        "the oracle never reported an escape on the weakened fused tier"
+    );
+}

@@ -18,8 +18,8 @@ use hfi_repro::hfi_core::region::ExplicitDataRegion;
 use hfi_repro::hfi_core::{Region, SandboxConfig};
 use hfi_repro::hfi_sim::plan::{NO_REG, NO_TARGET};
 use hfi_repro::hfi_sim::{
-    plan_of, AluOp, Cond, Functional, HmovOperand, Inst, Machine, MemOperand, MicroOp, Program,
-    Reg, SerializeClass, Stop,
+    plan_of, AluOp, Cond, Functional, FunctionalResult, HmovOperand, Inst, Machine, MemOperand,
+    MicroOp, Program, Reg, SerializeClass, Stop,
 };
 use hfi_repro::hfi_util::Rng;
 
@@ -396,6 +396,298 @@ fn random_runnable(rng: &mut Rng) -> Arc<Program> {
     }
     insts.push(Inst::Halt);
     Arc::new(Program::new(insts, 0x1000))
+}
+
+/// A random *guarded* runnable program: an HFI prologue installs a code
+/// region, an implicit data region over the heap window, and an explicit
+/// hmov region, then enters a hybrid sandbox; the body mixes checked
+/// implicit accesses, checked `hmov` accesses (some deliberately
+/// out-of-bounds through huge index registers), region clears, sandbox
+/// exit/reenter, and forward-only branches. Faults are part of the
+/// contract: a program that traps must trap identically on both tiers.
+fn random_guarded_runnable(rng: &mut Rng) -> Arc<Program> {
+    use hfi_repro::hfi_core::region::{ImplicitCodeRegion, ImplicitDataRegion};
+    const BASE_REG: Reg = Reg(8);
+    const CODE_BASE: i64 = 0x40_0000;
+    const HEAP: i64 = 0x2_0000;
+    let code = Region::Code(ImplicitCodeRegion::new(CODE_BASE as u64, 0xFFFF, true).expect("code"));
+    let data =
+        Region::Data(ImplicitDataRegion::new(HEAP as u64, 0xFFFF, true, true).expect("data"));
+    let heap =
+        Region::Explicit(ExplicitDataRegion::large(0x10_0000, 0x1_0000, true, true).expect("hmov"));
+
+    let body = rng.range_u64(16, 64) as usize;
+    let mut insts: Vec<Inst> = Vec::new();
+    for r in 0..8u8 {
+        insts.push(Inst::MovI {
+            dst: Reg(r),
+            imm: rng.range_i64(-1 << 32, 1 << 32),
+        });
+    }
+    insts.push(Inst::MovI {
+        dst: BASE_REG,
+        imm: HEAP,
+    });
+    insts.push(Inst::HfiSetRegion {
+        slot: 0,
+        region: code,
+    });
+    insts.push(Inst::HfiSetRegion {
+        slot: 2,
+        region: data,
+    });
+    insts.push(Inst::HfiSetRegion {
+        slot: 6,
+        region: heap,
+    });
+    insts.push(Inst::HfiEnter {
+        config: if rng.bool() {
+            SandboxConfig::hybrid().serialized()
+        } else {
+            SandboxConfig::hybrid()
+        },
+    });
+    let first = insts.len();
+    let halt = first + body;
+    for i in first..halt {
+        let target = rng.range_u64(i as u64 + 1, halt as u64 + 1) as usize;
+        let mem = MemOperand {
+            base: Some(BASE_REG),
+            index: None,
+            scale: 1,
+            // Mostly in the data region; occasionally far out, so the
+            // implicit guard's fault path is exercised too.
+            disp: if rng.below(8) == 0 {
+                0x50_0000
+            } else {
+                rng.below(512) as i64 * 8
+            },
+        };
+        let hmov = if rng.below(4) == 0 {
+            // A huge index register makes the §4.2 bounds check trap.
+            HmovOperand::indexed(Reg(rng.below(8) as u8), 8, rng.below(256) as i64 * 8)
+        } else {
+            HmovOperand::disp(rng.below(512) as i64 * 8)
+        };
+        let inst = match rng.below(16) {
+            0 | 1 => Inst::AluRR {
+                op: *rng.pick(&ALUS),
+                dst: Reg(rng.below(8) as u8),
+                a: Reg(rng.below(8) as u8),
+                b: Reg(rng.below(8) as u8),
+            },
+            2 | 3 => Inst::AluRI {
+                op: *rng.pick(&ALUS),
+                dst: Reg(rng.below(8) as u8),
+                a: Reg(rng.below(8) as u8),
+                imm: rng.range_i64(-256, 256),
+            },
+            4 | 5 => Inst::Load {
+                dst: Reg(rng.below(8) as u8),
+                mem,
+                size: 8,
+            },
+            6 | 7 => Inst::Store {
+                src: Reg(rng.below(8) as u8),
+                mem,
+                size: 8,
+            },
+            8 => Inst::HmovLoad {
+                region: 6,
+                dst: Reg(rng.below(8) as u8),
+                mem: hmov,
+                size: 8,
+            },
+            9 => Inst::HmovStore {
+                region: 6,
+                src: Reg(rng.below(8) as u8),
+                mem: hmov,
+                size: 8,
+            },
+            10 => Inst::Branch {
+                cond: *rng.pick(&CONDS),
+                a: Reg(rng.below(8) as u8),
+                b: Reg(rng.below(8) as u8),
+                target,
+            },
+            11 => Inst::BranchI {
+                cond: *rng.pick(&CONDS),
+                a: Reg(rng.below(8) as u8),
+                imm: rng.range_i64(-4, 4),
+                target,
+            },
+            12 => Inst::Jump { target },
+            13 => match rng.below(4) {
+                0 => Inst::HfiExit,
+                1 => Inst::HfiReenter,
+                2 => Inst::HfiClearRegion { slot: 6 },
+                _ => Inst::HfiClearAllRegions,
+            },
+            _ => Inst::Nop,
+        };
+        insts.push(inst);
+    }
+    insts.push(Inst::Halt);
+    Arc::new(Program::new(insts, CODE_BASE as u64))
+}
+
+/// Runs `program` on the requested functional tier with a deterministic
+/// setup and returns the full result plus the final contents of every
+/// memory window the program can touch.
+fn run_tier(program: &Arc<Program>, fused: bool, limit: u64) -> (FunctionalResult, Vec<u8>) {
+    let mut functional = Functional::new(Arc::clone(program));
+    functional.set_fused(fused);
+    let result = functional.run(limit);
+    let mut image = functional.mem.read_bytes(0x2_0000, 0x1_0000);
+    image.extend(functional.mem.read_bytes(0x10_0000, 0x1_0000));
+    (result, image)
+}
+
+#[test]
+fn fused_and_unfused_agree_on_random_runnable_programs() {
+    let mut rng = Rng::new(0xF05ED);
+    for case in 0..48 {
+        let program = random_runnable(&mut rng);
+        let (unfused, mem_unfused) = run_tier(&program, false, 50_000_000);
+        let (fused, mem_fused) = run_tier(&program, true, 50_000_000);
+        assert_eq!(unfused, fused, "case {case}: results diverged");
+        assert_eq!(mem_unfused, mem_fused, "case {case}: memory diverged");
+    }
+}
+
+#[test]
+fn fused_and_unfused_agree_on_random_guarded_programs() {
+    let mut rng = Rng::new(0x6A4DED);
+    let mut faulted = 0u32;
+    let mut halted = 0u32;
+    for case in 0..96 {
+        let program = random_guarded_runnable(&mut rng);
+        let (unfused, mem_unfused) = run_tier(&program, false, 200_000);
+        let (fused, mem_fused) = run_tier(&program, true, 200_000);
+        assert_eq!(unfused, fused, "case {case}: results diverged");
+        assert_eq!(mem_unfused, mem_fused, "case {case}: memory diverged");
+        match unfused.stop {
+            Stop::Fault(_) => faulted += 1,
+            Stop::Halted => halted += 1,
+            _ => {}
+        }
+    }
+    // The corpus must actually exercise both the guarded fast paths and
+    // the fault paths, or the differential above proves nothing.
+    assert!(halted > 0, "no guarded program ran to completion");
+    assert!(faulted > 0, "no guarded program faulted");
+}
+
+/// Tier-crossing fault redirects: with a signal handler installed, a
+/// fault re-enters the program at the handler's instruction index — which
+/// is rarely a block leader, so the fused engine must take its mid-block
+/// entry path. Both tiers must agree on everything that follows.
+#[test]
+fn fused_and_unfused_agree_under_fault_handler_redirects() {
+    let mut rng = Rng::new(0x51663);
+    let mut redirected = 0u32;
+    for case in 0..48 {
+        let program = random_guarded_runnable(&mut rng);
+        let handler_idx = rng.below(program.len() as u64) as usize;
+        let handler = program.pc_of(handler_idx);
+        let run = |fused: bool| {
+            let mut functional = Functional::new(Arc::clone(&program));
+            functional.set_fused(fused);
+            functional.signal_handler = Some(handler);
+            let result = functional.run(100_000);
+            let mut image = functional.mem.read_bytes(0x2_0000, 0x1_0000);
+            image.extend(functional.mem.read_bytes(0x10_0000, 0x1_0000));
+            (result, image)
+        };
+        let (unfused, mem_unfused) = run(false);
+        let (fused, mem_fused) = run(true);
+        assert_eq!(unfused, fused, "case {case}: results diverged");
+        assert_eq!(mem_unfused, mem_fused, "case {case}: memory diverged");
+        if unfused.stats.faults > 0 {
+            redirected += 1;
+        }
+    }
+    assert!(redirected > 0, "no run ever took the handler redirect");
+}
+
+/// Every verifyset kernel, under every Fig. 3 isolation scheme, must
+/// produce an identical architectural record on the fused tier: same
+/// exit state, same counters (retired, memory accesses, checks, faults),
+/// same modelled cycles. `RunRecord` equality ignores only the host-side
+/// throughput fields; the executor tag is normalized by hand.
+#[test]
+fn fused_and_unfused_agree_on_every_verifyset_kernel() {
+    use hfi_repro::hfi_bench::{run_functional_record, run_fused_record, FIG3_SCHEMES};
+    use hfi_repro::hfi_sim::ExecutorKind;
+    use hfi_repro::hfi_wasm::kernels::{sightglass, speclike};
+
+    let mut kernels = sightglass::suite(1);
+    kernels.extend(speclike::suite(1));
+    for kernel in &kernels {
+        for iso in FIG3_SCHEMES {
+            let unfused = run_functional_record(kernel, iso);
+            let mut fused = run_fused_record(kernel, iso);
+            assert_eq!(
+                fused.executor,
+                ExecutorKind::Fused,
+                "{}: fused record must be tagged fused",
+                kernel.name
+            );
+            fused.executor = unfused.executor;
+            assert_eq!(
+                unfused, fused,
+                "{} under {iso:?}: records diverged",
+                kernel.name
+            );
+        }
+    }
+}
+
+/// The chaos seam under fusion: with any hook installed the fused engine
+/// must fall back to fully observed per-op execution, so a passive
+/// recording hook sees the *identical* retired-access event stream on
+/// both tiers (same retires, same memory accesses, same faults, in the
+/// same order).
+#[test]
+fn fused_and_unfused_emit_identical_event_traces_when_observed() {
+    use hfi_repro::hfi_sim::{ArchEvent, ChaosHook};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    struct Recorder(Rc<RefCell<Vec<ArchEvent>>>);
+    impl ChaosHook for Recorder {
+        fn observe(&mut self, event: &ArchEvent) {
+            self.0.borrow_mut().push(*event);
+        }
+    }
+
+    let mut rng = Rng::new(0x7ACE);
+    for case in 0..24 {
+        let program = random_guarded_runnable(&mut rng);
+        let trace_of = |fused: bool| {
+            let events = Rc::new(RefCell::new(Vec::new()));
+            let mut functional = Functional::new(Arc::clone(&program));
+            functional.set_fused(fused);
+            functional.set_chaos(Box::new(Recorder(Rc::clone(&events))));
+            let result = functional.run(100_000);
+            drop(functional);
+            (
+                result,
+                Rc::try_unwrap(events).expect("sole owner").into_inner(),
+            )
+        };
+        let (unfused, trace_unfused) = trace_of(false);
+        let (fused, trace_fused) = trace_of(true);
+        assert_eq!(unfused, fused, "case {case}: observed results diverged");
+        assert_eq!(
+            trace_unfused, trace_fused,
+            "case {case}: retired-access traces diverged"
+        );
+        assert!(
+            !trace_unfused.is_empty(),
+            "case {case}: empty trace proves nothing"
+        );
+    }
 }
 
 #[test]
