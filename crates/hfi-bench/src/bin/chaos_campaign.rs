@@ -33,6 +33,17 @@
 //! have no sites there and are accounted under `no-site`, exactly as
 //! on the plain functional tier.
 //!
+//! `--serve` routes every injected cell through the `hfi-serve`
+//! scheduler instead of running it inline: cells become [`Request`]s
+//! with the chaos rig attached as the per-run hook, tenants pass the
+//! verify-before-admit gate, and instances are *reused* across
+//! injections via the warm pool (the pool's release reset must detach
+//! the hook and scrub the scribbled state, or a fault would leak into
+//! the next tenant's run). Zero escapes by exit code on the served
+//! path proves the fail-closed contract survives warm reuse.
+//! Combine with `--fused` to serve on the fused tier; alone it serves
+//! on the plain functional tier.
+//!
 //! Cells run under the supervised harness (panic isolation, watchdog,
 //! retries) and stream to `chaos.jsonl`; `--resume` skips journaled
 //! cells and re-counts their recorded verdicts, so a killed sweep
@@ -48,12 +59,26 @@ use hfi_chaos::{
     classify, ChaosEngine, ChaosPlan, FaultClass, Rig, ShadowMonitor, SiteCounter, SiteCounts,
     Verdict, WeakenedEngine,
 };
+use hfi_serve::{
+    AdmitPolicy, Outcome as ServeOutcome, Request, Scheduler, TenantSpec, Tier, WarmPools,
+};
 use hfi_sim::{Executor, Functional, Machine, Program, RunRecord, Stop};
 use hfi_util::{split_mix64, Rng};
 use hfi_verify::SandboxSpec;
 use hfi_wasm::compiler::{CompileOptions, Isolation};
 use hfi_wasm::kernels::{sightglass, speclike};
 use hfi_wasm::sandbox_spec;
+
+/// Which executor carries the injected runs.
+#[derive(Clone, Copy, PartialEq)]
+enum Vehicle {
+    /// The cycle-accurate machine (default).
+    Machine,
+    /// The plain functional tier (`--serve` without `--fused`).
+    Functional,
+    /// The fused superinstruction tier (`--fused`).
+    Fused,
+}
 
 /// One HFI kernel the campaign perturbs.
 struct Target {
@@ -63,8 +88,8 @@ struct Target {
     heap_base: u64,
     heap_init: Vec<(u32, Vec<u8>)>,
     expected: u64,
-    /// Run on the fused functional tier instead of the cycle machine.
-    fused: bool,
+    verified: Option<bool>,
+    vehicle: Vehicle,
 }
 
 /// Baseline facts an injected cell is judged against.
@@ -93,7 +118,7 @@ struct Cell {
     sites: u64,
     baseline: Baseline,
     weaken: bool,
-    fused: bool,
+    vehicle: Vehicle,
 }
 
 /// One classified injected run.
@@ -117,7 +142,7 @@ fn load_heap(machine: &mut Machine, heap_base: u64, heap_init: &[(u32, Vec<u8>)]
     }
 }
 
-fn targets(smoke: bool, fused: bool) -> Vec<Target> {
+fn targets(smoke: bool, vehicle: Vehicle) -> Vec<Target> {
     let mut kernels = sightglass::suite(1);
     kernels.extend(speclike::suite(1));
     if smoke {
@@ -135,41 +160,48 @@ fn targets(smoke: bool, fused: bool) -> Vec<Target> {
                 heap_base: opts.heap_base,
                 heap_init: kernel.heap_init.clone(),
                 expected: kernel.expected,
-                fused,
+                verified: compiled.verified,
+                vehicle,
             }
         })
         .collect()
 }
 
-/// Runs one hooked execution on the campaign's vehicle — the cycle
-/// machine, or the fused functional tier under `--fused` — and returns
-/// the stop reason, counter record, and final registers.
+/// Runs one hooked execution on the campaign's vehicle and returns the
+/// stop reason, counter record, and final registers.
 fn run_hooked(
     program: &Arc<Program>,
     heap_base: u64,
     heap_init: &[(u32, Vec<u8>)],
-    fused: bool,
+    vehicle: Vehicle,
     hook: Box<dyn hfi_sim::ChaosHook>,
     limit: u64,
 ) -> (Stop, RunRecord, [u64; 16]) {
-    if fused {
-        let mut functional = Functional::new_fused(program.clone());
-        for (off, bytes) in heap_init {
-            Executor::prepare(&mut functional, heap_base + *off as u64, bytes);
+    match vehicle {
+        Vehicle::Machine => {
+            let mut machine = Machine::new(program.clone());
+            load_heap(&mut machine, heap_base, heap_init);
+            machine.set_chaos(hook);
+            let stop = Executor::run(&mut machine, limit);
+            (stop, Executor::stats(&machine), Executor::regs(&machine))
         }
-        functional.set_chaos(hook);
-        let stop = Executor::run(&mut functional, limit);
-        (
-            stop,
-            Executor::stats(&functional),
-            Executor::regs(&functional),
-        )
-    } else {
-        let mut machine = Machine::new(program.clone());
-        load_heap(&mut machine, heap_base, heap_init);
-        machine.set_chaos(hook);
-        let stop = Executor::run(&mut machine, limit);
-        (stop, Executor::stats(&machine), Executor::regs(&machine))
+        Vehicle::Functional | Vehicle::Fused => {
+            let mut functional = if vehicle == Vehicle::Fused {
+                Functional::new_fused(program.clone())
+            } else {
+                Functional::new(program.clone())
+            };
+            for (off, bytes) in heap_init {
+                Executor::prepare(&mut functional, heap_base + *off as u64, bytes);
+            }
+            functional.set_chaos(hook);
+            let stop = Executor::run(&mut functional, limit);
+            (
+                stop,
+                Executor::stats(&functional),
+                Executor::regs(&functional),
+            )
+        }
     }
 }
 
@@ -179,16 +211,16 @@ fn run_hooked(
 fn run_baseline(target: &Target) -> Baseline {
     let counter = SiteCounter::new();
     let monitor = ShadowMonitor::from_spec(&target.spec);
-    let budget = if target.fused {
-        FUNCTIONAL_LIMIT
-    } else {
+    let budget = if target.vehicle == Vehicle::Machine {
         MACHINE_LIMIT
+    } else {
+        FUNCTIONAL_LIMIT
     };
     let (stop, record, regs) = run_hooked(
         &target.program,
         target.heap_base,
         &target.heap_init,
-        target.fused,
+        target.vehicle,
         Box::new(Rig::new(counter.clone(), monitor.clone())),
         budget,
     );
@@ -214,10 +246,10 @@ fn run_baseline(target: &Target) -> Baseline {
     // Budget for injected runs: generous multiple of the baseline, in
     // the vehicle's own unit — cycles for the machine, retired
     // instructions for the functional tiers.
-    let limit = if target.fused {
-        (record.committed.saturating_mul(8) + 1_000_000).min(FUNCTIONAL_LIMIT)
-    } else {
+    let limit = if target.vehicle == Vehicle::Machine {
         ((record.cycles as u64).saturating_mul(8) + 1_000_000).min(MACHINE_LIMIT)
+    } else {
+        (record.committed.saturating_mul(8) + 1_000_000).min(FUNCTIONAL_LIMIT)
     };
     Baseline {
         counts: counter.counts(),
@@ -248,7 +280,7 @@ fn run_cell(cell: &Cell) -> CellResult {
         &cell.program,
         cell.heap_base,
         &cell.heap_init,
-        cell.fused,
+        cell.vehicle,
         hook,
         cell.baseline.limit,
     );
@@ -275,6 +307,143 @@ fn run_cell(cell: &Cell) -> CellResult {
     }
 }
 
+/// Runs every injected cell through the `hfi-serve` scheduler instead
+/// of inline: one warm-pooled tenant per target, the chaos rig riding
+/// [`Request::chaos`], classification from the rig's shared handles
+/// after the completion comes back. Instance reuse across injections is
+/// the point — a hook or scribbled heap leaking past the pool's release
+/// reset would show up here as a divergent (or escaped) later cell.
+fn run_cells_served(
+    targets: &[Target],
+    cells: Vec<Cell>,
+    vehicle: Vehicle,
+    workers: usize,
+) -> Vec<CellOutcome<CellResult>> {
+    let tier = match vehicle {
+        Vehicle::Fused => Tier::Fused,
+        Vehicle::Functional => Tier::Functional,
+        Vehicle::Machine => unreachable!("--serve always picks a functional tier"),
+    };
+    let tenants: Vec<TenantSpec> = targets
+        .iter()
+        .map(|t| {
+            TenantSpec::from_program(
+                t.name.clone(),
+                t.program.clone(),
+                t.verified,
+                Isolation::Hfi,
+                tier,
+                t.heap_base,
+                t.heap_init
+                    .iter()
+                    .map(|(off, bytes)| (*off as u64, bytes.clone()))
+                    .collect(),
+                Some(t.expected),
+            )
+        })
+        .collect();
+    let pools = Arc::new(WarmPools::new(
+        Arc::new(tenants),
+        42,
+        64 << 20,
+        AdmitPolicy::RequireVerified,
+    ));
+    let scheduler = Scheduler::new(Arc::clone(&pools), workers);
+
+    // Submit everything; `arrival_ns` carries the cell index so the
+    // out-of-order completions can be matched back.
+    let mut rigs = Vec::with_capacity(cells.len());
+    for (idx, cell) in cells.iter().enumerate() {
+        let mut rng = Rng::new(cell.seed);
+        let trigger = rng.below(cell.sites.max(1));
+        let plan = ChaosPlan {
+            seed: rng.next_u64(),
+            class: cell.class,
+            trigger,
+        };
+        let engine = ChaosEngine::new(plan);
+        let monitor = ShadowMonitor::from_spec(&cell.spec);
+        let hook: Box<dyn hfi_sim::ChaosHook> = if cell.weaken {
+            Box::new(Rig::new(
+                WeakenedEngine::new(engine.clone()),
+                monitor.clone(),
+            ))
+        } else {
+            Box::new(Rig::new(engine.clone(), monitor.clone()))
+        };
+        rigs.push((trigger, engine, monitor));
+        scheduler.submit(Request {
+            tenant: cell.target_idx,
+            arrival_ns: idx as u64,
+            limit: cell.baseline.limit,
+            chaos: Some(hook),
+        });
+    }
+
+    let mut by_cell: Vec<Option<hfi_serve::Completion>> = (0..cells.len()).map(|_| None).collect();
+    for completion in scheduler.finish() {
+        let idx = completion.arrival_ns as usize;
+        by_cell[idx] = Some(completion);
+    }
+    let stats = pools.stats();
+    eprintln!(
+        "[chaos-serve] workers={} tier={} warm_hits={} cold_builds={} recycled={} peak_resident={}",
+        workers,
+        tier.as_str(),
+        stats.warm_hits,
+        stats.cold_builds,
+        stats.recycled,
+        stats.peak_resident,
+    );
+
+    cells
+        .iter()
+        .zip(rigs)
+        .zip(by_cell)
+        .map(|((cell, (trigger, engine, monitor)), completion)| {
+            let Some(completion) = completion else {
+                return CellOutcome::Panicked {
+                    msg: format!("{}: completion lost by the scheduler", cell.name),
+                };
+            };
+            match completion.outcome {
+                ServeOutcome::Done { stop, record, .. } => {
+                    let report = monitor.report();
+                    let identical = stop == Stop::Halted && *record == cell.baseline.record;
+                    let verdict = classify(&report, identical);
+                    CellOutcome::Ok(CellResult {
+                        target_idx: cell.target_idx,
+                        name: cell.name.clone(),
+                        class: cell.class,
+                        rep: cell.rep,
+                        seed: cell.seed,
+                        trigger,
+                        fired: engine.fired().is_some(),
+                        stop,
+                        verdict,
+                        record: *record,
+                        violation: report.violations.first().map(|v| {
+                            format!(
+                                "pc={:#x} {} {} byte(s) at {:#x}",
+                                v.pc, v.access, v.size, v.addr
+                            )
+                        }),
+                    })
+                }
+                ServeOutcome::Rejected { verified } => CellOutcome::Panicked {
+                    msg: format!(
+                        "{}: admission rejected a baseline-verified tenant (verified={verified:?})",
+                        cell.name
+                    ),
+                },
+                ServeOutcome::Overloaded => CellOutcome::Panicked {
+                    msg: format!("{}: serving pool stayed overloaded", cell.name),
+                },
+            }
+        })
+        .collect()
+}
+
 fn context_for(name: &str, class: FaultClass, rep: u64) -> Vec<(&'static str, String)> {
     vec![
         ("kernel", name.to_string()),
@@ -287,17 +456,27 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let weaken = args.iter().any(|a| a == "--weaken");
     let fused = args.iter().any(|a| a == "--fused");
-    let figure = match (fused, weaken) {
-        (false, false) => "chaos",
-        (false, true) => "chaos-weakened",
-        (true, false) => "chaos-fused",
-        (true, true) => "chaos-fused-weakened",
+    let serve = args.iter().any(|a| a == "--serve");
+    let vehicle = match (serve, fused) {
+        (_, true) => Vehicle::Fused,
+        (true, false) => Vehicle::Functional,
+        (false, false) => Vehicle::Machine,
+    };
+    let figure = match (serve, fused, weaken) {
+        (false, false, false) => "chaos",
+        (false, false, true) => "chaos-weakened",
+        (false, true, false) => "chaos-fused",
+        (false, true, true) => "chaos-fused-weakened",
+        (true, false, false) => "chaos-serve",
+        (true, false, true) => "chaos-serve-weakened",
+        (true, true, false) => "chaos-serve-fused",
+        (true, true, true) => "chaos-serve-fused-weakened",
     };
     let mut harness = Harness::from_env(figure);
 
-    let targets = targets(harness.smoke(), fused);
+    let targets = targets(harness.smoke(), vehicle);
     let reps = harness.iters(3, 1);
-    let campaign_seed = 0x48_46_49_u64; // "HFI"
+    let campaign_seed = harness.seed_or(0x48_46_49); // "HFI"
 
     // Baselines in parallel (compilation is already cached+shared).
     let baselines: Vec<Baseline> = harness.run_grid(&targets, run_baseline);
@@ -349,13 +528,17 @@ fn main() {
                     sites,
                     baseline: baseline.clone(),
                     weaken,
-                    fused,
+                    vehicle,
                 });
             }
         }
     }
 
-    let outcomes = harness.run_grid_supervised(cells, run_cell);
+    let outcomes = if serve {
+        run_cells_served(&targets, cells, vehicle, harness.jobs().max(1))
+    } else {
+        harness.run_grid_supervised(cells, run_cell)
+    };
 
     // verdict-label -> count per class, plus supervision failures.
     let mut matrix: BTreeMap<&'static str, BTreeMap<&'static str, usize>> = BTreeMap::new();
@@ -427,11 +610,19 @@ fn main() {
         })
         .collect();
     print_table(
-        match (fused, weaken) {
-            (false, false) => "Chaos verdict matrix",
-            (false, true) => "Chaos verdict matrix (WEAKENED build: guards disabled)",
-            (true, false) => "Chaos verdict matrix (fused functional tier)",
-            (true, true) => "Chaos verdict matrix (fused tier, WEAKENED build: guards disabled)",
+        match (serve, fused, weaken) {
+            (false, false, false) => "Chaos verdict matrix",
+            (false, false, true) => "Chaos verdict matrix (WEAKENED build: guards disabled)",
+            (false, true, false) => "Chaos verdict matrix (fused functional tier)",
+            (false, true, true) => {
+                "Chaos verdict matrix (fused tier, WEAKENED build: guards disabled)"
+            }
+            (true, false, false) => "Chaos verdict matrix (served, functional tier)",
+            (true, false, true) => "Chaos verdict matrix (served, WEAKENED build: guards disabled)",
+            (true, true, false) => "Chaos verdict matrix (served, fused tier)",
+            (true, true, true) => {
+                "Chaos verdict matrix (served, fused tier, WEAKENED build: guards disabled)"
+            }
         },
         &[
             "class",

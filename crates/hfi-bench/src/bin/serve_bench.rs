@@ -1,0 +1,559 @@
+//! Offered-load sweeps over the `hfi-serve` scheduler — the serving
+//! side of the paper's §6.3.2 density story, measured end to end.
+//!
+//! For each Fig. 3 isolation scheme the benchmark provisions ~1,200
+//! warm tenants (kernel × replica, each a distinct FaaS function) over
+//! the verifyset kernel suites, then drives deterministic open-loop
+//! arrival schedules (seeded Poisson at several offered loads plus one
+//! bursty MMPP level) through the sharded work-stealing scheduler on
+//! the fused executor tier, and emits `BENCH_serving.json`:
+//!
+//! ```text
+//! cargo run --release -p hfi-bench --bin serve_bench -- --smoke
+//! ```
+//!
+//! Flags (plus the shared harness flags, `--smoke`, `--seed N`):
+//!
+//! * `--workers N` — scheduler worker threads (default: all cores).
+//! * `--check <baseline.json>` (alias `--baseline`) — gate p99 latency
+//!   (at the lowest Poisson load) and achieved throughput (at the
+//!   highest) per scheme against the baseline file.
+//! * `--out <path>` — output path (default `BENCH_serving.json`).
+//!
+//! # What the numbers mean
+//!
+//! * Latency is `finish - arrival` in *scheduler* time: an arrival that
+//!   queued behind a saturated shard pays its queueing delay in full
+//!   (the generator is open-loop — it never self-throttles).
+//! * `warm_hit_rate` is the fraction of requests served from a warm
+//!   pool instance. GuardPages caps at 512 resident instances in a
+//!   42-bit address space (8 GiB guard reservation each), so with
+//!   ~1,200 tenants it churns; HFI holds every tenant warm.
+//! * `density_*` is the peak number of concurrently live sandbox
+//!   instances per scheme, charged against the real `SandboxRuntime`.
+//!
+//! # Gate semantics
+//!
+//! `--check` compares, per scheme, `p99_ms_<scheme>` (must not grow by
+//! more than [`REGRESSION_BUDGET`] plus [`P99_SLACK_MS`] of absolute
+//! slack) and `achieved_rps_<scheme>` (must not shrink by more than
+//! the budget). The baseline is read before the output file is
+//! written, so gating against the committed `BENCH_serving.json` never
+//! compares a run to itself; a missing or malformed baseline is a
+//! usage error (exit 2). Latency budgets are wider than the throughput
+//! benchmark's because tail latency on a shared CI host is inherently
+//! noisier than aggregate sim-MIPS.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use hfi_bench::{compile_cached, median, print_table, Harness, FIG3_SCHEMES, FUNCTIONAL_LIMIT};
+use hfi_serve::{
+    schedule, AdmitPolicy, Arrival, ArrivalProcess, Outcome, Request, Scheduler, TenantSpec, Tier,
+    WarmPools,
+};
+use hfi_sim::Stop;
+use hfi_wasm::compiler::CompileOptions;
+use hfi_wasm::kernels::{sightglass, speclike};
+
+/// Allowed fractional regression (p99 growth / throughput shrink)
+/// before `--check` fails. Tail latency on shared CI hosts is far
+/// noisier than sim-MIPS, hence the wider budget than the throughput
+/// benchmark's 20%.
+const REGRESSION_BUDGET: f64 = 0.50;
+
+/// Absolute slack added to the p99 ceiling. A smoke level serves only
+/// a few dozen requests, so its p99 is nearly the max; measured on a
+/// single-core container, back-to-back runs flap between 0.25 ms and
+/// ~2 ms purely from host stalls. A real scheduling regression —
+/// starvation, livelock, lost completions — overshoots this by orders
+/// of magnitude (and trips the overload / achieved-rps / correctness
+/// checks besides), so the generous slack costs no detection power.
+const P99_SLACK_MS: f64 = 5.0;
+
+/// Tenant floor: every scheme gets at least this many tenants so the
+/// density comparison is about address space, not workload size.
+const TENANT_FLOOR: usize = 1200;
+
+/// Address-space width for the serving runtimes — 4 TiB, the same
+/// setting `hfi-faas`'s Table 1 uses, where GuardPages caps at 512
+/// sandboxes and HFI holds tens of thousands.
+const VA_BITS: u32 = 42;
+
+/// Per-sandbox heap reservation (64 MiB).
+const MAX_HEAP: u64 = 64 << 20;
+
+/// One measured (scheme × load level) cell.
+struct LevelResult {
+    scheme: String,
+    level: String,
+    offered_rps: f64,
+    achieved_rps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    p999_ms: f64,
+    warm_hit_rate: f64,
+    stolen: u64,
+    overloaded: u64,
+    requests: u64,
+}
+
+/// Per-scheme summary across all levels.
+struct SchemeResult {
+    scheme: String,
+    density: u64,
+    setup_warm_p50_us: f64,
+    setup_cold_p50_us: f64,
+    provisioned: usize,
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+fn extract_json_number(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let start = json.find(&needle)? + needle.len();
+    let rest = &json[start..];
+    let end = rest
+        .find(|c: char| c != '.' && c != '-' && c != '+' && c != 'e' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Paces the arrival schedule onto the scheduler in host time and
+/// returns the epoch offset arrivals were rebased to.
+fn drive(scheduler: &Scheduler, arrivals: &[Arrival]) -> u64 {
+    let epoch = scheduler.now_ns();
+    for arrival in arrivals {
+        let target = epoch + arrival.at_ns;
+        loop {
+            let now = scheduler.now_ns();
+            if now >= target {
+                break;
+            }
+            let gap = target - now;
+            if gap > 200_000 {
+                std::thread::sleep(Duration::from_nanos(gap - 100_000));
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        scheduler.submit(Request {
+            tenant: arrival.tenant,
+            arrival_ns: target,
+            limit: FUNCTIONAL_LIMIT,
+            chaos: None,
+        });
+    }
+    epoch
+}
+
+fn main() {
+    let harness = Harness::from_env("serving");
+    let seed = harness.seed_or(0x5EED_F00D);
+    let mut check: Option<String> = None;
+    let mut out_path = "BENCH_serving.json".to_string();
+    let mut workers = std::thread::available_parallelism()
+        .map(usize::from)
+        .unwrap_or(4);
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" | "--baseline" => check = args.next(),
+            "--out" => {
+                if let Some(p) = args.next() {
+                    out_path = p;
+                }
+            }
+            "--workers" => {
+                if let Some(w) = args.next() {
+                    workers = w.parse().unwrap_or_else(|_| {
+                        eprintln!("[serving] ERROR: invalid --workers value {w:?}");
+                        std::process::exit(2);
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Read the baseline before the output file is written (gating the
+    // default output path must compare against the committed run) and
+    // before measuring (a mispointed path fails fast).
+    let baseline: Option<Vec<(String, f64, f64)>> = check.as_ref().map(|baseline_path| {
+        let text = match std::fs::read_to_string(baseline_path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!(
+                    "[serving] ERROR: cannot read baseline {baseline_path}: {e}\n\
+                     [serving] run once without --check to record a baseline first"
+                );
+                std::process::exit(2);
+            }
+        };
+        FIG3_SCHEMES
+            .iter()
+            .map(|scheme| {
+                let name = format!("{scheme:?}").to_lowercase();
+                let missing = |key: &str| -> f64 {
+                    eprintln!(
+                        "[serving] ERROR: no \"{key}\" field in baseline {baseline_path}\n\
+                         [serving] re-record the baseline with this binary first"
+                    );
+                    std::process::exit(2);
+                };
+                let p99_key = format!("p99_ms_{name}");
+                let rps_key = format!("achieved_rps_{name}");
+                let p99 = extract_json_number(&text, &p99_key).unwrap_or_else(|| missing(&p99_key));
+                let rps = extract_json_number(&text, &rps_key).unwrap_or_else(|| missing(&rps_key));
+                (name, p99, rps)
+            })
+            .collect()
+    });
+
+    // The verifyset kernel suites; smoke keeps the three cheapest
+    // sightglass kernels so CI debug runs stay fast.
+    let kernels = if harness.smoke() {
+        harness.subset(sightglass::suite(1), 3)
+    } else {
+        let mut kernels = sightglass::suite(1);
+        kernels.extend(speclike::suite(1));
+        kernels
+    };
+    let replicas = TENANT_FLOOR.div_ceil(kernels.len());
+    let tenant_count = kernels.len() * replicas;
+
+    // Offered-load levels: a Poisson sweep plus one bursty MMPP level.
+    // Virtual duration is short — open-loop latency only needs enough
+    // arrivals per level for stable percentiles.
+    let duration_ns: u64 = if harness.smoke() {
+        400_000_000
+    } else {
+        2_000_000_000
+    };
+    let poisson_loads: &[f64] = if harness.smoke() {
+        &[100.0, 250.0, 500.0]
+    } else {
+        &[200.0, 500.0, 1000.0, 1500.0]
+    };
+    let mut levels: Vec<(String, ArrivalProcess)> = poisson_loads
+        .iter()
+        .map(|rps| {
+            (
+                format!("poisson-{rps:.0}"),
+                ArrivalProcess::Poisson { rate_rps: *rps },
+            )
+        })
+        .collect();
+    let base = poisson_loads[0];
+    levels.push((
+        "mmpp".to_string(),
+        ArrivalProcess::Mmpp {
+            base_rps: base,
+            burst_rps: base * 10.0,
+            mean_phase_ns: duration_ns / 8,
+        },
+    ));
+
+    // One arrival schedule per level, shared across schemes so every
+    // scheme faces byte-identical offered load.
+    let schedules: Vec<(String, Vec<Arrival>)> = levels
+        .iter()
+        .map(|(name, process)| {
+            (
+                name.clone(),
+                schedule(seed, *process, duration_ns, tenant_count),
+            )
+        })
+        .collect();
+
+    let mut level_results: Vec<LevelResult> = Vec::new();
+    let mut scheme_results: Vec<SchemeResult> = Vec::new();
+    let mut correctness_failures = 0u64;
+
+    for scheme in FIG3_SCHEMES {
+        let scheme_name = format!("{scheme:?}").to_lowercase();
+        let opts = CompileOptions::new(scheme);
+        let tenants: Vec<TenantSpec> = (0..replicas)
+            .flat_map(|r| {
+                kernels.iter().map(move |kernel| {
+                    TenantSpec::from_kernel(
+                        format!("{}#{r}", kernel.name),
+                        kernel.clone(),
+                        opts,
+                        Tier::Fused,
+                        compile_cached,
+                    )
+                })
+            })
+            .collect();
+        let pools = Arc::new(WarmPools::new(
+            Arc::new(tenants),
+            VA_BITS,
+            MAX_HEAP,
+            AdmitPolicy::VerifiedOrExempt,
+        ));
+
+        // Provisioning phase: pre-warm every tenant (cold build +
+        // release). Each call is one cold-setup latency sample; the
+        // eviction machinery keeps over-capacity schemes at their
+        // address-space cap instead of failing.
+        let mut cold_setup_ns: Vec<f64> = Vec::with_capacity(tenant_count);
+        let mut provisioned = 0usize;
+        for tenant in 0..tenant_count {
+            let started = std::time::Instant::now();
+            if pools.provision(tenant).is_ok() {
+                provisioned += 1;
+                cold_setup_ns.push(started.elapsed().as_nanos() as f64);
+            }
+        }
+        let density_after_provision = pools.resident();
+        eprintln!(
+            "[serving] {scheme_name}: provisioned {provisioned}/{tenant_count} tenants, \
+             {density_after_provision} resident"
+        );
+
+        let mut warm_setup_ns: Vec<f64> = Vec::new();
+        for (level_name, arrivals) in &schedules {
+            let scheduler = Scheduler::new(Arc::clone(&pools), workers);
+            let epoch = drive(&scheduler, arrivals);
+            let completions = scheduler.finish();
+
+            let mut latencies_ms: Vec<f64> = Vec::with_capacity(completions.len());
+            let mut warm_hits = 0u64;
+            let mut stolen = 0u64;
+            let mut overloaded = 0u64;
+            let mut last_finish_ns = epoch;
+            for completion in &completions {
+                last_finish_ns = last_finish_ns.max(completion.finish_ns);
+                if completion.stolen {
+                    stolen += 1;
+                }
+                match &completion.outcome {
+                    Outcome::Done { stop, r0, .. } => {
+                        latencies_ms
+                            .push((completion.finish_ns - completion.arrival_ns) as f64 / 1e6);
+                        if completion.warm {
+                            warm_hits += 1;
+                            warm_setup_ns.push(completion.setup_ns as f64);
+                        }
+                        let spec = &pools.tenants()[completion.tenant];
+                        if *stop != Stop::Halted || spec.expected != Some(*r0) {
+                            correctness_failures += 1;
+                            eprintln!(
+                                "[serving] FAIL: {} returned {r0} ({stop:?}), expected {:?}",
+                                spec.name, spec.expected
+                            );
+                        }
+                    }
+                    Outcome::Overloaded => overloaded += 1,
+                    Outcome::Rejected { verified } => {
+                        correctness_failures += 1;
+                        eprintln!(
+                            "[serving] FAIL: verified tenant rejected at admission \
+                             (verified: {verified:?})"
+                        );
+                    }
+                }
+            }
+            latencies_ms.sort_by(f64::total_cmp);
+            let span_s = (last_finish_ns.saturating_sub(epoch)).max(1) as f64 / 1e9;
+            let done = latencies_ms.len() as u64;
+            level_results.push(LevelResult {
+                scheme: scheme_name.clone(),
+                level: level_name.clone(),
+                offered_rps: arrivals.len() as f64 / (duration_ns as f64 / 1e9),
+                achieved_rps: done as f64 / span_s,
+                p50_ms: percentile(&latencies_ms, 0.50),
+                p99_ms: percentile(&latencies_ms, 0.99),
+                p999_ms: percentile(&latencies_ms, 0.999),
+                warm_hit_rate: warm_hits as f64 / (done.max(1)) as f64,
+                stolen,
+                overloaded,
+                requests: completions.len() as u64,
+            });
+        }
+
+        scheme_results.push(SchemeResult {
+            scheme: scheme_name,
+            density: pools.stats().peak_resident,
+            setup_warm_p50_us: median(&warm_setup_ns) / 1e3,
+            setup_cold_p50_us: median(&cold_setup_ns) / 1e3,
+            provisioned,
+        });
+    }
+
+    let rows: Vec<Vec<String>> = level_results
+        .iter()
+        .map(|r| {
+            vec![
+                r.scheme.clone(),
+                r.level.clone(),
+                format!("{:.0}", r.offered_rps),
+                format!("{:.0}", r.achieved_rps),
+                format!("{:.2}", r.p50_ms),
+                format!("{:.2}", r.p99_ms),
+                format!("{:.2}", r.p999_ms),
+                format!("{:.1}%", r.warm_hit_rate * 100.0),
+                r.stolen.to_string(),
+                r.overloaded.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Serving latency under open-loop load (fused tier)",
+        &[
+            "scheme", "level", "offered", "achieved", "p50ms", "p99ms", "p999ms", "warm", "stolen",
+            "overload",
+        ],
+        &rows,
+    );
+    println!();
+    for s in &scheme_results {
+        println!(
+            "  {:>12}: density {} (provisioned {}/{tenant_count}), setup p50 warm {:.1}us / \
+             cold {:.1}us",
+            s.scheme, s.density, s.provisioned, s.setup_warm_p50_us, s.setup_cold_p50_us
+        );
+    }
+
+    // Flat summary keys for the gate: per scheme, p99 at the lowest
+    // Poisson load and achieved throughput at the highest.
+    let lowest = format!("poisson-{:.0}", poisson_loads[0]);
+    let highest = format!("poisson-{:.0}", poisson_loads[poisson_loads.len() - 1]);
+    let mut json = String::from("{");
+    json.push_str(&format!(
+        "\"figure\":\"serving\",\"mode\":\"{}\",\"seed\":{seed},\"workers\":{workers},\
+         \"tenants\":{tenant_count}",
+        if harness.smoke() { "smoke" } else { "full" }
+    ));
+    for s in &scheme_results {
+        let p99 = level_results
+            .iter()
+            .find(|r| r.scheme == s.scheme && r.level == lowest)
+            .map(|r| r.p99_ms)
+            .unwrap_or(f64::NAN);
+        let rps = level_results
+            .iter()
+            .find(|r| r.scheme == s.scheme && r.level == highest)
+            .map(|r| r.achieved_rps)
+            .unwrap_or(f64::NAN);
+        let warm = level_results
+            .iter()
+            .filter(|r| r.scheme == s.scheme)
+            .map(|r| r.warm_hit_rate)
+            .sum::<f64>()
+            / schedules.len() as f64;
+        json.push_str(&format!(
+            ",\"p99_ms_{0}\":{p99:.3},\"achieved_rps_{0}\":{rps:.1},\"density_{0}\":{1},\
+             \"warm_hit_rate_{0}\":{warm:.4},\"setup_warm_p50_us_{0}\":{2:.2},\
+             \"setup_cold_p50_us_{0}\":{3:.2}",
+            s.scheme, s.density, s.setup_warm_p50_us, s.setup_cold_p50_us
+        ));
+    }
+    json.push_str(",\"cells\":[");
+    for (i, r) in level_results.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!(
+            "{{\"scheme\":\"{}\",\"level\":\"{}\",\"offered_rps\":{:.1},\"achieved_rps\":{:.1},\
+             \"p50_ms\":{:.3},\"p99_ms\":{:.3},\"p999_ms\":{:.3},\"warm_hit_rate\":{:.4},\
+             \"stolen\":{},\"overloaded\":{},\"requests\":{}}}",
+            r.scheme,
+            r.level,
+            r.offered_rps,
+            r.achieved_rps,
+            r.p50_ms,
+            r.p99_ms,
+            r.p999_ms,
+            r.warm_hit_rate,
+            r.stolen,
+            r.overloaded,
+            r.requests
+        ));
+    }
+    json.push_str("]}");
+    std::fs::write(&out_path, format!("{json}\n")).expect("write serving json");
+    eprintln!("[serving] wrote {out_path}");
+
+    // Invariants this benchmark exists to demonstrate.
+    let mut failed = correctness_failures > 0;
+    if correctness_failures > 0 {
+        eprintln!("[serving] FAIL: {correctness_failures} correctness failure(s)");
+    }
+    let hfi = scheme_results
+        .iter()
+        .find(|s| s.scheme == "hfi")
+        .expect("hfi scheme measured");
+    let guard = scheme_results
+        .iter()
+        .find(|s| s.scheme == "guardpages")
+        .expect("guardpages scheme measured");
+    if hfi.density < 1000 {
+        eprintln!(
+            "[serving] FAIL: HFI sustained only {} concurrent sandboxes (need >= 1000)",
+            hfi.density
+        );
+        failed = true;
+    }
+    if hfi.density <= guard.density {
+        eprintln!(
+            "[serving] FAIL: HFI density {} must exceed GuardPages density {}",
+            hfi.density, guard.density
+        );
+        failed = true;
+    }
+    println!(
+        "  density check: hfi {} > guardpages {} (floor 1000)",
+        hfi.density, guard.density
+    );
+
+    if let Some(baseline) = baseline {
+        for (scheme, base_p99, base_rps) in baseline {
+            let measured_p99 = level_results
+                .iter()
+                .find(|r| r.scheme == scheme && r.level == lowest)
+                .map(|r| r.p99_ms)
+                .unwrap_or(f64::NAN);
+            let measured_rps = level_results
+                .iter()
+                .find(|r| r.scheme == scheme && r.level == highest)
+                .map(|r| r.achieved_rps)
+                .unwrap_or(f64::NAN);
+            let p99_ceiling = base_p99 * (1.0 + REGRESSION_BUDGET) + P99_SLACK_MS;
+            let rps_floor = base_rps * (1.0 - REGRESSION_BUDGET);
+            println!(
+                "  gate[{scheme}]: p99 {base_p99:.2} -> {measured_p99:.2} ms \
+                 (ceiling {p99_ceiling:.2}); rps {base_rps:.0} -> {measured_rps:.0} \
+                 (floor {rps_floor:.0})"
+            );
+            // NaN (scheme missing from this run) must fail the gate.
+            if measured_p99.is_nan() || measured_p99 > p99_ceiling {
+                eprintln!(
+                    "[serving] FAIL: {scheme} p99 regressed more than {:.0}% \
+                     ({measured_p99:.2} > {p99_ceiling:.2} ms)",
+                    REGRESSION_BUDGET * 100.0
+                );
+                failed = true;
+            }
+            if measured_rps.is_nan() || measured_rps < rps_floor {
+                eprintln!(
+                    "[serving] FAIL: {scheme} throughput regressed more than {:.0}% \
+                     ({measured_rps:.0} < {rps_floor:.0} rps)",
+                    REGRESSION_BUDGET * 100.0
+                );
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("  serving checks: OK");
+}

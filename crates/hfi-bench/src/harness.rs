@@ -65,6 +65,9 @@
 //!   for supervised grids (default: none).
 //! * `--cell-retries N` — attempts to re-run a panicking supervised
 //!   cell before reporting [`CellOutcome::Panicked`] (default 0).
+//! * `--seed N` / `HFI_SEED=N` — RNG seed for binaries with stochastic
+//!   inputs (the serving load generator, the chaos campaign plans);
+//!   each binary documents its own default ([`Harness::seed_or`]).
 
 use std::any::Any;
 use std::collections::HashMap;
@@ -378,6 +381,7 @@ pub struct Harness {
     out_dir: Option<PathBuf>,
     cell_deadline: Option<Duration>,
     cell_retries: u32,
+    seed: Option<u64>,
 }
 
 /// Parsed harness-relevant command-line flags.
@@ -388,6 +392,7 @@ struct CliConfig {
     resume: bool,
     deadline_ms: Option<u64>,
     retries: Option<u32>,
+    seed: Option<u64>,
 }
 
 fn parse_value<T: std::str::FromStr>(flag: &str, value: Option<String>) -> Result<T, String> {
@@ -413,6 +418,7 @@ fn parse_cli(args: impl Iterator<Item = String>) -> Result<CliConfig, String> {
                 cfg.deadline_ms = Some(parse_value("--cell-deadline", args.next())?)
             }
             "--cell-retries" => cfg.retries = Some(parse_value("--cell-retries", args.next())?),
+            "--seed" => cfg.seed = Some(parse_value("--seed", args.next())?),
             a if a.starts_with("--jobs=") => {
                 cfg.jobs = Some(parse_value(
                     "--jobs",
@@ -429,6 +435,12 @@ fn parse_cli(args: impl Iterator<Item = String>) -> Result<CliConfig, String> {
                 cfg.retries = Some(parse_value(
                     "--cell-retries",
                     Some(a["--cell-retries=".len()..].to_string()),
+                )?);
+            }
+            a if a.starts_with("--seed=") => {
+                cfg.seed = Some(parse_value(
+                    "--seed",
+                    Some(a["--seed=".len()..].to_string()),
                 )?);
             }
             _ => {}
@@ -462,6 +474,13 @@ impl Harness {
                 })?);
             }
         }
+        if cfg.seed.is_none() {
+            if let Ok(v) = std::env::var("HFI_SEED") {
+                cfg.seed = Some(v.parse().map_err(|_| {
+                    format!("invalid HFI_SEED value {v:?}: expected a non-negative integer")
+                })?);
+            }
+        }
         let env_truthy = |name: &str| std::env::var(name).is_ok_and(|v| !v.is_empty() && v != "0");
         let smoke = cfg.smoke || env_truthy("HFI_SMOKE");
         let resume = cfg.resume || env_truthy("HFI_RESUME");
@@ -469,6 +488,7 @@ impl Harness {
         let mut harness = Self::new(figure, cfg.jobs.unwrap_or(1), smoke).with_streaming();
         harness.cell_deadline = cfg.deadline_ms.map(Duration::from_millis);
         harness.cell_retries = cfg.retries.unwrap_or(0);
+        harness.seed = cfg.seed;
         if resume {
             harness = harness.with_resume();
         }
@@ -498,6 +518,7 @@ impl Harness {
             out_dir: None,
             cell_deadline: None,
             cell_retries: 0,
+            seed: None,
         }
     }
 
@@ -524,6 +545,13 @@ impl Harness {
     /// Sets the supervised-grid retry budget.
     pub fn with_retries(mut self, retries: u32) -> Self {
         self.cell_retries = retries;
+        self
+    }
+
+    /// Sets the RNG seed (tests use this; binaries get it from
+    /// `--seed` / `HFI_SEED` via [`Harness::from_env`]).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
         self
     }
 
@@ -571,6 +599,13 @@ impl Harness {
     /// Whether this is a scaled-down CI run.
     pub fn smoke(&self) -> bool {
         self.smoke
+    }
+
+    /// The `--seed` / `HFI_SEED` value, or `default` when none was
+    /// given. Stochastic binaries must route every RNG through this so
+    /// one flag pins the whole run.
+    pub fn seed_or(&self, default: u64) -> u64 {
+        self.seed.unwrap_or(default)
     }
 
     /// The supervision policy configured by `--cell-deadline` /
@@ -886,6 +921,11 @@ mod tests {
         let ok = parse_cli(args(&["--jobs=0", "--cell-deadline", "250"]).into_iter()).unwrap();
         assert_eq!(ok.jobs, Some(0));
         assert_eq!(ok.deadline_ms, Some(250));
+        assert!(parse_cli(args(&["--seed", "garbage"]).into_iter()).is_err());
+        let ok = parse_cli(args(&["--seed=42"]).into_iter()).unwrap();
+        assert_eq!(ok.seed, Some(42));
+        assert_eq!(Harness::new("test", 1, false).with_seed(7).seed_or(0), 7);
+        assert_eq!(Harness::new("test", 1, false).seed_or(9), 9);
         // Foreign flags pass through untouched.
         assert!(parse_cli(args(&["--mutants", "--check", "x.json"]).into_iter()).is_ok());
     }

@@ -320,8 +320,11 @@ pub fn geomean(values: &[f64]) -> f64 {
     (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
 }
 
-/// Median of a slice.
+/// Median of a slice (`NaN` for an empty one).
 pub fn median(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
     let mut sorted = values.to_vec();
     // total_cmp orders NaN after +inf, so a poisoned sample skews the
     // stat instead of panicking a whole figure binary mid-sweep.

@@ -2,8 +2,7 @@
 //! deliberately weakened variant the campaign uses to prove the oracle
 //! bites.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use hfi_core::{Access, HfiContext, FIRST_EXPLICIT_SLOT, NUM_REGIONS};
 use hfi_sim::ChaosHook;
@@ -48,10 +47,14 @@ impl SiteCounts {
 /// A pass-through hook that counts eligible injection sites per class.
 ///
 /// Cloning shares the counter, so a clone can go into the executor
-/// (boxed) while the original stays with the caller for readout.
+/// (boxed) while the original stays with the caller for readout. The
+/// shared state is `Arc<Mutex<…>>` (not `Rc<RefCell<…>>`) so the boxed
+/// clone satisfies `ChaosHook: Send` and can ride an executor across
+/// the serving scheduler's shard workers while the campaign driver
+/// keeps its readout handle.
 #[derive(Debug, Clone, Default)]
 pub struct SiteCounter {
-    counts: Rc<RefCell<SiteCounts>>,
+    counts: Arc<Mutex<SiteCounts>>,
 }
 
 impl SiteCounter {
@@ -62,38 +65,41 @@ impl SiteCounter {
 
     /// The counts accumulated so far.
     pub fn counts(&self) -> SiteCounts {
-        *self.counts.borrow()
+        *self.counts.lock().expect("site counter unpoisoned")
     }
 }
 
 impl ChaosHook for SiteCounter {
     fn perturb_ea(&mut self, _pc: u64, ea: u64) -> u64 {
-        self.counts.borrow_mut().ea += 1;
+        self.counts.lock().expect("site counter unpoisoned").ea += 1;
         ea
     }
 
     fn perturb_result(&mut self, _pc: u64, value: u64) -> u64 {
-        self.counts.borrow_mut().result += 1;
+        self.counts.lock().expect("site counter unpoisoned").result += 1;
         value
     }
 
     fn skip_guard(&mut self, _pc: u64) -> bool {
-        self.counts.borrow_mut().guard += 1;
+        self.counts.lock().expect("site counter unpoisoned").guard += 1;
         false
     }
 
     fn flip_prediction(&mut self, _pc: u64) -> bool {
-        self.counts.borrow_mut().branch += 1;
+        self.counts.lock().expect("site counter unpoisoned").branch += 1;
         false
     }
 
     fn corrupt_context(&mut self, _hfi: &mut HfiContext) -> bool {
-        self.counts.borrow_mut().context += 1;
+        self.counts.lock().expect("site counter unpoisoned").context += 1;
         false
     }
 
     fn clobber_predictors(&mut self) -> bool {
-        self.counts.borrow_mut().predictor += 1;
+        self.counts
+            .lock()
+            .expect("site counter unpoisoned")
+            .predictor += 1;
         false
     }
 }
@@ -125,17 +131,19 @@ impl EngineState {
 /// Implements every [`ChaosHook`] site as a pass-through except for the
 /// plan's fault class, which fires exactly once at the plan's trigger
 /// site with RNG-chosen detail bits. Cloning shares state (engine into
-/// the executor, original kept for [`ChaosEngine::fired`] readout).
+/// the executor, original kept for [`ChaosEngine::fired`] readout);
+/// like [`SiteCounter`], the shared state is `Arc<Mutex<…>>` so the
+/// boxed clone is `Send`.
 #[derive(Debug, Clone)]
 pub struct ChaosEngine {
-    inner: Rc<RefCell<EngineState>>,
+    inner: Arc<Mutex<EngineState>>,
 }
 
 impl ChaosEngine {
     /// An engine executing `plan`.
     pub fn new(plan: ChaosPlan) -> Self {
         ChaosEngine {
-            inner: Rc::new(RefCell::new(EngineState {
+            inner: Arc::new(Mutex::new(EngineState {
                 rng: plan.rng(),
                 plan,
                 seen: 0,
@@ -148,18 +156,18 @@ impl ChaosEngine {
     /// trigger site was never reached — e.g. the program faulted or
     /// halted first).
     pub fn fired(&self) -> Option<Injection> {
-        self.inner.borrow().fired
+        self.inner.lock().expect("chaos engine unpoisoned").fired
     }
 
     /// How many eligible sites of the plan's class the run visited.
     pub fn sites_seen(&self) -> u64 {
-        self.inner.borrow().seen
+        self.inner.lock().expect("chaos engine unpoisoned").seen
     }
 }
 
 impl ChaosHook for ChaosEngine {
     fn perturb_ea(&mut self, pc: u64, ea: u64) -> u64 {
-        let state = &mut *self.inner.borrow_mut();
+        let state = &mut *self.inner.lock().expect("chaos engine unpoisoned");
         match state.arm(FaultClass::EaFlip) {
             Some(site) => {
                 // Flip within the low 48 bits: the canonical virtual
@@ -174,7 +182,7 @@ impl ChaosHook for ChaosEngine {
     }
 
     fn perturb_result(&mut self, pc: u64, value: u64) -> u64 {
-        let state = &mut *self.inner.borrow_mut();
+        let state = &mut *self.inner.lock().expect("chaos engine unpoisoned");
         match state.arm(FaultClass::OperandFlip) {
             Some(site) => {
                 let mask = 1u64 << state.rng.below(64);
@@ -186,7 +194,7 @@ impl ChaosHook for ChaosEngine {
     }
 
     fn skip_guard(&mut self, pc: u64) -> bool {
-        let state = &mut *self.inner.borrow_mut();
+        let state = &mut *self.inner.lock().expect("chaos engine unpoisoned");
         match state.arm(FaultClass::GuardSkip) {
             Some(site) => {
                 state.fired = Some(Injection { pc, site, mask: 0 });
@@ -197,7 +205,7 @@ impl ChaosHook for ChaosEngine {
     }
 
     fn flip_prediction(&mut self, pc: u64) -> bool {
-        let state = &mut *self.inner.borrow_mut();
+        let state = &mut *self.inner.lock().expect("chaos engine unpoisoned");
         match state.arm(FaultClass::WrongPath) {
             Some(site) => {
                 state.fired = Some(Injection { pc, site, mask: 0 });
@@ -208,7 +216,7 @@ impl ChaosHook for ChaosEngine {
     }
 
     fn corrupt_context(&mut self, hfi: &mut HfiContext) -> bool {
-        let state = &mut *self.inner.borrow_mut();
+        let state = &mut *self.inner.lock().expect("chaos engine unpoisoned");
         match state.arm(FaultClass::RegionCorrupt) {
             Some(site) => {
                 // Pick a random starting slot and take the first
@@ -253,7 +261,7 @@ impl ChaosHook for ChaosEngine {
     }
 
     fn clobber_predictors(&mut self) -> bool {
-        let state = &mut *self.inner.borrow_mut();
+        let state = &mut *self.inner.lock().expect("chaos engine unpoisoned");
         match state.arm(FaultClass::PredictorClobber) {
             Some(site) => {
                 state.fired = Some(Injection {

@@ -156,6 +156,19 @@ pub fn classify(report: &MonitorReport, identical: bool) -> Verdict {
     }
 }
 
+/// Compile-time witnesses that every hook in this crate is `Send`
+/// (required by `ChaosHook: Send` and by `chaos_campaign --serve`,
+/// which boxes hooks into requests that cross the serving scheduler's
+/// shard workers).
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<SiteCounter>();
+    assert_send::<ChaosEngine>();
+    assert_send::<WeakenedEngine>();
+    assert_send::<ShadowMonitor>();
+    assert_send::<Rig<ChaosEngine>>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -14,8 +14,7 @@
 //! outside the sandbox (runtime setup, exit handlers) are unrestricted,
 //! as in the paper's threat model.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use hfi_core::{Access, HfiFault, Region, NUM_CODE_REGIONS};
 use hfi_sim::{ArchEvent, ChaosHook};
@@ -78,10 +77,13 @@ fn covered(ranges: &[(u128, u128)], addr: u64, size: u8) -> bool {
 ///
 /// Cloning shares state: a clone rides inside the executor (usually via
 /// [`Rig`](crate::Rig)) while the original stays with the caller for
-/// [`ShadowMonitor::report`] readout.
+/// [`ShadowMonitor::report`] readout. The shared state is
+/// `Arc<Mutex<…>>` so the boxed clone satisfies `ChaosHook: Send` and
+/// the monitored executor can cross the serving scheduler's shard
+/// workers.
 #[derive(Debug, Clone, Default)]
 pub struct ShadowMonitor {
-    inner: Rc<RefCell<MonitorState>>,
+    inner: Arc<Mutex<MonitorState>>,
 }
 
 impl ShadowMonitor {
@@ -117,19 +119,23 @@ impl ShadowMonitor {
             );
         }
         ShadowMonitor {
-            inner: Rc::new(RefCell::new(state)),
+            inner: Arc::new(Mutex::new(state)),
         }
     }
 
     /// The report accumulated so far.
     pub fn report(&self) -> MonitorReport {
-        self.inner.borrow().report.clone()
+        self.inner
+            .lock()
+            .expect("shadow monitor unpoisoned")
+            .report
+            .clone()
     }
 }
 
 impl ChaosHook for ShadowMonitor {
     fn observe(&mut self, event: &ArchEvent) {
-        let state = &mut *self.inner.borrow_mut();
+        let state = &mut *self.inner.lock().expect("shadow monitor unpoisoned");
         match *event {
             ArchEvent::Retire { pc, len, sandboxed } => {
                 if sandboxed && !state.code.is_empty() {

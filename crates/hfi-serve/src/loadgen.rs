@@ -1,0 +1,172 @@
+//! Deterministic open-loop load generation.
+//!
+//! Arrivals are drawn entirely in *virtual time* from a seeded RNG:
+//! the schedule for a given `(seed, process, duration, tenants)` tuple
+//! is a pure function, byte-identical across runs and machines. The
+//! serving harness maps virtual nanoseconds onto host monotonic time
+//! only at the edges — when pacing submission and when timestamping
+//! completions — so no wall-clock randomness ever enters the logic.
+//!
+//! Open-loop means arrivals do not wait for completions: a request's
+//! latency includes every nanosecond it queued behind a saturated
+//! scheduler, which is what makes offered-load sweeps honest (a
+//! closed-loop generator self-throttles and hides queueing collapse).
+
+use hfi_util::Rng;
+
+/// An arrival process over virtual time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Memoryless arrivals at a constant offered rate
+    /// (requests/second): exponential inter-arrival gaps via inverse
+    /// CDF.
+    Poisson {
+        /// Offered load in requests per second.
+        rate_rps: f64,
+    },
+    /// A two-state Markov-modulated Poisson process: dwell in a base
+    /// and a burst phase (exponentially distributed dwell times),
+    /// emitting Poisson arrivals at the phase's rate. Models the bursty
+    /// tails FaaS front ends actually see.
+    Mmpp {
+        /// Offered load of the quiet phase, requests per second.
+        base_rps: f64,
+        /// Offered load of the burst phase, requests per second.
+        burst_rps: f64,
+        /// Mean dwell time in either phase, virtual nanoseconds.
+        mean_phase_ns: u64,
+    },
+}
+
+/// One scheduled arrival: a tenant's request lands at `at_ns` of
+/// virtual time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arrival {
+    /// Virtual arrival time, nanoseconds from the schedule epoch.
+    pub at_ns: u64,
+    /// Index into the serving run's tenant table.
+    pub tenant: usize,
+}
+
+/// Draws an exponential variate with the given mean via inverse CDF.
+/// `Rng::f64` is uniform on `[0, 1)`, so `1 - u` is in `(0, 1]` and the
+/// logarithm is finite.
+fn exponential(rng: &mut Rng, mean: f64) -> f64 {
+    -(1.0 - rng.f64()).ln() * mean
+}
+
+/// Generates the full arrival schedule for `duration_ns` of virtual
+/// time: each arrival gets a uniformly random tenant from
+/// `[0, tenants)`. Arrivals are strictly ordered by construction
+/// (inter-arrival gaps are at least 1 ns).
+///
+/// # Panics
+///
+/// Panics when `tenants` is zero or a rate is not positive.
+pub fn schedule(
+    seed: u64,
+    process: ArrivalProcess,
+    duration_ns: u64,
+    tenants: usize,
+) -> Vec<Arrival> {
+    assert!(tenants > 0, "a schedule needs at least one tenant");
+    let mut rng = Rng::new(seed);
+    let mut arrivals = Vec::new();
+    let mut now_ns = 0u64;
+    match process {
+        ArrivalProcess::Poisson { rate_rps } => {
+            assert!(rate_rps > 0.0, "offered load must be positive");
+            let mean_gap_ns = 1e9 / rate_rps;
+            loop {
+                now_ns += (exponential(&mut rng, mean_gap_ns) as u64).max(1);
+                if now_ns >= duration_ns {
+                    break;
+                }
+                arrivals.push(Arrival {
+                    at_ns: now_ns,
+                    tenant: rng.below(tenants as u64) as usize,
+                });
+            }
+        }
+        ArrivalProcess::Mmpp {
+            base_rps,
+            burst_rps,
+            mean_phase_ns,
+        } => {
+            assert!(
+                base_rps > 0.0 && burst_rps > 0.0,
+                "offered loads must be positive"
+            );
+            assert!(mean_phase_ns > 0, "phase dwell must be positive");
+            let mut burst = false;
+            let mut phase_end_ns = (exponential(&mut rng, mean_phase_ns as f64) as u64).max(1);
+            loop {
+                let rate = if burst { burst_rps } else { base_rps };
+                let gap = (exponential(&mut rng, 1e9 / rate) as u64).max(1);
+                // Phase switches between arrivals: if the gap crosses
+                // the phase boundary, jump to the boundary and redraw in
+                // the new phase (memorylessness makes the redraw exact).
+                if now_ns + gap >= phase_end_ns {
+                    now_ns = phase_end_ns;
+                    phase_end_ns =
+                        now_ns + (exponential(&mut rng, mean_phase_ns as f64) as u64).max(1);
+                    burst = !burst;
+                    if now_ns >= duration_ns {
+                        break;
+                    }
+                    continue;
+                }
+                now_ns += gap;
+                if now_ns >= duration_ns {
+                    break;
+                }
+                arrivals.push(Arrival {
+                    at_ns: now_ns,
+                    tenant: rng.below(tenants as u64) as usize,
+                });
+            }
+        }
+    }
+    arrivals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedules_are_deterministic_and_ordered() {
+        let p = ArrivalProcess::Poisson { rate_rps: 1000.0 };
+        let a = schedule(0xFEED, p, 1_000_000_000, 7);
+        let b = schedule(0xFEED, p, 1_000_000_000, 7);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0].at_ns < w[1].at_ns));
+        assert!(a.iter().all(|x| x.tenant < 7 && x.at_ns < 1_000_000_000));
+        // ~1000 arrivals expected over one virtual second.
+        assert!((700..1300).contains(&a.len()), "{} arrivals", a.len());
+        assert_ne!(a, schedule(0xFEEE, p, 1_000_000_000, 7));
+    }
+
+    #[test]
+    fn mmpp_runs_hotter_than_its_base_rate() {
+        let mmpp = ArrivalProcess::Mmpp {
+            base_rps: 200.0,
+            burst_rps: 4000.0,
+            mean_phase_ns: 50_000_000,
+        };
+        let arrivals = schedule(0xB00, mmpp, 2_000_000_000, 3);
+        let poisson = schedule(
+            0xB00,
+            ArrivalProcess::Poisson { rate_rps: 200.0 },
+            2_000_000_000,
+            3,
+        );
+        assert!(
+            arrivals.len() > poisson.len() * 3 / 2,
+            "bursts should lift the aggregate rate: {} vs {}",
+            arrivals.len(),
+            poisson.len()
+        );
+        assert!(arrivals.windows(2).all(|w| w[0].at_ns < w[1].at_ns));
+    }
+}

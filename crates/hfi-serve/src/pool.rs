@@ -1,0 +1,719 @@
+//! Warm-instance pools with generation-based reuse and verify-before-
+//! admit, charged against a real [`SandboxRuntime`] address space.
+//!
+//! One pool entry per tenant holds ready-to-run executor instances. A
+//! **warm hit** pops an instance whose program, decode plan, and fusion
+//! overlay are already resolved and whose heap image is already loaded
+//! — the request pays a queue pop. A **cold build** pays the tenant's
+//! compile (memoized process-wide by the caller-supplied compile
+//! function, so only the first tenant of a kernel × options pair pays
+//! the real compiler), the verify-before-admit check, executor
+//! construction, and the heap image. This is `hfi-faas::lifecycle`'s
+//! cheap-teardown story *measured*: teardown of a reused instance is
+//! [`hfi_sim::Functional::reset`] plus re-preparing the heap, not a
+//! recompile.
+//!
+//! Address-space accounting is not re-modeled here: every live instance
+//! holds a real sandbox in a per-scheme [`SandboxRuntime`], so a
+//! GuardPages instance charges the full 8 GiB guard reservation and an
+//! HFI instance charges only its heap — the §6.3.2 density limit
+//! emerges from the same runtime `hfi-faas` measures. Crucially, that
+//! runtime never returns a reservation to the allocator (`teardown`
+//! discards pages, not address space — the paper's point about VA
+//! exhaustion), so when a cold build cannot reserve address space the
+//! pool *recycles*: it takes the least-recently-used idle instance of
+//! the same scheme and repurposes its live sandbox slot for the new
+//! tenant — fresh engine, fresh heap image, same reservation. At the
+//! cap, a scheme serves its whole tenant set through a fixed set of
+//! resident slots; the churn shows up as a depressed warm-hit rate.
+//!
+//! Every checkout stamps the instance's **generation** (reuse count).
+//! Reuse safety — a tenant must never observe a prior tenant's memory,
+//! register, or HFI region state — rests on `Functional::reset` and is
+//! pinned by the `warm_pool_safety` property test: fresh-vs-reused
+//! counters and final memory must be bit-identical.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+use hfi_sim::{Executor, Functional, Machine, Program};
+use hfi_wasm::compiler::{CompileOptions, CompiledKernel, Isolation};
+use hfi_wasm::kernels::Kernel;
+use hfi_wasm::runtime::{SandboxId, SandboxRuntime};
+
+/// Which executor tier serves a tenant's requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Tier {
+    /// The cycle-accurate `Machine`.
+    Cycle,
+    /// The per-op reference functional interpreter.
+    Functional,
+    /// The block-threaded superinstruction tier.
+    Fused,
+}
+
+impl Tier {
+    /// Stable label for telemetry.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Tier::Cycle => "cycle",
+            Tier::Functional => "functional",
+            Tier::Fused => "fused",
+        }
+    }
+}
+
+/// Admission policy for the verify-before-admit gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmitPolicy {
+    /// Only tenants whose program carries a positive verifier verdict
+    /// (`verified == Some(true)`) are admitted.
+    RequireVerified,
+    /// Tenants proven safe are admitted, tenants *rejected* by the
+    /// verifier (`Some(false)`) are refused, and tenants whose strategy
+    /// publishes no statically checkable contract (`None`, e.g. guard
+    /// pages) are exempt — their isolation story is the MMU, not a
+    /// proof.
+    VerifiedOrExempt,
+}
+
+impl AdmitPolicy {
+    /// Applies the policy to a verifier verdict.
+    pub fn admits(self, verified: Option<bool>) -> bool {
+        match self {
+            AdmitPolicy::RequireVerified => verified == Some(true),
+            AdmitPolicy::VerifiedOrExempt => verified != Some(false),
+        }
+    }
+}
+
+/// Where a tenant's program comes from.
+pub enum TenantSource {
+    /// A benchmark kernel compiled on (first) admission via the
+    /// caller-supplied compile function — pass
+    /// `hfi_bench::compile_cached` so all tenants of one kernel ×
+    /// options pair share a single `Arc<Program>` and its memoized
+    /// plans.
+    Kernel {
+        /// The kernel to compile.
+        kernel: Kernel,
+        /// Compile options (isolation scheme, layout).
+        opts: CompileOptions,
+        /// The (memoizing) compiler entry point.
+        compile: fn(&Kernel, &CompileOptions) -> CompiledKernel,
+    },
+    /// A pre-compiled program (e.g. a chaos-campaign cell) with its
+    /// verifier verdict supplied by the caller.
+    Program {
+        /// The runnable program.
+        program: Arc<Program>,
+        /// Verifier verdict for the admission gate.
+        verified: Option<bool>,
+    },
+}
+
+/// One tenant: a named sandbox owner with a program source, an
+/// isolation scheme (for address-space charging), a serving tier, and a
+/// heap image.
+pub struct TenantSpec {
+    /// Display name (`kernel#replica` in the serving benchmark).
+    pub name: String,
+    /// Isolation scheme, decides address-space charging and teardown
+    /// policy.
+    pub isolation: Isolation,
+    /// Executor tier serving this tenant.
+    pub tier: Tier,
+    /// Program source.
+    pub source: TenantSource,
+    /// Heap base address for loading `heap_init`.
+    pub heap_base: u64,
+    /// Initial heap contents as (address offset, bytes) pairs.
+    pub heap_init: Vec<(u64, Vec<u8>)>,
+    /// Expected architectural result (`r0` after halt), when known.
+    pub expected: Option<u64>,
+}
+
+impl TenantSpec {
+    /// A tenant serving `kernel` under `opts` on `tier`; `compile`
+    /// should be a memoizing entry point (`hfi_bench::compile_cached`).
+    pub fn from_kernel(
+        name: String,
+        kernel: Kernel,
+        opts: CompileOptions,
+        tier: Tier,
+        compile: fn(&Kernel, &CompileOptions) -> CompiledKernel,
+    ) -> Self {
+        let heap_base = opts.heap_base;
+        let heap_init = kernel
+            .heap_init
+            .iter()
+            .map(|(off, bytes)| (*off as u64, bytes.clone()))
+            .collect();
+        let expected = Some(kernel.expected);
+        TenantSpec {
+            name,
+            isolation: opts.isolation,
+            tier,
+            source: TenantSource::Kernel {
+                kernel,
+                opts,
+                compile,
+            },
+            heap_base,
+            heap_init,
+            expected,
+        }
+    }
+
+    /// A tenant serving a pre-compiled program.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_program(
+        name: String,
+        program: Arc<Program>,
+        verified: Option<bool>,
+        isolation: Isolation,
+        tier: Tier,
+        heap_base: u64,
+        heap_init: Vec<(u64, Vec<u8>)>,
+        expected: Option<u64>,
+    ) -> Self {
+        TenantSpec {
+            name,
+            isolation,
+            tier,
+            source: TenantSource::Program { program, verified },
+            heap_base,
+            heap_init,
+            expected,
+        }
+    }
+}
+
+/// The executor held by a warm instance.
+enum Engine {
+    Cycle(Box<Machine>),
+    Func(Box<Functional>),
+}
+
+impl Engine {
+    fn executor_mut(&mut self) -> &mut dyn Executor {
+        match self {
+            Engine::Cycle(m) => m.as_mut(),
+            Engine::Func(f) => f.as_mut(),
+        }
+    }
+}
+
+/// A live, prepared sandbox instance owned by a pool (or leased out).
+pub struct WarmInstance {
+    engine: Engine,
+    program: Arc<Program>,
+    sandbox: SandboxId,
+    isolation: Isolation,
+    generation: u64,
+}
+
+impl WarmInstance {
+    /// The executor, ready to run (heap image already prepared).
+    pub fn executor_mut(&mut self) -> &mut dyn Executor {
+        self.engine.executor_mut()
+    }
+
+    /// Direct access to the functional engine (tier `Functional` or
+    /// `Fused`), for state inspection in tests.
+    pub fn functional_mut(&mut self) -> Option<&mut Functional> {
+        match &mut self.engine {
+            Engine::Func(f) => Some(f.as_mut()),
+            Engine::Cycle(_) => None,
+        }
+    }
+
+    /// How many times this instance has been leased.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+}
+
+/// A checked-out instance: run it, then hand it back with
+/// [`WarmPools::release`] (or drop it via [`WarmPools::discard`]).
+pub struct Lease {
+    /// Tenant index this lease serves.
+    pub tenant: usize,
+    /// True when the checkout was a warm hit.
+    pub warm: bool,
+    /// The instance (leases expose the executor directly).
+    pub instance: WarmInstance,
+}
+
+/// Why a checkout failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolError {
+    /// The verify-before-admit gate refused the tenant.
+    AdmissionDenied {
+        /// The verifier verdict the policy rejected.
+        verified: Option<bool>,
+    },
+    /// The scheme's address space is exhausted and no idle instance of
+    /// that scheme was available to recycle (every slot is leased).
+    AtCapacity,
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::AdmissionDenied { verified } => {
+                write!(f, "admission denied (verified: {verified:?})")
+            }
+            PoolError::AtCapacity => f.write_str("address space at capacity"),
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// Counters the pool accumulates across its lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Checkouts satisfied by an idle warm instance of the same tenant.
+    pub warm_hits: u64,
+    /// Checkouts that built a new instance (fresh slot or recycled).
+    pub cold_builds: u64,
+    /// Cold builds that repurposed another tenant's idle slot because
+    /// the scheme's address space was exhausted.
+    pub recycled: u64,
+    /// Tenants refused by the admission gate.
+    pub admission_rejects: u64,
+    /// High-water mark of live instances across all schemes.
+    pub peak_resident: u64,
+}
+
+struct PoolsState {
+    spaces: HashMap<Isolation, SandboxRuntime>,
+    idle: Vec<Vec<WarmInstance>>,
+    /// Approximate LRU over idle instances: tenant indices in release
+    /// order; stale entries (empty idle lists) are skipped on recycle.
+    lru: VecDeque<usize>,
+    stats: PoolStats,
+}
+
+/// The warm-instance pools of one serving engine (shared across shard
+/// workers behind one mutex; every critical section is queue surgery or
+/// modeled sandbox accounting, never a kernel run).
+pub struct WarmPools {
+    tenants: Arc<Vec<TenantSpec>>,
+    va_bits: u32,
+    max_heap: u64,
+    admit: AdmitPolicy,
+    state: Mutex<PoolsState>,
+}
+
+impl WarmPools {
+    /// Empty pools over `tenants`, charging each scheme's instances
+    /// against a `va_bits`-bit address space with `max_heap`-byte heap
+    /// reservations.
+    pub fn new(
+        tenants: Arc<Vec<TenantSpec>>,
+        va_bits: u32,
+        max_heap: u64,
+        admit: AdmitPolicy,
+    ) -> Self {
+        let idle = tenants.iter().map(|_| Vec::new()).collect();
+        WarmPools {
+            tenants,
+            va_bits,
+            max_heap,
+            admit,
+            state: Mutex::new(PoolsState {
+                spaces: HashMap::new(),
+                idle,
+                lru: VecDeque::new(),
+                stats: PoolStats::default(),
+            }),
+        }
+    }
+
+    /// The tenant table the pools serve.
+    pub fn tenants(&self) -> &Arc<Vec<TenantSpec>> {
+        &self.tenants
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> PoolStats {
+        self.state.lock().expect("pool unpoisoned").stats
+    }
+
+    /// Live instances (idle + leased) across all schemes.
+    pub fn resident(&self) -> u64 {
+        let state = self.state.lock().expect("pool unpoisoned");
+        state
+            .spaces
+            .values()
+            .map(|s| s.live_count() as u64)
+            .sum::<u64>()
+    }
+
+    /// Resolves a tenant's program and verifier verdict (compiling via
+    /// the tenant's memoizing compile function if needed).
+    fn resolve(&self, spec: &TenantSpec) -> (Arc<Program>, Option<bool>) {
+        match &spec.source {
+            TenantSource::Kernel {
+                kernel,
+                opts,
+                compile,
+            } => {
+                let compiled = compile(kernel, opts);
+                (compiled.program, compiled.verified)
+            }
+            TenantSource::Program { program, verified } => (Arc::clone(program), *verified),
+        }
+    }
+
+    /// Takes the least-recently-used idle instance of `isolation` so
+    /// its live sandbox slot can be repurposed. Returns `None` when no
+    /// instance of that scheme is idle. LRU entries for other schemes
+    /// (or already-drained tenants) are rotated to the back, not lost.
+    fn recycle_idle(state: &mut PoolsState, isolation: Isolation) -> Option<WarmInstance> {
+        for _ in 0..state.lru.len() {
+            let tenant = state.lru.pop_front()?;
+            match state.idle[tenant].last() {
+                Some(candidate) if candidate.isolation == isolation => {
+                    return state.idle[tenant].pop();
+                }
+                Some(_) => state.lru.push_back(tenant),
+                None => {} // stale entry: drop it
+            }
+        }
+        None
+    }
+
+    /// Reserves a fresh sandbox for `isolation`, or — when the scheme's
+    /// address space is exhausted (reservations are never returned to
+    /// the allocator) — recycles an idle instance's slot.
+    fn reserve(
+        &self,
+        state: &mut PoolsState,
+        isolation: Isolation,
+    ) -> Result<(SandboxId, bool), PoolError> {
+        let va_bits = self.va_bits;
+        let max_heap = self.max_heap;
+        let space = state.spaces.entry(isolation).or_insert_with(|| {
+            let mut runtime = SandboxRuntime::new(isolation, va_bits);
+            runtime.set_max_heap(max_heap);
+            runtime
+        });
+        match space.create_sandbox(16) {
+            Ok(id) => {
+                let resident: u64 = state
+                    .spaces
+                    .values()
+                    .map(|s| s.live_count() as u64)
+                    .sum::<u64>();
+                state.stats.peak_resident = state.stats.peak_resident.max(resident);
+                Ok((id, false))
+            }
+            Err(_) => match Self::recycle_idle(state, isolation) {
+                Some(victim) => {
+                    state.stats.recycled += 1;
+                    Ok((victim.sandbox, true))
+                }
+                None => Err(PoolError::AtCapacity),
+            },
+        }
+    }
+
+    /// Checks out an instance for `tenant`: a warm pop when one is
+    /// idle, otherwise admission + cold build.
+    ///
+    /// # Errors
+    ///
+    /// [`PoolError::AdmissionDenied`] when the verify-before-admit gate
+    /// refuses the tenant, [`PoolError::AtCapacity`] when the scheme's
+    /// address space is exhausted and nothing is idle to evict.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenant` is out of range.
+    pub fn checkout(&self, tenant: usize) -> Result<Lease, PoolError> {
+        {
+            let mut state = self.state.lock().expect("pool unpoisoned");
+            if let Some(mut instance) = state.idle[tenant].pop() {
+                state.stats.warm_hits += 1;
+                instance.generation += 1;
+                return Ok(Lease {
+                    tenant,
+                    warm: true,
+                    instance,
+                });
+            }
+        }
+        // Cold path: compile/resolve and verify-admit outside the lock
+        // (the compile function memoizes process-wide), then reserve
+        // address space under the lock, then build the executor and
+        // load the heap image outside it again.
+        let spec = &self.tenants[tenant];
+        let (program, verified) = self.resolve(spec);
+        if !self.admit.admits(verified) {
+            let mut state = self.state.lock().expect("pool unpoisoned");
+            state.stats.admission_rejects += 1;
+            return Err(PoolError::AdmissionDenied { verified });
+        }
+        let sandbox = {
+            let mut state = self.state.lock().expect("pool unpoisoned");
+            let (sandbox, _recycled) = self.reserve(&mut state, spec.isolation)?;
+            state.stats.cold_builds += 1;
+            sandbox
+        };
+        let mut instance = WarmInstance {
+            engine: build_engine(spec.tier, &program),
+            program,
+            sandbox,
+            isolation: spec.isolation,
+            generation: 0,
+        };
+        prepare_heap(spec, &mut instance);
+        Ok(Lease {
+            tenant,
+            warm: false,
+            instance,
+        })
+    }
+
+    /// Returns a leased instance to its pool: per-tenant state is reset
+    /// (the measured cheap teardown) and the heap image re-prepared, so
+    /// the next checkout is run-ready.
+    pub fn release(&self, mut lease: Lease) {
+        let spec = &self.tenants[lease.tenant];
+        match &mut lease.instance.engine {
+            Engine::Func(f) => f.reset(),
+            // The cycle machine's microarchitectural state (caches,
+            // predictors, ROB) has no reset seam; rebuild it from the
+            // shared program — still no recompile, no re-decode.
+            Engine::Cycle(m) => **m = Machine::new(Arc::clone(&lease.instance.program)),
+        }
+        prepare_heap(spec, &mut lease.instance);
+        let mut state = self.state.lock().expect("pool unpoisoned");
+        state.idle[lease.tenant].push(lease.instance);
+        state.lru.push_back(lease.tenant);
+    }
+
+    /// Drops a leased instance entirely, releasing its address space
+    /// under the scheme's teardown policy.
+    pub fn discard(&self, lease: Lease) {
+        let spec = &self.tenants[lease.tenant];
+        let mut state = self.state.lock().expect("pool unpoisoned");
+        if let Some(space) = state.spaces.get_mut(&spec.isolation) {
+            let _ = space.teardown(lease.instance.sandbox);
+        }
+    }
+
+    /// Pre-warms one instance for `tenant` (cold build + immediate
+    /// release). Returns whether the build fit in the address space.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`WarmPools::checkout`] errors.
+    pub fn provision(&self, tenant: usize) -> Result<(), PoolError> {
+        let lease = self.checkout(tenant)?;
+        self.release(lease);
+        Ok(())
+    }
+}
+
+fn build_engine(tier: Tier, program: &Arc<Program>) -> Engine {
+    match tier {
+        Tier::Cycle => Engine::Cycle(Box::new(Machine::new(Arc::clone(program)))),
+        Tier::Functional => Engine::Func(Box::new(Functional::new(Arc::clone(program)))),
+        Tier::Fused => Engine::Func(Box::new(Functional::new_fused(Arc::clone(program)))),
+    }
+}
+
+fn prepare_heap(spec: &TenantSpec, instance: &mut WarmInstance) {
+    for (off, bytes) in &spec.heap_init {
+        instance
+            .engine
+            .executor_mut()
+            .prepare(spec.heap_base + off, bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hfi_sim::{ProgramBuilder, Reg, Stop};
+
+    fn tiny_program(result: u64) -> Arc<Program> {
+        let mut asm = ProgramBuilder::new(0x1000);
+        asm.movi(Reg(0), result as i64);
+        asm.halt();
+        Arc::new(asm.finish())
+    }
+
+    fn tenant(name: &str, isolation: Isolation, verified: Option<bool>) -> TenantSpec {
+        TenantSpec::from_program(
+            name.to_string(),
+            tiny_program(42),
+            verified,
+            isolation,
+            Tier::Functional,
+            0x1000_0000,
+            Vec::new(),
+            Some(42),
+        )
+    }
+
+    fn pools(tenants: Vec<TenantSpec>, va_bits: u32, admit: AdmitPolicy) -> WarmPools {
+        WarmPools::new(Arc::new(tenants), va_bits, 64 << 20, admit)
+    }
+
+    #[test]
+    fn warm_hit_reuses_the_instance_and_bumps_its_generation() {
+        let pools = pools(
+            vec![tenant("a", Isolation::Hfi, Some(true))],
+            42,
+            AdmitPolicy::RequireVerified,
+        );
+        let mut lease = pools.checkout(0).expect("cold build fits");
+        assert!(!lease.warm);
+        assert_eq!(lease.instance.generation(), 0);
+        assert_eq!(lease.instance.executor_mut().run(1_000), Stop::Halted);
+        assert_eq!(lease.instance.executor_mut().regs()[0], 42);
+        pools.release(lease);
+
+        let mut lease = pools.checkout(0).expect("warm pop");
+        assert!(lease.warm);
+        assert_eq!(lease.instance.generation(), 1);
+        assert_eq!(lease.instance.executor_mut().run(1_000), Stop::Halted);
+        assert_eq!(lease.instance.executor_mut().regs()[0], 42);
+        pools.release(lease);
+
+        let stats = pools.stats();
+        assert_eq!(stats.cold_builds, 1);
+        assert_eq!(stats.warm_hits, 1);
+        assert_eq!(stats.recycled, 0);
+        assert_eq!(pools.resident(), 1);
+    }
+
+    #[test]
+    fn admission_policies_gate_on_the_verifier_verdict() {
+        let pools = pools(
+            vec![
+                tenant("proven", Isolation::Hfi, Some(true)),
+                tenant("rejected", Isolation::Hfi, Some(false)),
+                tenant("exempt", Isolation::GuardPages, None),
+            ],
+            42,
+            AdmitPolicy::RequireVerified,
+        );
+        assert!(pools.checkout(0).is_ok());
+        assert_eq!(
+            pools.checkout(1).err(),
+            Some(PoolError::AdmissionDenied {
+                verified: Some(false)
+            })
+        );
+        assert_eq!(
+            pools.checkout(2).err(),
+            Some(PoolError::AdmissionDenied { verified: None }),
+            "RequireVerified refuses contract-free strategies"
+        );
+        assert_eq!(pools.stats().admission_rejects, 2);
+
+        let exempting = self::pools(
+            vec![
+                tenant("rejected", Isolation::Hfi, Some(false)),
+                tenant("exempt", Isolation::GuardPages, None),
+            ],
+            42,
+            AdmitPolicy::VerifiedOrExempt,
+        );
+        assert!(exempting.checkout(0).is_err(), "a rejection always gates");
+        assert!(exempting.checkout(1).is_ok(), "guard pages are exempt");
+    }
+
+    #[test]
+    fn exhausted_address_space_recycles_lru_idle_slots() {
+        // 35-bit address space = 32 GiB: room for four 8 GiB guard
+        // reservations, and reservations are never returned.
+        let tenants: Vec<TenantSpec> = (0..6)
+            .map(|i| tenant(&format!("t{i}"), Isolation::GuardPages, None))
+            .collect();
+        let pools = pools(tenants, 35, AdmitPolicy::VerifiedOrExempt);
+        for i in 0..6 {
+            pools.provision(i).expect("recycling absorbs the overflow");
+        }
+        let stats = pools.stats();
+        let resident = pools.resident();
+        assert!(
+            resident <= 4,
+            "32 GiB holds at most four guard reservations, got {resident}"
+        );
+        assert_eq!(stats.cold_builds, 6);
+        assert_eq!(
+            stats.recycled,
+            6 - resident,
+            "every over-capacity build recycled an idle slot"
+        );
+        assert_eq!(stats.peak_resident, resident);
+
+        // The last-provisioned tenant is still warm; the first was
+        // recycled away and needs a (recycling) cold build again.
+        let lease = pools.checkout(5).expect("checkout");
+        assert!(lease.warm);
+        pools.release(lease);
+        let lease = pools.checkout(0).expect("checkout");
+        assert!(!lease.warm, "tenant 0's slot was recycled away");
+        pools.release(lease);
+    }
+
+    #[test]
+    fn all_slots_leased_is_at_capacity() {
+        let tenants: Vec<TenantSpec> = (0..8)
+            .map(|i| tenant(&format!("t{i}"), Isolation::GuardPages, None))
+            .collect();
+        // 35 bits = 32 GiB: at most four 8 GiB guard reservations, so
+        // holding every lease must hit the capacity wall within eight
+        // checkouts — recycling needs an *idle* instance.
+        let pools = pools(tenants, 35, AdmitPolicy::VerifiedOrExempt);
+        let mut leases = Vec::new();
+        let mut blocked_tenant = None;
+        for i in 0..8 {
+            match pools.checkout(i) {
+                Ok(lease) => leases.push(lease),
+                Err(PoolError::AtCapacity) => {
+                    blocked_tenant = Some(i);
+                    break;
+                }
+                Err(e) => panic!("unexpected checkout error: {e}"),
+            }
+        }
+        let blocked = blocked_tenant.expect("every slot leased must exhaust the space");
+        // Releasing one instance makes its slot recyclable again.
+        pools.release(leases.pop().expect("at least one lease"));
+        let lease = pools.checkout(blocked).expect("recycles the freed slot");
+        assert!(!lease.warm);
+        assert!(pools.stats().recycled >= 1);
+    }
+
+    #[test]
+    fn release_resets_tenant_state_for_the_next_checkout() {
+        let mut spec = tenant("a", Isolation::Hfi, Some(true));
+        spec.heap_init = vec![(0, vec![7, 7, 7])];
+        let pools = pools(vec![spec], 42, AdmitPolicy::RequireVerified);
+        let mut lease = pools.checkout(0).expect("cold");
+        // Scribble over guest state mid-lease.
+        let functional = lease.instance.functional_mut().expect("functional tier");
+        functional.mem.write_bytes(0x1000_0000, &[9, 9, 9]);
+        assert_eq!(functional.mem.read_bytes(0x1000_0000, 3), vec![9, 9, 9]);
+        pools.release(lease);
+
+        let mut lease = pools.checkout(0).expect("warm");
+        let functional = lease.instance.functional_mut().expect("functional tier");
+        assert_eq!(
+            functional.mem.read_bytes(0x1000_0000, 3),
+            vec![7, 7, 7],
+            "reused instance must present the pristine heap image"
+        );
+        pools.release(lease);
+    }
+}

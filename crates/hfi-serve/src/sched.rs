@@ -1,0 +1,428 @@
+//! A sharded, work-stealing serving scheduler over the warm pools.
+//!
+//! One worker thread per shard. `submit` round-robins requests across
+//! shard queues; each worker drains its own shard FIFO (front) and,
+//! when empty, steals from the *back* of sibling shards — FIFO for the
+//! owner preserves arrival order per shard, LIFO stealing takes the
+//! work least likely to be cache-warm on the victim. All of it is
+//! hand-rolled on `std` primitives (`Mutex<VecDeque>`, atomics, mpsc),
+//! keeping the workspace's `forbid(unsafe_code)` posture.
+//!
+//! Timestamps are nanoseconds since the scheduler's epoch, read from
+//! the host monotonic clock only at the edges (request pickup,
+//! checkout done, run done) — scheduling decisions never consume
+//! wall-clock randomness, so a run's *logic* is as deterministic as
+//! its inputs; only the measured latencies vary with the host.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use hfi_sim::{ChaosHook, RunRecord, Stop};
+
+use crate::pool::{PoolError, WarmPools};
+
+/// One unit of work: run tenant `tenant`'s program once.
+pub struct Request {
+    /// Index into the pools' tenant table.
+    pub tenant: usize,
+    /// Virtual arrival time (ns since schedule epoch), echoed into the
+    /// completion so queueing delay is `start_ns - arrival_ns`.
+    pub arrival_ns: u64,
+    /// Run budget, in the serving tier's native unit (instructions for
+    /// the functional tiers, cycles for the cycle tier).
+    pub limit: u64,
+    /// Optional fault-injection hook, installed for this run only
+    /// (functional tiers; the cycle tier has no chaos seam).
+    pub chaos: Option<Box<dyn ChaosHook>>,
+}
+
+/// How a request ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// The run finished (any [`Stop`]); counters and `r0` attached.
+    Done {
+        /// Why the executor stopped.
+        stop: Stop,
+        /// Unified counter snapshot of the run (boxed — it is an order
+        /// of magnitude larger than the other variants).
+        record: Box<RunRecord>,
+        /// Architectural result register.
+        r0: u64,
+    },
+    /// The verify-before-admit gate refused the tenant.
+    Rejected {
+        /// The verifier verdict the admission policy rejected.
+        verified: Option<bool>,
+    },
+    /// The scheme's address space stayed exhausted across the retry
+    /// budget (every instance leased, nothing idle to evict).
+    Overloaded,
+}
+
+/// One completed request with its full latency breakdown.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Completion {
+    /// Tenant index served.
+    pub tenant: usize,
+    /// Worker that ran the request.
+    pub worker: usize,
+    /// True when the request was stolen from another shard.
+    pub stolen: bool,
+    /// True when the checkout was a warm-pool hit.
+    pub warm: bool,
+    /// Reuse count of the instance that served the request.
+    pub generation: u64,
+    /// Virtual arrival time echoed from the request (ns).
+    pub arrival_ns: u64,
+    /// Host time the request was picked up (ns since scheduler epoch).
+    pub start_ns: u64,
+    /// Host time the run finished (ns since scheduler epoch).
+    pub finish_ns: u64,
+    /// Checkout cost: warm pop or cold compile+admit+build (ns).
+    pub setup_ns: u64,
+    /// Pure run time (ns).
+    pub service_ns: u64,
+    /// How the request ended.
+    pub outcome: Outcome,
+}
+
+/// Retries (with a short sleep) before an `AtCapacity` checkout is
+/// reported as [`Outcome::Overloaded`]; leases return quickly, so a
+/// transiently exhausted pool usually clears within a few spins.
+const CAPACITY_RETRIES: u32 = 32;
+const CAPACITY_RETRY_SLEEP: Duration = Duration::from_micros(20);
+const IDLE_SLEEP: Duration = Duration::from_micros(50);
+
+struct Inner {
+    shards: Vec<Mutex<std::collections::VecDeque<Request>>>,
+    pools: Arc<WarmPools>,
+    epoch: Instant,
+    /// Requests submitted and not yet completed.
+    pending: AtomicU64,
+    /// Round-robin cursor for `submit`.
+    cursor: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+impl Inner {
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+}
+
+/// The serving scheduler: shard queues, worker threads, and a
+/// completion stream.
+pub struct Scheduler {
+    inner: Arc<Inner>,
+    workers: Vec<JoinHandle<()>>,
+    completions: Mutex<Receiver<Completion>>,
+}
+
+impl Scheduler {
+    /// Spawns `workers` shard workers over `pools`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `workers` is zero.
+    pub fn new(pools: Arc<WarmPools>, workers: usize) -> Self {
+        assert!(workers > 0, "the scheduler needs at least one worker");
+        let inner = Arc::new(Inner {
+            shards: (0..workers)
+                .map(|_| Mutex::new(std::collections::VecDeque::new()))
+                .collect(),
+            pools,
+            epoch: Instant::now(),
+            pending: AtomicU64::new(0),
+            cursor: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+        });
+        let (tx, rx) = mpsc::channel();
+        let handles = (0..workers)
+            .map(|id| {
+                let inner = Arc::clone(&inner);
+                let tx: Sender<Completion> = tx.clone();
+                std::thread::spawn(move || worker_loop(id, &inner, &tx))
+            })
+            .collect();
+        Scheduler {
+            inner,
+            workers: handles,
+            completions: Mutex::new(rx),
+        }
+    }
+
+    /// Nanoseconds since the scheduler's epoch (host monotonic) — the
+    /// clock completions are stamped with, exposed so the load harness
+    /// can pace virtual arrivals against it.
+    pub fn now_ns(&self) -> u64 {
+        self.inner.now_ns()
+    }
+
+    /// The warm pools behind the shards.
+    pub fn pools(&self) -> &Arc<WarmPools> {
+        &self.inner.pools
+    }
+
+    /// Requests submitted and not yet completed.
+    pub fn pending(&self) -> u64 {
+        self.inner.pending.load(Ordering::Acquire)
+    }
+
+    /// Enqueues a request on the next shard (round-robin).
+    pub fn submit(&self, request: Request) {
+        let shard =
+            (self.inner.cursor.fetch_add(1, Ordering::Relaxed) as usize) % self.inner.shards.len();
+        self.inner.pending.fetch_add(1, Ordering::AcqRel);
+        self.inner.shards[shard]
+            .lock()
+            .expect("shard unpoisoned")
+            .push_back(request);
+    }
+
+    /// Non-blocking drain of completions accumulated so far.
+    pub fn drain_completions(&self) -> Vec<Completion> {
+        let rx = self.completions.lock().expect("completions unpoisoned");
+        let mut out = Vec::new();
+        while let Ok(c) = rx.try_recv() {
+            out.push(c);
+        }
+        out
+    }
+
+    /// Waits for every submitted request to complete, stops the
+    /// workers, and returns the remaining completions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panicked.
+    pub fn finish(self) -> Vec<Completion> {
+        while self.inner.pending.load(Ordering::Acquire) > 0 {
+            std::thread::sleep(IDLE_SLEEP);
+        }
+        self.inner.shutdown.store(true, Ordering::Release);
+        for handle in self.workers {
+            handle.join().expect("worker thread panicked");
+        }
+        let rx = self
+            .completions
+            .into_inner()
+            .expect("completions unpoisoned");
+        rx.try_iter().collect()
+    }
+}
+
+/// Pops work for worker `id`: own shard front first (FIFO), then the
+/// back of sibling shards (steal). Returns the request and whether it
+/// was stolen.
+fn pop_work(id: usize, inner: &Inner) -> Option<(Request, bool)> {
+    if let Some(req) = inner.shards[id]
+        .lock()
+        .expect("shard unpoisoned")
+        .pop_front()
+    {
+        return Some((req, false));
+    }
+    let n = inner.shards.len();
+    for offset in 1..n {
+        let victim = (id + offset) % n;
+        if let Some(req) = inner.shards[victim]
+            .lock()
+            .expect("shard unpoisoned")
+            .pop_back()
+        {
+            return Some((req, true));
+        }
+    }
+    None
+}
+
+fn worker_loop(id: usize, inner: &Inner, tx: &Sender<Completion>) {
+    loop {
+        match pop_work(id, inner) {
+            Some((request, stolen)) => {
+                let completion = serve_one(id, stolen, request, inner);
+                // The scheduler may already have dropped its receiver
+                // (finish() joined with a full channel buffer); a send
+                // failure only loses telemetry, never work.
+                let _ = tx.send(completion);
+                inner.pending.fetch_sub(1, Ordering::AcqRel);
+            }
+            None => {
+                if inner.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                std::thread::sleep(IDLE_SLEEP);
+            }
+        }
+    }
+}
+
+/// Runs one request end to end: checkout (with capacity retries), run,
+/// snapshot counters, release.
+fn serve_one(worker: usize, stolen: bool, request: Request, inner: &Inner) -> Completion {
+    let start_ns = inner.now_ns();
+    let mut attempts = 0;
+    let lease = loop {
+        match inner.pools.checkout(request.tenant) {
+            Ok(lease) => break Ok(lease),
+            Err(PoolError::AdmissionDenied { verified }) => {
+                break Err(Outcome::Rejected { verified })
+            }
+            Err(PoolError::AtCapacity) => {
+                attempts += 1;
+                if attempts > CAPACITY_RETRIES {
+                    break Err(Outcome::Overloaded);
+                }
+                std::thread::sleep(CAPACITY_RETRY_SLEEP);
+            }
+        }
+    };
+    let mut lease = match lease {
+        Ok(lease) => lease,
+        Err(outcome) => {
+            let finish_ns = inner.now_ns();
+            return Completion {
+                tenant: request.tenant,
+                worker,
+                stolen,
+                warm: false,
+                generation: 0,
+                arrival_ns: request.arrival_ns,
+                start_ns,
+                finish_ns,
+                setup_ns: finish_ns - start_ns,
+                service_ns: 0,
+                outcome,
+            };
+        }
+    };
+    let setup_done_ns = inner.now_ns();
+    let warm = lease.warm;
+    let generation = lease.instance.generation();
+    if let Some(hook) = request.chaos {
+        // Chaos hooks ride the functional tiers; the pool's release
+        // reset detaches the hook, so it never leaks into the next run.
+        if let Some(functional) = lease.instance.functional_mut() {
+            functional.set_chaos(hook);
+        }
+    }
+    let executor = lease.instance.executor_mut();
+    let stop = executor.run(request.limit);
+    let record = Box::new(executor.stats());
+    let r0 = executor.regs()[0];
+    let finish_ns = inner.now_ns();
+    inner.pools.release(lease);
+    Completion {
+        tenant: request.tenant,
+        worker,
+        stolen,
+        warm,
+        generation,
+        arrival_ns: request.arrival_ns,
+        start_ns,
+        finish_ns,
+        setup_ns: setup_done_ns - start_ns,
+        service_ns: finish_ns - setup_done_ns,
+        outcome: Outcome::Done { stop, record, r0 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::{AdmitPolicy, TenantSpec, Tier, WarmPools};
+    use hfi_sim::{Program, ProgramBuilder, Reg};
+    use hfi_wasm::compiler::Isolation;
+
+    fn tiny_program(result: u64) -> Arc<Program> {
+        let mut asm = ProgramBuilder::new(0x1000);
+        asm.movi(Reg(0), result as i64);
+        asm.halt();
+        Arc::new(asm.finish())
+    }
+
+    fn pools(tenants: usize) -> Arc<WarmPools> {
+        let tenants: Vec<TenantSpec> = (0..tenants)
+            .map(|i| {
+                TenantSpec::from_program(
+                    format!("t{i}"),
+                    tiny_program(100 + i as u64),
+                    Some(true),
+                    Isolation::Hfi,
+                    Tier::Functional,
+                    0x1000_0000,
+                    Vec::new(),
+                    Some(100 + i as u64),
+                )
+            })
+            .collect();
+        Arc::new(WarmPools::new(
+            Arc::new(tenants),
+            42,
+            64 << 20,
+            AdmitPolicy::RequireVerified,
+        ))
+    }
+
+    #[test]
+    fn every_submitted_request_completes_correctly() {
+        let pools = pools(4);
+        let scheduler = Scheduler::new(Arc::clone(&pools), 3);
+        let n = 60;
+        for i in 0..n {
+            scheduler.submit(Request {
+                tenant: i % 4,
+                arrival_ns: scheduler.now_ns(),
+                limit: 1_000,
+                chaos: None,
+            });
+        }
+        let completions = scheduler.finish();
+        assert_eq!(completions.len(), n);
+        for completion in &completions {
+            match &completion.outcome {
+                Outcome::Done { stop, r0, .. } => {
+                    assert_eq!(*stop, Stop::Halted);
+                    assert_eq!(*r0, 100 + completion.tenant as u64);
+                }
+                other => panic!("unexpected outcome: {other:?}"),
+            }
+            assert!(completion.finish_ns >= completion.start_ns);
+            assert!(completion.finish_ns >= completion.arrival_ns);
+            assert_eq!(
+                completion.finish_ns - completion.start_ns,
+                completion.setup_ns + completion.service_ns
+            );
+            assert!(completion.worker < 3);
+        }
+        // Four tenants need at least one cold build each (two workers
+        // racing on the same cold tenant may build a few extra); every
+        // other request is a warm hit.
+        let stats = pools.stats();
+        assert!(stats.cold_builds >= 4);
+        assert_eq!(stats.warm_hits + stats.cold_builds, n as u64);
+        let warm = completions.iter().filter(|c| c.warm).count();
+        assert_eq!(warm as u64, stats.warm_hits);
+    }
+
+    #[test]
+    fn completions_report_growing_generations_per_tenant() {
+        let pools = pools(1);
+        let scheduler = Scheduler::new(pools, 1);
+        for _ in 0..5 {
+            scheduler.submit(Request {
+                tenant: 0,
+                arrival_ns: 0,
+                limit: 1_000,
+                chaos: None,
+            });
+        }
+        let mut completions = scheduler.finish();
+        completions.sort_by_key(|c| c.finish_ns);
+        let generations: Vec<u64> = completions.iter().map(|c| c.generation).collect();
+        assert_eq!(generations, vec![0, 1, 2, 3, 4]);
+    }
+}

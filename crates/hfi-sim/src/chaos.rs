@@ -80,7 +80,14 @@ pub enum ArchEvent {
 /// visited deterministically for a fixed program and seed; the cycle
 /// machine also consults hooks on speculative (later squashed) paths,
 /// which is faithful — real bit flips do not wait for retirement.
-pub trait ChaosHook {
+///
+/// `Send` is a supertrait so executors holding a boxed hook stay `Send`:
+/// the serving scheduler (`hfi-serve`) migrates prepared executors
+/// across shard workers, and a hook rides along inside them.
+/// Implementations that share state with a campaign driver (the chaos
+/// engine, the shadow monitor) must use thread-safe handles
+/// (`Arc<Mutex<…>>`).
+pub trait ChaosHook: Send {
     /// Perturbs a computed effective address (AGU output) at `pc`.
     fn perturb_ea(&mut self, _pc: u64, ea: u64) -> u64 {
         ea

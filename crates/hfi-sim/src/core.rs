@@ -148,7 +148,11 @@ pub struct SyscallOutcome {
 }
 
 /// The OS model invoked for syscalls that are *not* interposed by HFI.
-pub trait OsModel {
+///
+/// `Send` is a supertrait so executors holding a boxed model stay
+/// `Send` — the serving scheduler (`hfi-serve`) migrates prepared
+/// executors across shard workers.
+pub trait OsModel: Send {
     /// Handles syscall `number` with access to registers and memory.
     fn syscall(
         &mut self,

@@ -425,6 +425,19 @@ impl Executor for Emulated {
     }
 }
 
+/// Compile-time witnesses that every executor is `Send`: the serving
+/// scheduler (`hfi-serve`) hands prepared executors to shard workers
+/// and lets idle workers steal them, so losing `Send` on any tier (for
+/// example by boxing a non-`Send` `OsModel` or `ChaosHook`) must fail
+/// the build here rather than at the distant spawn site.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Machine>();
+    assert_send::<Functional>();
+    assert_send::<Emulated>();
+    assert_send::<Box<dyn Executor + Send>>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -170,6 +170,29 @@ impl Functional {
         self.fused = fused;
     }
 
+    /// Resets all per-tenant state, keeping the program, its shared
+    /// plan, and the tier selection: memory, HFI region context,
+    /// registers, call stack, cycles, counters, the signal handler, the
+    /// OS model, and any installed chaos hook all return to their
+    /// just-constructed values. This is the warm-pool teardown
+    /// primitive: a reused instance behaves bit-identically to a
+    /// freshly constructed one (`tests/warm_pool_safety.rs`), while the
+    /// expensive artifacts — the `Arc<Program>` and its memoized
+    /// decode/fusion plans — survive the reset.
+    pub fn reset(&mut self) {
+        self.mem = SparseMemory::new();
+        self.hfi = HfiContext::new();
+        self.costs = CostModel::default();
+        self.weights = FunctionalCosts::default();
+        self.signal_handler = None;
+        self.os = Box::new(DefaultOs::default());
+        self.chaos = None;
+        self.regs = [0; 16];
+        self.call_stack.clear();
+        self.cycles = 0.0;
+        self.stats = FunctionalStats::default();
+    }
+
     /// True when [`Functional::run`] drives the fused tier.
     pub fn is_fused(&self) -> bool {
         self.fused
@@ -300,8 +323,14 @@ impl Functional {
     /// over the superinstruction plan ([`fused_plan_of`]); results are
     /// bit-identical (cycles, counters, registers, stop reason) — see
     /// `tests/predecode_differential.rs`.
+    /// Statically large, dynamically short programs (see
+    /// [`FUSED_FALLBACK_MAX_OPS`](crate::FUSED_FALLBACK_MAX_OPS)) run
+    /// the reference loop even on the fused tier: block dispatch cannot
+    /// amortize over their low per-block reuse. [`ExecutorKind::Fused`]
+    /// reporting and all counters are unaffected — both loops are
+    /// bit-identical.
     pub fn run(&mut self, max_insts: u64) -> FunctionalResult {
-        if self.fused {
+        if self.fused && !crate::plan::fused_fallback(&self.program) {
             self.run_fused(max_insts)
         } else {
             self.run_unfused(max_insts)

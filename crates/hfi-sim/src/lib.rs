@@ -48,6 +48,7 @@ pub use functional::{Functional, FunctionalCosts, FunctionalResult, FunctionalSt
 pub use isa::{AluOp, Cond, HmovOperand, Inst, MemOperand, Program, Reg};
 pub use mem::SparseMemory;
 pub use plan::{
-    fused_plan_of, plan_of, BasicBlock, DecodedProgram, EaTemplate, FusedBlock, FusedProgram,
-    MicroOp, OpClass, PlanVariant, SerializeClass, SuperOp, SuperOpKind,
+    fused_fallback, fused_plan_of, plan_of, BasicBlock, DecodedProgram, EaTemplate, FusedBlock,
+    FusedProgram, MicroOp, OpClass, PlanVariant, SerializeClass, SuperOp, SuperOpKind,
+    FUSED_FALLBACK_MAX_OPS,
 };

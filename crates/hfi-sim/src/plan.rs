@@ -703,6 +703,34 @@ fn fuse_cat(op: &MicroOp) -> FuseCat {
     }
 }
 
+/// Static plan-size ceiling for the fused tier's block dispatch.
+///
+/// Programs whose per-op plan exceeds this many micro-ops are marked as
+/// *fallback* plans: [`Functional::run`](crate::Functional) routes them
+/// through the per-op reference loop even when the fused tier is
+/// selected. The cutoff targets statically large, dynamically short
+/// programs — unrolled code like the `445.gobmk-like` kernel lowers to
+/// ~1.5-2.4k micro-ops across ~450 tiny blocks but commits only ~7-12k
+/// instructions per run, so each block executes a handful of times:
+/// block-dispatch overhead and the one-time fusion-pass build can never
+/// amortize, and the fused tier measured 25-30% *slower* than the
+/// reference loop on those cells. Every other Fig. 3 kernel sits at
+/// ≤120 micro-ops with millions of committed instructions, far below
+/// the cutoff. The overlay is still built and structurally validated
+/// for fallback programs (`verify_fusion` checks every direct target),
+/// it just never drives dispatch.
+pub const FUSED_FALLBACK_MAX_OPS: usize = 512;
+
+/// True when `program`'s fused tier falls back to the per-op reference
+/// loop (see [`FUSED_FALLBACK_MAX_OPS`]).
+///
+/// Decided from the base plan alone so callers (and the fused run loop
+/// itself) can consult it without paying the fusion-pass build for a
+/// plan that would never be dispatched.
+pub fn fused_fallback(program: &Arc<Program>) -> bool {
+    plan_of(program).len() > FUSED_FALLBACK_MAX_OPS
+}
+
 /// A [`DecodedProgram`] overlaid with its superinstruction plan: the
 /// fusion pass output plus the per-block dispatch table.
 ///
@@ -721,6 +749,7 @@ pub struct FusedProgram {
     base: Arc<DecodedProgram>,
     sops: Vec<SuperOp>,
     blocks: Vec<FusedBlock>,
+    fallback: bool,
 }
 
 impl FusedProgram {
@@ -783,9 +812,24 @@ impl FusedProgram {
                 sop_end: sops.len() as u32,
             });
         }
-        let fused = Self { base, sops, blocks };
+        let fallback = ops.len() > FUSED_FALLBACK_MAX_OPS;
+        let fused = Self {
+            base,
+            sops,
+            blocks,
+            fallback,
+        };
         debug_assert_eq!(fused.validate(), Ok(()), "fusion pass broke an invariant");
         fused
+    }
+
+    /// True when this plan exceeds [`FUSED_FALLBACK_MAX_OPS`] and the
+    /// fused tier runs the per-op reference loop instead of dispatching
+    /// through the overlay. Agrees with [`fused_fallback`] by
+    /// construction (both compare the base plan's length).
+    #[inline(always)]
+    pub fn fallback(&self) -> bool {
+        self.fallback
     }
 
     /// The underlying per-op plan (shared with [`plan_of`]'s memo entry).

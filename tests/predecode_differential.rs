@@ -651,13 +651,12 @@ fn fused_and_unfused_agree_on_every_verifyset_kernel() {
 #[test]
 fn fused_and_unfused_emit_identical_event_traces_when_observed() {
     use hfi_repro::hfi_sim::{ArchEvent, ChaosHook};
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use std::sync::{Arc as SyncArc, Mutex};
 
-    struct Recorder(Rc<RefCell<Vec<ArchEvent>>>);
+    struct Recorder(SyncArc<Mutex<Vec<ArchEvent>>>);
     impl ChaosHook for Recorder {
         fn observe(&mut self, event: &ArchEvent) {
-            self.0.borrow_mut().push(*event);
+            self.0.lock().expect("recorder unpoisoned").push(*event);
         }
     }
 
@@ -665,15 +664,18 @@ fn fused_and_unfused_emit_identical_event_traces_when_observed() {
     for case in 0..24 {
         let program = random_guarded_runnable(&mut rng);
         let trace_of = |fused: bool| {
-            let events = Rc::new(RefCell::new(Vec::new()));
+            let events = SyncArc::new(Mutex::new(Vec::new()));
             let mut functional = Functional::new(Arc::clone(&program));
             functional.set_fused(fused);
-            functional.set_chaos(Box::new(Recorder(Rc::clone(&events))));
+            functional.set_chaos(Box::new(Recorder(SyncArc::clone(&events))));
             let result = functional.run(100_000);
             drop(functional);
             (
                 result,
-                Rc::try_unwrap(events).expect("sole owner").into_inner(),
+                SyncArc::try_unwrap(events)
+                    .expect("sole owner")
+                    .into_inner()
+                    .expect("recorder unpoisoned"),
             )
         };
         let (unfused, trace_unfused) = trace_of(false);
