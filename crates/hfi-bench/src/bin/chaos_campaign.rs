@@ -59,6 +59,7 @@ use hfi_chaos::{
     classify, ChaosEngine, ChaosPlan, FaultClass, Rig, ShadowMonitor, SiteCounter, SiteCounts,
     Verdict, WeakenedEngine,
 };
+use hfi_core::TransitionScheme;
 use hfi_serve::{
     AdmitPolicy, Outcome as ServeOutcome, Request, Scheduler, TenantSpec, Tier, WarmPools,
 };
@@ -149,7 +150,7 @@ fn targets(smoke: bool, vehicle: Vehicle) -> Vec<Target> {
         kernels.truncate(3);
     }
     let opts = CompileOptions::new(Isolation::Hfi);
-    kernels
+    let mut targets: Vec<Target> = kernels
         .iter()
         .map(|kernel| {
             let compiled = compile_cached(kernel, &opts);
@@ -164,7 +165,26 @@ fn targets(smoke: bool, vehicle: Vehicle) -> Vec<Target> {
                 vehicle,
             }
         })
-        .collect()
+        .collect();
+    // Springboard-compiled variants: the default scheme emits no marked
+    // transition micro-ops, so without these the transition-corrupt
+    // class would have zero sites campaign-wide. Two kernels suffice —
+    // every springboard carries the same zeroing/stack-switch sequence.
+    let springboard = CompileOptions::hfi_with_scheme(TransitionScheme::FullSpringboard);
+    for kernel in kernels.iter().take(2) {
+        let compiled = compile_cached(kernel, &springboard);
+        targets.push(Target {
+            name: format!("{}/springboard", kernel.name),
+            program: compiled.program.clone(),
+            spec: sandbox_spec(&springboard).expect("sandboxed HFI kernels publish a spec"),
+            heap_base: springboard.heap_base,
+            heap_init: kernel.heap_init.clone(),
+            expected: kernel.expected,
+            verified: compiled.verified,
+            vehicle,
+        });
+    }
+    targets
 }
 
 /// Runs one hooked execution on the campaign's vehicle and returns the

@@ -6,7 +6,7 @@
 //! 8.7% on font reflow; more-compressed images benefit more.
 
 use hfi_bench::{print_table, run_functional_record, Harness};
-use hfi_core::CostModel;
+use hfi_core::{CostModel, TransitionScheme};
 use hfi_sim::RunRecord;
 use hfi_wasm::compiler::Isolation;
 use hfi_wasm::kernels::render;
@@ -52,10 +52,11 @@ fn main() {
         // uses springboard-style transitions (context save/clear) for the
         // software schemes; HFI adds its serialized enter/exit on top of
         // a plain call.
-        let transition = match scheme {
-            Isolation::Hfi => Transition::HfiSerialized.round_trip_cycles(&costs),
-            _ => Transition::Springboard.round_trip_cycles(&costs),
-        } as f64;
+        let transition = Transition::for_scheme(match scheme {
+            Isolation::Hfi => TransitionScheme::HfiSerialized,
+            _ => TransitionScheme::FullSpringboard,
+        })
+        .round_trip_cycles(&costs) as f64;
         ImageCell {
             config: config.clone(),
             scheme: *scheme,

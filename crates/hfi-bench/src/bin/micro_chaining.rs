@@ -1,8 +1,13 @@
 //! §2: function chaining — an N-stage FaaS pipeline composed in-process
 //! (HFI sandbox hops) vs. as one process per stage (IPC hops).
+//!
+//! Beyond the modeled compositions, an executed table prices each hop
+//! with the *measured* per-scheme round trip from
+//! [`hfi_bench::transitions`], so chain overhead tracks the real
+//! enter/exit instructions the compiler emits.
 
-use hfi_bench::{print_table, Harness};
-use hfi_core::CostModel;
+use hfi_bench::{print_table, transitions, Harness};
+use hfi_core::{CostModel, TransitionScheme};
 use hfi_faas::{evaluate_chain, Composition, ProfiledWorkload};
 use hfi_wasm::kernels::faas;
 
@@ -59,5 +64,36 @@ fn main() {
     );
     println!("\n  paper S2: in-process hops are function-call-priced; IPC is 1000x-10000x a call,");
     println!("  which is why FaaS providers want many sandboxes in ONE address space.");
+
+    // Executed hops: the same pipeline priced with each scheme's
+    // measured round trip (scale-1 probe, functional tier), so the
+    // chain table reflects the springboards the compiler really emits.
+    let measured = harness.run_grid(&TransitionScheme::ALL, |s| transitions::measure(*s, 1));
+    let mut rows = Vec::new();
+    for m in &measured {
+        for n in &stages {
+            // N stages -> N enter/exit round trips bracketing each body.
+            let hop_cycles = m.round_trip_functional * *n as u64;
+            let body_cycles = workload.base_cycles * *n as f64;
+            let total = body_cycles + hop_cycles as f64;
+            rows.push(vec![
+                m.scheme.label().to_string(),
+                n.to_string(),
+                hop_cycles.to_string(),
+                format!("{:.2}%", hop_cycles as f64 / total * 100.0),
+            ]);
+            harness.note(&[
+                ("scheme", m.scheme.label().to_string()),
+                ("stages", n.to_string()),
+                ("executed_hop_cycles", hop_cycles.to_string()),
+                ("total_cycles", format!("{:.0}", total)),
+            ]);
+        }
+    }
+    print_table(
+        "Function chaining: executed per-scheme hop tax (functional tier)",
+        &["scheme", "stages", "hop cycles", "hop overhead"],
+        &rows,
+    );
     harness.finish().expect("write bench records");
 }

@@ -1,13 +1,83 @@
-//! §1/§2/§3.4: the context-switch cost spectrum, from zero-cost Wasm
-//! transitions to process IPC, including HFI's serialized and
-//! switch-on-exit variants.
+//! §1/§2/§3.4: sandbox transition costs — the modeled cost spectrum
+//! *and* the executed per-scheme round trips measured from real
+//! prologue/epilogue instructions on both executor tiers.
+//!
+//! The modeled table keeps the paper's context-switch spectrum (Wasm
+//! call → HFI variants → MPK → process IPC). The executed tables come
+//! from [`hfi_bench::transitions`]: each [`TransitionScheme`] compiles
+//! a pure-compute probe with its real springboard, and the overhead
+//! over the unsandboxed body *is* the transition tax — so zeroing,
+//! stack switching, and serialization are priced by execution, not by
+//! constants. The amortization sweep then spreads that tax over
+//! growing bodies, and everything lands in `BENCH_transitions.json`:
+//!
+//! ```text
+//! cargo run --release -p hfi-bench --bin micro_transitions
+//! ```
+//!
+//! Flags (plus the shared harness flags, `--smoke`, `--jobs N`):
+//!
+//! * `--check <baseline.json>` — gate the executed functional-tier
+//!   round trips against the committed baseline (they are deterministic
+//!   simulator cycles, so the comparison is exact), on top of the
+//!   always-on elision invariant below.
+//! * `--out <path>` — output path (default `BENCH_transitions.json`).
+//!
+//! # Gate semantics
+//!
+//! Two checks, both fatal:
+//!
+//! * **Elision invariant** (always on): the ZeroCost scheme's executed
+//!   round trip must be at most *half* the FullSpringboard round trip
+//!   on both tiers — the verified-elision payoff the tentpole claims.
+//! * **Baseline** (`--check`): per scheme, `rt_func_<label>` must match
+//!   the baseline exactly; `rt_cycle_<label>` may drift ±25% (pipeline
+//!   model churn moves it legitimately, cost-model regressions blow
+//!   through it).
 
-use hfi_bench::{print_table, Harness};
-use hfi_core::CostModel;
+use hfi_bench::{print_table, transitions, Harness};
+use hfi_core::{CostModel, TransitionScheme};
 use hfi_wasm::Transition;
+
+fn extract_json_number(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let start = json.find(&needle)? + needle.len();
+    let rest = &json[start..];
+    let end = rest
+        .find(|c: char| c != '.' && c != '-' && c != '+' && c != 'e' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
 
 fn main() {
     let mut harness = Harness::from_env("micro_transitions");
+    let mut check: Option<String> = None;
+    let mut out_path = "BENCH_transitions.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" | "--baseline" => check = args.next(),
+            "--out" => {
+                if let Some(p) = args.next() {
+                    out_path = p;
+                }
+            }
+            _ => {}
+        }
+    }
+    // Read the baseline before writing the output so gating the default
+    // path never compares a run to itself.
+    let baseline = check.as_ref().map(|path| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!(
+                "[transitions] ERROR: cannot read baseline {path}: {e}\n\
+                 [transitions] run once without --check to record a baseline first"
+            );
+            std::process::exit(2);
+        })
+    });
+
+    // --- The modeled spectrum (kept: the paper's §2 context table). ---
     let costs = CostModel::default();
     let cycles = harness.run_grid(&Transition::ALL, |t| t.round_trip_cycles(&costs));
     let zero = cycles[0] as f64;
@@ -23,18 +93,204 @@ fn main() {
         })
         .collect();
     print_table(
-        "Sandbox transition round-trip costs",
+        "Modeled transition round-trip spectrum",
         &["mechanism", "cycles", "vs function call"],
         &rows,
     );
-    println!("\n  paper: Wasm transitions are 'low 10s of cycles, roughly a function call';");
-    println!("  IPC is 1000x-10000x; switch-on-exit removes most serialization cost (S4.5)");
-
     for (t, c) in Transition::ALL.iter().zip(&cycles) {
         harness.note(&[
             ("mechanism", t.to_string()),
             ("round_trip_cycles", c.to_string()),
         ]);
     }
+
+    // --- Executed round trips: real prologues on both tiers. ---
+    let measured = harness.run_grid(&TransitionScheme::ALL, |s| transitions::measure(*s, 1));
+    let rows: Vec<Vec<String>> = measured
+        .iter()
+        .map(|m| {
+            vec![
+                m.scheme.label().to_string(),
+                m.transition_ops.to_string(),
+                format!("{:?}", m.verified),
+                m.round_trip_functional.to_string(),
+                m.round_trip_cycle.to_string(),
+                Transition::for_scheme(m.scheme)
+                    .round_trip_cycles(&costs)
+                    .to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Executed enter/exit round trips per scheme (overhead vs unsandboxed body)",
+        &[
+            "scheme",
+            "springboard ops",
+            "verified",
+            "functional",
+            "cycle machine",
+            "modeled",
+        ],
+        &rows,
+    );
+    for m in &measured {
+        harness.note(&[
+            ("scheme", m.scheme.label().to_string()),
+            ("rt_functional", m.round_trip_functional.to_string()),
+            ("rt_cycle", m.round_trip_cycle.to_string()),
+            ("transition_ops", m.transition_ops.to_string()),
+        ]);
+    }
+
+    // --- Amortization: the same tax over growing bodies. ---
+    let scales = harness.subset(vec![1u32, 2, 4, 8], 2);
+    let grid: Vec<(TransitionScheme, u32)> = TransitionScheme::ALL
+        .iter()
+        .flat_map(|s| scales.iter().map(move |scale| (*s, *scale)))
+        .collect();
+    let points = harness.run_grid(&grid, |(scheme, scale)| {
+        transitions::amortize(*scheme, *scale)
+    });
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.scheme.label().to_string(),
+                p.scale.to_string(),
+                p.body_cycles.to_string(),
+                p.total_cycles.to_string(),
+                p.overhead_cycles.to_string(),
+                format!("{:.2}%", p.overhead_pct),
+            ]
+        })
+        .collect();
+    print_table(
+        "Amortization: executed transition tax vs body size (functional tier)",
+        &["scheme", "scale", "body", "total", "overhead", "overhead %"],
+        &rows,
+    );
+    println!("\n  paper: Wasm transitions are 'low 10s of cycles, roughly a function call';");
+    println!("  IPC is 1000x-10000x; switch-on-exit removes most serialization cost (S4.5);");
+    println!("  Kolosick-style elision drops the springboard tax when the verifier proves it.");
+    for p in &points {
+        harness.note(&[
+            ("scheme", p.scheme.label().to_string()),
+            ("scale", p.scale.to_string()),
+            ("body_cycles", p.body_cycles.to_string()),
+            ("total_cycles", p.total_cycles.to_string()),
+            ("overhead_cycles", p.overhead_cycles.to_string()),
+        ]);
+    }
+
+    // --- BENCH_transitions.json. ---
+    let mut json = String::from("{\"figure\":\"transitions\"");
+    json.push_str(&format!(
+        ",\"mode\":\"{}\"",
+        if harness.smoke() { "smoke" } else { "full" }
+    ));
+    for m in &measured {
+        json.push_str(&format!(
+            ",\"rt_func_{0}\":{1},\"rt_cycle_{0}\":{2}",
+            m.scheme.label(),
+            m.round_trip_functional,
+            m.round_trip_cycle
+        ));
+    }
+    json.push_str(",\"amortization\":[");
+    for (i, p) in points.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!(
+            "{{\"scheme\":\"{}\",\"scale\":{},\"body_cycles\":{},\"total_cycles\":{},\
+             \"overhead_cycles\":{},\"overhead_pct\":{:.3}}}",
+            p.scheme.label(),
+            p.scale,
+            p.body_cycles,
+            p.total_cycles,
+            p.overhead_cycles,
+            p.overhead_pct
+        ));
+    }
+    json.push_str("]}");
+    std::fs::write(&out_path, format!("{json}\n")).expect("write transitions json");
+    eprintln!("[transitions] wrote {out_path}");
     harness.finish().expect("write bench records");
+
+    // --- Gates. ---
+    let mut failed = false;
+    let by = |s: TransitionScheme| {
+        measured
+            .iter()
+            .find(|m| m.scheme == s)
+            .expect("all schemes measured")
+    };
+    let zero = by(TransitionScheme::ZeroCost);
+    let spring = by(TransitionScheme::FullSpringboard);
+    for (tier, z, s) in [
+        (
+            "functional",
+            zero.round_trip_functional,
+            spring.round_trip_functional,
+        ),
+        ("cycle", zero.round_trip_cycle, spring.round_trip_cycle),
+    ] {
+        println!(
+            "  elision [{tier}]: zero-cost {z} vs full-springboard {s} ({:.1}x)",
+            s as f64 / z.max(1) as f64
+        );
+        if z * 2 > s {
+            eprintln!(
+                "[transitions] FAIL: elided round trip must be <= half the springboard's \
+                 ({tier}: {z} * 2 > {s})"
+            );
+            failed = true;
+        }
+    }
+    if let Some(baseline) = baseline {
+        for m in &measured {
+            let func_key = format!("rt_func_{}", m.scheme.label());
+            let cycle_key = format!("rt_cycle_{}", m.scheme.label());
+            let missing = |key: &str| -> f64 {
+                eprintln!(
+                    "[transitions] ERROR: no \"{key}\" in the baseline; re-record it \
+                     with this binary first"
+                );
+                std::process::exit(2);
+            };
+            let base_func =
+                extract_json_number(&baseline, &func_key).unwrap_or_else(|| missing(&func_key));
+            let base_cycle =
+                extract_json_number(&baseline, &cycle_key).unwrap_or_else(|| missing(&cycle_key));
+            // Functional cycles are a deterministic cost-model sum:
+            // any drift is a real transition-cost change.
+            if m.round_trip_functional as f64 != base_func {
+                eprintln!(
+                    "[transitions] FAIL: {} functional round trip changed: {} -> {} \
+                     (re-record the baseline if intentional)",
+                    m.scheme.label(),
+                    base_func,
+                    m.round_trip_functional
+                );
+                failed = true;
+            }
+            let lo = base_cycle * 0.75;
+            let hi = base_cycle * 1.25;
+            let measured_cycle = m.round_trip_cycle as f64;
+            if measured_cycle < lo || measured_cycle > hi {
+                eprintln!(
+                    "[transitions] FAIL: {} cycle-machine round trip drifted past 25%: \
+                     {} -> {}",
+                    m.scheme.label(),
+                    base_cycle,
+                    m.round_trip_cycle
+                );
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("  transition checks: OK");
 }

@@ -15,6 +15,13 @@
 //! Flags (plus the shared harness flags, `--smoke`, `--seed N`):
 //!
 //! * `--workers N` — scheduler worker threads (default: all cores).
+//! * `--scheme <label|auto>` — transition scheme for the HFI tenants:
+//!   a [`TransitionScheme`] label (e.g. `zero-cost`,
+//!   `full-springboard`) pins every HFI tenant to that scheme; `auto`
+//!   lets the pool pick the cheapest scheme whose elision proof the
+//!   verifier accepts, per tenant. Default leaves the compiler default
+//!   (so committed baselines stay comparable). Non-HFI schemes ignore
+//!   the flag — they have no HFI springboard to vary.
 //! * `--check <baseline.json>` (alias `--baseline`) — gate p99 latency
 //!   (at the lowest Poisson load) and achieved throughput (at the
 //!   highest) per scheme against the baseline file.
@@ -48,13 +55,35 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use hfi_bench::{compile_cached, median, print_table, Harness, FIG3_SCHEMES, FUNCTIONAL_LIMIT};
+use hfi_core::TransitionScheme;
 use hfi_serve::{
     schedule, AdmitPolicy, Arrival, ArrivalProcess, Outcome, Request, Scheduler, TenantSpec, Tier,
     WarmPools,
 };
 use hfi_sim::Stop;
-use hfi_wasm::compiler::CompileOptions;
+use hfi_wasm::compiler::{CompileOptions, Isolation};
 use hfi_wasm::kernels::{sightglass, speclike};
+
+/// How `--scheme` resolves the HFI tenants' transition scheme.
+#[derive(Clone, Copy)]
+enum SchemeChoice {
+    /// Compiler default (what committed baselines were recorded with).
+    Default,
+    /// Per-tenant cheapest verified scheme via the warm pool's selector.
+    Auto,
+    /// Every HFI tenant pinned to one scheme.
+    Fixed(TransitionScheme),
+}
+
+impl SchemeChoice {
+    fn label(self) -> String {
+        match self {
+            SchemeChoice::Default => TransitionScheme::default().label().to_string(),
+            SchemeChoice::Auto => "auto".to_string(),
+            SchemeChoice::Fixed(s) => s.label().to_string(),
+        }
+    }
+}
 
 /// Allowed fractional regression (p99 growth / throughput shrink)
 /// before `--check` fails. Tail latency on shared CI hosts is far
@@ -158,6 +187,7 @@ fn main() {
     let seed = harness.seed_or(0x5EED_F00D);
     let mut check: Option<String> = None;
     let mut out_path = "BENCH_serving.json".to_string();
+    let mut scheme_choice = SchemeChoice::Default;
     let mut workers = std::thread::available_parallelism()
         .map(usize::from)
         .unwrap_or(4);
@@ -178,9 +208,32 @@ fn main() {
                     });
                 }
             }
+            "--scheme" => {
+                if let Some(s) = args.next() {
+                    scheme_choice = match s.as_str() {
+                        "auto" => SchemeChoice::Auto,
+                        label => match TransitionScheme::parse(label) {
+                            Some(scheme) => SchemeChoice::Fixed(scheme),
+                            None => {
+                                eprintln!(
+                                    "[serving] ERROR: unknown --scheme {label:?}; expected \
+                                     'auto' or one of: {}",
+                                    TransitionScheme::ALL
+                                        .iter()
+                                        .map(|t| t.label())
+                                        .collect::<Vec<_>>()
+                                        .join(", ")
+                                );
+                                std::process::exit(2);
+                            }
+                        },
+                    };
+                }
+            }
             _ => {}
         }
     }
+    let scheme_label = scheme_choice.label();
 
     // Read the baseline before the output file is written (gating the
     // default output path must compare against the committed run) and
@@ -278,17 +331,42 @@ fn main() {
 
     for scheme in FIG3_SCHEMES {
         let scheme_name = format!("{scheme:?}").to_lowercase();
-        let opts = CompileOptions::new(scheme);
+        let mut opts = CompileOptions::new(scheme);
+        // --scheme only varies HFI springboards; the other isolation
+        // schemes have no HFI enter/exit sequence to re-plan.
+        let auto = if opts.isolation == Isolation::Hfi {
+            match scheme_choice {
+                SchemeChoice::Default => false,
+                SchemeChoice::Auto => true,
+                SchemeChoice::Fixed(s) => {
+                    opts.scheme = s;
+                    false
+                }
+            }
+        } else {
+            false
+        };
         let tenants: Vec<TenantSpec> = (0..replicas)
             .flat_map(|r| {
                 kernels.iter().map(move |kernel| {
-                    TenantSpec::from_kernel(
-                        format!("{}#{r}", kernel.name),
-                        kernel.clone(),
-                        opts,
-                        Tier::Fused,
-                        compile_cached,
-                    )
+                    let name = format!("{}#{r}", kernel.name);
+                    if auto {
+                        TenantSpec::from_kernel_cheapest_scheme(
+                            name,
+                            kernel.clone(),
+                            opts,
+                            Tier::Fused,
+                            compile_cached,
+                        )
+                    } else {
+                        TenantSpec::from_kernel(
+                            name,
+                            kernel.clone(),
+                            opts,
+                            Tier::Fused,
+                            compile_cached,
+                        )
+                    }
                 })
             })
             .collect();
@@ -429,8 +507,9 @@ fn main() {
     let mut json = String::from("{");
     json.push_str(&format!(
         "\"figure\":\"serving\",\"mode\":\"{}\",\"seed\":{seed},\"workers\":{workers},\
-         \"tenants\":{tenant_count}",
-        if harness.smoke() { "smoke" } else { "full" }
+         \"tenants\":{tenant_count},\"tier\":\"{}\",\"transition_scheme\":\"{scheme_label}\"",
+        if harness.smoke() { "smoke" } else { "full" },
+        Tier::Fused.as_str()
     ));
     for s in &scheme_results {
         let p99 = level_results
@@ -456,13 +535,16 @@ fn main() {
             s.scheme, s.density, s.setup_warm_p50_us, s.setup_cold_p50_us
         ));
     }
+    let tier = Tier::Fused.as_str();
     json.push_str(",\"cells\":[");
     for (i, r) in level_results.iter().enumerate() {
         if i > 0 {
             json.push(',');
         }
         json.push_str(&format!(
-            "{{\"scheme\":\"{}\",\"level\":\"{}\",\"offered_rps\":{:.1},\"achieved_rps\":{:.1},\
+            "{{\"scheme\":\"{}\",\"level\":\"{}\",\"seed\":{seed},\"tier\":\"{tier}\",\
+             \"transition_scheme\":\"{scheme_label}\",\
+             \"offered_rps\":{:.1},\"achieved_rps\":{:.1},\
              \"p50_ms\":{:.3},\"p99_ms\":{:.3},\"p999_ms\":{:.3},\"warm_hit_rate\":{:.4},\
              \"stolen\":{},\"overloaded\":{},\"requests\":{}}}",
             r.scheme,

@@ -6,8 +6,10 @@
 //! target fails verification.
 //!
 //! `--mutants` additionally runs the proof-guided fault-injection suite:
-//! every verified target is corrupted one site at a time across the four
-//! mutation classes, and every mutant must be rejected. The per-class
+//! every verified target is corrupted one site at a time across the
+//! mutation classes (including the transition-contract classes
+//! `unzeroed-leak` and `skipped-stack-switch`), and every mutant must
+//! be rejected. The per-class
 //! kill matrix is printed as a Markdown table (CI pastes it into the
 //! step summary) followed by a machine-greppable `mutation-kill:` line;
 //! any surviving mutant exits nonzero.
@@ -112,5 +114,7 @@ fn class_name(class: MutationClass) -> &'static str {
         MutationClass::WidenMask => "widen-mask",
         MutationClass::UncheckMov => "uncheck-mov",
         MutationClass::RetargetBranch => "retarget-branch",
+        MutationClass::UnzeroedLeak => "unzeroed-leak",
+        MutationClass::SkippedStackSwitch => "skipped-stack-switch",
     }
 }

@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod transitions;
 pub mod verifyset;
 
 use std::collections::HashMap;

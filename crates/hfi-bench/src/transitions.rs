@@ -1,0 +1,192 @@
+//! Executed transition-cost measurement: per-scheme enter/exit overhead
+//! distilled from real runs instead of the modeled constants in
+//! [`hfi_core::CostModel`].
+//!
+//! The probe is a pure-compute kernel ([`sightglass::fib2`]): no memory
+//! traffic, so it compiles and verifies under every
+//! [`TransitionScheme`] — including
+//! [`ZeroCost`](TransitionScheme::ZeroCost), whose elision proof
+//! demands a body that cannot observe unzeroed registers or touch the
+//! guard state. Each cell compiles the same kernel twice: once under
+//! the scheme (full prologue/epilogue) and once unsandboxed (body
+//! only); the cycle difference *is* the executed round-trip transition
+//! cost on whichever executor tier measured it. `micro_transitions`
+//! sweeps this over body scales into the committed
+//! `BENCH_transitions.json` amortization curves, and `micro_chaining`
+//! reuses the same round trips to price executed pipeline hops.
+
+use hfi_core::TransitionScheme;
+use hfi_sim::{Functional, Machine};
+use hfi_wasm::compiler::{CompileOptions, Isolation};
+use hfi_wasm::kernels::{sightglass, Kernel};
+
+use crate::{compile_cached, run_cell};
+
+/// The executed round-trip cost of one scheme, measured at the probe's
+/// smallest body so the subtraction isolates the prologue + epilogue.
+#[derive(Debug, Clone)]
+pub struct SchemeCost {
+    /// The scheme measured.
+    pub scheme: TransitionScheme,
+    /// Executed enter/exit round-trip cycles on the functional tier.
+    pub round_trip_functional: u64,
+    /// Executed enter/exit round-trip cycles on the cycle machine.
+    pub round_trip_cycle: u64,
+    /// How many springboard micro-ops the compiler marked.
+    pub transition_ops: usize,
+    /// The static verifier's verdict on the probe under this scheme.
+    pub verified: Option<bool>,
+}
+
+/// One point of a scheme's amortization curve: the same transition tax
+/// spread over a growing sandbox body.
+#[derive(Debug, Clone)]
+pub struct AmortPoint {
+    /// The scheme measured.
+    pub scheme: TransitionScheme,
+    /// Probe body scale ([`probe`] argument).
+    pub scale: u32,
+    /// Functional-tier cycles of the unsandboxed body alone.
+    pub body_cycles: u64,
+    /// Functional-tier cycles of the sandboxed run under the scheme.
+    pub total_cycles: u64,
+    /// `total - body`: the executed transition tax at this scale.
+    pub overhead_cycles: u64,
+    /// The tax as a fraction of the body (the amortization curve's y).
+    pub overhead_pct: f64,
+}
+
+/// The pure-compute probe kernel at `scale`.
+pub fn probe(scale: u32) -> Kernel {
+    sightglass::fib2(scale)
+}
+
+/// Body-only compile options: same isolation, no prologue/epilogue.
+pub fn baseline_opts() -> CompileOptions {
+    let mut opts = CompileOptions::new(Isolation::Hfi);
+    opts.sandboxed = false;
+    opts
+}
+
+fn functional_cycles(kernel: &Kernel, opts: &CompileOptions) -> u64 {
+    let compiled = compile_cached(kernel, opts);
+    let mut functional = Functional::new(compiled.program.clone());
+    run_cell(&mut functional, kernel, opts.heap_base)
+        .cycles
+        .round() as u64
+}
+
+fn machine_cycles(kernel: &Kernel, opts: &CompileOptions) -> u64 {
+    let compiled = compile_cached(kernel, opts);
+    let mut machine = Machine::new(compiled.program.clone());
+    run_cell(&mut machine, kernel, opts.heap_base)
+        .cycles
+        .round() as u64
+}
+
+/// Measures one scheme's executed round trip on both executor tiers.
+///
+/// # Panics
+///
+/// Panics if the probe misbehaves on either tier.
+pub fn measure(scheme: TransitionScheme, scale: u32) -> SchemeCost {
+    let kernel = probe(scale);
+    let base = baseline_opts();
+    let opts = CompileOptions::hfi_with_scheme(scheme);
+    let compiled = compile_cached(&kernel, &opts);
+    SchemeCost {
+        scheme,
+        round_trip_functional: functional_cycles(&kernel, &opts)
+            .saturating_sub(functional_cycles(&kernel, &base)),
+        round_trip_cycle: machine_cycles(&kernel, &opts)
+            .saturating_sub(machine_cycles(&kernel, &base)),
+        transition_ops: compiled.program.transition_ops().len(),
+        verified: compiled.verified,
+    }
+}
+
+/// One amortization point: the scheme's tax over a `scale`-sized body
+/// on the functional tier.
+///
+/// # Panics
+///
+/// Panics if the probe misbehaves.
+pub fn amortize(scheme: TransitionScheme, scale: u32) -> AmortPoint {
+    let kernel = probe(scale);
+    let body_cycles = functional_cycles(&kernel, &baseline_opts());
+    let total_cycles = functional_cycles(&kernel, &CompileOptions::hfi_with_scheme(scheme));
+    let overhead_cycles = total_cycles.saturating_sub(body_cycles);
+    AmortPoint {
+        scheme,
+        scale,
+        body_cycles,
+        total_cycles,
+        overhead_cycles,
+        overhead_pct: overhead_cycles as f64 / body_cycles.max(1) as f64 * 100.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn executed_round_trips_follow_the_design_intent() {
+        let costs: Vec<SchemeCost> = TransitionScheme::ALL
+            .iter()
+            .map(|s| measure(*s, 1))
+            .collect();
+        for cost in &costs {
+            assert_eq!(
+                cost.verified,
+                Some(true),
+                "{}: probe must verify",
+                cost.scheme
+            );
+            assert!(
+                cost.round_trip_functional > 0,
+                "{}: no executed transition cost at all",
+                cost.scheme
+            );
+        }
+        let by = |s: TransitionScheme| {
+            costs
+                .iter()
+                .find(|c| c.scheme == s)
+                .expect("all schemes measured")
+        };
+        let zero = by(TransitionScheme::ZeroCost);
+        let spring = by(TransitionScheme::FullSpringboard);
+        // The headline claim the BENCH gate enforces: eliding the
+        // springboard recovers at least 2x on the executed round trip.
+        assert!(
+            zero.round_trip_functional * 2 <= spring.round_trip_functional,
+            "elision must halve the springboard tax: zero {} vs springboard {}",
+            zero.round_trip_functional,
+            spring.round_trip_functional
+        );
+        assert!(
+            zero.round_trip_cycle * 2 <= spring.round_trip_cycle,
+            "cycle tier: zero {} vs springboard {}",
+            zero.round_trip_cycle,
+            spring.round_trip_cycle
+        );
+        // Serialization costs more than the bare pair on both tiers.
+        let unserialized = by(TransitionScheme::HfiUnserialized);
+        let serialized = by(TransitionScheme::HfiSerialized);
+        assert!(serialized.round_trip_functional > unserialized.round_trip_functional);
+    }
+
+    #[test]
+    fn the_tax_amortizes_with_body_size() {
+        let small = amortize(TransitionScheme::FullSpringboard, 1);
+        let large = amortize(TransitionScheme::FullSpringboard, 4);
+        assert!(large.body_cycles > small.body_cycles);
+        assert!(
+            large.overhead_pct < small.overhead_pct,
+            "a bigger body must amortize the same tax: {} vs {}",
+            large.overhead_pct,
+            small.overhead_pct
+        );
+    }
+}

@@ -10,6 +10,7 @@
 
 use std::sync::Arc;
 
+use hfi_core::TransitionScheme;
 use hfi_native::{benchmark_program, interposition_spec, Interposition};
 use hfi_sim::{emulate_arc, uses_hfi, Program};
 use hfi_verify::{
@@ -133,6 +134,30 @@ pub fn all_targets(smoke: bool) -> Vec<VerifyTarget> {
         });
     }
 
+    // Transition-scheme variants. The springboard build publishes the
+    // zeroing + stack-switch contract, which is what gives the
+    // `unzeroed-leak` / `skipped-stack-switch` mutation classes their
+    // sites; the zero-cost build of the pure-compute probe exercises
+    // the elision-proof pass (it only verifies because the probe's body
+    // provably cannot observe the elided springboard).
+    let probe = sightglass::fib2(1);
+    let spring_opts = CompileOptions::hfi_with_scheme(TransitionScheme::FullSpringboard);
+    let spring = compile_cached(&kernels[0], &spring_opts);
+    targets.push(VerifyTarget {
+        name: format!("{}/hfi-springboard", kernels[0].name),
+        spec: sandbox_spec(&spring_opts).expect("sandboxed hfi publishes a spec"),
+        mode: VerifyMode::Direct,
+        program: spring.program.clone(),
+    });
+    let zero_opts = CompileOptions::hfi_with_scheme(TransitionScheme::ZeroCost);
+    let zero = compile_cached(&probe, &zero_opts);
+    targets.push(VerifyTarget {
+        name: format!("{}/hfi-zerocost", probe.name),
+        spec: sandbox_spec(&zero_opts).expect("sandboxed hfi publishes a spec"),
+        mode: VerifyMode::Direct,
+        program: zero.program.clone(),
+    });
+
     // The hfi-native §6.4.1 interposition benchmark under each mechanism.
     for mechanism in [
         Interposition::None,
@@ -162,6 +187,8 @@ mod tests {
             "/hfi",
             "/hfi-emulated",
             "/hfi-guarded",
+            "/hfi-springboard",
+            "/hfi-zerocost",
             "syscalls/",
         ] {
             assert!(

@@ -22,6 +22,9 @@ pub struct SiteCounts {
     pub result: u64,
     /// Guard micro-ops ([`FaultClass::GuardSkip`]).
     pub guard: u64,
+    /// Springboard transition micro-ops
+    /// ([`FaultClass::TransitionCorrupt`]).
+    pub transition: u64,
     /// Predicted branches ([`FaultClass::WrongPath`]).
     pub branch: u64,
     /// Instruction boundaries ([`FaultClass::RegionCorrupt`]).
@@ -38,6 +41,7 @@ impl SiteCounts {
             FaultClass::OperandFlip => self.result,
             FaultClass::GuardSkip => self.guard,
             FaultClass::RegionCorrupt => self.context,
+            FaultClass::TransitionCorrupt => self.transition,
             FaultClass::WrongPath => self.branch,
             FaultClass::PredictorClobber => self.predictor,
         }
@@ -87,6 +91,14 @@ impl ChaosHook for SiteCounter {
 
     fn flip_prediction(&mut self, _pc: u64) -> bool {
         self.counts.lock().expect("site counter unpoisoned").branch += 1;
+        false
+    }
+
+    fn corrupt_transition(&mut self, _pc: u64) -> bool {
+        self.counts
+            .lock()
+            .expect("site counter unpoisoned")
+            .transition += 1;
         false
     }
 
@@ -215,6 +227,19 @@ impl ChaosHook for ChaosEngine {
         }
     }
 
+    fn corrupt_transition(&mut self, pc: u64) -> bool {
+        let state = &mut *self.inner.lock().expect("chaos engine unpoisoned");
+        match state.arm(FaultClass::TransitionCorrupt) {
+            Some(site) => {
+                // The executor substitutes the deterministic
+                // `transition_junk(pc)` value; nothing random to draw.
+                state.fired = Some(Injection { pc, site, mask: 0 });
+                true
+            }
+            None => false,
+        }
+    }
+
     fn corrupt_context(&mut self, hfi: &mut HfiContext) -> bool {
         let state = &mut *self.inner.lock().expect("chaos engine unpoisoned");
         match state.arm(FaultClass::RegionCorrupt) {
@@ -277,11 +302,14 @@ impl ChaosHook for ChaosEngine {
 }
 
 /// A deliberately broken build of the engine: every guard micro-op is
-/// dropped, unconditionally, on top of the wrapped plan's injection.
+/// dropped and every `hfi_enter` entry assertion is disabled,
+/// unconditionally, on top of the wrapped plan's injection.
 ///
 /// With guards gone, an [`FaultClass::EaFlip`] injection sails past the
-/// (now absent) bounds check and retires out of spec — the shadow
-/// monitor **must** flag it. The campaign's `--weaken` mode exists to
+/// (now absent) bounds check and retires out of spec; with the entry
+/// assertion gone, a [`FaultClass::TransitionCorrupt`] injection walks
+/// its junk pointer into the sandbox unchecked — the shadow monitor
+/// **must** flag both. The campaign's `--weaken` mode exists to
 /// demonstrate exactly that: a zero-escape result from the oracle means
 /// something only if the oracle provably reports escapes when the
 /// mechanism is broken.
@@ -313,6 +341,14 @@ impl ChaosHook for WeakenedEngine {
 
     fn skip_guard(&mut self, _pc: u64) -> bool {
         true
+    }
+
+    fn skip_transition_check(&mut self, _pc: u64) -> bool {
+        true
+    }
+
+    fn corrupt_transition(&mut self, pc: u64) -> bool {
+        self.engine.corrupt_transition(pc)
     }
 
     fn flip_prediction(&mut self, pc: u64) -> bool {

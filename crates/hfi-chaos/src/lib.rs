@@ -86,6 +86,14 @@ impl<I: ChaosHook> ChaosHook for Rig<I> {
         self.injector.corrupt_context(hfi)
     }
 
+    fn corrupt_transition(&mut self, pc: u64) -> bool {
+        self.injector.corrupt_transition(pc)
+    }
+
+    fn skip_transition_check(&mut self, pc: u64) -> bool {
+        self.injector.skip_transition_check(pc)
+    }
+
     fn clobber_predictors(&mut self) -> bool {
         self.injector.clobber_predictors()
     }
@@ -204,6 +212,39 @@ mod tests {
         asm.hmov_store(0, Reg(0), HmovOperand::disp(0x80), 8);
         asm.alu_ri(AluOp::Sub, Reg(1), Reg(1), 1);
         asm.branch_i(Cond::Ne, Reg(1), 0, top);
+        asm.hfi_exit();
+        asm.halt();
+        asm
+    }
+
+    /// A sandboxed program with a declared springboard: three marked
+    /// zeroing ops feeding the entry contract, then a store/load pair
+    /// whose address flows through one of the scrubbed registers — the
+    /// state a corrupted springboard would leak through.
+    fn springboard_program() -> ProgramBuilder {
+        let mut asm = ProgramBuilder::new(CODE_BASE);
+        let code = ImplicitCodeRegion::new(CODE_BASE, 0xFFFF, true).unwrap();
+        let data = ImplicitDataRegion::new(DATA_BASE, 0xFFFF, true, true).unwrap();
+        let heap = ExplicitDataRegion::large(HEAP_BASE, 1 << 16, true, true).unwrap();
+        for r in [3u8, 4, 5] {
+            asm.movi(Reg(r), 0);
+            asm.mark_last_transition();
+        }
+        asm.set_contract(hfi_core::TransitionContract {
+            zeroed: (1 << 3) | (1 << 4) | (1 << 5),
+            stack: None,
+        });
+        asm.hfi_set_region(0, Region::Code(code));
+        asm.hfi_set_region(2, Region::Data(data));
+        asm.hfi_set_region(6, Region::Explicit(heap));
+        asm.hfi_enter(SandboxConfig::hybrid());
+        asm.movi(Reg(1), 42);
+        // Address = DATA_BASE + 0x40 + r4; the springboard guarantees
+        // r4 == 0 here, so honest runs stay in the data window.
+        asm.movi(Reg(2), DATA_BASE as i64);
+        asm.alu(AluOp::Add, Reg(2), Reg(2), Reg(4));
+        asm.store(Reg(1), MemOperand::base_disp(Reg(2), 0x40), 8);
+        asm.load(Reg(3), MemOperand::base_disp(Reg(2), 0x40), 8);
         asm.hfi_exit();
         asm.halt();
         asm
@@ -387,6 +428,83 @@ mod tests {
                 assert!(report.clean() && report.trap.is_none());
             }
         }
+    }
+
+    #[test]
+    fn transition_corrupt_fails_closed_on_both_executors() {
+        // Corrupting any springboard zeroing op breaks the declared
+        // entry contract; the `hfi_enter` assertion must trap before
+        // the sandbox observes the leaked value.
+        for fused in [false, true] {
+            for trigger in 0..3u64 {
+                let engine = ChaosEngine::new(ChaosPlan {
+                    seed: 11 ^ trigger,
+                    class: FaultClass::TransitionCorrupt,
+                    trigger,
+                });
+                let monitor = ShadowMonitor::from_spec(&spec());
+                let program = std::sync::Arc::new(springboard_program().finish());
+                let stop = {
+                    let mut functional = Functional::new(program);
+                    functional.set_fused(fused);
+                    functional.set_chaos(Box::new(Rig::new(engine.clone(), monitor.clone())));
+                    functional.run(1_000_000).stop
+                };
+                assert!(engine.fired().is_some(), "trigger {trigger} never fired");
+                assert!(
+                    matches!(stop, Stop::Fault(HfiFault::TransitionContract { .. })),
+                    "fused={fused} trigger {trigger}: expected contract trap, got {stop:?}"
+                );
+                let verdict = classify(&monitor.report(), false);
+                assert!(
+                    matches!(verdict, Verdict::FailClosed { .. }),
+                    "fused={fused} trigger {trigger}: {verdict:?}"
+                );
+            }
+            // Same sweep on the cycle machine.
+            for trigger in 0..3u64 {
+                let engine = ChaosEngine::new(ChaosPlan {
+                    seed: 13 ^ trigger,
+                    class: FaultClass::TransitionCorrupt,
+                    trigger,
+                });
+                let monitor = ShadowMonitor::from_spec(&spec());
+                let mut machine = Machine::new(springboard_program().finish());
+                machine.set_chaos(Box::new(Rig::new(engine.clone(), monitor.clone())));
+                let stop = machine.run(1_000_000).stop;
+                assert!(
+                    matches!(stop, Stop::Fault(HfiFault::TransitionContract { .. })),
+                    "cycle trigger {trigger}: expected contract trap, got {stop:?}"
+                );
+                assert!(matches!(
+                    classify(&monitor.report(), false),
+                    Verdict::FailClosed { .. }
+                ));
+            }
+        }
+    }
+
+    #[test]
+    fn weakened_transition_corrupt_escapes() {
+        // With the entry assertion and guards disabled, the junk value
+        // walks into the sandbox, the store retires out of every spec
+        // window, and the oracle must call it an escape.
+        let engine = ChaosEngine::new(ChaosPlan {
+            seed: 5,
+            class: FaultClass::TransitionCorrupt,
+            trigger: 1, // the r4 zeroing op — the one the address uses
+        });
+        let weakened = WeakenedEngine::new(engine.clone());
+        let monitor = ShadowMonitor::from_spec(&spec());
+        let mut functional = Functional::new(std::sync::Arc::new(springboard_program().finish()));
+        functional.set_chaos(Box::new(Rig::new(weakened, monitor.clone())));
+        functional.run(1_000_000);
+        assert!(engine.fired().is_some());
+        assert!(
+            classify(&monitor.report(), false).is_escape(),
+            "oracle missed the weakened transition escape: {:?}",
+            monitor.report()
+        );
     }
 
     #[test]

@@ -27,6 +27,13 @@ pub enum FaultClass {
     /// added downstream of the §4.2 bounds comparator, so flipping it
     /// is post-guard datapath corruption HFI does not claim to catch.
     RegionCorrupt,
+    /// Corrupt one springboard transition micro-op (a register-zeroing
+    /// or stack-switch write in an enter/exit sequence): its result is
+    /// replaced with host-pointer-like junk, modelling a springboard
+    /// whose scrub or stack install never landed. Fail-closed means the
+    /// `hfi_enter` entry assertion traps on the broken contract before
+    /// the sandbox sees the leaked state.
+    TransitionCorrupt,
     /// Invert one branch prediction, forcing a mis-speculated path to
     /// issue and run until the branch resolves (§3.4's wrong-path
     /// hazard; cycle machine only).
@@ -38,11 +45,12 @@ pub enum FaultClass {
 
 impl FaultClass {
     /// Every class, in campaign-matrix order.
-    pub const ALL: [FaultClass; 6] = [
+    pub const ALL: [FaultClass; 7] = [
         FaultClass::EaFlip,
         FaultClass::OperandFlip,
         FaultClass::GuardSkip,
         FaultClass::RegionCorrupt,
+        FaultClass::TransitionCorrupt,
         FaultClass::WrongPath,
         FaultClass::PredictorClobber,
     ];
@@ -54,6 +62,7 @@ impl FaultClass {
             FaultClass::OperandFlip => "operand-flip",
             FaultClass::GuardSkip => "guard-skip",
             FaultClass::RegionCorrupt => "region-corrupt",
+            FaultClass::TransitionCorrupt => "transition-corrupt",
             FaultClass::WrongPath => "wrong-path",
             FaultClass::PredictorClobber => "predictor-clobber",
         }

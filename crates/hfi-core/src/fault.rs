@@ -119,6 +119,15 @@ pub enum HfiFault {
         /// Faulting virtual address.
         addr: u64,
     },
+    /// The springboard's entry contract was violated at `hfi_enter`: a
+    /// register the transition scheme promised to zero (or to point at
+    /// the sandbox stack) held something else. The trusted runtime's
+    /// entry assertion delivers this as a precise trap before any
+    /// sandboxed instruction runs.
+    TransitionContract {
+        /// The register that broke the contract.
+        reg: u8,
+    },
 }
 
 impl fmt::Display for HfiFault {
@@ -137,6 +146,12 @@ impl fmt::Display for HfiFault {
                 f.write_str("privileged HFI operation inside a native sandbox")
             }
             HfiFault::Hardware { addr } => write!(f, "hardware fault at {addr:#x}"),
+            HfiFault::TransitionContract { reg } => {
+                write!(
+                    f,
+                    "transition contract violated: r{reg} not in its promised entry state"
+                )
+            }
         }
     }
 }

@@ -54,6 +54,7 @@ pub mod context;
 pub mod costs;
 pub mod fault;
 pub mod region;
+pub mod transition;
 
 pub use context::{
     slot_accepts, ExitDisposition, HfiContext, HfiSaveArea, SandboxConfig, SandboxKind,
@@ -65,3 +66,4 @@ pub use fault::{Access, ExitReason, HfiFault, HmovViolation, SyscallKind};
 pub use region::{
     ExplicitDataRegion, ExplicitSize, ImplicitCodeRegion, ImplicitDataRegion, Region, RegionError,
 };
+pub use transition::{StackSwitch, TransitionContract, TransitionScheme};

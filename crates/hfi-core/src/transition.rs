@@ -1,0 +1,219 @@
+//! Transition schemes and the springboard entry contract.
+//!
+//! The paper's pitch (§1, §2) is that HFI keeps sandbox transitions in
+//! the "low 10s of cycles" regime; *Isolation Without Taxation*
+//! (Kolosick et al.) shows the residual springboard tax — register
+//! zeroing, stack switching, serialization — can be *elided* when a
+//! verifier proves the sandboxed code cannot observe or escape through
+//! the skipped state. This module names the executable enter/exit
+//! mechanisms a sandbox can be compiled with ([`TransitionScheme`]) and
+//! the machine-checkable obligation a springboard leaves at `hfi_enter`
+//! ([`TransitionContract`]): which registers must have been zeroed and
+//! where the stack pointer must point. Executors re-validate the
+//! contract at `hfi_enter` (the trusted runtime's entry assertion), and
+//! the static verifier proves it from the instruction stream — which is
+//! exactly what licenses eliding it.
+
+use std::fmt;
+
+/// A selectable sandbox enter/exit mechanism: what the compiler emits
+/// around `hfi_enter`/`hfi_exit` and how the pair is configured.
+///
+/// Ordered cheapest-first by design intent. The default
+/// ([`TransitionScheme::HfiUnserialized`]) emits the bare HFI pair with
+/// no springboard — byte-identical to the historical compiler output.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum TransitionScheme {
+    /// Bare `hfi_enter`/`hfi_exit`, unserialized, with the whole
+    /// springboard *elided* — admissible only with a verifier proof
+    /// that the sandbox body cannot observe unzeroed registers, never
+    /// touches the host stack, and preserves the guard state
+    /// (Kolosick-style zero-cost transitions).
+    ZeroCost,
+    /// Zero the non-interface register file before `hfi_enter` (no
+    /// stack switch, no serialization). Leaves a checkable
+    /// [`TransitionContract`].
+    CalleeSaveZeroing,
+    /// The full springboard tax: register zeroing, a register-only
+    /// stack switch onto a sandbox stack inside the spill window, and a
+    /// serializing fence on both edges (NaCl-style trampoline).
+    FullSpringboard,
+    /// Bare `hfi_enter`/`hfi_exit` pair, unserialized — the historical
+    /// default; trusts the HFI checks alone, accepting speculative
+    /// exposure (hybrid sandboxes, §3.4).
+    #[default]
+    HfiUnserialized,
+    /// Bare pair with `is-serialized` set: full Spectre protection at
+    /// ~2x serialization cost per round trip (§3.4).
+    HfiSerialized,
+    /// Switch-on-exit (§4.5): one `hfi_enter_child` loads the child's
+    /// region file and shadows the register file; unserialized child
+    /// switches under a serialized trusted runtime.
+    SwitchOnExit,
+}
+
+impl TransitionScheme {
+    /// Every scheme, cheapest first by design intent.
+    pub const ALL: [TransitionScheme; 6] = [
+        TransitionScheme::ZeroCost,
+        TransitionScheme::HfiUnserialized,
+        TransitionScheme::SwitchOnExit,
+        TransitionScheme::CalleeSaveZeroing,
+        TransitionScheme::HfiSerialized,
+        TransitionScheme::FullSpringboard,
+    ];
+
+    /// True if the scheme sets `is-serialized` in the sandbox config.
+    pub fn serialized(self) -> bool {
+        matches!(self, TransitionScheme::HfiSerialized)
+    }
+
+    /// True if the scheme emits register-zeroing ops before
+    /// `hfi_enter`.
+    pub fn zeroes_registers(self) -> bool {
+        matches!(
+            self,
+            TransitionScheme::CalleeSaveZeroing | TransitionScheme::FullSpringboard
+        )
+    }
+
+    /// True if the scheme switches to a dedicated sandbox stack.
+    pub fn switches_stack(self) -> bool {
+        matches!(self, TransitionScheme::FullSpringboard)
+    }
+
+    /// True if admission requires the verifier's elision proof (the
+    /// scheme skips springboard work *because* it is proven safe, not
+    /// because the hardware covers it).
+    pub fn requires_elision_proof(self) -> bool {
+        matches!(self, TransitionScheme::ZeroCost)
+    }
+
+    /// Stable kebab-case label (benchmarks, JSON records, CLI flags).
+    pub fn label(self) -> &'static str {
+        match self {
+            TransitionScheme::ZeroCost => "zero-cost",
+            TransitionScheme::CalleeSaveZeroing => "callee-save-zeroing",
+            TransitionScheme::FullSpringboard => "full-springboard",
+            TransitionScheme::HfiUnserialized => "hfi-unserialized",
+            TransitionScheme::HfiSerialized => "hfi-serialized",
+            TransitionScheme::SwitchOnExit => "switch-on-exit",
+        }
+    }
+
+    /// Parses the [`label`](Self::label) form.
+    pub fn parse(s: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|t| t.label() == s)
+    }
+}
+
+impl fmt::Display for TransitionScheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The obligation a springboard leaves at `hfi_enter`: the register
+/// state the host promised the sandbox would start from.
+///
+/// A program compiled with a zeroing or stack-switching
+/// [`TransitionScheme`] carries its contract; the executors re-check it
+/// when `hfi_enter` retires (faulting
+/// [`HfiFault::TransitionContract`](crate::HfiFault::TransitionContract)
+/// on violation — the fail-closed backstop runtime fault injection
+/// leans on), and the static verifier proves it from the zeroing
+/// instructions themselves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct TransitionContract {
+    /// Bitmask over `r0..r15` of registers that must be zero at
+    /// `hfi_enter`.
+    pub zeroed: u16,
+    /// Stack switch obligation, if the scheme performs one.
+    pub stack: Option<StackSwitch>,
+}
+
+/// A register-only stack switch: the host stack pointer is parked in a
+/// reserved register and the stack register re-pointed at a sandbox
+/// stack inside the spill window (no memory traffic, so the springboard
+/// itself needs no data-window exemption).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StackSwitch {
+    /// The stack register being switched.
+    pub reg: u8,
+    /// The value it must hold at `hfi_enter` (top of the sandbox
+    /// stack).
+    pub top: u64,
+    /// The reserved register the host stack pointer was parked in.
+    pub save: u8,
+}
+
+impl TransitionContract {
+    /// True if the contract demands nothing.
+    pub fn is_empty(&self) -> bool {
+        self.zeroed == 0 && self.stack.is_none()
+    }
+
+    /// Checks an architectural register file against the contract,
+    /// returning the first violating register.
+    pub fn first_violation(&self, regs: &[u64; 16]) -> Option<u8> {
+        for r in 0..16u8 {
+            if self.zeroed & (1 << r) != 0 && regs[r as usize] != 0 {
+                return Some(r);
+            }
+        }
+        match self.stack {
+            Some(sw) if regs[sw.reg as usize] != sw.top => Some(sw.reg),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_round_trip() {
+        for scheme in TransitionScheme::ALL {
+            assert_eq!(TransitionScheme::parse(scheme.label()), Some(scheme));
+        }
+        assert_eq!(TransitionScheme::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn default_scheme_is_the_bare_unserialized_pair() {
+        let scheme = TransitionScheme::default();
+        assert_eq!(scheme, TransitionScheme::HfiUnserialized);
+        assert!(!scheme.zeroes_registers());
+        assert!(!scheme.switches_stack());
+        assert!(!scheme.serialized());
+        assert!(!scheme.requires_elision_proof());
+    }
+
+    #[test]
+    fn contract_first_violation_checks_zeroing_then_stack() {
+        let contract = TransitionContract {
+            zeroed: (1 << 1) | (1 << 3),
+            stack: Some(StackSwitch {
+                reg: 10,
+                top: 0x7000_1000,
+                save: 9,
+            }),
+        };
+        let mut regs = [0u64; 16];
+        regs[10] = 0x7000_1000;
+        assert_eq!(contract.first_violation(&regs), None);
+        regs[3] = 7;
+        assert_eq!(contract.first_violation(&regs), Some(3));
+        regs[3] = 0;
+        regs[10] = 0xdead;
+        assert_eq!(contract.first_violation(&regs), Some(10));
+    }
+
+    #[test]
+    fn empty_contract_always_holds() {
+        let contract = TransitionContract::default();
+        assert!(contract.is_empty());
+        assert_eq!(contract.first_violation(&[u64::MAX; 16]), None);
+    }
+}

@@ -34,8 +34,8 @@ pub mod sched;
 
 pub use loadgen::{schedule, Arrival, ArrivalProcess};
 pub use pool::{
-    AdmitPolicy, Lease, PoolError, PoolStats, TenantSource, TenantSpec, Tier, WarmInstance,
-    WarmPools,
+    select_cheapest_scheme, AdmitPolicy, Lease, PoolError, PoolStats, TenantSource, TenantSpec,
+    Tier, WarmInstance, WarmPools,
 };
 pub use sched::{Completion, Outcome, Request, Scheduler};
 

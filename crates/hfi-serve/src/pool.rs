@@ -41,6 +41,35 @@ use hfi_sim::{Executor, Functional, Machine, Program};
 use hfi_wasm::compiler::{CompileOptions, CompiledKernel, Isolation};
 use hfi_wasm::kernels::Kernel;
 use hfi_wasm::runtime::{SandboxId, SandboxRuntime};
+use hfi_wasm::TransitionScheme;
+
+/// Picks the cheapest [`TransitionScheme`] the static verifier admits
+/// for `kernel` under `base`, compiling through the caller's memoizing
+/// entry point (so per-scheme probe compiles are shared with the
+/// serving pools). Schemes are tried cheapest-first; the zero-cost
+/// scheme only wins when its elision proof goes through, so tenants
+/// that mutate guard state in-sandbox organically fall back to a taxed
+/// scheme. Non-HFI (or unsandboxed) options are returned unchanged —
+/// there is no transition to price.
+pub fn select_cheapest_scheme(
+    kernel: &Kernel,
+    base: &CompileOptions,
+    compile: fn(&Kernel, &CompileOptions) -> CompiledKernel,
+) -> CompileOptions {
+    if base.isolation != Isolation::Hfi || !base.sandboxed {
+        return *base;
+    }
+    for scheme in TransitionScheme::ALL {
+        let mut opts = *base;
+        opts.scheme = scheme;
+        if compile(kernel, &opts).verified == Some(true) {
+            return opts;
+        }
+    }
+    // Nothing proved: keep the base options and let the admission gate
+    // decide (RequireVerified will refuse the tenant).
+    *base
+}
 
 /// Which executor tier serves a tenant's requests.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -163,6 +192,31 @@ impl TenantSpec {
             heap_base,
             heap_init,
             expected,
+        }
+    }
+
+    /// A tenant serving `kernel` under the *cheapest verifier-proven*
+    /// transition scheme (see [`select_cheapest_scheme`]): the
+    /// per-tenant selection rule the serving benchmark's `--scheme auto`
+    /// mode uses.
+    pub fn from_kernel_cheapest_scheme(
+        name: String,
+        kernel: Kernel,
+        base: CompileOptions,
+        tier: Tier,
+        compile: fn(&Kernel, &CompileOptions) -> CompiledKernel,
+    ) -> Self {
+        let opts = select_cheapest_scheme(&kernel, &base, compile);
+        Self::from_kernel(name, kernel, opts, tier, compile)
+    }
+
+    /// The transition scheme this tenant's sandbox transitions use, when
+    /// the tenant is kernel-sourced (pre-compiled program tenants carry
+    /// no compile options to read it from).
+    pub fn scheme(&self) -> Option<TransitionScheme> {
+        match &self.source {
+            TenantSource::Kernel { opts, .. } => Some(opts.scheme),
+            TenantSource::Program { .. } => None,
         }
     }
 
@@ -564,6 +618,58 @@ mod tests {
 
     fn pools(tenants: Vec<TenantSpec>, va_bits: u32, admit: AdmitPolicy) -> WarmPools {
         WarmPools::new(Arc::new(tenants), va_bits, 64 << 20, admit)
+    }
+
+    #[test]
+    fn cheapest_scheme_selection_is_per_tenant_and_admissible() {
+        fn compile_kernel(k: &Kernel, o: &CompileOptions) -> CompiledKernel {
+            hfi_wasm::compile(&k.func, o)
+        }
+        // A pure compute kernel proves the elision and gets zero-cost
+        // transitions; a growing kernel mutates guard state in-sandbox
+        // and falls back to the cheapest taxed scheme. Both admit.
+        let pure = hfi_wasm::sightglass_suite(6)
+            .into_iter()
+            .next()
+            .expect("suite nonempty");
+        let growing = hfi_wasm::spec_suite(4)
+            .into_iter()
+            .find(|k| {
+                let opts = CompileOptions::hfi_with_scheme(hfi_wasm::TransitionScheme::ZeroCost);
+                compile_kernel(k, &opts).verified == Some(false)
+            })
+            .expect("some SPEC-like kernel grows memory in-sandbox");
+        let base = CompileOptions::new(Isolation::Hfi);
+        let tenants = vec![
+            TenantSpec::from_kernel_cheapest_scheme(
+                "pure".into(),
+                pure,
+                base,
+                Tier::Functional,
+                compile_kernel,
+            ),
+            TenantSpec::from_kernel_cheapest_scheme(
+                "growing".into(),
+                growing,
+                base,
+                Tier::Functional,
+                compile_kernel,
+            ),
+        ];
+        assert_eq!(
+            tenants[0].scheme(),
+            Some(hfi_wasm::TransitionScheme::ZeroCost)
+        );
+        assert_eq!(
+            tenants[1].scheme(),
+            Some(hfi_wasm::TransitionScheme::HfiUnserialized)
+        );
+        let pools = pools(tenants, 42, AdmitPolicy::RequireVerified);
+        for tenant in 0..2 {
+            let lease = pools.checkout(tenant).expect("selected schemes admit");
+            pools.release(lease);
+        }
+        assert_eq!(pools.stats().admission_rejects, 0);
     }
 
     #[test]

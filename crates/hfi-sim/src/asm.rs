@@ -23,7 +23,7 @@
 
 use std::collections::HashMap;
 
-use hfi_core::{Region, SandboxConfig};
+use hfi_core::{Region, SandboxConfig, TransitionContract};
 
 use crate::isa::{AluOp, Cond, HmovOperand, Inst, MemOperand, Program, Reg};
 
@@ -42,6 +42,10 @@ pub struct ProgramBuilder {
     fixups: Vec<(usize, usize)>,
     next_label: usize,
     names: HashMap<String, Label>,
+    /// Springboard entry contract, if a transition scheme declared one.
+    contract: Option<TransitionContract>,
+    /// Indices of instructions marked as springboard ops.
+    transition_ops: Vec<u32>,
 }
 
 impl ProgramBuilder {
@@ -91,6 +95,27 @@ impl ProgramBuilder {
     /// Pushes a raw instruction.
     pub fn push(&mut self, inst: Inst) -> &mut Self {
         self.insts.push(inst);
+        self
+    }
+
+    /// Marks the most recently pushed instruction as a springboard
+    /// (transition) op: the plan lowering flags it so the fused tier
+    /// folds it into the enter/exit `HfiSeq` superop and the chaos
+    /// engine can target it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no instruction has been pushed yet.
+    pub fn mark_last_transition(&mut self) -> &mut Self {
+        assert!(!self.insts.is_empty(), "no instruction to mark");
+        self.transition_ops.push(self.insts.len() as u32 - 1);
+        self
+    }
+
+    /// Declares the springboard entry contract the finished program
+    /// will carry (checked by executors at `hfi_enter`).
+    pub fn set_contract(&mut self, contract: TransitionContract) -> &mut Self {
+        self.contract = Some(contract);
         self
     }
 
@@ -286,7 +311,7 @@ impl ProgramBuilder {
                 other => unreachable!("fixup on non-branch {other:?}"),
             }
         }
-        Program::new(self.insts, self.base)
+        Program::new(self.insts, self.base).with_transition_meta(self.contract, self.transition_ops)
     }
 
     /// [`finish`](Self::finish), wrapped in an `Arc` for sharing.

@@ -128,7 +128,33 @@ pub trait ChaosHook: Send {
         false
     }
 
+    /// Returns `true` to corrupt the springboard (transition) op at
+    /// `pc`: its result is replaced with [`transition_junk`], modelling
+    /// a register-zeroing or stack-switch op whose write never landed.
+    /// Consulted only at micro-ops carrying the
+    /// [`MicroOp::TRANSITION`](crate::plan::MicroOp::TRANSITION) flag
+    /// with a register destination.
+    fn corrupt_transition(&mut self, _pc: u64) -> bool {
+        false
+    }
+
+    /// Returns `true` to disable the `hfi_enter` entry assertion (the
+    /// springboard contract re-check) at `pc`. Only the weakened
+    /// campaign engine does this — it is what lets a corrupted
+    /// transition escape instead of trapping fail-closed.
+    fn skip_transition_check(&mut self, _pc: u64) -> bool {
+        false
+    }
+
     /// Observes a retired architectural event (for shadow monitors and
     /// site counters).
     fn observe(&mut self, _event: &ArchEvent) {}
+}
+
+/// The deterministic junk value a corrupted transition op leaves in its
+/// destination register: recognizably host-pointer-like, outside every
+/// sandbox window (below the heap base, above the code region), and
+/// dependent on the site so distinct corruptions stay distinguishable.
+pub fn transition_junk(pc: u64) -> u64 {
+    0x0BAD_0000 ^ (pc & 0xFFFF)
 }

@@ -1381,10 +1381,21 @@ impl Machine {
 
     fn finish(&mut self, i: usize, value: u64, latency: u64) {
         let mut value = value;
-        if let Some(hook) = self.chaos.as_deref_mut() {
-            // Result-bus corruption: the flipped value is what writeback
-            // and every dependent operand will observe.
-            value = hook.perturb_result(self.plan.pc(self.rob[i].inst_idx as usize), value);
+        if self.chaos.is_some() {
+            let inst_idx = self.rob[i].inst_idx as usize;
+            let pc = self.plan.pc(inst_idx);
+            let transition = self.plan.op(inst_idx).has(MicroOp::TRANSITION);
+            let dst = self.rob[i].dst;
+            if let Some(hook) = self.chaos.as_deref_mut() {
+                // Result-bus corruption: the flipped value is what writeback
+                // and every dependent operand will observe.
+                value = hook.perturb_result(pc, value);
+                // Springboard corruption: a zeroing or stack-switch op whose
+                // write never landed leaves host-pointer-like junk instead.
+                if transition && dst != NO_REG && hook.corrupt_transition(pc) {
+                    value = crate::chaos::transition_junk(pc);
+                }
+            }
         }
         self.rob[i].value = value;
         self.rob[i].state = EntryState::Executing;
@@ -1475,6 +1486,41 @@ impl Machine {
                 .is_some_and(|&(journal_seq, _)| journal_seq <= seq)
             {
                 self.call_journal.pop_front();
+            }
+            // Springboard entry assertion: at commit of `hfi_enter` the
+            // architectural register file must satisfy the program's
+            // declared transition contract. Checked before any decode-time
+            // enter fault, matching the functional executor, which asserts
+            // the contract before calling `enter` at all.
+            if plan.op(entry.inst_idx as usize).class == OpClass::HfiEnter {
+                if let Some(contract) = self.program.contract() {
+                    let pc = plan.pc(entry.inst_idx as usize);
+                    let mut skip = false;
+                    if let Some(hook) = self.chaos.as_deref_mut() {
+                        skip = hook.skip_transition_check(pc);
+                    }
+                    if !skip {
+                        if let Some(reg) = contract.first_violation(&self.regs) {
+                            let fault = HfiFault::TransitionContract { reg };
+                            if let Some(hook) = self.chaos.as_deref_mut() {
+                                hook.observe(&ArchEvent::Fault { pc, fault });
+                            }
+                            // The speculative decode-time enter must not
+                            // become architectural: rewind to the pre-enter
+                            // context so the fault is delivered outside the
+                            // sandbox, exactly as the functional executor
+                            // delivers it.
+                            if entry.hfi_gen_before != NO_GEN {
+                                let gen = entry.hfi_gen_before as usize;
+                                self.hfi = self.hfi_history[gen].clone();
+                                self.hfi_gen = gen;
+                                self.hfi_history.truncate(gen + 1);
+                            }
+                            self.deliver_fault_now(fault);
+                            return;
+                        }
+                    }
+                }
             }
             if let Some(fault) = entry.fault {
                 if let Some(hook) = self.chaos.as_deref_mut() {

@@ -665,6 +665,22 @@ impl Functional {
                     let Inst::HfiEnter { config } = program.inst(pc) else {
                         unreachable!("plan class HfiEnter lowered from HfiEnter");
                     };
+                    // Entry assertion: re-validate the springboard's
+                    // contract against the architectural register file
+                    // before the sandbox starts (free — the compares
+                    // overlap the enter microcode). This is the
+                    // fail-closed backstop for transition corruption.
+                    if let Some(contract) = program.contract() {
+                        let mut skip = false;
+                        if let Some(hook) = self.chaos.as_deref_mut() {
+                            skip = hook.skip_transition_check(byte_pc);
+                        }
+                        if !skip {
+                            if let Some(reg) = contract.first_violation(&self.regs) {
+                                return self.fault_exit(HfiFault::TransitionContract { reg }, pc);
+                            }
+                        }
+                    }
                     self.cycles += self.costs.enter_exit_base_cycles as f64;
                     match self.hfi.enter(*config) {
                         Ok(effect) => {
@@ -757,6 +773,18 @@ impl Functional {
                     let value = self.regs[uop.dst as usize];
                     if let Some(hook) = self.chaos.as_deref_mut() {
                         self.regs[uop.dst as usize] = hook.perturb_result(byte_pc, value);
+                    }
+                    // Transition corruption: a springboard op whose
+                    // result never lands — the register keeps junk in
+                    // place of the zeroed/switched value. The entry
+                    // assertion at `hfi_enter` must catch it.
+                    if uop.has(MicroOp::TRANSITION) {
+                        if let Some(hook) = self.chaos.as_deref_mut() {
+                            if hook.corrupt_transition(byte_pc) {
+                                self.regs[uop.dst as usize] =
+                                    crate::chaos::transition_junk(byte_pc);
+                            }
+                        }
                     }
                 }
                 // "Between instructions": the retired op's architectural

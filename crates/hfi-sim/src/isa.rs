@@ -11,7 +11,7 @@
 //! makes the paper's 445.gobmk observation (longer `hmov` encodings
 //! pressuring the i-cache, §6.1) reproducible.
 
-use hfi_core::{Region, SandboxConfig};
+use hfi_core::{Region, SandboxConfig, TransitionContract};
 
 /// One of 16 general-purpose registers, `r0`–`r15`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -432,6 +432,16 @@ pub struct Program {
     code_len: u64,
     /// Base byte address the code is "linked" at.
     base: u64,
+    /// The springboard entry contract, when the program was emitted
+    /// under a zeroing/stack-switching transition scheme. Executors
+    /// re-validate it when `hfi_enter` retires.
+    contract: Option<TransitionContract>,
+    /// Instruction indices of the springboard's own ops (zeroing
+    /// moves, the stack switch, fences, the entry canary). The plan
+    /// lowering flags these so the fusion pass folds the whole
+    /// enter/exit sequence into one `HfiSeq` superop and the chaos
+    /// engine can target them.
+    transition_ops: Vec<u32>,
 }
 
 impl Program {
@@ -448,7 +458,41 @@ impl Program {
             pcs,
             code_len: pc - base,
             base,
+            contract: None,
+            transition_ops: Vec::new(),
         }
+    }
+
+    /// Attaches springboard metadata: the entry contract and the
+    /// instruction indices of the springboard's own ops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn with_transition_meta(
+        mut self,
+        contract: Option<TransitionContract>,
+        transition_ops: Vec<u32>,
+    ) -> Self {
+        assert!(
+            transition_ops
+                .iter()
+                .all(|&i| (i as usize) < self.insts.len()),
+            "transition op index out of range"
+        );
+        self.contract = contract;
+        self.transition_ops = transition_ops;
+        self
+    }
+
+    /// The springboard entry contract, if one was declared.
+    pub fn contract(&self) -> Option<&TransitionContract> {
+        self.contract.as_ref()
+    }
+
+    /// Instruction indices of the springboard's own ops.
+    pub fn transition_ops(&self) -> &[u32] {
+        &self.transition_ops
     }
 
     /// The instruction at `index`.
@@ -498,10 +542,17 @@ impl Program {
         &self.insts
     }
 
-    /// Replaces the instruction list, preserving base (relayouts PCs).
-    /// Used by the emulation transform.
+    /// Replaces the instruction list, preserving base (relayouts PCs)
+    /// and the transition metadata — the A.2 emulation transform and
+    /// the mutation engine both substitute instructions 1:1, so the
+    /// declared contract and springboard indices keep describing the
+    /// same sites (which is exactly what lets the verifier catch a
+    /// mutant that drops a zeroing op while the contract still stands).
     pub fn with_insts(&self, insts: Vec<Inst>) -> Program {
-        Program::new(insts, self.base)
+        let mut p = Program::new(insts, self.base);
+        p.contract = self.contract;
+        p.transition_ops = self.transition_ops.clone();
+        p
     }
 }
 

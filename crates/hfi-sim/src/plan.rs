@@ -208,6 +208,13 @@ impl MicroOp {
     /// Carries a payload too large to flatten; executors fetch the full
     /// [`Inst`] from the backing program (cold path).
     pub const PAYLOAD: u8 = 1 << 6;
+    /// Part of a springboard (transition prologue/epilogue): a zeroing
+    /// move, the stack switch, a serializing fence, or the entry
+    /// canary. Set from [`Program::transition_ops`] at plan build (the
+    /// per-[`Inst`] lowering cannot see program metadata). Transition
+    /// ops fuse into the enter/exit `HfiSeq` superop and are the sites
+    /// the transition-skip chaos class targets.
+    pub const TRANSITION: u8 = 1 << 7;
 
     /// True if `flag` (one of the associated constants) is set.
     #[inline(always)]
@@ -277,7 +284,12 @@ impl DecodedProgram {
             program.len() < u32::MAX as usize,
             "program too large for a u32-indexed plan"
         );
-        let ops: Vec<MicroOp> = program.iter().map(lower).collect();
+        let mut ops: Vec<MicroOp> = program.iter().map(lower).collect();
+        // Springboard metadata lives on the program, not the encoding:
+        // flag the marked ops so fusion and the executors see them.
+        for &idx in program.transition_ops() {
+            ops[idx as usize].flags |= MicroOp::TRANSITION;
+        }
         let pcs: Vec<u64> = (0..program.len()).map(|i| program.pc_of(i)).collect();
         let (blocks, block_of) = build_blocks(&ops);
         Self {
@@ -683,6 +695,14 @@ enum FuseCat {
 }
 
 fn fuse_cat(op: &MicroOp) -> FuseCat {
+    // Springboard ops travel with the HFI transition they belong to:
+    // categorizing them `Hfi` folds the whole zeroing/stack-switch/
+    // fence/enter...exit sequence into one `HfiSeq` superop, which the
+    // fused tier runs through the reference `step()` routine — so the
+    // entry-contract check and every chaos site stay observable.
+    if op.has(MicroOp::TRANSITION) {
+        return FuseCat::Hfi;
+    }
     match op.class {
         OpClass::AluRR
         | OpClass::AluRI

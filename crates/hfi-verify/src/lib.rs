@@ -40,6 +40,6 @@ pub use lattice::{AbsVal, NO_DEF};
 pub use mutate::{direct_mutants, emulation_mutants, Mutant, MutationClass};
 pub use spec::{DataWindow, SandboxSpec};
 pub use verify::{
-    block_successors, verify_emulation, verify_fusion, verify_plan, verify_program, GuardKind,
-    GuardSite, Proof, Reason, Violation,
+    block_successors, verify_emulation, verify_fusion, verify_plan, verify_program, ElisionProof,
+    GuardKind, GuardSite, Proof, Reason, TransitionEvidence, Violation,
 };

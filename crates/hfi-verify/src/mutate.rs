@@ -13,7 +13,7 @@
 //! verifier bug, never an uninteresting mutant — the kill-rate criterion
 //! can be a hard 100%.
 //!
-//! Four corruption classes (mirroring how real compiler bugs break
+//! Six corruption classes (mirroring how real compiler bugs break
 //! sandboxes):
 //!
 //! * [`MutationClass::DropGuard`] — delete one guard instruction
@@ -25,6 +25,11 @@
 //!   a plain `mov`-class access with the same operands.
 //! * [`MutationClass::RetargetBranch`] — redirect one static control
 //!   transfer past the end of the block table.
+//! * [`MutationClass::UnzeroedLeak`] — delete one springboard
+//!   register-zeroing op, leaking trusted-caller state into the sandbox
+//!   past the declared transition contract.
+//! * [`MutationClass::SkippedStackSwitch`] — delete the springboard's
+//!   stack-pointer install, entering the sandbox on the host stack.
 
 use std::sync::Arc;
 
@@ -33,7 +38,7 @@ use hfi_sim::{AluOp, Inst, MemOperand, Program, EMULATION_BASE};
 
 use crate::verify::{GuardKind, Proof};
 
-/// The four ways a mutant corrupts its program.
+/// The six ways a mutant corrupts its program.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MutationClass {
     /// A guard instruction is deleted (replaced by `nop`).
@@ -44,15 +49,23 @@ pub enum MutationClass {
     UncheckMov,
     /// A static control transfer leaves the block table.
     RetargetBranch,
+    /// A springboard register-zeroing op is deleted: the register keeps
+    /// its trusted-caller value past the transition contract.
+    UnzeroedLeak,
+    /// The springboard's stack-pointer install is deleted: the sandbox
+    /// runs on the host stack.
+    SkippedStackSwitch,
 }
 
 impl MutationClass {
     /// All classes, for per-class coverage assertions.
-    pub const ALL: [MutationClass; 4] = [
+    pub const ALL: [MutationClass; 6] = [
         MutationClass::DropGuard,
         MutationClass::WidenMask,
         MutationClass::UncheckMov,
         MutationClass::RetargetBranch,
+        MutationClass::UnzeroedLeak,
+        MutationClass::SkippedStackSwitch,
     ];
 }
 
@@ -63,6 +76,8 @@ impl std::fmt::Display for MutationClass {
             MutationClass::WidenMask => "widen-mask",
             MutationClass::UncheckMov => "uncheck-mov",
             MutationClass::RetargetBranch => "retarget-branch",
+            MutationClass::UnzeroedLeak => "unzeroed-leak",
+            MutationClass::SkippedStackSwitch => "skipped-stack-switch",
         })
     }
 }
@@ -251,6 +266,42 @@ pub fn direct_mutants(program: &Arc<Program>, proof: &Proof) -> Vec<Mutant> {
             site,
             description: format!("replace checked hmov at op {site} with unchecked access"),
             program: rebuild(program, site, inst),
+        });
+    }
+
+    // UnzeroedLeak / SkippedStackSwitch: delete one instruction the
+    // transition evidence names as establishing the springboard contract.
+    // `with_insts` preserves the program's declared contract, so the
+    // re-verification must notice the register is no longer in its
+    // promised entry state.
+    let mut zero_sites: Vec<usize> = Vec::new();
+    let mut stack_sites: Vec<usize> = Vec::new();
+    for ev in &proof.transitions {
+        for &(_, def) in &ev.zeroing {
+            if !zero_sites.contains(&(def as usize)) {
+                zero_sites.push(def as usize);
+            }
+        }
+        if let Some((_, def)) = ev.stack_switch {
+            if !stack_sites.contains(&(def as usize)) {
+                stack_sites.push(def as usize);
+            }
+        }
+    }
+    for site in spread(&zero_sites) {
+        mutants.push(Mutant {
+            class: MutationClass::UnzeroedLeak,
+            site,
+            description: format!("skip springboard zeroing at op {site}"),
+            program: rebuild(program, site, Inst::Nop),
+        });
+    }
+    for site in spread(&stack_sites) {
+        mutants.push(Mutant {
+            class: MutationClass::SkippedStackSwitch,
+            site,
+            description: format!("skip springboard stack switch at op {site}"),
+            program: rebuild(program, site, Inst::Nop),
         });
     }
 

@@ -9,7 +9,7 @@
 //! `hfi-native` workloads) publish their spec next to their output so the
 //! checker never has to trust the emitter.
 
-use hfi_core::{slot_accepts, Region};
+use hfi_core::{slot_accepts, Region, TransitionContract};
 
 /// One contiguous address window plain (non-`hmov`) loads and stores are
 /// allowed to touch.
@@ -58,6 +58,22 @@ pub struct SandboxSpec {
     /// Registers a `syscall` may overwrite (the OS-model return register
     /// plus any registers an exit handler clobbers).
     pub syscall_clobbers: Vec<u8>,
+    /// The springboard entry contract the program must *statically*
+    /// establish at every reachable `hfi_enter`: each contract-zeroed
+    /// register provably holds constant 0 and the switched stack pointer
+    /// provably holds its declared top-of-stack. The proof records the
+    /// defining instructions as [`crate::TransitionEvidence`].
+    pub transition_contract: Option<TransitionContract>,
+    /// Whether the program must *prove* the springboard tax elidable
+    /// (the zero-cost transition schemes): every register in
+    /// [`elision_regs`](Self::elision_regs) is dead into the sandbox
+    /// (never read before written after `hfi_enter`) and no guard-state
+    /// mutation (`hfi_set_region`/clear) or syscall runs inside it.
+    pub require_elision_proof: bool,
+    /// Registers that must be provably dead at `hfi_enter` for the
+    /// elision proof (the set a springboard would otherwise zero, plus
+    /// the stack pointer it would otherwise switch).
+    pub elision_regs: u16,
 }
 
 impl SandboxSpec {
@@ -73,6 +89,9 @@ impl SandboxSpec {
             require_enter: false,
             interpose_syscalls: false,
             syscall_clobbers: vec![0, 14],
+            transition_contract: None,
+            require_elision_proof: false,
+            elision_regs: 0,
         }
     }
 
@@ -114,6 +133,21 @@ impl SandboxSpec {
         self
     }
 
+    /// Requires the springboard entry contract to hold statically at
+    /// every reachable `hfi_enter`.
+    pub fn transition_contract(mut self, contract: TransitionContract) -> Self {
+        self.transition_contract = Some(contract);
+        self
+    }
+
+    /// Requires an elision proof: every register in `regs` (a bit mask)
+    /// dead into the sandbox and no in-sandbox guard-state mutation.
+    pub fn require_elision(mut self, regs: u16) -> Self {
+        self.require_elision_proof = true;
+        self.elision_regs = regs;
+        self
+    }
+
     /// The region metadata this spec requires in `slot`, if declared.
     pub fn region_for_slot(&self, slot: u8) -> Option<&Region> {
         self.slots.iter().find(|(s, _)| *s == slot).map(|(_, r)| r)
@@ -138,6 +172,16 @@ impl SandboxSpec {
         for r in &self.syscall_clobbers {
             if *r >= 16 {
                 return Err(format!("syscall clobber r{r} out of range"));
+            }
+        }
+        if let Some(contract) = &self.transition_contract {
+            if let Some(sw) = &contract.stack {
+                if sw.reg >= 16 || sw.save >= 16 {
+                    return Err(format!(
+                        "transition contract stack registers r{}/r{} out of range",
+                        sw.reg, sw.save
+                    ));
+                }
             }
         }
         Ok(())

@@ -116,6 +116,24 @@ pub enum Reason {
         /// What the structural check rejected.
         detail: String,
     },
+    /// At an `hfi_enter`, a contract-declared register is not statically
+    /// in its promised entry state (zeroed, or holding the declared
+    /// stack top).
+    TransitionContractViolated {
+        /// The offending register.
+        reg: u8,
+    },
+    /// The spec requires an elision proof, but some required-dead
+    /// register is live into the sandbox (read before written after
+    /// `hfi_enter`), so the springboard tax cannot be skipped.
+    ElisionUnproven {
+        /// Bit mask of live required-dead registers.
+        live: u16,
+    },
+    /// The spec requires an elision proof, but guard state is mutated
+    /// (or a syscall runs) inside the sandbox, so an unserialized
+    /// zero-tax transition is not safe.
+    SerializationRequired,
 }
 
 impl std::fmt::Display for Reason {
@@ -162,6 +180,18 @@ impl std::fmt::Display for Reason {
                 write!(f, "emulation length {emulated} != original {original}")
             }
             Reason::FusionInvalid { detail } => write!(f, "fusion invalid: {detail}"),
+            Reason::TransitionContractViolated { reg } => {
+                write!(f, "r{reg} is not provably in its contracted entry state")
+            }
+            Reason::ElisionUnproven { live } => {
+                write!(
+                    f,
+                    "registers {live:#06x} are live into the sandbox; springboard not elidable"
+                )
+            }
+            Reason::SerializationRequired => {
+                f.write_str("guard state mutated inside the sandbox; serialization not elidable")
+            }
         }
     }
 }
@@ -224,6 +254,53 @@ pub struct GuardSite {
     pub kind: GuardKind,
 }
 
+/// The elision half of a transition proof: what the analysis learned
+/// about whether the springboard tax (register zeroing, stack switch,
+/// serialization) may be skipped for one `hfi_enter`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ElisionProof {
+    /// Registers read before written after the enter (live into the
+    /// sandbox), as a bit mask.
+    pub live_in: u16,
+    /// The spec's required-dead mask ([`SandboxSpec::elision_regs`]).
+    pub required_dead: u16,
+    /// Instruction indices of in-sandbox guard-state mutations or
+    /// syscalls (each one forbids eliding serialization).
+    pub serialization_blockers: Vec<usize>,
+}
+
+impl ElisionProof {
+    /// Register zeroing (and the stack switch) may be skipped: nothing
+    /// the springboard would scrub is observable inside the sandbox.
+    pub fn zeroing_elidable(&self) -> bool {
+        self.live_in & self.required_dead == 0
+    }
+
+    /// Serialization may be skipped: guard state is never mutated while
+    /// the sandbox runs.
+    pub fn serialization_elidable(&self) -> bool {
+        self.serialization_blockers.is_empty()
+    }
+}
+
+/// Evidence attached to the proof for one reachable `hfi_enter`: which
+/// instructions establish the springboard contract, and what the elision
+/// analysis concluded. The transition mutation classes (`UnzeroedLeak`,
+/// `SkippedStackSwitch`) draw their sites from here.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TransitionEvidence {
+    /// Instruction index of the `hfi_enter` (or `hfi_enter_child`).
+    pub enter_op: usize,
+    /// `(register, defining op)` for every contract-zeroed register
+    /// proven `== 0` at the enter.
+    pub zeroing: Vec<(u8, u32)>,
+    /// `(register, defining op)` for the proven stack-switch install.
+    pub stack_switch: Option<(u8, u32)>,
+    /// The elision analysis result (always computed when any transition
+    /// evidence exists).
+    pub elision: Option<ElisionProof>,
+}
+
 /// The artifact of a successful verification: which instructions the
 /// safety argument rests on. The mutation harness corrupts exactly these
 /// (plus control targets) and re-runs the verifier.
@@ -243,6 +320,8 @@ pub struct Proof {
     pub mem_ops: usize,
     /// Number of reachable blocks analyzed.
     pub blocks: usize,
+    /// Per-`hfi_enter` springboard evidence, in instruction order.
+    pub transitions: Vec<TransitionEvidence>,
 }
 
 /// Per-block abstract state at block entry.
@@ -343,6 +422,7 @@ struct Report {
     paired: Vec<usize>,
     mem_ops: usize,
     reachable_enter: bool,
+    transitions: Vec<TransitionEvidence>,
 }
 
 impl Report {
@@ -633,6 +713,56 @@ impl<'a> Analysis<'a> {
                     if let Some(r) = report.as_deref_mut() {
                         r.reachable_enter = true;
                         r.guard(i, GuardKind::Enter);
+                    }
+                    // Springboard contract: every contract-zeroed register
+                    // must provably hold 0, and the switched stack pointer
+                    // its declared top, at the plain enter — the static
+                    // twin of the executors' runtime entry assertion. The
+                    // defining instructions become transition evidence
+                    // (the sites the transition mutation classes corrupt).
+                    let mut evidence = TransitionEvidence {
+                        enter_op: i,
+                        ..Default::default()
+                    };
+                    if op.class == OpClass::HfiEnter {
+                        if let Some(contract) = &self.spec.transition_contract {
+                            for reg in 0..16u8 {
+                                if contract.zeroed & (1 << reg) == 0 {
+                                    continue;
+                                }
+                                match state.regs[reg as usize] {
+                                    AbsVal::Const { value: 0, def } if def != NO_DEF => {
+                                        evidence.zeroing.push((reg, def));
+                                    }
+                                    AbsVal::Const { value: 0, .. } => {}
+                                    other => violate(
+                                        &mut report,
+                                        Some(reg),
+                                        Some(other),
+                                        Reason::TransitionContractViolated { reg },
+                                    ),
+                                }
+                            }
+                            if let Some(sw) = &contract.stack {
+                                match state.regs[sw.reg as usize] {
+                                    AbsVal::Const { value, def }
+                                        if value == sw.top && def != NO_DEF =>
+                                    {
+                                        evidence.stack_switch = Some((sw.reg, def));
+                                    }
+                                    AbsVal::Const { value, .. } if value == sw.top => {}
+                                    other => violate(
+                                        &mut report,
+                                        Some(sw.reg),
+                                        Some(other),
+                                        Reason::TransitionContractViolated { reg: sw.reg },
+                                    ),
+                                }
+                            }
+                        }
+                    }
+                    if let Some(r) = report.as_deref_mut() {
+                        r.transitions.push(evidence);
                     }
                     let config = match self.plan.program().inst(i) {
                         Inst::HfiEnter { config } => Some(*config),
@@ -1041,21 +1171,201 @@ pub fn verify_plan(plan: &DecodedProgram, spec: &SandboxSpec) -> Result<Proof, V
             reason: Reason::MissingEnter,
         });
     }
+    if !report.transitions.is_empty() {
+        attach_elision(&analysis, &mut report, spec);
+    }
 
     if report.violations.is_empty() {
         let mut guards = report.guards;
         guards.sort_by_key(|g| (g.op, g.kind as u8));
         let mut paired = report.paired;
         paired.sort_unstable();
+        let mut transitions = report.transitions;
+        transitions.sort_by_key(|t| t.enter_op);
         Ok(Proof {
             guards,
             paired,
             mem_ops: report.mem_ops,
             blocks: reachable_blocks,
+            transitions,
         })
     } else {
         report.violations.sort_by_key(|v| v.op);
         Err(report.violations)
+    }
+}
+
+/// The elision analysis (the "isolation without taxation" argument): a
+/// backward liveness fixpoint over the block table decides which
+/// registers the sandbox could observe at entry, and a depth walk over
+/// the reachable blocks collects in-sandbox guard-state mutations.
+/// The result is attached to every [`TransitionEvidence`]; it only
+/// *fails* verification when the spec requires an elision proof.
+fn attach_elision(analysis: &Analysis<'_>, report: &mut Report, spec: &SandboxSpec) {
+    let plan = analysis.plan;
+    let nblocks = plan.blocks().len();
+
+    let uses_defs = |i: usize| -> (u16, u16) {
+        let op = plan.op(i);
+        let mut uses = 0u16;
+        let mut defs = 0u16;
+        for &s in &op.srcs {
+            if s != NO_REG {
+                uses |= 1 << s;
+            }
+        }
+        if op.class == OpClass::Syscall {
+            // Reads the syscall number in r0; clobbers the spec's set.
+            uses |= 1;
+            defs |= 1;
+            for &r in &spec.syscall_clobbers {
+                defs |= 1 << r;
+            }
+        }
+        if op.dst != NO_REG {
+            defs |= 1 << op.dst;
+        }
+        (uses, defs)
+    };
+
+    // Block-level read-before-write (use) and write (def) masks.
+    let mut use_mask = vec![0u16; nblocks];
+    let mut def_mask = vec![0u16; nblocks];
+    for (block, b) in plan.blocks().iter().enumerate() {
+        for i in b.start as usize..b.end as usize {
+            let (u, d) = uses_defs(i);
+            use_mask[block] |= u & !def_mask[block];
+            def_mask[block] |= d;
+            if plan.op(i).class == OpClass::Halt {
+                break;
+            }
+        }
+    }
+
+    // `ret` and indirect jumps have no static successor: everything may
+    // be live there. `halt` (and falling off the program) ends the
+    // machine: nothing is.
+    let live_out = |block: usize, live_in: &[u16]| -> u16 {
+        let b = plan.blocks()[block];
+        let (fall, taken) = block_successors(plan, block);
+        if fall.is_none() && taken.is_none() {
+            return match plan.op(b.end as usize - 1).class {
+                OpClass::Halt => 0,
+                _ => 0xFFFF,
+            };
+        }
+        let mut out = 0;
+        if let Some(f) = fall {
+            out |= live_in[plan.block_of(f as usize)];
+        }
+        if let Some(t) = taken {
+            out |= live_in[plan.block_of(t as usize)];
+        }
+        out
+    };
+
+    // Backward fixpoint (monotone over a finite lattice: terminates).
+    let mut live_in = vec![0u16; nblocks];
+    loop {
+        let mut changed = false;
+        for block in (0..nblocks).rev() {
+            let out = live_out(block, &live_in);
+            let new = use_mask[block] | (out & !def_mask[block]);
+            if new != live_in[block] {
+                live_in[block] = new;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // In-sandbox guard-state mutations (and syscalls), via the fixed
+    // depth intervals — the guard-state-preservation half of the proof.
+    let mut blockers: Vec<usize> = Vec::new();
+    for block in 0..nblocks {
+        let Some(input) = &analysis.entry[block] else {
+            continue;
+        };
+        let mut depth_hi = input.depth.1;
+        let b = plan.blocks()[block];
+        for i in b.start as usize..b.end as usize {
+            match plan.op(i).class {
+                OpClass::HfiEnter | OpClass::HfiEnterChild | OpClass::HfiReenter => {
+                    depth_hi = (depth_hi + 1).min(DEPTH_CAP);
+                }
+                OpClass::HfiExit => depth_hi = depth_hi.saturating_sub(1),
+                OpClass::HfiSetRegion
+                | OpClass::HfiClearRegion
+                | OpClass::HfiClearAllRegions
+                | OpClass::Syscall
+                    if depth_hi >= 1 =>
+                {
+                    blockers.push(i);
+                }
+                OpClass::Halt => break,
+                _ => {}
+            }
+        }
+    }
+    blockers.sort_unstable();
+    blockers.dedup();
+
+    for ev in &mut report.transitions {
+        // Live registers just after the enter: the containing block's
+        // live-out, walked backward to the op following the enter.
+        let block = plan.block_of(ev.enter_op);
+        let b = plan.blocks()[block];
+        let mut live = live_out(block, &live_in);
+        for i in (ev.enter_op + 1..b.end as usize).rev() {
+            let (u, d) = uses_defs(i);
+            live = (live & !d) | u;
+        }
+        // A configured exit handler can observe the register file at any
+        // interruption point; no elision is provable then.
+        let handler_configured = match plan.program().inst(ev.enter_op) {
+            Inst::HfiEnter { config } | Inst::HfiEnterChild { config, .. } => {
+                config.exit_handler.is_some()
+            }
+            _ => false,
+        };
+        if handler_configured {
+            live = 0xFFFF;
+        }
+        ev.elision = Some(ElisionProof {
+            live_in: live,
+            required_dead: spec.elision_regs,
+            serialization_blockers: blockers.clone(),
+        });
+    }
+
+    if spec.require_elision_proof {
+        let mut violations = Vec::new();
+        for ev in &report.transitions {
+            let el = ev.elision.as_ref().expect("just attached");
+            if !el.zeroing_elidable() {
+                violations.push(Violation {
+                    op: ev.enter_op,
+                    pc: plan.pc(ev.enter_op),
+                    reg: None,
+                    state: None,
+                    reason: Reason::ElisionUnproven {
+                        live: el.live_in & el.required_dead,
+                    },
+                });
+            }
+            for &op in &el.serialization_blockers {
+                violations.push(Violation {
+                    op,
+                    pc: plan.pc(op),
+                    reg: None,
+                    state: None,
+                    reason: Reason::SerializationRequired,
+                });
+            }
+        }
+        report.violations.extend(violations);
     }
 }
 

@@ -24,7 +24,7 @@
 use std::collections::HashMap;
 
 use hfi_core::region::{ExplicitDataRegion, ImplicitCodeRegion, ImplicitDataRegion};
-use hfi_core::{Region, SandboxConfig};
+use hfi_core::{Region, SandboxConfig, StackSwitch, TransitionContract, TransitionScheme};
 use hfi_sim::asm::{Label, ProgramBuilder};
 use hfi_sim::isa::{AluOp, Cond, HmovOperand, MemOperand, Program, Reg};
 
@@ -93,8 +93,15 @@ pub struct CompileOptions {
     /// Wrap the kernel in `hfi_set_region* + hfi_enter … hfi_exit`. Only
     /// meaningful with [`Isolation::Hfi`].
     pub sandboxed: bool,
-    /// Serialize the sandbox entry/exit (`is-serialized`).
+    /// Serialize the sandbox entry/exit (`is-serialized`). Legacy switch:
+    /// equivalent to [`TransitionScheme::HfiSerialized`] and honored in
+    /// addition to `scheme` (either one forces a serialized entry).
     pub serialize: bool,
+    /// Transition scheme for the sandbox prologue/epilogue. Only
+    /// meaningful with [`Isolation::Hfi`] and `sandboxed`; the default
+    /// ([`TransitionScheme::HfiUnserialized`]) emits the bare
+    /// `hfi_set_region* + hfi_enter` stream.
+    pub scheme: TransitionScheme,
 }
 
 impl CompileOptions {
@@ -110,8 +117,84 @@ impl CompileOptions {
             extra_reserved_regs: 0,
             sandboxed: isolation == Isolation::Hfi,
             serialize: false,
+            scheme: TransitionScheme::default(),
         }
     }
+
+    /// `new(Isolation::Hfi)` with the given transition scheme.
+    pub fn hfi_with_scheme(scheme: TransitionScheme) -> Self {
+        Self {
+            scheme,
+            ..Self::new(Isolation::Hfi)
+        }
+    }
+
+    /// Whether the springboard entry/exit is serialized, combining the
+    /// legacy `serialize` flag with the scheme's own requirement.
+    pub fn effective_serialize(&self) -> bool {
+        self.serialize || self.scheme.serialized()
+    }
+}
+
+/// Registers the springboard-zeroing schemes clear before `hfi_enter`:
+/// the allocatable pool plus the scratch set — everything except the
+/// pinned ABI registers (r9 stack, r10 VM context) and the base/bound
+/// registers HFI leaves free anyway (r11, r15), which the trusted caller
+/// owns.
+pub const SPRINGBOARD_ZEROED: [u8; 12] = [0, 1, 2, 3, 4, 5, 6, 7, 8, 12, 13, 14];
+
+/// Bit mask over [`SPRINGBOARD_ZEROED`] for [`TransitionContract::zeroed`].
+pub const SPRINGBOARD_ZEROED_MASK: u16 = {
+    let mut mask = 0u16;
+    let mut i = 0;
+    while i < SPRINGBOARD_ZEROED.len() {
+        mask |= 1 << SPRINGBOARD_ZEROED[i];
+        i += 1;
+    }
+    mask
+};
+
+/// The register the full springboard switches to a fresh sandbox stack
+/// (the pinned ABI stack pointer).
+pub const SPRINGBOARD_STACK: Reg = Reg(10);
+
+/// Where the old stack pointer is saved across the sandbox call (the
+/// pinned VM-context register; dead while the sandbox runs).
+pub const SPRINGBOARD_SAVE: Reg = Reg(9);
+
+/// Top-of-stack value the full springboard installs: 16 bytes below the
+/// end of the 64 MiB spill window, so the first frame's stores stay in
+/// bounds.
+pub fn springboard_stack_top(opts: &CompileOptions) -> u64 {
+    opts.spill_base + 0x3FF_FFF0
+}
+
+/// The springboard entry contract a sandboxed HFI kernel compiled under
+/// `opts` declares (and that both the executors' entry assertion and the
+/// static verifier re-check). `None` when the scheme pays no
+/// register-visible tax.
+pub fn transition_contract_for(opts: &CompileOptions) -> Option<TransitionContract> {
+    if !(opts.sandboxed && opts.isolation == Isolation::Hfi) {
+        return None;
+    }
+    let scheme = opts.scheme;
+    let contract = TransitionContract {
+        zeroed: if scheme.zeroes_registers() {
+            SPRINGBOARD_ZEROED_MASK
+        } else {
+            0
+        },
+        stack: if scheme.switches_stack() {
+            Some(StackSwitch {
+                reg: SPRINGBOARD_STACK.0,
+                top: springboard_stack_top(opts),
+                save: SPRINGBOARD_SAVE.0,
+            })
+        } else {
+            None
+        },
+    };
+    (!contract.is_empty()).then_some(contract)
 }
 
 /// Facts about a compilation, for experiment reporting.
@@ -468,7 +551,10 @@ pub fn compile(func: &IrFunction, opts: &CompileOptions) -> CompiledKernel {
     let trap = asm.label();
     let epilogue = asm.label();
 
-    // Prologue.
+    // Prologue: the transition scheme decides how much springboard tax
+    // (register zeroing, stack switch, serialization) is paid on the way
+    // into the sandbox — executed as real instructions so the cost
+    // emerges from the executors rather than from a modeled constant.
     if opts.sandboxed && opts.isolation == Isolation::Hfi {
         let code = ImplicitCodeRegion::new(opts.code_base, 0xF_FFFF, true)
             .expect("1 MiB-aligned code base");
@@ -478,12 +564,60 @@ pub fn compile(func: &IrFunction, opts: &CompileOptions) -> CompiledKernel {
             .expect("aligned spill base");
         let heap = ExplicitDataRegion::large(opts.heap_base, opts.heap_size, true, true)
             .expect("64 KiB-aligned heap");
-        asm.hfi_set_region(0, Region::Code(code));
-        asm.hfi_set_region(2, Region::Data(stack));
-        asm.hfi_set_region(6, Region::Explicit(heap));
+        let scheme = opts.scheme;
+        let contract = transition_contract_for(opts);
+        if scheme.zeroes_registers() {
+            // Scrub every register the untrusted code can observe, so
+            // trusted-caller state cannot leak into the sandbox.
+            for &r in &SPRINGBOARD_ZEROED {
+                asm.movi(Reg(r), 0);
+                asm.mark_last_transition();
+            }
+        }
+        let stack_switch = contract.as_ref().and_then(|c| c.stack);
+        if let Some(sw) = stack_switch {
+            // Register-only stack switch: save the host stack pointer in
+            // the (sandbox-dead) VM-context register and install a fresh
+            // top-of-stack inside the spill window. No pre-enter memory
+            // traffic — the verifier checks plain stores at every depth.
+            asm.mov(Reg(sw.save), Reg(sw.reg));
+            asm.mark_last_transition();
+            asm.movi(Reg(sw.reg), sw.top as i64);
+            asm.mark_last_transition();
+            // The springboard's entry flush: a true serializing
+            // instruction (the pipeline-drain tax a software springboard
+            // pays even without HFI's is-serialized).
+            asm.cpuid();
+            asm.mark_last_transition();
+        }
         let mut config = SandboxConfig::hybrid();
-        config.serialize = opts.serialize;
-        asm.hfi_enter(config);
+        config.serialize = opts.effective_serialize();
+        if scheme == TransitionScheme::SwitchOnExit {
+            // One atomic region-file swap (paper §4.5) instead of three
+            // `hfi_set_region`s plus a plain enter; `hfi_exit` restores
+            // the shadowed parent without serialization.
+            let mut regions: [Option<Region>; hfi_core::NUM_REGIONS] =
+                [None; hfi_core::NUM_REGIONS];
+            regions[0] = Some(Region::Code(code));
+            regions[2] = Some(Region::Data(stack));
+            regions[6] = Some(Region::Explicit(heap));
+            asm.hfi_enter_child(config, regions);
+        } else {
+            asm.hfi_set_region(0, Region::Code(code));
+            asm.hfi_set_region(2, Region::Data(stack));
+            asm.hfi_set_region(6, Region::Explicit(heap));
+            asm.hfi_enter(config);
+        }
+        if stack_switch.is_some() {
+            // First use of the switched stack pointer, inside the sandbox:
+            // a canary store that faces the implicit stack-region check,
+            // so a corrupted switch is caught at the first frame touch.
+            asm.store(SCRATCH_MEM, MemOperand::base_disp(SPRINGBOARD_STACK, 0), 8);
+            asm.mark_last_transition();
+        }
+        if let Some(contract) = contract {
+            asm.set_contract(contract);
+        }
     }
     match opts.isolation {
         Isolation::None | Isolation::GuardPages => {
@@ -615,6 +749,14 @@ pub fn compile(func: &IrFunction, opts: &CompileOptions) -> CompiledKernel {
     lower.asm.place(epi);
     if lower.opts.sandboxed && lower.opts.isolation == Isolation::Hfi {
         lower.asm.hfi_exit();
+        if lower.opts.scheme.switches_stack() {
+            // The springboard's serializing exit flush, then hand the
+            // host its stack pointer back from the save register.
+            lower.asm.cpuid();
+            lower.asm.mark_last_transition();
+            lower.asm.mov(SPRINGBOARD_STACK, SPRINGBOARD_SAVE);
+            lower.asm.mark_last_transition();
+        }
     }
     lower.asm.halt();
 
@@ -633,15 +775,31 @@ pub fn compile(func: &IrFunction, opts: &CompileOptions) -> CompiledKernel {
         verified: None,
     };
     // Verify-after-compile: check the output against the strategy's
-    // published contract. A rejection here is a compiler bug; surface it
-    // immediately in debug builds instead of letting an unsafe program
-    // reach an experiment.
+    // published contract. A rejection here is a compiler bug — except
+    // under a scheme that must *prove* the springboard tax elidable,
+    // where "the proof does not go through for this kernel" is a
+    // legitimate negative verdict scheme selection relies on to fall
+    // back to a taxed scheme. Surface real bugs immediately in debug
+    // builds instead of letting an unsafe program reach an experiment.
     kernel.verified = crate::verify::verify_kernel(&kernel).map(|r| r.is_ok());
-    debug_assert!(
-        kernel.verified != Some(false),
-        "compiler emitted a program its own spec rejects: {:?}",
-        crate::verify::verify_kernel(&kernel).unwrap().unwrap_err()
-    );
+    #[cfg(debug_assertions)]
+    if kernel.verified == Some(false) {
+        let violations = crate::verify::verify_kernel(&kernel)
+            .expect("a false verdict implies a spec")
+            .expect_err("a false verdict implies violations");
+        let expected_elision_failure = opts.scheme.requires_elision_proof()
+            && violations.iter().all(|v| {
+                matches!(
+                    v.reason,
+                    hfi_verify::Reason::ElisionUnproven { .. }
+                        | hfi_verify::Reason::SerializationRequired
+                )
+            });
+        assert!(
+            expected_elision_failure,
+            "compiler emitted a program its own spec rejects: {violations:?}"
+        );
+    }
     kernel
 }
 

@@ -28,11 +28,16 @@ pub mod runtime;
 pub mod transitions;
 pub mod verify;
 
-pub use compiler::{compile, CompileOptions, CompileStats, CompiledKernel, Isolation, RESULT_REG};
+pub use compiler::{
+    compile, springboard_stack_top, transition_contract_for, CompileOptions, CompileStats,
+    CompiledKernel, Isolation, RESULT_REG,
+};
+pub use hfi_core::TransitionScheme;
 pub use ir::{IrBuilder, IrFunction};
 pub use kernels::{sightglass_suite, spec_suite, Kernel};
 pub use runtime::{RuntimeError, SandboxId, SandboxRuntime, GUARD_RESERVATION, WASM_PAGE};
 pub use transitions::Transition;
 pub use verify::{
-    guarded_emulation, guarded_spec, sandbox_spec, verify_emulated_kernel, verify_kernel,
+    cheapest_proven_scheme, guarded_emulation, guarded_spec, sandbox_spec, verify_emulated_kernel,
+    verify_kernel,
 };

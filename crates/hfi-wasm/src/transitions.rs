@@ -7,7 +7,7 @@
 //! This module enumerates the mechanisms and their cycle costs, built on
 //! [`CostModel`]; the `micro_transitions` bench sweeps them.
 
-use hfi_core::CostModel;
+use hfi_core::{CostModel, TransitionScheme};
 
 /// A sandbox entry/exit mechanism.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -37,17 +37,36 @@ pub enum Transition {
 }
 
 impl Transition {
-    /// All mechanisms, cheapest first by design intent.
+    /// All mechanisms, cheapest first under the default [`CostModel`].
+    /// The full ordering is pinned by a unit test so a cost-model tweak
+    /// that silently reshuffles the spectrum fails loudly.
     pub const ALL: [Transition; 8] = [
         Transition::ZeroCost,
-        Transition::Springboard,
         Transition::HfiUnserialized,
-        Transition::SwitchOnExit,
         Transition::Mpk,
+        Transition::SwitchOnExit,
+        Transition::Springboard,
         Transition::HfiSerialized,
         Transition::ProcessSwitch,
         Transition::Ipc,
     ];
+
+    /// The modeled mechanism corresponding to an executable
+    /// [`TransitionScheme`]. Both register-clearing schemes map onto the
+    /// springboard point of the spectrum (the NaCl-style trampoline is
+    /// the mechanism they emulate in software); the HFI schemes map onto
+    /// their hardware counterparts.
+    pub fn for_scheme(scheme: TransitionScheme) -> Transition {
+        match scheme {
+            TransitionScheme::ZeroCost => Transition::ZeroCost,
+            TransitionScheme::CalleeSaveZeroing | TransitionScheme::FullSpringboard => {
+                Transition::Springboard
+            }
+            TransitionScheme::HfiUnserialized => Transition::HfiUnserialized,
+            TransitionScheme::HfiSerialized => Transition::HfiSerialized,
+            TransitionScheme::SwitchOnExit => Transition::SwitchOnExit,
+        }
+    }
 
     /// Round-trip (enter + exit) cost in cycles under `costs`.
     pub fn round_trip_cycles(self, costs: &CostModel) -> u64 {
@@ -122,16 +141,40 @@ mod tests {
     }
 
     #[test]
-    fn ordering_is_sane() {
+    fn all_is_strictly_ordered_cheapest_first() {
+        // Pins the "cheapest first" claim on `Transition::ALL` in full:
+        // every adjacent pair must be strictly increasing under the
+        // default cost model, not just the endpoints.
         let costs = CostModel::default();
         let cycle_costs: Vec<u64> = Transition::ALL
             .iter()
             .map(|t| t.round_trip_cycles(&costs))
             .collect();
-        assert!(
-            cycle_costs[0] < cycle_costs[6],
-            "calls beat process switches"
-        );
-        assert!(cycle_costs[6] < cycle_costs[7], "process switch beats IPC");
+        for (i, pair) in cycle_costs.windows(2).enumerate() {
+            assert!(
+                pair[0] < pair[1],
+                "Transition::ALL[{i}] ({} = {} cycles) must be strictly cheaper \
+                 than Transition::ALL[{}] ({} = {} cycles)",
+                Transition::ALL[i],
+                pair[0],
+                i + 1,
+                Transition::ALL[i + 1],
+                pair[1],
+            );
+        }
+    }
+
+    #[test]
+    fn every_scheme_maps_onto_the_spectrum() {
+        let costs = CostModel::default();
+        for scheme in TransitionScheme::ALL {
+            let t = Transition::for_scheme(scheme);
+            assert!(Transition::ALL.contains(&t), "{scheme:?} maps off-spectrum");
+            // No executable scheme is modeled as an OS-assisted mechanism.
+            assert!(
+                t.round_trip_cycles(&costs) < Transition::ProcessSwitch.round_trip_cycles(&costs),
+                "{scheme:?} modeled as OS-priced"
+            );
+        }
     }
 }

@@ -12,13 +12,15 @@ use std::sync::Arc;
 
 use hfi_core::region::{ExplicitDataRegion, ImplicitCodeRegion, ImplicitDataRegion};
 use hfi_core::Region;
+use hfi_core::TransitionScheme;
 use hfi_sim::{
     emulate_arc, emulate_guarded, GuardedEmulation, GuardedEmulationError, GuardedOptions, Program,
     EMULATION_BASE,
 };
 use hfi_verify::{verify_emulation, verify_program, Proof, SandboxSpec, Violation};
 
-use crate::compiler::{CompileOptions, CompiledKernel, Isolation};
+use crate::compiler::{compile, CompileOptions, CompiledKernel, Isolation};
+use crate::ir::IrFunction;
 
 /// Size of the spill/stack window: the 64 MiB implicit data region the
 /// HFI prologue installs (and the area spill slots live in under every
@@ -50,15 +52,28 @@ pub fn sandbox_spec(opts: &CompileOptions) -> Option<SandboxSpec> {
             let stack = ImplicitDataRegion::new(opts.spill_base, 0x3FF_FFFF, true, true).ok()?;
             let heap =
                 ExplicitDataRegion::large(opts.heap_base, opts.heap_size, true, true).ok()?;
-            Some(
-                SandboxSpec::new("wasm-hfi")
-                    .window("spill", opts.spill_base, SPILL_WINDOW)
-                    .slot(0, Region::Code(code))
-                    .slot(2, Region::Data(stack))
-                    .slot(6, Region::Explicit(heap))
-                    .require_enter()
-                    .require_exit(),
-            )
+            let mut spec = SandboxSpec::new("wasm-hfi")
+                .window("spill", opts.spill_base, SPILL_WINDOW)
+                .slot(0, Region::Code(code))
+                .slot(2, Region::Data(stack))
+                .slot(6, Region::Explicit(heap))
+                .require_enter()
+                .require_exit();
+            // The springboard obligations are derived from the options,
+            // never from the emitted code: a scheme that promises zeroing
+            // or a stack switch must statically establish it at the
+            // enter, and the zero-cost scheme must *prove* the whole tax
+            // elidable instead.
+            if let Some(contract) = crate::compiler::transition_contract_for(opts) {
+                spec = spec.transition_contract(contract);
+            }
+            let springboard_regs = crate::compiler::SPRINGBOARD_ZEROED_MASK
+                | (1 << crate::compiler::SPRINGBOARD_STACK.0);
+            spec.elision_regs = springboard_regs;
+            if opts.scheme.requires_elision_proof() {
+                spec = spec.require_elision(springboard_regs);
+            }
+            Some(spec)
         }
     }
 }
@@ -71,6 +86,31 @@ pub fn guarded_spec(opts: &CompileOptions) -> SandboxSpec {
     SandboxSpec::new("wasm-guarded")
         .window("mirror", EMULATION_BASE, opts.heap_size + 8)
         .window("spill", opts.spill_base, SPILL_WINDOW)
+}
+
+/// Compiles `func` under every [`TransitionScheme`] cheapest-first and
+/// returns the first whose output the static verifier admits — the
+/// verify-before-admit selection rule the serving tier uses per tenant.
+///
+/// The zero-cost scheme is only admitted when the verifier can *prove*
+/// the springboard tax elidable (all springboard registers dead into the
+/// sandbox, no in-sandbox guard-state mutation or syscall); kernels that
+/// grow memory or take an exit handler organically fall back to the
+/// cheapest taxed scheme. `None` only if no scheme verifies at all, or
+/// the options carry no checkable spec (then nothing is "proven").
+pub fn cheapest_proven_scheme(
+    func: &IrFunction,
+    base: &CompileOptions,
+) -> Option<(TransitionScheme, CompiledKernel)> {
+    for scheme in TransitionScheme::ALL {
+        let mut opts = *base;
+        opts.scheme = scheme;
+        let compiled = compile(func, &opts);
+        if compiled.verified == Some(true) {
+            return Some((scheme, compiled));
+        }
+    }
+    None
 }
 
 /// Runs the static verifier on a compiled kernel against its published

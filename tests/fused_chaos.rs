@@ -44,6 +44,16 @@ fn fused_workload() -> Arc<Program> {
     let code = ImplicitCodeRegion::new(CODE_BASE, 0xFFFF, true).unwrap();
     let data = ImplicitDataRegion::new(DATA_BASE, 0xFFFF, true, true).unwrap();
     let heap = ExplicitDataRegion::large(HEAP_BASE, 1 << 16, true, true).unwrap();
+    // Springboard: marked zeroing ops feeding a declared entry contract,
+    // so transition-corrupt sites live inside the fused `HfiSeq` prologue.
+    for r in [6u8, 7, 8] {
+        asm.movi(Reg(r), 0);
+        asm.mark_last_transition();
+    }
+    asm.set_contract(hfi_core::TransitionContract {
+        zeroed: (1 << 6) | (1 << 7) | (1 << 8),
+        stack: None,
+    });
     asm.hfi_set_region(0, Region::Code(code));
     asm.hfi_set_region(2, Region::Data(data));
     asm.hfi_set_region(6, Region::Explicit(heap));
@@ -88,11 +98,12 @@ fn run_tier(fused: bool, hook: Box<dyn hfi_sim::ChaosHook>) -> Stop {
 
 /// The functional-tier fault classes: the two wrong-path classes only
 /// have sites on the cycle machine's speculative front end.
-const FUNCTIONAL_CLASSES: [FaultClass; 4] = [
+const FUNCTIONAL_CLASSES: [FaultClass; 5] = [
     FaultClass::EaFlip,
     FaultClass::OperandFlip,
     FaultClass::GuardSkip,
     FaultClass::RegionCorrupt,
+    FaultClass::TransitionCorrupt,
 ];
 
 #[test]
@@ -102,17 +113,23 @@ fn workload_actually_fuses_its_injection_sites() {
     let mut guarded_run = 0u32;
     let mut hmov_chain = 0u32;
     let mut alu_run = 0u32;
+    let mut hfi_seq = 0u32;
     for sop in fused.sops() {
         match sop.kind {
             SuperOpKind::GuardedAccess if sop.count > 1 => guarded_run += 1,
             SuperOpKind::HmovChain if sop.count > 1 => hmov_chain += 1,
             SuperOpKind::AluRun if sop.count > 1 => alu_run += 1,
+            SuperOpKind::HfiSeq if sop.count > 1 => hfi_seq += 1,
             _ => {}
         }
     }
     assert!(guarded_run > 0, "no multi-op GuardedAccess superop");
     assert!(hmov_chain > 0, "no multi-op HmovChain superop");
     assert!(alu_run > 0, "no multi-op AluRun superop");
+    assert!(
+        hfi_seq > 0,
+        "springboard + enter did not fuse into a multi-op HfiSeq"
+    );
 }
 
 #[test]
@@ -135,6 +152,10 @@ fn every_injection_site_survives_fusion() {
     assert!(unfused.result > 0, "no writeback sites in the workload");
     assert!(unfused.guard > 0, "no guard sites in the workload");
     assert!(unfused.context > 0, "no boundary sites in the workload");
+    assert!(
+        unfused.transition > 0,
+        "no transition sites in the workload"
+    );
 }
 
 #[test]
@@ -147,13 +168,7 @@ fn every_functional_fault_class_still_fires_and_never_escapes_when_fused() {
     );
     let counts = counter.counts();
     for class in FUNCTIONAL_CLASSES {
-        let sites = match class {
-            FaultClass::EaFlip => counts.ea,
-            FaultClass::OperandFlip => counts.result,
-            FaultClass::GuardSkip => counts.guard,
-            FaultClass::RegionCorrupt => counts.context,
-            _ => unreachable!(),
-        };
+        let sites = counts.for_class(class);
         assert!(sites > 0, "{class}: no sites");
         // Spread triggers across the whole run, capped for test runtime.
         let step = (sites / 12).max(1);
@@ -189,13 +204,7 @@ fn injected_verdicts_are_identical_across_tiers() {
     );
     let counts = counter.counts();
     for class in FUNCTIONAL_CLASSES {
-        let sites = match class {
-            FaultClass::EaFlip => counts.ea,
-            FaultClass::OperandFlip => counts.result,
-            FaultClass::GuardSkip => counts.guard,
-            FaultClass::RegionCorrupt => counts.context,
-            _ => unreachable!(),
-        };
+        let sites = counts.for_class(class);
         let step = (sites / 6).max(1);
         for trigger in (0..sites).step_by(step as usize) {
             let verdict_of = |fused: bool| {

@@ -31,7 +31,7 @@ fn every_unmutated_target_verifies() {
 #[test]
 fn every_mutant_is_killed() {
     let mut total = 0usize;
-    let mut per_class = [0usize; 4];
+    let mut per_class = [0usize; MutationClass::ALL.len()];
     let mut survivors = Vec::new();
 
     for target in all_targets(smoke()) {
